@@ -1,0 +1,216 @@
+package tota_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/emulator"
+	"tota/internal/experiment"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+	"tota/internal/wire"
+)
+
+// The BenchmarkE* functions regenerate each experiment of the paper
+// reproduction (see EXPERIMENTS.md); the reported custom metrics are
+// the headline numbers of each table. Run cmd/tota-bench for the full
+// paper-shaped tables.
+
+func benchExperiment(b *testing.B, run func(experiment.Scale) *experiment.Result, keys ...string) {
+	b.Helper()
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res = run(experiment.Quick)
+	}
+	if res == nil {
+		b.Fatal("no result")
+	}
+	for _, k := range keys {
+		if v, ok := res.Metrics[k]; ok {
+			// Metric units must not contain whitespace or commas.
+			unit := strings.NewReplacer(" ", "_", ",", "").Replace(k)
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkE1Propagation(b *testing.B) {
+	benchExperiment(b, experiment.RunE1, "rounds_grid 10x10", "coverage_grid 10x10")
+}
+
+func BenchmarkE2Maintenance(b *testing.B) {
+	benchExperiment(b, experiment.RunE2, "repair_rounds_link removal", "repair_msgs_link removal")
+}
+
+func BenchmarkE3Routing(b *testing.B) {
+	benchExperiment(b, experiment.RunE3, "sends_gradient_v0", "sends_flood_v0")
+}
+
+func BenchmarkE4GatherPush(b *testing.B) {
+	benchExperiment(b, experiment.RunE4, "walkratio_scope_inf")
+}
+
+func BenchmarkE5GatherQuery(b *testing.B) {
+	benchExperiment(b, experiment.RunE5, "answers_scope_inf")
+}
+
+func BenchmarkE6Flocking(b *testing.B) {
+	benchExperiment(b, experiment.RunE6, "final_2 agents, X=3")
+}
+
+func BenchmarkE7Scalability(b *testing.B) {
+	benchExperiment(b, experiment.RunE7, "msgs_per_node_grid 10x10_sinf")
+}
+
+func BenchmarkE8UDPTransport(b *testing.B) {
+	benchExperiment(b, experiment.RunE8, "propagation_ms_4")
+}
+
+func BenchmarkE9API(b *testing.B) {
+	benchExperiment(b, experiment.RunE9, "readone_us_100")
+}
+
+func BenchmarkE10Overlay(b *testing.B) {
+	benchExperiment(b, experiment.RunE10, "rounds_per_key_n32_f0", "rounds_per_key_n32_f4")
+}
+
+func BenchmarkE11Meeting(b *testing.B) {
+	benchExperiment(b, experiment.RunE11, "final_3")
+}
+
+func BenchmarkE12Gossip(b *testing.B) {
+	benchExperiment(b, experiment.RunE12, "coverage_grid 10x10_p0.500")
+}
+
+func BenchmarkA1Ablations(b *testing.B) {
+	benchExperiment(b, experiment.RunA1,
+		"teardown_msgs_full engine", "teardown_msgs_no poisoned reverse")
+}
+
+func BenchmarkA2RefreshVsLoss(b *testing.B) {
+	benchExperiment(b, experiment.RunA2, "err_l0.300_p0", "err_l0.300_p5")
+}
+
+// Micro-benchmarks of the hot paths underlying every experiment.
+
+func BenchmarkTupleEncode(b *testing.B) {
+	g := pattern.NewGradient("bench", tuple.S("payload", "some description"))
+	g.SetID(tuple.ID{Node: "n0001", Seq: 9})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuple.Encode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTupleDecode(b *testing.B) {
+	g := pattern.NewGradient("bench", tuple.S("payload", "some description"))
+	g.SetID(tuple.ID{Node: "n0001", Seq: 9})
+	data, err := tuple.Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuple.Decode(tuple.DefaultRegistry, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	g := pattern.NewGradient("bench")
+	g.SetID(tuple.ID{Node: "n0001", Seq: 9})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := wire.Encode(wire.Message{Type: wire.MsgTuple, Tuple: g})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(tuple.DefaultRegistry, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalInject(b *testing.B) {
+	w := emulator.New(emulator.Config{Graph: topology.Line(1)})
+	n := w.Node(topology.NodeName(0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Inject(pattern.NewLocal("x", tuple.I("v", int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadSelective(b *testing.B) {
+	w := emulator.New(emulator.Config{Graph: topology.Line(1)})
+	n := w.Node(topology.NodeName(0))
+	for i := 0; i < 1000; i++ {
+		if _, err := n.Inject(pattern.NewLocal(fmt.Sprintf("item%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tpl := pattern.ByName(pattern.KindLocal, "item500")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := n.Read(tpl); len(got) != 1 {
+			b.Fatal("missing tuple")
+		}
+	}
+}
+
+func BenchmarkGradientBuild10x10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := emulator.New(emulator.Config{Graph: topology.Grid(10, 10, 1)})
+		if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+			b.Fatal(err)
+		}
+		w.Settle(100000)
+	}
+}
+
+func BenchmarkGradientRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := emulator.New(emulator.Config{Graph: topology.Grid(8, 8, 1)})
+		if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+			b.Fatal(err)
+		}
+		w.Settle(100000)
+		b.StartTimer()
+		w.RemoveEdge(topology.NodeName(1), topology.NodeName(9))
+		w.Settle(100000)
+		b.StopTimer()
+		if meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "f", topology.NodeName(0), math.Inf(1)); meanAbs != 0 || missing != 0 || extra != 0 {
+			b.Fatal("repair did not converge")
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkHandlePacket(b *testing.B) {
+	// Cost of one engine packet: decode + dedup + drop.
+	w := emulator.New(emulator.Config{Graph: topology.Line(2)})
+	n := w.Node(topology.NodeName(0))
+	g := pattern.NewGradient("f")
+	g.SetID(tuple.ID{Node: "other", Seq: 1})
+	g.Val = 1
+	data, err := wire.Encode(wire.Message{Type: wire.MsgTuple, Hop: 1, Tuple: g})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var _ *core.Node = n
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.HandlePacket(topology.NodeName(1), data)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scale", "enormous"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	// E1 at quick scale completes fast and prints a table to stdout;
+	// run it end-to-end to keep the CLI honest.
+	if err := run([]string{"-scale", "quick", "-run", "E1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunValueNormalization(t *testing.T) {
+	s := "  FULL "
+	if got := *runValue(&s); got != "full" {
+		t.Errorf("runValue = %q", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Command tota-emu is the CLI counterpart of the paper's graphic TOTA
+// emulator: it runs a scenario over hundreds of simulated nodes and
+// renders ASCII snapshots of the distributed tuple structures.
+//
+// Usage:
+//
+//	tota-emu -scenario gradient|flock|routing [-w 12] [-h 8] [-rounds 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"tota/internal/core"
+	"tota/internal/emulator"
+	"tota/internal/experiment"
+	"tota/internal/meeting"
+	"tota/internal/pattern"
+	"tota/internal/routing"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tota-emu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tota-emu", flag.ContinueOnError)
+	scenario := fs.String("scenario", "gradient", "scenario: gradient, flock, routing or meeting")
+	width := fs.Int("w", 12, "grid width")
+	height := fs.Int("h", 8, "grid height")
+	rounds := fs.Int("rounds", 100, "coordination rounds (flock scenario)")
+	trace := fs.Bool("trace", false, "print engine trace events (gradient scenario)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *scenario {
+	case "gradient":
+		return gradientScenario(*width, *height, *trace)
+	case "flock":
+		return flockScenario(*rounds)
+	case "routing":
+		return routingScenario(*width, *height)
+	case "meeting":
+		return meetingScenario(*rounds)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+}
+
+// meetingScenario runs the Co-Fields meeting application: three users
+// descend each other's summed fields until they gather.
+func meetingScenario(rounds int) error {
+	g := topology.Grid(9, 9, 1)
+	users := []tuple.NodeID{"userA", "userB", "userC"}
+	starts := []space.Point{{X: 0.5, Y: 0.5}, {X: 7.5, Y: 0.5}, {X: 3.5, Y: 7.5}}
+	for i, id := range users {
+		g.SetPosition(id, starts[i])
+	}
+	g.Recompute(1.2)
+	world := emulator.New(emulator.Config{Graph: g, RadioRange: 1.2})
+	m, err := meeting.New(world, users, meeting.Config{
+		Speed:  0.5,
+		Bounds: space.Rect{Max: space.Point{X: 8, Y: 8}},
+	})
+	if err != nil {
+		return err
+	}
+	world.Settle(100000)
+	mark := func(id tuple.NodeID) rune {
+		for i, u := range users {
+			if u == id {
+				return rune('A' + i)
+			}
+		}
+		return 0
+	}
+	fmt.Printf("before (spread %.0f hops):\n%s\n", m.Spread(), world.Render(40, 10, mark))
+	m.Run(rounds, 1, 100000)
+	fmt.Printf("after %d rounds (spread %.0f hops):\n%s", rounds, m.Spread(), world.Render(40, 10, mark))
+	return nil
+}
+
+// gradientScenario injects a hop-count field at the grid center and
+// prints the resulting structure of space as digits.
+func gradientScenario(w, h int, trace bool) error {
+	g := topology.Grid(w, h, 1)
+	var opts []core.Option
+	if trace {
+		opts = append(opts, core.WithTracer(func(ev core.TraceEvent) {
+			fmt.Println("  trace:", ev)
+		}))
+	}
+	world := emulator.New(emulator.Config{Graph: g, NodeOptions: opts})
+	src := topology.NodeName(h/2*w + w/2)
+	if _, err := world.Node(src).Inject(pattern.NewGradient("demo")); err != nil {
+		return err
+	}
+	rounds := world.Settle(100000)
+	fmt.Printf("gradient injected at %s; settled in %d rounds, %d radio sends\n\n",
+		src, rounds, world.Sim().Stats().Sent)
+	fmt.Println(world.Render(4*w, 2*h, func(id tuple.NodeID) rune {
+		ts := world.Node(id).Read(pattern.ByName(pattern.KindGradient, "demo"))
+		if len(ts) == 0 {
+			return '?'
+		}
+		v := int(ts[0].(tuple.Maintained).Value())
+		if v > 9 {
+			return '+'
+		}
+		return rune('0' + v)
+	}))
+	meanAbs, missing, extra := world.GradientError(pattern.KindGradient, "demo", src, math.Inf(1))
+	fmt.Printf("structure error vs BFS oracle: mean=%.3f missing=%d extra=%d\n", meanAbs, missing, extra)
+	return nil
+}
+
+// flockScenario reproduces the Fig. 3 snapshot: '#' marks flocking
+// agents before and after coordination.
+func flockScenario(rounds int) error {
+	before, after, err := experiment.RenderFlockSnapshot(3, 3, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Println("before coordination ('#' = flocking agents, 'o' = MANET nodes):")
+	fmt.Println(before)
+	fmt.Printf("after %d coordination rounds:\n", rounds)
+	fmt.Println(after)
+	return nil
+}
+
+// routingScenario advertises a destination and routes a message to it,
+// showing which nodes relayed.
+func routingScenario(w, h int) error {
+	g := topology.Grid(w, h, 1)
+	world := emulator.New(emulator.Config{Graph: g})
+	dst := topology.NodeName(0)
+	src := topology.NodeName(2*w + 2) // (2,2): the descent region is a corner patch
+	rDst := routing.NewRouter(world.Node(dst))
+	if _, err := rDst.Advertise(); err != nil {
+		return err
+	}
+	world.Settle(100000)
+	structSends := world.Sim().Stats().Sent
+	world.Sim().ResetStats()
+
+	if err := routing.NewRouter(world.Node(src)).Send(dst, tuple.S("body", "hello")); err != nil {
+		return err
+	}
+	world.Settle(100000)
+	msgs := rDst.Inbox()
+	fmt.Printf("overlay structure: %d sends; message: %d sends; delivered: %d\n",
+		structSends, world.Sim().Stats().Sent, len(msgs))
+	for _, m := range msgs {
+		fmt.Printf("  %s -> %s: %v\n", m.From, m.To, m.Body)
+	}
+	fmt.Println()
+	fmt.Println(world.Render(4*w, 2*h, func(id tuple.NodeID) rune {
+		switch id {
+		case src:
+			return 'S'
+		case dst:
+			return 'D'
+		}
+		if world.Node(id).Stats().PacketsIn > 0 {
+			return '+'
+		}
+		return 0
+	}))
+	return nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// newShellNode builds a middleware node over a 2-node simulated radio
+// so shell commands have a real engine to talk to.
+func newShellNode(t *testing.T) (*core.Node, *transport.Sim) {
+	t.Helper()
+	g := topology.Line(2)
+	sim := transport.NewSim(g, transport.SimConfig{})
+	ep := sim.Attach(topology.NodeName(0), nil)
+	n := core.New(ep)
+	sim.Bind(topology.NodeName(0), n)
+	other := core.New(sim.Attach(topology.NodeName(1), nil))
+	sim.Bind(topology.NodeName(1), other)
+	return n, sim
+}
+
+func exec(t *testing.T, n *core.Node, line string) string {
+	t.Helper()
+	var out strings.Builder
+	execute(n, &out, strings.Fields(line))
+	return out.String()
+}
+
+func TestShellGradientAndRead(t *testing.T) {
+	n, sim := newShellNode(t)
+	out := exec(t, n, "gradient demo 5")
+	if !strings.Contains(out, "injected") {
+		t.Fatalf("gradient output = %q", out)
+	}
+	sim.RunUntilQuiet(100)
+	out = exec(t, n, "read tota:gradient demo")
+	if !strings.Contains(out, "val=0") || !strings.Contains(out, "demo") {
+		t.Errorf("read output = %q", out)
+	}
+	out = exec(t, n, "readj tota:gradient demo")
+	if !strings.Contains(out, `"kind":"tota:gradient"`) {
+		t.Errorf("readj output = %q", out)
+	}
+}
+
+func TestShellFloodSendDelete(t *testing.T) {
+	n, sim := newShellNode(t)
+	if out := exec(t, n, "flood news hello world"); !strings.Contains(out, "injected") {
+		t.Fatalf("flood: %q", out)
+	}
+	sim.RunUntilQuiet(100)
+	if out := exec(t, n, "send somewhere message text"); !strings.Contains(out, "injected") {
+		t.Errorf("send: %q", out)
+	}
+	if out := exec(t, n, "delete tota:flood news"); !strings.Contains(out, "deleted 1") {
+		t.Errorf("delete: %q", out)
+	}
+}
+
+func TestShellRetract(t *testing.T) {
+	n, sim := newShellNode(t)
+	exec(t, n, "gradient f")
+	sim.RunUntilQuiet(100)
+	if out := exec(t, n, "retract "+string(n.Self())+"#1"); !strings.Contains(out, "retracted") {
+		t.Errorf("retract: %q", out)
+	}
+	sim.RunUntilQuiet(100)
+	if got := len(n.Read(tuple.Match(pattern.KindGradient))); got != 0 {
+		t.Errorf("gradient survives retract: %d", got)
+	}
+	if out := exec(t, n, "retract garbage"); !strings.Contains(out, "bad id") {
+		t.Errorf("bad retract: %q", out)
+	}
+}
+
+func TestShellMiscCommands(t *testing.T) {
+	n, _ := newShellNode(t)
+	if out := exec(t, n, "neighbors"); !strings.Contains(out, "n0001") {
+		t.Errorf("neighbors: %q", out)
+	}
+	if out := exec(t, n, "stats"); !strings.Contains(out, "Injected") {
+		t.Errorf("stats: %q", out)
+	}
+	if out := exec(t, n, "help"); !strings.Contains(out, "gradient NAME") {
+		t.Errorf("help: %q", out)
+	}
+	if out := exec(t, n, "blargh"); !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown: %q", out)
+	}
+	if out := exec(t, n, "watch tota:flood"); !strings.Contains(out, "watching") {
+		t.Errorf("watch: %q", out)
+	}
+	// Usage errors.
+	for _, c := range []string{"gradient", "flood x", "send x", "delete onlykind", "retract"} {
+		if out := exec(t, n, c); !strings.Contains(out, "usage") {
+			t.Errorf("%q: %q", c, out)
+		}
+	}
+}
+
+func TestShellQuitAndScript(t *testing.T) {
+	n, _ := newShellNode(t)
+	in := strings.NewReader("gradient f\nquit\nnever-reached\n")
+	var out strings.Builder
+	if err := shell(n, in, &out); err != nil {
+		t.Fatalf("shell: %v", err)
+	}
+	if strings.Contains(out.String(), "never-reached") {
+		t.Error("shell ran past quit")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing -id accepted")
+	}
+	// A full node over loopback: starts, reads a command, quits.
+	var out strings.Builder
+	err := run([]string{"-id", "cli-test"}, strings.NewReader("neighbors\nquit\n"), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "listening") {
+		t.Errorf("output = %q", out.String())
+	}
+}

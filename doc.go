@@ -1,0 +1,17 @@
+// Package tota is a from-scratch Go reproduction of "Tuples On The Air:
+// a Middleware for Context-Aware Computing in Dynamic Networks" (Mamei,
+// Zambonelli, Leonardi — ICDCS 2003 Workshops).
+//
+// The middleware lives in internal/core; the tuple model and the
+// propagation-pattern library in internal/tuple and internal/pattern;
+// the network substrates (simulated radio, UDP loopback, topology,
+// mobility) in internal/transport, internal/topology and
+// internal/mobility; the paper's application examples in
+// internal/routing, internal/gather and internal/flock; and the
+// reproduction of every figure and evaluation claim in
+// internal/experiment (see DESIGN.md and EXPERIMENTS.md).
+//
+// Runnable entry points: cmd/tota-emu (the emulator), cmd/tota-node (a
+// real UDP node), cmd/tota-bench (regenerates all experiment tables),
+// and the examples/ directory.
+package tota

@@ -1,0 +1,94 @@
+// Gathering example (§5.2): sensors advertise description fields; a
+// user device discovers them from its local tuple space, walks a field
+// back to its source, and runs a scoped query answered over the query's
+// own structure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tota/internal/emulator"
+	"tota/internal/gather"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world := emulator.New(emulator.Config{Graph: topology.Grid(7, 7, 1)})
+	printer := topology.NodeName(0)
+	thermo := topology.NodeName(48)
+	user := topology.NodeName(24) // center
+
+	// Push model: sensors advertise themselves as gradient fields.
+	if _, err := gather.Advertise(world.Node(printer), "printer", math.Inf(1),
+		tuple.S("model", "LaserJet"), tuple.S("floor", "2")); err != nil {
+		return err
+	}
+	if _, err := gather.Advertise(world.Node(thermo), "thermometer", 4); err != nil {
+		return err
+	}
+	world.Settle(100000)
+
+	fmt.Println("user's local view of the environment:")
+	for _, r := range gather.Discover(world.Node(user)) {
+		fmt.Printf("  %-12s %v hops away  %v\n", r.Name, r.Distance, r.Desc)
+	}
+
+	// Walk the printer field back to its source, hop by hop, using only
+	// one-hop information.
+	at := user
+	fmt.Printf("walking to the printer: %s", at)
+	for steps := 0; steps < 50; steps++ {
+		val, ok := resourceVal(world, at, "printer")
+		if !ok || val == 0 {
+			break
+		}
+		nbrVals := make(map[tuple.NodeID]float64)
+		for _, nb := range world.Graph().Neighbors(at) {
+			if v, ok := resourceVal(world, nb, "printer"); ok {
+				nbrVals[nb] = v
+			}
+		}
+		next, ok := gather.NextHop(val, nbrVals)
+		if !ok {
+			break
+		}
+		at = next
+		fmt.Printf(" -> %s", at)
+	}
+	fmt.Println()
+	if at == printer {
+		fmt.Println("arrived at the printer without any global knowledge")
+	}
+
+	// Pull model: a scoped query answered over its own structure.
+	resp := gather.NewResponder(world.Node(thermo), "temperature", func(q gather.Query) (tuple.Content, bool) {
+		return tuple.Content{tuple.F("celsius", 21.5)}, true
+	})
+	defer resp.Close()
+	if _, err := gather.Ask(world.Node(user), "temperature", "q1", math.Inf(1)); err != nil {
+		return err
+	}
+	world.Settle(100000)
+	for _, a := range gather.Answers(world.Node(user)) {
+		fmt.Printf("answer to %s/%s: %v\n", a.Topic, a.QID, a.Fields)
+	}
+	return nil
+}
+
+func resourceVal(w *emulator.World, at tuple.NodeID, name string) (float64, bool) {
+	for _, r := range gather.Discover(w.Node(at)) {
+		if r.Name == name {
+			return r.Distance, true
+		}
+	}
+	return 0, false
+}

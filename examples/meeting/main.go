@@ -1,0 +1,68 @@
+// Meeting example (Co-Fields): participants scattered over a campus
+// grid each propagate a gradient field and walk downhill the sum of
+// everyone else's fields; without any negotiation they converge on a
+// point minimizing the total travel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tota/internal/emulator"
+	"tota/internal/meeting"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	graph := topology.Grid(9, 9, 1)
+	users := []tuple.NodeID{"ann", "bob", "cleo"}
+	starts := []space.Point{
+		{X: 0.5, Y: 0.5},
+		{X: 7.5, Y: 0.5},
+		{X: 3.5, Y: 7.5},
+	}
+	for i, id := range users {
+		graph.SetPosition(id, starts[i])
+	}
+	graph.Recompute(1.2)
+	world := emulator.New(emulator.Config{Graph: graph, RadioRange: 1.2})
+
+	m, err := meeting.New(world, users, meeting.Config{
+		Speed:  0.5,
+		Bounds: space.Rect{Max: space.Point{X: 8, Y: 8}},
+	})
+	if err != nil {
+		return err
+	}
+	world.Settle(100000)
+
+	mark := func(id tuple.NodeID) rune {
+		for i, u := range users {
+			if u == id {
+				return rune('A' + i)
+			}
+		}
+		return 0
+	}
+	fmt.Println("before (participants A, B, C):")
+	fmt.Println(world.Render(40, 10, mark))
+	fmt.Printf("spread: %.0f hops\n\n", m.Spread())
+
+	spreads := m.Run(150, 1, 100000)
+	for i := 0; i < len(spreads); i += 30 {
+		fmt.Printf("round %3d: spread %.0f hops\n", i+1, spreads[i])
+	}
+	fmt.Printf("round %3d: spread %.0f hops\n\n", len(spreads), spreads[len(spreads)-1])
+
+	fmt.Println("after — the group met:")
+	fmt.Println(world.Render(40, 10, mark))
+	return nil
+}

@@ -1,0 +1,39 @@
+package tota_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun executes every example end-to-end with `go run`,
+// keeping the documentation honest: an example that stops compiling or
+// starts erroring fails the suite. Skipped in -short mode (each run
+// pays a compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in short mode")
+	}
+	examples := []string{
+		"quickstart",
+		"routing",
+		"gathering",
+		"flocking",
+		"meeting",
+		"dht",
+		"custompattern",
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing", name)
+			}
+		})
+	}
+}

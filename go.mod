@@ -1,0 +1,3 @@
+module tota
+
+go 1.22

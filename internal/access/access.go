@@ -1,0 +1,164 @@
+// Package access provides rule-based implementations of the
+// middleware's access-control extension point (core.Policy) — the §6
+// requirement to "integrate proper access control to rule accesses to
+// distributed tuples and their updates".
+//
+// A RuleSet evaluates ordered rules; the first rule matching the
+// (operation, requester, tuple) triple decides. Rules select on the
+// operation set, the tuple kind and application name (with trailing-*
+// globs), the tuple's owner (the node that injected it) and the
+// requester. Convenience policies cover the common cases: AllowAll,
+// DenyAll, OwnerOnly deletion/retraction, and kind whitelists.
+//
+// Trust model (as in the paper's prototype): identities are the
+// transport-level node ids of one-hop neighbors; there is no
+// cryptographic origin authentication.
+package access
+
+import (
+	"strings"
+
+	"tota/internal/core"
+	"tota/internal/tuple"
+)
+
+// Effect is a rule's decision.
+type Effect int
+
+// Effects.
+const (
+	Allow Effect = iota + 1
+	Deny
+)
+
+// Rule is one access-control rule. Zero-valued selector fields match
+// everything; Ops nil matches every operation. Patterns ending in "*"
+// match prefixes.
+type Rule struct {
+	// Effect is what happens when the rule matches.
+	Effect Effect
+	// Ops restricts the operations the rule applies to.
+	Ops []core.Op
+	// Kind matches the tuple kind ("tota:grad*" style globs allowed).
+	Kind string
+	// Name matches the tuple's application name field (globs allowed).
+	Name string
+	// Owner matches the node that injected the tuple (globs allowed).
+	Owner string
+	// Requester matches the node performing the operation (globs
+	// allowed).
+	Requester string
+}
+
+func (r Rule) matches(op core.Op, requester tuple.NodeID, t tuple.Tuple) bool {
+	if len(r.Ops) > 0 {
+		found := false
+		for _, o := range r.Ops {
+			if o == op {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if !glob(r.Requester, string(requester)) {
+		return false
+	}
+	if t == nil {
+		// Retraction of a structure with no local copy: only
+		// kind/name/owner-free rules can match.
+		return r.Kind == "" && r.Name == "" && r.Owner == ""
+	}
+	if !glob(r.Kind, t.Kind()) {
+		return false
+	}
+	if !glob(r.Name, t.Content().GetString("name")) {
+		return false
+	}
+	return glob(r.Owner, string(t.ID().Node))
+}
+
+func glob(pattern, s string) bool {
+	if pattern == "" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(s, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == s
+}
+
+// RuleSet is an ordered access-control policy: the first matching rule
+// decides; Default applies when none match.
+type RuleSet struct {
+	Rules   []Rule
+	Default Effect
+}
+
+var _ core.Policy = (*RuleSet)(nil)
+
+// Allow implements core.Policy.
+func (rs *RuleSet) Allow(op core.Op, requester tuple.NodeID, t tuple.Tuple) bool {
+	for _, r := range rs.Rules {
+		if r.matches(op, requester, t) {
+			return r.Effect == Allow
+		}
+	}
+	return rs.Default != Deny
+}
+
+// AllowAll permits everything (the default middleware behavior, made
+// explicit).
+func AllowAll() core.Policy {
+	return core.PolicyFunc(func(core.Op, tuple.NodeID, tuple.Tuple) bool { return true })
+}
+
+// DenyAll rejects everything.
+func DenyAll() core.Policy {
+	return core.PolicyFunc(func(core.Op, tuple.NodeID, tuple.Tuple) bool { return false })
+}
+
+// OwnerOnlyUpdates lets anyone inject, accept and read, but restricts
+// delete and retract to the tuple's owner — the natural "rule accesses
+// to distributed tuples and their updates" baseline.
+func OwnerOnlyUpdates() core.Policy {
+	return core.PolicyFunc(func(op core.Op, requester tuple.NodeID, t tuple.Tuple) bool {
+		switch op {
+		case core.OpDelete, core.OpRetract:
+			return t == nil || t.ID().Node == requester
+		default:
+			return true
+		}
+	})
+}
+
+// KindWhitelist accepts only the listed tuple kinds from the network
+// (local operations stay unrestricted); everything else is dropped at
+// the engine boundary.
+func KindWhitelist(kinds ...string) core.Policy {
+	allowed := make(map[string]struct{}, len(kinds))
+	for _, k := range kinds {
+		allowed[k] = struct{}{}
+	}
+	return core.PolicyFunc(func(op core.Op, _ tuple.NodeID, t tuple.Tuple) bool {
+		if op != core.OpAccept || t == nil {
+			return true
+		}
+		_, ok := allowed[t.Kind()]
+		return ok
+	})
+}
+
+// Chain combines policies: every policy must allow the operation.
+func Chain(ps ...core.Policy) core.Policy {
+	return core.PolicyFunc(func(op core.Op, requester tuple.NodeID, t tuple.Tuple) bool {
+		for _, p := range ps {
+			if !p.Allow(op, requester, t) {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,165 @@
+package access
+
+import (
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+func newTuple(kind, name string, owner tuple.NodeID) tuple.Tuple {
+	var t tuple.Tuple
+	switch kind {
+	case pattern.KindGradient:
+		t = pattern.NewGradient(name)
+	default:
+		t = pattern.NewFlood(name)
+	}
+	t.SetID(tuple.ID{Node: owner, Seq: 1})
+	return t
+}
+
+func TestRuleMatching(t *testing.T) {
+	grad := newTuple(pattern.KindGradient, "route:a", "a")
+	flood := newTuple(pattern.KindFlood, "news", "b")
+
+	tests := []struct {
+		name      string
+		rule      Rule
+		op        core.Op
+		requester tuple.NodeID
+		tup       tuple.Tuple
+		want      bool
+	}{
+		{
+			name: "empty rule matches everything",
+			rule: Rule{Effect: Deny},
+			op:   core.OpRead, requester: "x", tup: grad, want: true,
+		},
+		{
+			name: "op restriction",
+			rule: Rule{Effect: Deny, Ops: []core.Op{core.OpDelete}},
+			op:   core.OpRead, requester: "x", tup: grad, want: false,
+		},
+		{
+			name: "kind glob",
+			rule: Rule{Effect: Deny, Kind: "tota:grad*"},
+			op:   core.OpRead, requester: "x", tup: grad, want: true,
+		},
+		{
+			name: "kind glob miss",
+			rule: Rule{Effect: Deny, Kind: "tota:grad*"},
+			op:   core.OpRead, requester: "x", tup: flood, want: false,
+		},
+		{
+			name: "name glob",
+			rule: Rule{Effect: Deny, Name: "route:*"},
+			op:   core.OpRead, requester: "x", tup: grad, want: true,
+		},
+		{
+			name: "owner exact",
+			rule: Rule{Effect: Deny, Owner: "a"},
+			op:   core.OpRead, requester: "x", tup: grad, want: true,
+		},
+		{
+			name: "owner miss",
+			rule: Rule{Effect: Deny, Owner: "zzz"},
+			op:   core.OpRead, requester: "x", tup: grad, want: false,
+		},
+		{
+			name: "requester glob",
+			rule: Rule{Effect: Deny, Requester: "gw-*"},
+			op:   core.OpRead, requester: "gw-7", tup: grad, want: true,
+		},
+		{
+			name: "nil tuple matches selector-free rule",
+			rule: Rule{Effect: Deny, Ops: []core.Op{core.OpRetract}},
+			op:   core.OpRetract, requester: "x", tup: nil, want: true,
+		},
+		{
+			name: "nil tuple misses kind rule",
+			rule: Rule{Effect: Deny, Kind: "tota:gradient"},
+			op:   core.OpRetract, requester: "x", tup: nil, want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.rule.matches(tt.op, tt.requester, tt.tup); got != tt.want {
+				t.Errorf("matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRuleSetFirstMatchWins(t *testing.T) {
+	rs := &RuleSet{
+		Rules: []Rule{
+			{Effect: Allow, Kind: pattern.KindGradient, Name: "route:*"},
+			{Effect: Deny, Kind: pattern.KindGradient},
+		},
+		Default: Allow,
+	}
+	route := newTuple(pattern.KindGradient, "route:a", "a")
+	other := newTuple(pattern.KindGradient, "secret", "a")
+	flood := newTuple(pattern.KindFlood, "news", "a")
+	if !rs.Allow(core.OpAccept, "x", route) {
+		t.Error("route gradient denied")
+	}
+	if rs.Allow(core.OpAccept, "x", other) {
+		t.Error("secret gradient allowed")
+	}
+	if !rs.Allow(core.OpAccept, "x", flood) {
+		t.Error("default not applied")
+	}
+	rs.Default = Deny
+	if rs.Allow(core.OpAccept, "x", flood) {
+		t.Error("deny default not applied")
+	}
+}
+
+func TestConveniencePolicies(t *testing.T) {
+	g := newTuple(pattern.KindGradient, "f", "owner")
+	if !AllowAll().Allow(core.OpDelete, "anyone", g) {
+		t.Error("AllowAll denied")
+	}
+	if DenyAll().Allow(core.OpRead, "anyone", g) {
+		t.Error("DenyAll allowed")
+	}
+
+	own := OwnerOnlyUpdates()
+	if !own.Allow(core.OpDelete, "owner", g) {
+		t.Error("owner delete denied")
+	}
+	if own.Allow(core.OpDelete, "stranger", g) {
+		t.Error("stranger delete allowed")
+	}
+	if !own.Allow(core.OpRead, "stranger", g) {
+		t.Error("stranger read denied")
+	}
+	if !own.Allow(core.OpRetract, "x", nil) {
+		t.Error("nil-tuple retract denied")
+	}
+
+	wl := KindWhitelist(pattern.KindGradient)
+	if !wl.Allow(core.OpAccept, "n", g) {
+		t.Error("whitelisted kind denied")
+	}
+	if wl.Allow(core.OpAccept, "n", newTuple(pattern.KindFlood, "x", "o")) {
+		t.Error("non-whitelisted kind accepted")
+	}
+	if !wl.Allow(core.OpInject, "n", newTuple(pattern.KindFlood, "x", "o")) {
+		t.Error("whitelist restricted local inject")
+	}
+
+	chain := Chain(wl, own)
+	if chain.Allow(core.OpAccept, "n", newTuple(pattern.KindFlood, "x", "o")) {
+		t.Error("chain ignored first policy")
+	}
+	if chain.Allow(core.OpDelete, "stranger", g) {
+		t.Error("chain ignored second policy")
+	}
+	if !chain.Allow(core.OpRead, "stranger", g) {
+		t.Error("chain denied allowed op")
+	}
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+	"tota/internal/wire"
+)
+
+// TestTombstoneBlocksMaintainedResurrection hand-delivers a stale
+// gradient announcement for a retracted structure: the tombstone must
+// swallow it even on the maintained path.
+func TestTombstoneBlocksMaintainedResurrection(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	mid := tn.node(topology.NodeName(1))
+	id, err := tn.node(src).Inject(pattern.NewGradient("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	tn.node(src).Retract(id)
+	tn.quiesce()
+
+	// A stale announcement (as if from a node that missed the retract).
+	stale := pattern.NewGradient("f")
+	stale.SetID(id)
+	stale.Val = 1
+	data, err := wire.Encode(wire.Message{Type: wire.MsgTuple, Hop: 1, Tuple: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid.HandlePacket(topology.NodeName(0), data)
+	tn.quiesce()
+	if got := len(mid.Read(pattern.ByName(pattern.KindGradient, "f"))); got != 0 {
+		t.Errorf("tombstoned structure resurrected: %d copies", got)
+	}
+}
+
+// TestNewcomerDoesNotReceiveLocalTuples checks the catch-up unicast
+// respects propagation rules: node-local tuples stay home.
+func TestNewcomerDoesNotReceiveLocalTuples(t *testing.T) {
+	g := topology.New()
+	g.AddNode("a")
+	tn := newTestNet(t, g)
+	if _, err := tn.node("a").Inject(pattern.NewLocal("private")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.node("a").Inject(pattern.NewFlood("public")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	ep := tn.sim.Attach("late", nil)
+	late := newLateNode(tn, ep)
+	tn.sim.Bind("late", late)
+	tn.sim.AddEdge("a", "late")
+	tn.quiesce()
+
+	if got := len(late.Read(tuple.Match(pattern.KindLocal))); got != 0 {
+		t.Error("local tuple leaked to newcomer")
+	}
+	if got := len(late.Read(tuple.Match(pattern.KindFlood))); got != 1 {
+		t.Error("flood not caught up to newcomer")
+	}
+}
+
+// TestSupersededCopyRepropagates verifies that a better copy arriving
+// over a shorter path is passed on (the min-wins wave crosses the
+// network even when a slower copy got there first).
+func TestSupersededCopyRepropagates(t *testing.T) {
+	// Path graph a-b-c plus a slow long way a-x-y-z-c: c first hears
+	// the message via the long path (if we cut the short one), then the
+	// short path is restored and the better copy must supersede at c
+	// AND continue to d beyond it.
+	g := topology.New()
+	g.AddEdge("a", "b")
+	// b-c missing initially
+	g.AddEdge("a", "x")
+	g.AddEdge("x", "y")
+	g.AddEdge("y", "z")
+	g.AddEdge("z", "c")
+	g.AddEdge("c", "d")
+	tn := newTestNet(t, g)
+
+	// Use a Path tuple: Supersedes prefers shorter routes.
+	if _, err := tn.node("a").Inject(pattern.NewPath("t")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	long, _ := tn.node("d").ReadOne(pattern.ByName(pattern.KindPath, "t"))
+	if got := len(long.(*pattern.Path).Route); got != 6 { // a x y z c d
+		t.Fatalf("initial route length = %d, want 6", got)
+	}
+
+	tn.sim.AddEdge("b", "c")
+	tn.quiesce()
+	short, _ := tn.node("d").ReadOne(pattern.ByName(pattern.KindPath, "t"))
+	if got := len(short.(*pattern.Path).Route); got != 4 { // a b c d
+		t.Errorf("route after shortcut = %v, want length 4", short.(*pattern.Path).Route)
+	}
+}

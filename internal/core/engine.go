@@ -1,0 +1,670 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"tota/internal/tuple"
+	"tota/internal/wire"
+)
+
+// tupleState is the engine's per-tuple-id bookkeeping, tracking dedup,
+// maintenance support tables and retraction tombstones.
+type tupleState struct {
+	// local is the stored copy (nil when not stored).
+	local tuple.Tuple
+	// stored reports whether the tuple is currently in the local space.
+	stored bool
+	// visited reports whether OnArrive already ran at this node.
+	visited bool
+	// propagated reports whether the stored copy was re-broadcast, so
+	// newcomers get it too.
+	propagated bool
+	// source reports whether this node injected the tuple.
+	source bool
+	// retracted is the tombstone set by structure teardown.
+	retracted bool
+	// hop is the hop count of the accepted copy.
+	hop int
+	// parent is the neighbor the maintained value was adopted from.
+	parent tuple.NodeID
+	// nbrVals is the maintenance support table: the last value (and
+	// parent) each neighbor announced for this structure.
+	nbrVals map[tuple.NodeID]nbrVal
+	// storedAt is the node's logical time when the copy was last
+	// (re)stored, for lease expiry.
+	storedAt float64
+}
+
+type nbrVal struct {
+	val    float64
+	parent tuple.NodeID
+	// epoch is the node's refresh epoch when this announcement was
+	// heard; entries not re-heard within staleEpochs refresh cycles are
+	// pruned, so lost withdrawals cannot sustain phantom support.
+	epoch uint64
+}
+
+// staleEpochs is how many full refresh cycles an announcement stays
+// valid without being re-heard.
+const staleEpochs = 2
+
+func (n *Node) stateFor(id tuple.ID) *tupleState {
+	st, ok := n.seen[id]
+	if !ok {
+		st = &tupleState{}
+		n.seen[id] = st
+	}
+	return st
+}
+
+// lockedStore exposes the local space to propagation hooks running
+// inside the engine lock.
+type lockedStore struct {
+	n *Node
+}
+
+var _ tuple.LocalStore = lockedStore{}
+
+func (s lockedStore) Read(tpl tuple.Template) []tuple.Tuple {
+	return s.n.readLocked(tpl)
+}
+
+func (s lockedStore) Delete(tpl tuple.Template) []tuple.Tuple {
+	return s.n.deleteLocked(tpl)
+}
+
+func (n *Node) ctxLocked(from tuple.NodeID, hop int) *tuple.Ctx {
+	pos, ok := n.cfg.Localizer.Position()
+	return &tuple.Ctx{
+		Self:   n.id,
+		From:   from,
+		Hop:    hop,
+		Pos:    pos,
+		HasPos: ok,
+		Store:  lockedStore{n: n},
+	}
+}
+
+// HandlePacket implements transport.Handler.
+func (n *Node) HandlePacket(from tuple.NodeID, data []byte) {
+	n.mu.Lock()
+	msg, err := wire.Decode(n.cfg.Registry, data)
+	if err != nil {
+		n.stats.DecodeErrors++
+		n.mu.Unlock()
+		return
+	}
+	n.stats.PacketsIn++
+	switch msg.Type {
+	case wire.MsgTuple:
+		n.handleTupleLocked(from, msg)
+	case wire.MsgRetract:
+		n.handleRetractLocked(msg.ID)
+	case wire.MsgWithdraw:
+		n.handleWithdrawLocked(from, msg.ID)
+	}
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+}
+
+// HandleNeighbor implements transport.Handler.
+func (n *Node) HandleNeighbor(peer tuple.NodeID, added bool) {
+	n.mu.Lock()
+	if added {
+		n.handleNeighborAddedLocked(peer)
+	} else {
+		n.handleNeighborRemovedLocked(peer)
+	}
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+}
+
+// injectLocked runs the arrival pipeline at the injecting node.
+func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
+	st := n.stateFor(t.ID())
+	st.source = true
+	st.visited = true
+	n.traceLocked(TraceEvent{Kind: TraceInject, ID: t.ID(), TupleKind: t.Kind()})
+	t.OnArrive(ctx)
+	if t.ShouldStore(ctx) {
+		st.stored = true
+		st.local = t
+		st.hop = 0
+		st.storedAt = n.now
+		n.store.put(t)
+		n.stats.Stored++
+		n.emitTupleLocked(TupleArrived, t)
+	}
+	if t.ShouldPropagate(ctx) {
+		st.propagated = true
+		n.broadcastTupleLocked(t, 0, "")
+	}
+}
+
+func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
+	t := msg.Tuple
+	if !n.allow(OpAccept, from, t) {
+		return
+	}
+	st := n.stateFor(t.ID())
+	if st.retracted {
+		n.stats.DupDropped++
+		return
+	}
+	hop := int(msg.Hop) + 1
+
+	if m, ok := t.(tuple.Maintained); ok {
+		// Maintained structures bypass the plain pipeline: every
+		// announcement updates the support table and triggers the
+		// maintenance check, which performs adoption, improvement and
+		// withdrawal uniformly.
+		if st.nbrVals == nil {
+			st.nbrVals = make(map[tuple.NodeID]nbrVal)
+		}
+		st.nbrVals[from] = nbrVal{val: m.Value(), parent: msg.Parent, epoch: n.epoch}
+		n.maintainLocked(t.ID(), m, n.ctxLocked(from, hop))
+		return
+	}
+
+	if hop > n.cfg.MaxHops {
+		n.stats.TTLDropped++
+		n.traceLocked(TraceEvent{Kind: TraceTTL, ID: t.ID(), TupleKind: t.Kind(), From: from, Hop: hop})
+		return
+	}
+	ctx := n.ctxLocked(from, hop)
+	local := t.Evolve(ctx)
+	if local == nil {
+		local = t
+	}
+	if st.visited {
+		if st.stored && local.Supersedes(st.local) {
+			st.local = local
+			st.hop = hop
+			st.storedAt = n.now
+			n.store.put(local)
+			n.stats.Superseded++
+			n.traceLocked(TraceEvent{Kind: TraceSupersede, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
+			n.emitTupleLocked(TupleArrived, local)
+			if local.ShouldPropagate(ctx) {
+				n.broadcastTupleLocked(local, hop, "")
+				n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
+			}
+			return
+		}
+		n.stats.DupDropped++
+		n.traceLocked(TraceEvent{Kind: TraceDup, ID: t.ID(), TupleKind: t.Kind(), From: from})
+		return
+	}
+	st.visited = true
+	st.hop = hop
+	local.OnArrive(ctx)
+	if local.ShouldStore(ctx) {
+		st.stored = true
+		st.local = local
+		st.storedAt = n.now
+		n.store.put(local)
+		n.stats.Stored++
+		n.traceLocked(TraceEvent{Kind: TraceStore, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
+		n.emitTupleLocked(TupleArrived, local)
+	}
+	if local.ShouldPropagate(ctx) {
+		st.propagated = true
+		n.broadcastTupleLocked(local, hop, "")
+		n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
+	}
+}
+
+// maintainLocked re-establishes the local consistency of a maintained
+// structure: a non-source node must hold value min(supporting neighbor
+// values) + step, adopt it when it changes, and withdraw its copy when
+// no support remains or the value exceeds the structure's scope. Support
+// excludes neighbors whose announced parent is this node (poisoned
+// reverse), which prevents two-node count-to-scope loops; longer stale
+// cycles are bounded by the scope and by MaxHops.
+func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple.Ctx) {
+	st := n.stateFor(id)
+	if st.source {
+		return
+	}
+	step := exemplar.Step()
+	effMax := exemplar.MaxValue()
+	if step > 0 {
+		if hopCap := float64(n.cfg.MaxHops) * step; hopCap < effMax {
+			effMax = hopCap
+		}
+	}
+
+	best := math.Inf(1)
+	var bestNbr tuple.NodeID
+	for nbr, nv := range st.nbrVals {
+		if _, linked := n.nbrs[nbr]; !linked {
+			continue
+		}
+		if nv.parent == n.id && !n.cfg.DisablePoisonedReverse {
+			continue
+		}
+		if nv.val < best || (nv.val == best && (bestNbr == "" || nbr < bestNbr)) {
+			best = nv.val
+			bestNbr = nbr
+		}
+	}
+	desired := best + step
+
+	if math.IsInf(best, 1) || desired > effMax {
+		if st.stored {
+			n.dropMaintainedLocked(id, st)
+		}
+		return
+	}
+
+	if st.stored {
+		cur, ok := st.local.(tuple.Maintained)
+		if !ok {
+			return
+		}
+		if cur.Value() == desired {
+			if st.parent != bestNbr {
+				st.parent = bestNbr
+				n.announceLocked(st)
+			}
+			return
+		}
+		nl := cur.WithValue(desired)
+		st.local = nl
+		st.parent = bestNbr
+		st.hop = hopFromVal(desired, step, st.hop)
+		st.storedAt = n.now
+		n.store.put(nl)
+		n.stats.MaintAdopt++
+		n.traceLocked(TraceEvent{Kind: TraceAdopt, ID: id, TupleKind: nl.Kind(), From: bestNbr, Value: desired})
+		n.emitTupleLocked(TupleArrived, nl)
+		if nl.ShouldPropagate(ctx) {
+			n.announceLocked(st)
+		}
+		return
+	}
+
+	// Not stored: first contact or re-adoption after a withdrawal.
+	nl := exemplar.WithValue(desired)
+	if !st.visited {
+		st.visited = true
+		nl.OnArrive(ctx)
+	}
+	if !nl.ShouldStore(ctx) {
+		return
+	}
+	st.stored = true
+	st.local = nl
+	st.parent = bestNbr
+	st.hop = hopFromVal(desired, step, ctx.Hop)
+	st.storedAt = n.now
+	n.store.put(nl)
+	n.stats.Stored++
+	n.traceLocked(TraceEvent{Kind: TraceStore, ID: id, TupleKind: nl.Kind(), From: bestNbr, Hop: st.hop, Value: desired})
+	n.emitTupleLocked(TupleArrived, nl)
+	if nl.ShouldPropagate(ctx) {
+		st.propagated = true
+		n.announceLocked(st)
+	}
+}
+
+func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
+	removed, _ := n.store.remove(id)
+	st.stored = false
+	st.local = nil
+	st.parent = ""
+	n.stats.MaintDrop++
+	n.traceLocked(TraceEvent{Kind: TraceWithdraw, ID: id})
+	if removed != nil {
+		n.emitTupleLocked(TupleRemoved, removed)
+	}
+	n.sendMsgLocked("", wire.Message{Type: wire.MsgWithdraw, ID: id})
+}
+
+func (n *Node) handleWithdrawLocked(from tuple.NodeID, id tuple.ID) {
+	st, ok := n.seen[id]
+	if !ok || st.nbrVals == nil {
+		return
+	}
+	delete(st.nbrVals, from)
+	if st.stored && !st.source {
+		if m, ok := st.local.(tuple.Maintained); ok {
+			n.maintainLocked(id, m, n.ctxLocked(from, st.hop))
+		}
+	}
+	// If this node still holds a copy after the check, re-announce it:
+	// the withdrawing neighbor (and anything downstream of it) can then
+	// re-adopt, healing local deletions.
+	if st.stored {
+		n.announceLocked(st)
+	}
+}
+
+func (n *Node) handleRetractLocked(id tuple.ID) {
+	st, ok := n.seen[id]
+	if ok && st.retracted {
+		return
+	}
+	if !ok {
+		// Tombstone only: the structure never passed through here, so
+		// no downstream copies were fed by this node.
+		st = n.stateFor(id)
+		st.retracted = true
+		return
+	}
+	n.retractLocked(id)
+}
+
+func (n *Node) retractLocked(id tuple.ID) {
+	st := n.stateFor(id)
+	if st.retracted {
+		return
+	}
+	st.retracted = true
+	st.nbrVals = nil
+	st.parent = ""
+	if st.stored {
+		st.stored = false
+		if removed, ok := n.store.remove(id); ok {
+			n.emitTupleLocked(TupleRemoved, removed)
+		}
+		st.local = nil
+	}
+	n.stats.Retracted++
+	n.traceLocked(TraceEvent{Kind: TraceRetract, ID: id})
+	n.sendMsgLocked("", wire.Message{Type: wire.MsgRetract, ID: id})
+}
+
+// deleteLocked extracts matching tuples from the local space, emitting
+// removal events and withdrawing maintained copies from the
+// neighborhood.
+func (n *Node) deleteLocked(tpl tuple.Template) []tuple.Tuple {
+	matched := n.store.readRaw(tpl)
+	out := make([]tuple.Tuple, 0, len(matched))
+	for _, t := range matched {
+		if !n.allow(OpDelete, n.id, t) {
+			continue
+		}
+		id := t.ID()
+		if removed, ok := n.store.remove(id); ok {
+			out = append(out, removed)
+			st := n.stateFor(id)
+			st.stored = false
+			st.local = nil
+			st.parent = ""
+			n.emitTupleLocked(TupleRemoved, removed)
+			if _, isM := removed.(tuple.Maintained); isM {
+				n.sendMsgLocked("", wire.Message{Type: wire.MsgWithdraw, ID: id})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
+	if _, ok := n.nbrs[peer]; ok {
+		return
+	}
+	n.nbrs[peer] = struct{}{}
+	if n.cfg.DisableCatchUp {
+		n.emitNeighborLocked(NeighborAdded, peer)
+		return
+	}
+	// The paper: "when new nodes get in touch with a network, TOTA
+	// automatically checks the propagation rules of the stored tuples
+	// and eventually propagates the tuples to the new nodes". We
+	// unicast every stored propagating tuple to the newcomer.
+	for _, id := range n.store.ids() {
+		st := n.seen[id]
+		t, ok := n.store.get(id)
+		if !ok || st == nil {
+			continue
+		}
+		_, isMaintained := t.(tuple.Maintained)
+		if !st.propagated && !isMaintained {
+			continue
+		}
+		n.stats.Unicasts++
+		n.sendMsgLocked(peer, wire.Message{
+			Type:   wire.MsgTuple,
+			Hop:    clampHop(st.hop),
+			Parent: st.parent,
+			Tuple:  t,
+		})
+	}
+	n.emitNeighborLocked(NeighborAdded, peer)
+}
+
+func (n *Node) handleNeighborRemovedLocked(peer tuple.NodeID) {
+	if _, ok := n.nbrs[peer]; !ok {
+		return
+	}
+	delete(n.nbrs, peer)
+	// Re-check every maintained structure that counted the lost peer.
+	var affected []tuple.ID
+	for id, st := range n.seen {
+		if st.nbrVals == nil {
+			continue
+		}
+		if _, had := st.nbrVals[peer]; had {
+			delete(st.nbrVals, peer)
+			if st.stored && !st.source {
+				affected = append(affected, id)
+			}
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool {
+		if affected[i].Node != affected[j].Node {
+			return affected[i].Node < affected[j].Node
+		}
+		return affected[i].Seq < affected[j].Seq
+	})
+	for _, id := range affected {
+		st := n.seen[id]
+		if st == nil || !st.stored {
+			continue
+		}
+		if m, ok := st.local.(tuple.Maintained); ok {
+			n.maintainLocked(id, m, n.ctxLocked(n.id, st.hop))
+		}
+	}
+	n.emitNeighborLocked(NeighborRemoved, peer)
+}
+
+// sweepExpiredLocked removes stored copies whose lease has elapsed,
+// tombstoning their ids locally so announcements cannot resurrect them.
+func (n *Node) sweepExpiredLocked(now float64) int {
+	if now > n.now {
+		n.now = now
+	}
+	removed := 0
+	for _, id := range n.store.ids() {
+		t, ok := n.store.get(id)
+		if !ok {
+			continue
+		}
+		e, ok := t.(tuple.Expiring)
+		if !ok || e.Lease() <= 0 {
+			continue
+		}
+		st := n.seen[id]
+		if st == nil || n.now-st.storedAt < e.Lease() {
+			continue
+		}
+		n.store.remove(id)
+		st.stored = false
+		st.local = nil
+		st.parent = ""
+		st.retracted = true // local tombstone: expired copies stay dead
+		n.stats.Expired++
+		n.traceLocked(TraceEvent{Kind: TraceExpire, ID: id, TupleKind: t.Kind()})
+		n.emitTupleLocked(TupleRemoved, t)
+		if _, isM := t.(tuple.Maintained); isM {
+			n.sendMsgLocked("", wire.Message{Type: wire.MsgWithdraw, ID: id})
+		}
+		removed++
+	}
+	return removed
+}
+
+// refreshLocked re-broadcasts every stored propagating tuple, and for
+// maintained non-source structures also re-validates local consistency
+// (a neighbor's withdrawal may itself have been lost).
+func (n *Node) refreshLocked() int {
+	n.epoch++
+	count := 0
+	for _, id := range n.store.ids() {
+		st := n.seen[id]
+		t, ok := n.store.get(id)
+		if !ok || st == nil {
+			continue
+		}
+		if m, isMaintained := t.(tuple.Maintained); isMaintained {
+			if !st.source {
+				for nbr, nv := range st.nbrVals {
+					if nv.epoch+staleEpochs < n.epoch {
+						delete(st.nbrVals, nbr)
+					}
+				}
+				n.maintainLocked(id, m, n.ctxLocked(n.id, st.hop))
+				if !st.stored {
+					continue
+				}
+			}
+			n.announceLocked(st)
+			count++
+			continue
+		}
+		if !st.propagated {
+			continue
+		}
+		n.broadcastTupleLocked(t, st.hop, "")
+		count++
+	}
+	return count
+}
+
+// announceLocked broadcasts the node's stored copy of a maintained
+// structure with its current parent.
+func (n *Node) announceLocked(st *tupleState) {
+	if !st.stored || st.local == nil {
+		return
+	}
+	n.sendMsgLocked("", wire.Message{
+		Type:   wire.MsgTuple,
+		Hop:    clampHop(st.hop),
+		Parent: st.parent,
+		Tuple:  st.local,
+	})
+}
+
+func (n *Node) broadcastTupleLocked(t tuple.Tuple, hop int, parent tuple.NodeID) {
+	n.sendMsgLocked("", wire.Message{
+		Type:   wire.MsgTuple,
+		Hop:    clampHop(hop),
+		Parent: parent,
+		Tuple:  t,
+	})
+}
+
+// sendMsgLocked encodes and transmits a message; an empty destination
+// broadcasts to the one-hop neighborhood.
+func (n *Node) sendMsgLocked(to tuple.NodeID, msg wire.Message) {
+	data, err := wire.Encode(msg)
+	if err != nil {
+		n.stats.SendErrors++
+		return
+	}
+	if to == "" {
+		n.stats.Broadcasts++
+		err = n.tr.Broadcast(data)
+	} else {
+		err = n.tr.Send(to, data)
+	}
+	if err != nil {
+		n.stats.SendErrors++
+	}
+}
+
+func (n *Node) emitTupleLocked(typ EventType, t tuple.Tuple) {
+	// Subscription delivery is a read: policy-hidden tuples emit no
+	// events.
+	if !n.allow(OpRead, n.id, t) {
+		return
+	}
+	c, err := n.cfg.Registry.Clone(t)
+	if err != nil {
+		c = t
+	}
+	n.pending = append(n.pending, Event{Type: typ, Node: n.id, Tuple: c})
+}
+
+func (n *Node) emitNeighborLocked(typ EventType, peer tuple.NodeID) {
+	n.pending = append(n.pending, Event{
+		Type:  typ,
+		Node:  n.id,
+		Tuple: newNeighborTuple(n.id, peer, typ == NeighborAdded),
+		Peer:  peer,
+	})
+}
+
+func (n *Node) takePendingLocked() []Event {
+	evs := n.pending
+	n.pending = nil
+	return evs
+}
+
+// dispatch delivers pending events to matching subscriptions, outside
+// the engine lock so reactions can call the node API.
+func (n *Node) dispatch(evs []Event) {
+	for _, ev := range evs {
+		n.mu.Lock()
+		matched := make([]*subscription, 0, len(n.subs))
+		for _, sub := range n.subs {
+			if sub.tpl.Matches(ev.Tuple) {
+				matched = append(matched, sub)
+			}
+		}
+		sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
+		fns := make([]Reaction, len(matched))
+		for i, sub := range matched {
+			fns[i] = sub.fn
+		}
+		n.stats.Events += int64(len(fns))
+		n.mu.Unlock()
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+func hopFromVal(val, step float64, fallback int) int {
+	if step <= 0 {
+		return fallback
+	}
+	h := int(val/step + 0.5)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+func clampHop(h int) uint16 {
+	if h < 0 {
+		return 0
+	}
+	if h > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(h)
+}

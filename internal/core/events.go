@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+
+	"tota/internal/tuple"
+)
+
+// EventType classifies the occurrences the EVENT INTERFACE notifies:
+// tuple arrivals/removals in the local space and neighborhood changes.
+type EventType int
+
+// Event types.
+const (
+	// TupleArrived fires when a tuple enters the local space or its
+	// stored copy changes (supersede or maintenance adoption).
+	TupleArrived EventType = iota + 1
+	// TupleRemoved fires when a tuple leaves the local space (delete,
+	// retract, or maintenance withdrawal).
+	TupleRemoved
+	// NeighborAdded fires when a node joins the one-hop neighborhood.
+	NeighborAdded
+	// NeighborRemoved fires when a node leaves the one-hop neighborhood.
+	NeighborRemoved
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case TupleArrived:
+		return "tuple-arrived"
+	case TupleRemoved:
+		return "tuple-removed"
+	case NeighborAdded:
+		return "neighbor-added"
+	case NeighborRemoved:
+		return "neighbor-removed"
+	default:
+		return "unknown-event"
+	}
+}
+
+// NeighborTupleKind is the kind of the synthesized tuples representing
+// neighborhood events, honoring the paper's "any event occurring in TOTA
+// can be represented as a tuple": subscriptions select neighbor events
+// with ordinary templates over this kind.
+const NeighborTupleKind = "tota:neighbor"
+
+// Event is one occurrence delivered to a subscription's reaction.
+type Event struct {
+	Type EventType
+	// Node is the local node the event occurred at.
+	Node tuple.NodeID
+	// Tuple is the tuple the event is about. For neighbor events it is
+	// a synthesized NeighborTupleKind tuple with fields (peer, added).
+	Tuple tuple.Tuple
+	// Peer is the neighbor involved, for neighbor events.
+	Peer tuple.NodeID
+}
+
+// Reaction is the callback a subscription associates with matching
+// events, the paper's "reaction method". Reactions run outside the
+// middleware lock and may freely call back into the node's API.
+type Reaction func(Event)
+
+// OncePerTuple wraps a reaction so it fires at most once per tuple id:
+// arrival events re-fire on supersedes and maintenance adoptions, which
+// responders that inject replies usually want to ignore. The wrapper is
+// safe for concurrent use; its memory grows with the number of distinct
+// tuples seen.
+func OncePerTuple(fn Reaction) Reaction {
+	var mu sync.Mutex
+	seen := make(map[tuple.ID]struct{})
+	return func(ev Event) {
+		if ev.Tuple == nil {
+			fn(ev)
+			return
+		}
+		id := ev.Tuple.ID()
+		mu.Lock()
+		if _, dup := seen[id]; dup {
+			mu.Unlock()
+			return
+		}
+		seen[id] = struct{}{}
+		mu.Unlock()
+		fn(ev)
+	}
+}
+
+// SubID identifies a subscription for Unsubscribe.
+type SubID int
+
+type subscription struct {
+	id  SubID
+	tpl tuple.Template
+	fn  Reaction
+}
+
+// neighborTuple is the synthesized tuple for neighborhood events. It is
+// local-only: it never propagates and never crosses the wire.
+type neighborTuple struct {
+	tuple.Base
+
+	c tuple.Content
+}
+
+var _ tuple.Tuple = (*neighborTuple)(nil)
+
+func newNeighborTuple(self, peer tuple.NodeID, added bool) *neighborTuple {
+	return &neighborTuple{c: tuple.Content{
+		tuple.S("peer", string(peer)),
+		tuple.B("added", added),
+		tuple.S("node", string(self)),
+	}}
+}
+
+func (n *neighborTuple) Kind() string                    { return NeighborTupleKind }
+func (n *neighborTuple) Content() tuple.Content          { return n.c }
+func (n *neighborTuple) ShouldStore(*tuple.Ctx) bool     { return false }
+func (n *neighborTuple) ShouldPropagate(*tuple.Ctx) bool { return false }

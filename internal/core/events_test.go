@@ -1,0 +1,235 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// eventLog collects events thread-safely.
+type eventLog struct {
+	mu     sync.Mutex
+	events []core.Event
+}
+
+func (l *eventLog) add(ev core.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+func (l *eventLog) byType(t core.EventType) []core.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []core.Event
+	for _, ev := range l.events {
+		if ev.Type == t {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestSubscribeTupleArrival(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	far := tn.node(topology.NodeName(2))
+	var log eventLog
+	far.Subscribe(pattern.ByName(pattern.KindFlood, "news"), log.add)
+
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewFlood("news", tuple.S("h", "x"))); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	got := log.byType(core.TupleArrived)
+	if len(got) != 1 {
+		t.Fatalf("arrival events = %d, want 1", len(got))
+	}
+	ev := got[0]
+	if ev.Node != far.Self() || ev.Tuple.Content().GetString("h") != "x" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestSubscribeSelective(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(1))
+	var relevant, other eventLog
+	n.Subscribe(pattern.ByName(pattern.KindFlood, "wanted"), relevant.add)
+	n.Subscribe(pattern.ByName(pattern.KindFlood, "unrelated"), other.add)
+
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewFlood("wanted")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if len(relevant.byType(core.TupleArrived)) != 1 {
+		t.Error("matching subscription did not fire")
+	}
+	if len(other.byType(core.TupleArrived)) != 0 {
+		t.Error("non-matching subscription fired")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(1))
+	var log eventLog
+	sub := n.Subscribe(tuple.Match(pattern.KindFlood), log.add)
+	n.Unsubscribe(sub)
+
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if len(log.byType(core.TupleArrived)) != 0 {
+		t.Error("unsubscribed reaction fired")
+	}
+}
+
+func TestNeighborEventsAsTuples(t *testing.T) {
+	g := topology.New()
+	g.AddNode("a")
+	g.AddNode("b")
+	tn := newTestNet(t, g)
+	var log eventLog
+	tn.node("a").Subscribe(tuple.Match(core.NeighborTupleKind), log.add)
+
+	tn.sim.AddEdge("a", "b")
+	added := log.byType(core.NeighborAdded)
+	if len(added) != 1 || added[0].Peer != "b" {
+		t.Fatalf("added events = %+v", added)
+	}
+	if !added[0].Tuple.Content().GetBool("added") ||
+		added[0].Tuple.Content().GetString("peer") != "b" {
+		t.Errorf("event tuple = %v", added[0].Tuple.Content())
+	}
+
+	tn.sim.RemoveEdge("a", "b")
+	removed := log.byType(core.NeighborRemoved)
+	if len(removed) != 1 || removed[0].Peer != "b" {
+		t.Fatalf("removed events = %+v", removed)
+	}
+	if removed[0].Tuple.Content().GetBool("added") {
+		t.Error("removal tuple claims added")
+	}
+}
+
+func TestOncePerTuple(t *testing.T) {
+	g := topology.Ring(6)
+	tn := newTestNet(t, g)
+	// Node 2 sits just past the link we will cut: its value changes
+	// from 2 to 4 and back, re-firing arrival events.
+	far := tn.node(topology.NodeName(2))
+
+	raw, once := 0, 0
+	far.Subscribe(tuple.Match(pattern.KindGradient), func(core.Event) { raw++ })
+	far.Subscribe(tuple.Match(pattern.KindGradient), core.OncePerTuple(func(core.Event) { once++ }))
+
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	// Force maintenance churn: break and restore a link so values
+	// change and arrival events re-fire.
+	tn.sim.RemoveEdge(topology.NodeName(1), topology.NodeName(2))
+	tn.quiesce()
+	tn.sim.AddEdge(topology.NodeName(1), topology.NodeName(2))
+	tn.quiesce()
+
+	if once != 1 {
+		t.Errorf("wrapped reaction fired %d times, want 1", once)
+	}
+	if raw <= once {
+		t.Errorf("raw reaction fired %d times — churn produced no re-fires, test is vacuous", raw)
+	}
+}
+
+func TestTupleRemovedEventOnRetract(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	far := tn.node(topology.NodeName(2))
+	var log eventLog
+	far.Subscribe(tuple.Match(pattern.KindGradient), log.add)
+
+	id, err := tn.node(src).Inject(pattern.NewGradient("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	tn.node(src).Retract(id)
+	tn.quiesce()
+
+	if len(log.byType(core.TupleArrived)) == 0 {
+		t.Error("no arrival event")
+	}
+	if len(log.byType(core.TupleRemoved)) != 1 {
+		t.Errorf("removal events = %d, want 1", len(log.byType(core.TupleRemoved)))
+	}
+}
+
+// TestReactionInjectsReply exercises the paper's application-level
+// distributed query: a node subscribes to query tuples and reacts by
+// injecting a reply that routes back over the query's own gradient.
+func TestReactionInjectsReply(t *testing.T) {
+	g := topology.Line(4)
+	tn := newTestNet(t, g)
+	asker := tn.node(topology.NodeName(0))
+	responder := tn.node(topology.NodeName(3))
+
+	responder.Subscribe(pattern.ByName(pattern.KindGradient, "query"), func(ev core.Event) {
+		if ev.Type != core.TupleArrived {
+			return
+		}
+		reply := pattern.NewDownhill("query", tuple.S("answer", "42"))
+		if _, err := responder.Inject(reply); err != nil {
+			t.Errorf("reply inject: %v", err)
+		}
+	})
+
+	if _, err := asker.Inject(pattern.NewGradient("query", tuple.S("q", "meaning"))); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	got := asker.Read(tuple.Match(pattern.KindDownhill))
+	if len(got) != 1 {
+		t.Fatalf("asker received %d replies, want 1", len(got))
+	}
+	if got[0].Content().GetString("answer") != "42" {
+		t.Errorf("reply content = %v", got[0].Content())
+	}
+	// Intermediate nodes must not store the reply (non-storing message).
+	if n := len(tn.node(topology.NodeName(1)).Read(tuple.Match(pattern.KindDownhill))); n != 0 {
+		t.Errorf("intermediate node stored the reply")
+	}
+}
+
+func TestEventTupleIsIsolatedCopy(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(1))
+	var log eventLog
+	n.Subscribe(tuple.Match(pattern.KindFlood), log.add)
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewFlood("x", tuple.I("v", 1))); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	evs := log.byType(core.TupleArrived)
+	if len(evs) != 1 {
+		t.Fatal("no event")
+	}
+	f := evs[0].Tuple.(*pattern.Flood)
+	f.Payload[0].Value = int64(999)
+	stored, _ := n.ReadOne(tuple.Match(pattern.KindFlood))
+	if stored.Content().GetInt("v") != 1 {
+		t.Error("event tuple shares storage with the space")
+	}
+}

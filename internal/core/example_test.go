@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// Example shows the complete TOTA API on a three-node line: inject a
+// gradient field, sense it remotely, react to it, and tear it down.
+func Example() {
+	// Build a - b - c over the simulated radio.
+	graph := topology.New()
+	graph.AddEdge("a", "b")
+	graph.AddEdge("b", "c")
+	radio := transport.NewSim(graph, transport.SimConfig{})
+	nodes := make(map[tuple.NodeID]*core.Node)
+	for _, id := range []tuple.NodeID{"a", "b", "c"} {
+		ep := radio.Attach(id, nil)
+		n := core.New(ep)
+		radio.Bind(id, n)
+		nodes[id] = n
+	}
+
+	// c reacts to the field arriving.
+	nodes["c"].Subscribe(pattern.ByName(pattern.KindGradient, "hello"), func(ev core.Event) {
+		if ev.Type == core.TupleArrived {
+			fmt.Println("c: sensed", ev.Tuple.Content().GetString("name"))
+		}
+	})
+
+	// a injects; the middleware propagates hop-by-hop.
+	id, err := nodes["a"].Inject(pattern.NewGradient("hello"))
+	if err != nil {
+		fmt.Println("inject:", err)
+		return
+	}
+	radio.RunUntilQuiet(1000)
+
+	// Everyone senses the field locally, with the network distance.
+	for _, nid := range []tuple.NodeID{"a", "b", "c"} {
+		t, _ := nodes[nid].ReadOne(pattern.ByName(pattern.KindGradient, "hello"))
+		fmt.Printf("%s: distance %v\n", nid, t.(*pattern.Gradient).Val)
+	}
+
+	// Tear the structure down network-wide.
+	nodes["a"].Retract(id)
+	radio.RunUntilQuiet(1000)
+	fmt.Println("after retract, c holds", len(nodes["c"].Read(tuple.MatchAll())), "tuples")
+
+	// Output:
+	// c: sensed hello
+	// a: distance 0
+	// b: distance 1
+	// c: distance 2
+	// after retract, c holds 0 tuples
+}
+
+// ExampleNode_Delete shows local extraction: delete is purely local,
+// and maintained structures heal the hole.
+func ExampleNode_Delete() {
+	graph := topology.Line(3)
+	radio := transport.NewSim(graph, transport.SimConfig{})
+	var line []*core.Node
+	for _, id := range graph.Nodes() {
+		ep := radio.Attach(id, nil)
+		n := core.New(ep)
+		radio.Bind(id, n)
+		line = append(line, n)
+	}
+	if _, err := line[0].Inject(pattern.NewGradient("f")); err != nil {
+		fmt.Println("inject:", err)
+		return
+	}
+	radio.RunUntilQuiet(1000)
+
+	removed := line[1].Delete(pattern.ByName(pattern.KindGradient, "f"))
+	fmt.Println("deleted locally:", len(removed))
+	radio.RunUntilQuiet(1000)
+	t, ok := line[1].ReadOne(pattern.ByName(pattern.KindGradient, "f"))
+	fmt.Println("healed by maintenance:", ok && t.(*pattern.Gradient).Val == 1)
+
+	// Output:
+	// deleted locally: 1
+	// healed by maintenance: true
+}

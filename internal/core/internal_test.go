@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+func TestHopFromVal(t *testing.T) {
+	tests := []struct {
+		val, step float64
+		fallback  int
+		want      int
+	}{
+		{val: 4, step: 1, fallback: 9, want: 4},
+		{val: 4.4, step: 1, fallback: 9, want: 4},
+		{val: 10, step: 2, fallback: 9, want: 5},
+		{val: 3, step: 0, fallback: 9, want: 9},
+		{val: -2, step: 1, fallback: 9, want: 0},
+	}
+	for _, tt := range tests {
+		if got := hopFromVal(tt.val, tt.step, tt.fallback); got != tt.want {
+			t.Errorf("hopFromVal(%v, %v, %d) = %d, want %d",
+				tt.val, tt.step, tt.fallback, got, tt.want)
+		}
+	}
+}
+
+func TestClampHop(t *testing.T) {
+	tests := []struct {
+		give int
+		want uint16
+	}{
+		{give: -1, want: 0},
+		{give: 0, want: 0},
+		{give: 7, want: 7},
+		{give: math.MaxUint16 + 5, want: math.MaxUint16},
+	}
+	for _, tt := range tests {
+		if got := clampHop(tt.give); got != tt.want {
+			t.Errorf("clampHop(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSortNodeIDs(t *testing.T) {
+	ids := []tuple.NodeID{"c", "a", "b"}
+	sortNodeIDs(ids)
+	if ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Errorf("sorted = %v", ids)
+	}
+	sortNodeIDs(nil) // must not panic
+}
+
+func TestEventTypeString(t *testing.T) {
+	tests := []struct {
+		give EventType
+		want string
+	}{
+		{TupleArrived, "tuple-arrived"},
+		{TupleRemoved, "tuple-removed"},
+		{NeighborAdded, "neighbor-added"},
+		{NeighborRemoved, "neighbor-removed"},
+		{EventType(99), "unknown-event"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		give Op
+		want string
+	}{
+		{OpInject, "inject"},
+		{OpRead, "read"},
+		{OpDelete, "delete"},
+		{OpRetract, "retract"},
+		{OpAccept, "accept"},
+		{Op(99), "unknown-op"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Injected: 1, PacketsIn: 2, Stored: 3, Superseded: 4, DupDropped: 5,
+		TTLDropped: 6, Retracted: 7, MaintAdopt: 8, MaintDrop: 9, Broadcasts: 10,
+		Unicasts: 11, SendErrors: 12, DecodeErrors: 13, Events: 14, Denied: 15, Expired: 16}
+	sum := a.Add(a)
+	if sum.Injected != 2 || sum.Expired != 32 || sum.Denied != 30 || sum.Events != 28 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+func TestNeighborTupleHooks(t *testing.T) {
+	nt := newNeighborTuple("me", "peer", true)
+	if nt.ShouldStore(nil) || nt.ShouldPropagate(nil) {
+		t.Error("neighbor tuple wants to persist or propagate")
+	}
+	if nt.Kind() != NeighborTupleKind {
+		t.Errorf("Kind = %q", nt.Kind())
+	}
+	c := nt.Content()
+	if c.GetString("peer") != "peer" || !c.GetBool("added") || c.GetString("node") != "me" {
+		t.Errorf("content = %v", c)
+	}
+}
+
+// failingSender is a transport whose sends always fail.
+type failingSender struct{}
+
+var errSendBoom = errors.New("boom")
+
+func (failingSender) Self() tuple.NodeID              { return "solo" }
+func (failingSender) Neighbors() []tuple.NodeID       { return []tuple.NodeID{"ghost"} }
+func (failingSender) Broadcast([]byte) error          { return errSendBoom }
+func (failingSender) Send(tuple.NodeID, []byte) error { return errSendBoom }
+
+func TestSendErrorsAreCountedNotFatal(t *testing.T) {
+	n := New(failingSender{})
+	g := &countingTuple{}
+	if _, err := n.Inject(g); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if n.Stats().SendErrors == 0 {
+		t.Error("send failure not counted")
+	}
+	// The tuple is still stored locally despite the failed broadcast.
+	if n.StoreSize() != 1 {
+		t.Errorf("StoreSize = %d", n.StoreSize())
+	}
+}
+
+// countingTuple is a minimal propagating tuple for white-box tests.
+type countingTuple struct {
+	tuple.Base
+}
+
+func (*countingTuple) Kind() string           { return "core-test:counting" }
+func (*countingTuple) Content() tuple.Content { return nil }
+
+func TestWithRegistryAndPosition(t *testing.T) {
+	reg := tuple.NewRegistry()
+	n := New(failingSender{},
+		WithRegistry(reg),
+		WithLocalizer(space.FixedLocalizer{P: space.Point{X: 1, Y: 2}}),
+	)
+	if p, ok := n.Position(); !ok || p != (space.Point{X: 1, Y: 2}) {
+		t.Errorf("Position = %v, %v", p, ok)
+	}
+	if n.cfg.Registry != reg {
+		t.Error("registry option ignored")
+	}
+	// Nil options fall back to defaults.
+	d := New(failingSender{}, WithRegistry(nil), WithLocalizer(nil), WithMaxHops(-1))
+	if d.cfg.Registry == nil || d.cfg.Localizer == nil || d.cfg.MaxHops != DefaultMaxHops {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestHandlePacketGarbage(t *testing.T) {
+	n := New(failingSender{})
+	n.HandlePacket("ghost", []byte{0xde, 0xad})
+	if n.Stats().DecodeErrors != 1 {
+		t.Errorf("DecodeErrors = %d", n.Stats().DecodeErrors)
+	}
+}
+
+func TestDuplicateNeighborEventsIgnored(t *testing.T) {
+	n := New(failingSender{})
+	n.HandleNeighbor("x", true)
+	n.HandleNeighbor("x", true) // duplicate add
+	if got := len(n.Neighbors()); got != 2 {
+		// "ghost" from the transport plus "x".
+		t.Errorf("neighbors = %v", n.Neighbors())
+	}
+	n.HandleNeighbor("x", false)
+	n.HandleNeighbor("x", false) // duplicate remove
+	if got := len(n.Neighbors()); got != 1 {
+		t.Errorf("neighbors after removal = %v", n.Neighbors())
+	}
+}
+
+func TestRetractUnknownIDTombstones(t *testing.T) {
+	n := New(failingSender{})
+	id := tuple.ID{Node: "elsewhere", Seq: 3}
+	n.handleRetractLockedPublic(id)
+	st, ok := n.seen[id]
+	if !ok || !st.retracted {
+		t.Error("unknown retract did not tombstone")
+	}
+	// A second retract for the same id is a no-op.
+	n.handleRetractLockedPublic(id)
+	if n.stats.Retracted != 0 {
+		t.Errorf("tombstone-only retract counted: %d", n.stats.Retracted)
+	}
+}
+
+// handleRetractLockedPublic wraps the locked handler for white-box use.
+func (n *Node) handleRetractLockedPublic(id tuple.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handleRetractLocked(id)
+}

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tota/internal/pattern"
+	"tota/internal/topology"
+)
+
+// Property: on random connected geometric graphs, a random
+// connectivity-preserving perturbation always repairs back to the BFS
+// oracle. This is the maintenance algorithm's correctness property,
+// sampled far beyond the hand-written topologies.
+func TestMaintenanceConvergesOnRandomGraphsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.ConnectedRandomGeometric(22, 8, 3, rng, 100)
+		if g == nil {
+			return true // no connected layout for this seed; skip
+		}
+		tn := newTestNet(t, g)
+		nodes := g.Nodes()
+		src := nodes[rng.Intn(len(nodes))]
+		if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+			return false
+		}
+		tn.quiesce()
+
+		// One random perturbation of each flavor, connectivity allowing.
+		for i := 0; i < 3; i++ {
+			a := nodes[rng.Intn(len(nodes))]
+			nbrs := g.Neighbors(a)
+			if len(nbrs) == 0 {
+				continue
+			}
+			b := nbrs[rng.Intn(len(nbrs))]
+			g.RemoveEdge(a, b)
+			ok := g.Connected()
+			g.AddEdge(a, b)
+			if ok {
+				tn.sim.RemoveEdge(a, b)
+				tn.quiesce()
+			}
+			c := nodes[rng.Intn(len(nodes))]
+			d := nodes[rng.Intn(len(nodes))]
+			if c != d && !g.HasEdge(c, d) {
+				tn.sim.AddEdge(c, d)
+				tn.quiesce()
+			}
+		}
+		dist := g.BFSDistances(src)
+		for _, id := range g.Nodes() {
+			v, have := tn.gradVal(id, pattern.KindGradient, "f")
+			want, reachable := dist[id]
+			if !reachable {
+				if have {
+					return false
+				}
+				continue
+			}
+			if !have || v != float64(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

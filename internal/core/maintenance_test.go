@@ -1,0 +1,256 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// injectGradient injects a gradient at src and quiesces.
+func injectGradient(t *testing.T, tn *testNet, src tuple.NodeID, name string, scope float64) tuple.ID {
+	t.Helper()
+	g := pattern.NewGradient(name)
+	if !math.IsInf(scope, 1) {
+		g = g.Bounded(scope)
+	}
+	id, err := tn.node(src).Inject(g)
+	if err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	return id
+}
+
+func TestMaintenanceRepairsAfterLinkLossWithAlternatePath(t *testing.T) {
+	// Ring: removing one link turns it into a line; values must repair
+	// to the new BFS distances.
+	g := topology.Ring(8)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	tn.sim.RemoveEdge(topology.NodeName(3), topology.NodeName(4))
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+	// Node 4 was 4 hops away around the short side; now it is 4 hops
+	// the other way: still 4. Node 5 goes from 3 to... check an
+	// affected one: node 4 keeps 4, node 5 was min(5, 3)=3, now 3? On
+	// an 8-ring from 0: distances 0..4; cutting 3-4 makes a line
+	// 4-5-6-7-0-1-2-3, so node 4 is now 4 hops (via 7,6,5). The oracle
+	// assertion above already verified every node.
+}
+
+func TestMaintenanceRepairsAfterLinkLossOnGrid(t *testing.T) {
+	g := topology.Grid(5, 5, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	// Knock out a few interior links.
+	tn.sim.RemoveEdge(topology.NodeName(1), topology.NodeName(6))
+	tn.quiesce()
+	tn.sim.RemoveEdge(topology.NodeName(5), topology.NodeName(6))
+	tn.quiesce()
+	tn.sim.RemoveEdge(topology.NodeName(12), topology.NodeName(13))
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestMaintenanceImprovesAfterShortcutAdded(t *testing.T) {
+	g := topology.Line(8)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+	if v, _ := tn.gradVal(topology.NodeName(7), pattern.KindGradient, "f"); v != 7 {
+		t.Fatalf("pre-shortcut value = %v", v)
+	}
+
+	// A wormhole from the source to node 6: distances shrink.
+	tn.sim.AddEdge(topology.NodeName(0), topology.NodeName(6))
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+	if v, _ := tn.gradVal(topology.NodeName(7), pattern.KindGradient, "f"); v != 2 {
+		t.Errorf("post-shortcut value = %v, want 2", v)
+	}
+}
+
+func TestMaintenanceTearsDownDisconnectedRegion(t *testing.T) {
+	// Scope-bounded gradient on a line; cutting the line strands the
+	// tail, whose copies must disappear (no support).
+	g := topology.Line(7)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", 20)
+
+	tn.sim.RemoveEdge(topology.NodeName(2), topology.NodeName(3))
+	tn.quiesce()
+	for i := 3; i < 7; i++ {
+		if _, have := tn.gradVal(topology.NodeName(i), pattern.KindGradient, "f"); have {
+			t.Errorf("stranded node %d still holds the gradient", i)
+		}
+	}
+	tn.assertGradientMatchesBFS(src, "f", 20)
+}
+
+func TestMaintenanceTearsDownCyclicIsland(t *testing.T) {
+	// The stranded region contains a cycle: count-to-scope must still
+	// terminate (bounded by the gradient's scope) and remove all copies.
+	g := topology.New()
+	g.AddEdge("src", "gate")
+	g.AddEdge("gate", "c1")
+	g.AddEdge("c1", "c2")
+	g.AddEdge("c2", "c3")
+	g.AddEdge("c3", "c1")
+	tn := newTestNet(t, g)
+	injectGradient(t, tn, "src", "f", 10)
+
+	tn.sim.RemoveEdge("gate", "c1")
+	tn.quiesce()
+	for _, id := range []tuple.NodeID{"c1", "c2", "c3"} {
+		if _, have := tn.gradVal(id, pattern.KindGradient, "f"); have {
+			t.Errorf("island node %s still holds the gradient", id)
+		}
+	}
+	if v, have := tn.gradVal("gate", pattern.KindGradient, "f"); !have || v != 1 {
+		t.Errorf("gate = %v, %v; want 1", v, have)
+	}
+}
+
+func TestMaintenanceAfterNodeCrash(t *testing.T) {
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	crash := topology.NodeName(5) // interior node
+	tn.sim.Detach(crash)
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestMaintenanceSourceCrashTearsDownBoundedField(t *testing.T) {
+	g := topology.Grid(3, 3, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(4) // center
+	injectGradient(t, tn, src, "f", 8)
+
+	tn.sim.Detach(src)
+	tn.quiesce()
+	for _, id := range g.Nodes() {
+		if _, have := tn.gradVal(id, pattern.KindGradient, "f"); have {
+			t.Errorf("node %s keeps orphaned gradient", id)
+		}
+	}
+}
+
+func TestNewcomerReceivesExistingTuples(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+	if _, err := tn.node(src).Inject(pattern.NewFlood("news")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	// A new node appears next to node 2: it must receive both the
+	// maintained gradient (value 3) and the flood.
+	ep := tn.sim.Attach("late", nil)
+	late := newLateNode(tn, ep)
+	tn.sim.Bind("late", late)
+	tn.sim.AddEdge(topology.NodeName(2), "late")
+	tn.quiesce()
+
+	ts := late.Read(pattern.ByName(pattern.KindGradient, "f"))
+	if len(ts) != 1 {
+		t.Fatalf("late node gradient copies = %d", len(ts))
+	}
+	if v := ts[0].(tuple.Maintained).Value(); v != 3 {
+		t.Errorf("late node value = %v, want 3", v)
+	}
+	if len(late.Read(pattern.ByName(pattern.KindFlood, "news"))) != 1 {
+		t.Error("late node did not receive the flood")
+	}
+}
+
+func TestMaintenanceHandlesRepeatedChurn(t *testing.T) {
+	// Flap the same link several times; the structure must end correct.
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	a, b := topology.NodeName(1), topology.NodeName(5)
+	for i := 0; i < 4; i++ {
+		tn.sim.RemoveEdge(a, b)
+		tn.quiesce()
+		tn.sim.AddEdge(a, b)
+		tn.quiesce()
+	}
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestRetractRemovesStructureEverywhere(t *testing.T) {
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	id := injectGradient(t, tn, src, "f", math.Inf(1))
+
+	tn.node(src).Retract(id)
+	tn.quiesce()
+	for _, nid := range g.Nodes() {
+		if _, have := tn.gradVal(nid, pattern.KindGradient, "f"); have {
+			t.Errorf("node %s keeps retracted gradient", nid)
+		}
+	}
+	// Tombstones: a stale announcement must not resurrect the field.
+	// (Simulate by injecting an identical-name gradient from a
+	// different node — a different id, so it must work.)
+	if _, err := tn.node(topology.NodeName(5)).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(topology.NodeName(5), "f", math.Inf(1))
+}
+
+func TestLocalDeleteOfMaintainedCopyHeals(t *testing.T) {
+	// Deleting the gradient copy at an interior node is repaired by the
+	// middleware: neighbors re-announce and the hole heals.
+	g := topology.Line(5)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	mid := topology.NodeName(2)
+	removed := tn.node(mid).Delete(pattern.ByName(pattern.KindGradient, "f"))
+	if len(removed) != 1 {
+		t.Fatalf("Delete = %v", removed)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestEraserSweepsFloodCopies(t *testing.T) {
+	g := topology.Line(5)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewFlood("junk")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if _, err := tn.node(topology.NodeName(4)).Inject(pattern.NewEraser("sweep", pattern.KindFlood, "junk")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	for _, id := range g.Nodes() {
+		if got := len(tn.node(id).Read(pattern.ByName(pattern.KindFlood, "junk"))); got != 0 {
+			t.Errorf("node %s still holds junk", id)
+		}
+		if got := len(tn.node(id).Read(tuple.Match(pattern.KindEraser))); got != 0 {
+			t.Errorf("node %s stored the eraser", id)
+		}
+	}
+}

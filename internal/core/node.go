@@ -1,0 +1,360 @@
+// Package core implements the TOTA middleware node: the paper's TOTA
+// ENGINE (tuple storage, propagation, structure maintenance), LOCAL
+// TUPLES space, EVENT INTERFACE, and the TOTA API (inject, read, delete,
+// subscribe, unsubscribe).
+//
+// A Node sits on top of a transport.Sender (simulated radio or UDP) and
+// implements transport.Handler: the transport feeds it packets and
+// neighborhood changes, and the node emits one-hop broadcasts to
+// propagate tuples. All state mutation is serialized by a single mutex;
+// subscription reactions run outside the lock, so they may call back
+// into the API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tota/internal/space"
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// API errors.
+var (
+	ErrNilTuple  = errors.New("core: nil tuple")
+	ErrClosed    = errors.New("core: node closed")
+	ErrForeignID = errors.New("core: tuple already has an id")
+	ErrDenied    = errors.New("core: operation denied by policy")
+)
+
+// Config collects a node's tunables; zero values select defaults.
+type Config struct {
+	// Registry resolves tuple kinds for decoding and cloning. Defaults
+	// to tuple.DefaultRegistry.
+	Registry *tuple.Registry
+	// Localizer provides physical positions for spatially-scoped
+	// tuples. Defaults to no localization.
+	Localizer space.Localizer
+	// MaxHops bounds how far any tuple propagates and how large any
+	// maintained structure value may grow — the engine-level safety
+	// net against pathological propagation rules and count-to-scope
+	// divergence in partitioned regions. Defaults to DefaultMaxHops.
+	MaxHops int
+	// Policy authorizes operations (nil allows everything).
+	Policy Policy
+	// DisablePoisonedReverse turns off the maintenance parent filter
+	// (ablation A1: teardown degenerates to count-to-scope loops).
+	DisablePoisonedReverse bool
+	// DisableCatchUp turns off unicasting stored tuples to newcomers
+	// (ablation A1: joiners rely on later announcements or refresh).
+	DisableCatchUp bool
+	// Tracer, when set, receives every engine decision (see TraceEvent).
+	Tracer Tracer
+}
+
+// DefaultMaxHops is the default engine-level propagation bound.
+const DefaultMaxHops = 128
+
+// Option customizes a Node.
+type Option interface {
+	apply(*Config)
+}
+
+type optionFunc func(*Config)
+
+func (f optionFunc) apply(c *Config) { f(c) }
+
+// WithRegistry sets the tuple kind registry.
+func WithRegistry(r *tuple.Registry) Option {
+	return optionFunc(func(c *Config) { c.Registry = r })
+}
+
+// WithLocalizer sets the localization device.
+func WithLocalizer(l space.Localizer) Option {
+	return optionFunc(func(c *Config) { c.Localizer = l })
+}
+
+// WithMaxHops sets the engine-level propagation bound.
+func WithMaxHops(n int) Option {
+	return optionFunc(func(c *Config) { c.MaxHops = n })
+}
+
+// WithoutPoisonedReverse disables the maintenance parent filter — an
+// ablation switch demonstrating why the filter exists (see experiment
+// A1); never use it in a deployment.
+func WithoutPoisonedReverse() Option {
+	return optionFunc(func(c *Config) { c.DisablePoisonedReverse = true })
+}
+
+// WithoutCatchUp disables the newcomer catch-up unicast — an ablation
+// switch (see experiment A1): joiners then learn existing structures
+// only from later value changes or anti-entropy refreshes.
+func WithoutCatchUp() Option {
+	return optionFunc(func(c *Config) { c.DisableCatchUp = true })
+}
+
+// Node is one TOTA middleware instance.
+type Node struct {
+	cfg Config
+	tr  transport.Sender
+	id  tuple.NodeID
+
+	mu            sync.Mutex
+	seq           uint64
+	epoch         uint64
+	now           float64
+	store         *store
+	seen          map[tuple.ID]*tupleState
+	nbrs          map[tuple.NodeID]struct{}
+	subs          map[SubID]*subscription
+	nextSub       SubID
+	pending       []Event
+	pendingTraces []TraceEvent
+	stats         Stats
+}
+
+var _ transport.Handler = (*Node)(nil)
+
+// New creates a middleware node on top of the given transport endpoint.
+// The caller must subsequently route the transport's packets and
+// neighbor events into the node (it implements transport.Handler).
+func New(tr transport.Sender, opts ...Option) *Node {
+	cfg := Config{
+		Registry:  tuple.DefaultRegistry,
+		Localizer: space.NoLocalizer{},
+		MaxHops:   DefaultMaxHops,
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = tuple.DefaultRegistry
+	}
+	if cfg.Localizer == nil {
+		cfg.Localizer = space.NoLocalizer{}
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = DefaultMaxHops
+	}
+	n := &Node{
+		cfg:   cfg,
+		tr:    tr,
+		id:    tr.Self(),
+		store: newStore(cfg.Registry),
+		seen:  make(map[tuple.ID]*tupleState),
+		nbrs:  make(map[tuple.NodeID]struct{}),
+		subs:  make(map[SubID]*subscription),
+	}
+	for _, nb := range tr.Neighbors() {
+		n.nbrs[nb] = struct{}{}
+	}
+	return n
+}
+
+// Self returns the node's identity.
+func (n *Node) Self() tuple.NodeID { return n.id }
+
+// Position returns the node's physical position, if a localization
+// device is present.
+func (n *Node) Position() (space.Point, bool) {
+	return n.cfg.Localizer.Position()
+}
+
+// Neighbors returns the node's view of its one-hop neighborhood.
+func (n *Node) Neighbors() []tuple.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]tuple.NodeID, 0, len(n.nbrs))
+	for nb := range n.nbrs {
+		out = append(out, nb)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// Inject puts a freshly created tuple into the TOTA network: the node
+// assigns it a network-wide id and lets it propagate according to its
+// propagation rule. It returns the assigned id.
+func (n *Node) Inject(t tuple.Tuple) (tuple.ID, error) {
+	if t == nil {
+		return tuple.ID{}, ErrNilTuple
+	}
+	if !t.ID().IsZero() {
+		return tuple.ID{}, fmt.Errorf("%w: %s", ErrForeignID, t.ID())
+	}
+	if err := t.Content().Validate(); err != nil {
+		return tuple.ID{}, fmt.Errorf("core: inject: %w", err)
+	}
+	n.mu.Lock()
+	if !n.allow(OpInject, n.id, t) {
+		n.mu.Unlock()
+		return tuple.ID{}, ErrDenied
+	}
+	n.seq++
+	id := tuple.ID{Node: n.id, Seq: n.seq}
+	t.SetID(id)
+	n.stats.Injected++
+	ctx := n.ctxLocked(n.id, 0)
+	if inj, ok := t.(tuple.Injectable); ok {
+		if t2 := inj.OnInject(ctx); t2 != nil {
+			t2.SetID(id)
+			t = t2
+		}
+	}
+	n.injectLocked(t, ctx)
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+	return id, nil
+}
+
+// Read returns copies of the locally stored tuples matching the
+// template, in arrival order. It is the paper's read primitive: purely
+// local, non-blocking.
+func (n *Node) Read(tpl tuple.Template) []tuple.Tuple {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.readLocked(tpl)
+}
+
+func (n *Node) readLocked(tpl tuple.Template) []tuple.Tuple {
+	ts := n.store.read(tpl)
+	if n.cfg.Policy == nil {
+		return ts
+	}
+	var out []tuple.Tuple
+	for _, t := range ts {
+		if n.allow(OpRead, n.id, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ReadOne returns the first locally stored tuple matching the template.
+func (n *Node) ReadOne(tpl tuple.Template) (tuple.Tuple, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.Policy == nil {
+		return n.store.readOne(tpl)
+	}
+	ts := n.readLocked(tpl)
+	if len(ts) == 0 {
+		return nil, false
+	}
+	return ts[0], true
+}
+
+// Delete extracts the locally stored tuples matching the template and
+// returns them. Deleting a locally held maintained structure notifies
+// the neighborhood (withdrawal) so the structure repairs or collapses
+// around the hole.
+func (n *Node) Delete(tpl tuple.Template) []tuple.Tuple {
+	n.mu.Lock()
+	out := n.deleteLocked(tpl)
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+	return out
+}
+
+// Retract tears down a distributed structure network-wide, the
+// distributed deletion the paper implements via deleting propagation.
+// Typically invoked at the structure's source.
+func (n *Node) Retract(id tuple.ID) {
+	n.mu.Lock()
+	var local tuple.Tuple
+	if st, ok := n.seen[id]; ok {
+		local = st.local
+	}
+	if !n.allow(OpRetract, n.id, local) {
+		n.mu.Unlock()
+		return
+	}
+	n.retractLocked(id)
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+}
+
+// Subscribe registers a reaction for events matching the template:
+// tuple arrivals/removals whose tuple matches, and neighborhood changes
+// when the template matches the synthesized NeighborTupleKind tuples.
+func (n *Node) Subscribe(tpl tuple.Template, fn Reaction) SubID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextSub++
+	id := n.nextSub
+	n.subs[id] = &subscription{id: id, tpl: tpl, fn: fn}
+	return id
+}
+
+// Unsubscribe removes a subscription. Unknown ids are ignored.
+func (n *Node) Unsubscribe(id SubID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.subs, id)
+}
+
+// Refresh re-announces every stored propagating tuple to the current
+// neighborhood — the engine's anti-entropy pass. Event-driven
+// maintenance alone converges only when packets arrive; on lossy radios
+// a periodic Refresh (the emulator's RefreshEvery, or any timer)
+// re-seeds lost announcements so structures still converge. It returns
+// the number of tuples announced.
+func (n *Node) Refresh() int {
+	n.mu.Lock()
+	count := n.refreshLocked()
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+	return count
+}
+
+// SweepExpired advances the node's logical clock to now and removes
+// every stored copy whose lease (tuple.Expiring) has elapsed, returning
+// the number removed. Drive it from whatever clock the deployment has —
+// the emulator calls it once per tick with simulated time.
+func (n *Node) SweepExpired(now float64) int {
+	n.mu.Lock()
+	removed := n.sweepExpiredLocked(now)
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+	return removed
+}
+
+// StoreSize returns the number of locally stored tuples (for the memory
+// experiments).
+func (n *Node) StoreSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.size()
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func sortNodeIDs(ids []tuple.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func TestGossipCoverageScalesWithP(t *testing.T) {
+	coverage := func(p float64) int {
+		g := topology.Grid(8, 8, 1)
+		tn := newTestNet(t, g)
+		src := topology.NodeName(27)
+		if _, err := tn.node(src).Inject(pattern.NewGossip("rumor", p)); err != nil {
+			t.Fatal(err)
+		}
+		tn.quiesce()
+		covered := 0
+		for _, id := range g.Nodes() {
+			if len(tn.node(id).Read(pattern.ByName(pattern.KindGossip, "rumor"))) > 0 {
+				covered++
+			}
+		}
+		return covered
+	}
+	full := coverage(1)
+	if full != 64 {
+		t.Errorf("p=1 coverage = %d, want 64", full)
+	}
+	half := coverage(0.5)
+	none := coverage(0)
+	if none < 1 || none > 5 {
+		t.Errorf("p=0 coverage = %d, want source + neighbors only", none)
+	}
+	if half <= none || half > full {
+		t.Errorf("p=0.5 coverage = %d, want between %d and %d", half, none, full)
+	}
+}
+
+func TestPathBuildsShortestRoutes(t *testing.T) {
+	g := topology.Grid(5, 5, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewPath("trace")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	dist := g.BFSDistances(src)
+	for _, id := range g.Nodes() {
+		ts := tn.node(id).Read(pattern.ByName(pattern.KindPath, "trace"))
+		if len(ts) != 1 {
+			t.Fatalf("node %s has %d path tuples", id, len(ts))
+		}
+		p := ts[0].(*pattern.Path)
+		if len(p.Route) != dist[id]+1 {
+			t.Errorf("node %s route %v, want length %d", id, p.Route, dist[id]+1)
+			continue
+		}
+		if p.Route[0] != src || p.Route[len(p.Route)-1] != id {
+			t.Errorf("node %s route endpoints wrong: %v", id, p.Route)
+		}
+		for i := 1; i < len(p.Route); i++ {
+			if !g.HasEdge(p.Route[i-1], p.Route[i]) {
+				t.Errorf("node %s route %v uses non-edge %s-%s",
+					id, p.Route, p.Route[i-1], p.Route[i])
+			}
+		}
+	}
+}
+
+func TestSweepExpiredRemovesLeasedCopies(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewFlood("ephemeral").Expires(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.node(src).Inject(pattern.NewFlood("durable")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	sweepAll := func(now float64) {
+		for _, id := range g.Nodes() {
+			tn.node(id).SweepExpired(now)
+		}
+		tn.quiesce()
+	}
+	sweepAll(4.9)
+	if len(tn.node(topology.NodeName(2)).Read(pattern.ByName(pattern.KindFlood, "ephemeral"))) != 1 {
+		t.Fatal("lease expired early")
+	}
+	sweepAll(5.0)
+	for _, id := range g.Nodes() {
+		n := tn.node(id)
+		if len(n.Read(pattern.ByName(pattern.KindFlood, "ephemeral"))) != 0 {
+			t.Errorf("node %s keeps expired copy", id)
+		}
+		if len(n.Read(pattern.ByName(pattern.KindFlood, "durable"))) != 1 {
+			t.Errorf("node %s lost durable copy", id)
+		}
+		if n.Stats().Expired != 1 {
+			t.Errorf("node %s Expired = %d", id, n.Stats().Expired)
+		}
+	}
+}
+
+func TestExpiredMaintainedStructureStaysDead(t *testing.T) {
+	// A leased gradient expires everywhere; announcements from a node
+	// swept later must not resurrect copies at nodes swept earlier
+	// (expiry tombstones locally).
+	g := topology.Line(4)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("eph").Expires(3)); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	// Sweep nodes one by one, draining in between — worst-case skew.
+	for _, id := range g.Nodes() {
+		tn.node(id).SweepExpired(10)
+		tn.quiesce()
+	}
+	for _, id := range g.Nodes() {
+		if got := len(tn.node(id).Read(pattern.ByName(pattern.KindGradient, "eph"))); got != 0 {
+			t.Errorf("node %s resurrected expired structure", id)
+		}
+	}
+	// Refresh must not bring it back either.
+	refreshAll(tn)
+	for _, id := range g.Nodes() {
+		if got := len(tn.node(id).Read(pattern.ByName(pattern.KindGradient, "eph"))); got != 0 {
+			t.Errorf("node %s resurrected structure after refresh", id)
+		}
+	}
+}
+
+func TestExpiryRespectsSubscriptions(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(1))
+	removed := 0
+	n.Subscribe(tuple.Match(pattern.KindFlood), func(ev core.Event) {
+		if ev.Type == core.TupleRemoved {
+			removed++
+		}
+	})
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewFlood("x").Expires(1)); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	n.SweepExpired(2)
+	if removed != 1 {
+		t.Errorf("removal events = %d, want 1", removed)
+	}
+}

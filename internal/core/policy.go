@@ -1,0 +1,83 @@
+package core
+
+import "tota/internal/tuple"
+
+// Op enumerates the operations an access-control policy can rule on —
+// the §6 requirement to "integrate proper access control to rule
+// accesses to distributed tuples and their updates".
+type Op int
+
+// Controlled operations.
+const (
+	// OpInject is a local component injecting a tuple.
+	OpInject Op = iota + 1
+	// OpRead is a local component reading tuples (denied tuples are
+	// filtered from results and never delivered to subscriptions).
+	OpRead
+	// OpDelete is a local component extracting tuples.
+	OpDelete
+	// OpRetract is a local component tearing down a structure.
+	OpRetract
+	// OpAccept is the engine accepting a tuple arriving from a
+	// neighbor (denied tuples are neither stored nor re-propagated).
+	OpAccept
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpInject:
+		return "inject"
+	case OpRead:
+		return "read"
+	case OpDelete:
+		return "delete"
+	case OpRetract:
+		return "retract"
+	case OpAccept:
+		return "accept"
+	default:
+		return "unknown-op"
+	}
+}
+
+// Policy authorizes operations on tuples. requester is the local node
+// for API operations and the one-hop sender for OpAccept. Policies see
+// only what the wire carries: one-hop identities are trusted, as in the
+// paper's prototype (no cryptographic origin authentication).
+type Policy interface {
+	Allow(op Op, requester tuple.NodeID, t tuple.Tuple) bool
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(op Op, requester tuple.NodeID, t tuple.Tuple) bool
+
+var _ Policy = PolicyFunc(nil)
+
+// Allow implements Policy.
+func (f PolicyFunc) Allow(op Op, requester tuple.NodeID, t tuple.Tuple) bool {
+	return f(op, requester, t)
+}
+
+// WithPolicy installs an access-control policy on a node. Without one,
+// everything is allowed.
+func WithPolicy(p Policy) Option {
+	return optionFunc(func(c *Config) { c.Policy = p })
+}
+
+func (n *Node) allow(op Op, requester tuple.NodeID, t tuple.Tuple) bool {
+	if n.cfg.Policy == nil {
+		return true
+	}
+	if n.cfg.Policy.Allow(op, requester, t) {
+		return true
+	}
+	n.stats.Denied++
+	ev := TraceEvent{Kind: TraceDeny, From: requester}
+	if t != nil {
+		ev.ID = t.ID()
+		ev.TupleKind = t.Kind()
+	}
+	n.traceLocked(ev)
+	return false
+}

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// denyOp builds a policy rejecting one operation for tuples with the
+// given application name.
+func denyOp(op core.Op, name string) core.Policy {
+	return core.PolicyFunc(func(o core.Op, _ tuple.NodeID, t tuple.Tuple) bool {
+		if o != op || t == nil {
+			return true
+		}
+		return t.Content().GetString("name") != name
+	})
+}
+
+func TestPolicyDeniesInject(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g, core.WithPolicy(denyOp(core.OpInject, "secret")))
+	n := tn.node(topology.NodeName(0))
+	if _, err := n.Inject(pattern.NewFlood("secret")); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("inject = %v, want ErrDenied", err)
+	}
+	if _, err := n.Inject(pattern.NewFlood("public")); err != nil {
+		t.Errorf("allowed inject failed: %v", err)
+	}
+	if n.Stats().Denied != 1 {
+		t.Errorf("Denied = %d", n.Stats().Denied)
+	}
+}
+
+func TestPolicyFiltersAcceptAtBoundary(t *testing.T) {
+	// Node 1 refuses "secret" tuples from the network: it neither
+	// stores nor relays them, so node 2 never sees them either.
+	g := topology.Line(3)
+	tn := newTestNet(t, g, core.WithPolicy(denyOp(core.OpAccept, "secret")))
+	src := tn.node(topology.NodeName(0))
+	if _, err := src.Inject(pattern.NewFlood("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Inject(pattern.NewFlood("public")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	mid := tn.node(topology.NodeName(1))
+	far := tn.node(topology.NodeName(2))
+	if len(mid.Read(pattern.ByName(pattern.KindFlood, "secret"))) != 0 {
+		t.Error("boundary stored denied tuple")
+	}
+	if len(far.Read(pattern.ByName(pattern.KindFlood, "secret"))) != 0 {
+		t.Error("denied tuple leaked past the boundary")
+	}
+	if len(far.Read(pattern.ByName(pattern.KindFlood, "public"))) != 1 {
+		t.Error("allowed tuple blocked")
+	}
+}
+
+func TestPolicyFiltersReadAndEvents(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g, core.WithPolicy(denyOp(core.OpRead, "hidden")))
+	n := tn.node(topology.NodeName(1))
+	fired := 0
+	n.Subscribe(tuple.Match(pattern.KindFlood), func(core.Event) { fired++ })
+
+	src := tn.node(topology.NodeName(0))
+	if _, err := src.Inject(pattern.NewFlood("hidden")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Inject(pattern.NewFlood("visible")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	// The hidden tuple is stored (it may still relay) but unreadable.
+	if got := n.Read(tuple.Match(pattern.KindFlood)); len(got) != 1 ||
+		got[0].Content().GetString("name") != "visible" {
+		t.Errorf("Read = %v", got)
+	}
+	if fired != 1 {
+		t.Errorf("events fired = %d, want 1 (hidden arrival suppressed)", fired)
+	}
+}
+
+func TestPolicyDeniesDelete(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g, core.WithPolicy(denyOp(core.OpDelete, "keep")))
+	n := tn.node(topology.NodeName(0))
+	if _, err := n.Inject(pattern.NewFlood("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Inject(pattern.NewFlood("scrap")); err != nil {
+		t.Fatal(err)
+	}
+	removed := n.Delete(tuple.Match(pattern.KindFlood))
+	if len(removed) != 1 || removed[0].Content().GetString("name") != "scrap" {
+		t.Errorf("Delete = %v", removed)
+	}
+	if len(n.Read(pattern.ByName(pattern.KindFlood, "keep"))) != 1 {
+		t.Error("protected tuple was deleted")
+	}
+}
+
+func TestPolicyDeniesRetract(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g, core.WithPolicy(
+		core.PolicyFunc(func(op core.Op, requester tuple.NodeID, t tuple.Tuple) bool {
+			if op != core.OpRetract {
+				return true
+			}
+			return t != nil && t.ID().Node == requester
+		})))
+	src := tn.node(topology.NodeName(0))
+	other := tn.node(topology.NodeName(2))
+	id, err := src.Inject(pattern.NewGradient("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	// A non-owner cannot retract the structure.
+	other.Retract(id)
+	tn.quiesce()
+	if _, have := tn.gradVal(topology.NodeName(1), pattern.KindGradient, "f"); !have {
+		t.Error("non-owner retract succeeded")
+	}
+	// The owner can.
+	src.Retract(id)
+	tn.quiesce()
+	if _, have := tn.gradVal(topology.NodeName(1), pattern.KindGradient, "f"); have {
+		t.Error("owner retract failed")
+	}
+}

@@ -1,0 +1,267 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func TestGradientBuildsBFSFieldOnLine(t *testing.T) {
+	g := topology.Line(6)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestGradientBuildsBFSFieldOnGrid(t *testing.T) {
+	g := topology.Grid(6, 6, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(14) // interior node
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestGradientMinWinsOnRing(t *testing.T) {
+	// On a ring, every node must take the shorter way around.
+	g := topology.Ring(9)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+	// Farthest node on a 9-ring is 4 hops away.
+	if v, _ := tn.gradVal(topology.NodeName(4), pattern.KindGradient, "f"); v != 4 {
+		t.Errorf("antipode value = %v, want 4", v)
+	}
+}
+
+func TestGradientOnRandomGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := topology.ConnectedRandomGeometric(60, 10, 2.2, rng, 100)
+	if g == nil {
+		t.Fatal("no connected graph")
+	}
+	tn := newTestNet(t, g)
+	src := topology.NodeName(7)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestGradientScopeBoundsPropagation(t *testing.T) {
+	g := topology.Line(8)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f").Bounded(3)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	tn.assertGradientMatchesBFS(src, "f", 3)
+	// Node 3 is the boundary (val 3, stored); node 4 must have nothing.
+	if _, have := tn.gradVal(topology.NodeName(4), pattern.KindGradient, "f"); have {
+		t.Error("gradient escaped its scope")
+	}
+}
+
+func TestGradientPayloadReplicated(t *testing.T) {
+	g := topology.Line(4)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("svc", tuple.S("desc", "printer"))); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	ts := tn.node(topology.NodeName(3)).Read(pattern.ByName(pattern.KindGradient, "svc"))
+	if len(ts) != 1 {
+		t.Fatalf("Read = %v", ts)
+	}
+	if got := ts[0].Content().GetString("desc"); got != "printer" {
+		t.Errorf("payload at far node = %q", got)
+	}
+}
+
+func TestFloodReachesAllWithinTTL(t *testing.T) {
+	g := topology.Grid(5, 5, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(12) // center
+	if _, err := tn.node(src).Inject(pattern.NewFlood("news", tuple.S("h", "hi")).Within(2)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	dist := g.BFSDistances(src)
+	for _, id := range g.Nodes() {
+		ts := tn.node(id).Read(pattern.ByName(pattern.KindFlood, "news"))
+		want := dist[id] <= 2
+		if (len(ts) == 1) != want {
+			t.Errorf("node %s (dist %d): has flood = %v, want %v", id, dist[id], len(ts) == 1, want)
+		}
+	}
+}
+
+func TestFloodDedupOnDenseGraph(t *testing.T) {
+	// Fully meshed triangle plus tail: every node stores exactly one
+	// copy despite multiple arrival paths.
+	g := topology.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "c")
+	g.AddEdge("c", "d")
+	tn := newTestNet(t, g)
+	if _, err := tn.node("a").Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	for _, id := range g.Nodes() {
+		if got := len(tn.node(id).Read(pattern.ByName(pattern.KindFlood, "x"))); got != 1 {
+			t.Errorf("node %s stores %d copies", id, got)
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(0))
+
+	if _, err := n.Inject(nil); !errors.Is(err, core.ErrNilTuple) {
+		t.Errorf("nil inject: %v", err)
+	}
+	reused := pattern.NewFlood("x")
+	if _, err := n.Inject(reused); err != nil {
+		t.Fatalf("first inject: %v", err)
+	}
+	if _, err := n.Inject(reused); !errors.Is(err, core.ErrForeignID) {
+		t.Errorf("re-inject: %v", err)
+	}
+	bad := pattern.NewFlood("y", tuple.Field{Name: "z", Value: struct{}{}})
+	if _, err := n.Inject(bad); err == nil {
+		t.Error("invalid content accepted")
+	}
+}
+
+func TestInjectAssignsSequentialIDs(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(0))
+	id1, err := n.Inject(pattern.NewLocal("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := n.Inject(pattern.NewLocal("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1.Node != n.Self() || id2.Seq != id1.Seq+1 {
+		t.Errorf("ids = %v, %v", id1, id2)
+	}
+}
+
+func TestLocalTupleStaysLocal(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewLocal("state")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if got := len(tn.node(topology.NodeName(1)).Read(tuple.Match(pattern.KindLocal))); got != 0 {
+		t.Errorf("local tuple leaked to neighbor")
+	}
+	if got := len(tn.node(topology.NodeName(0)).Read(tuple.Match(pattern.KindLocal))); got != 1 {
+		t.Errorf("local tuple not stored at origin")
+	}
+}
+
+func TestReadReturnsIsolatedCopies(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(0))
+	if _, err := n.Inject(pattern.NewLocal("s", tuple.I("v", 1))); err != nil {
+		t.Fatal(err)
+	}
+	ts := n.Read(tuple.Match(pattern.KindLocal))
+	if len(ts) != 1 {
+		t.Fatal("missing tuple")
+	}
+	// Mutating the returned copy must not corrupt the store.
+	l := ts[0].(*pattern.Local)
+	l.Payload[0].Value = int64(999)
+	again, _ := n.ReadOne(tuple.Match(pattern.KindLocal))
+	if again.Content().GetInt("v") != 1 {
+		t.Error("Read exposed shared state")
+	}
+}
+
+func TestDeleteExtractsLocally(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	mid := topology.NodeName(1)
+	if _, err := tn.node(src).Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	removed := tn.node(mid).Delete(pattern.ByName(pattern.KindFlood, "x"))
+	if len(removed) != 1 {
+		t.Fatalf("Delete = %v", removed)
+	}
+	if len(tn.node(mid).Read(tuple.Match(pattern.KindFlood))) != 0 {
+		t.Error("tuple still present after Delete")
+	}
+	// Other nodes keep their copies: delete is local.
+	if len(tn.node(src).Read(tuple.Match(pattern.KindFlood))) != 1 {
+		t.Error("Delete was not local")
+	}
+	if again := tn.node(mid).Delete(pattern.ByName(pattern.KindFlood, "x")); again != nil {
+		t.Errorf("second Delete = %v", again)
+	}
+}
+
+func TestMaxHopsBoundsRunawayTuples(t *testing.T) {
+	g := topology.Line(10)
+	tn := newTestNet(t, g, core.WithMaxHops(4))
+	if _, err := tn.node(topology.NodeName(0)).Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if got := len(tn.node(topology.NodeName(4)).Read(tuple.Match(pattern.KindFlood))); got != 1 {
+		t.Error("flood stopped before MaxHops")
+	}
+	if got := len(tn.node(topology.NodeName(5)).Read(tuple.Match(pattern.KindFlood))); got != 0 {
+		t.Error("flood escaped MaxHops")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	st := tn.node(src).Stats()
+	if st.Injected != 1 || st.Stored != 1 || st.Broadcasts == 0 {
+		t.Errorf("source stats = %+v", st)
+	}
+	mid := tn.node(topology.NodeName(1)).Stats()
+	if mid.PacketsIn == 0 || mid.Stored != 1 {
+		t.Errorf("mid stats = %+v", mid)
+	}
+}

@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func refreshAll(tn *testNet) {
+	for _, id := range tn.graph.Nodes() {
+		if n, ok := tn.nodes[id]; ok {
+			n.Refresh()
+		}
+	}
+	tn.quiesce()
+}
+
+func TestRefreshIsIdempotentOnConvergedStructure(t *testing.T) {
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	before := tn.sim.Stats().Delivered
+	refreshAll(tn)
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+	// Refresh announces but triggers no adoptions: each node sends one
+	// announcement per stored tuple and nothing cascades.
+	delta := tn.sim.Stats().Delivered - before
+	maxExpected := int64(2 * 2 * g.EdgeCount()) // one announce per node per direction, with slack
+	if delta > maxExpected {
+		t.Errorf("refresh caused %d deliveries, want <= %d (no cascade)", delta, maxExpected)
+	}
+}
+
+func TestRefreshRepairsLostPropagation(t *testing.T) {
+	// Kill all packets, inject, restore the radio: the structure only
+	// exists at the source. Refresh must rebuild it everywhere.
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+
+	tn.sim.SetLoss(1)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if _, have := tn.gradVal(topology.NodeName(1), pattern.KindGradient, "f"); have {
+		t.Fatal("packet survived total loss")
+	}
+
+	tn.sim.SetLoss(0)
+	refreshAll(tn)
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+}
+
+func TestRefreshPrunesPhantomSupport(t *testing.T) {
+	// Line 0-1-2. Build the gradient, then lose node 1's withdrawal:
+	// node 2 keeps phantom support from its stale table entry. Repeated
+	// refreshes age the entry out and node 2 drops its orphan copy.
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+
+	tn.sim.SetLoss(1) // the withdrawal below will be lost
+	tn.sim.RemoveEdge(src, topology.NodeName(1))
+	tn.quiesce()
+	// Node 1 dropped (neighbor loss is reliable), node 2 did not hear
+	// the withdrawal and still holds val 2.
+	if _, have := tn.gradVal(topology.NodeName(1), pattern.KindGradient, "f"); have {
+		t.Fatal("node 1 kept its copy without support")
+	}
+	if v, have := tn.gradVal(topology.NodeName(2), pattern.KindGradient, "f"); !have || v != 2 {
+		t.Fatalf("node 2 = %v, %v; want phantom copy val 2", v, have)
+	}
+
+	tn.sim.SetLoss(0)
+	for i := 0; i < 4; i++ {
+		refreshAll(tn)
+	}
+	if _, have := tn.gradVal(topology.NodeName(2), pattern.KindGradient, "f"); have {
+		t.Error("phantom copy survived refresh aging")
+	}
+	// The source side is intact.
+	if v, have := tn.gradVal(src, pattern.KindGradient, "f"); !have || v != 0 {
+		t.Errorf("source copy = %v, %v", v, have)
+	}
+}
+
+func TestRefreshRebroadcastsPlainTuples(t *testing.T) {
+	// A flood that was fully lost re-propagates on refresh from the
+	// source's stored copy.
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	tn.sim.SetLoss(1)
+	if _, err := tn.node(src).Inject(pattern.NewFlood("news")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	tn.sim.SetLoss(0)
+	refreshAll(tn)
+	for _, id := range g.Nodes() {
+		if len(tn.node(id).Read(pattern.ByName(pattern.KindFlood, "news"))) != 1 {
+			t.Errorf("node %s missing flood after refresh", id)
+		}
+	}
+}
+
+func TestRefreshReturnsAnnouncementCount(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	n := tn.node(topology.NodeName(0))
+	if got := n.Refresh(); got != 0 {
+		t.Errorf("empty refresh = %d", got)
+	}
+	if _, err := n.Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Inject(pattern.NewLocal("private")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	// One gradient announced; the local tuple never propagates.
+	if got := n.Refresh(); got != 1 {
+		t.Errorf("refresh announced %d, want 1", got)
+	}
+}
+
+// TestLossyConvergenceWithRefresh is the failure-injection headline: a
+// structure converges on a radio dropping 40% of packets, as long as
+// the anti-entropy pass runs.
+func TestLossyConvergenceWithRefresh(t *testing.T) {
+	g := topology.Grid(6, 6, 1)
+	tn := newTestNet(t, g)
+	tn.sim.SetLoss(0.4)
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+
+	for i := 0; i < 30; i++ {
+		refreshAll(tn)
+		if converged(tn, src) {
+			return
+		}
+	}
+	t.Error("structure did not converge after 30 lossy refresh cycles")
+}
+
+func converged(tn *testNet, src tuple.NodeID) bool {
+	dist := tn.graph.BFSDistances(src)
+	for _, id := range tn.graph.Nodes() {
+		v, have := tn.gradVal(id, pattern.KindGradient, "f")
+		if !have || v != float64(dist[id]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package core
+
+// Stats counts the middleware-level activity of one node; experiments
+// aggregate these across the network to report overheads and repair
+// costs.
+type Stats struct {
+	// Injected counts tuples injected through the local API.
+	Injected int64
+	// PacketsIn counts engine packets received from neighbors.
+	PacketsIn int64
+	// Stored counts tuples entering the local space for the first time.
+	Stored int64
+	// Superseded counts stored copies replaced by better ones.
+	Superseded int64
+	// DupDropped counts duplicate/ignored tuple arrivals.
+	DupDropped int64
+	// TTLDropped counts copies discarded for exceeding MaxHops.
+	TTLDropped int64
+	// Retracted counts structures torn down through this node.
+	Retracted int64
+	// MaintAdopt counts maintenance value adoptions (repairs).
+	MaintAdopt int64
+	// MaintDrop counts maintenance withdrawals of unsupported copies.
+	MaintDrop int64
+	// Broadcasts counts engine-initiated broadcasts.
+	Broadcasts int64
+	// Unicasts counts engine-initiated unicasts (newcomer catch-up).
+	Unicasts int64
+	// SendErrors counts transport send failures (logged and skipped).
+	SendErrors int64
+	// DecodeErrors counts undecodable packets.
+	DecodeErrors int64
+	// Events counts events dispatched to reactions.
+	Events int64
+	// Denied counts operations rejected by the access-control policy.
+	Denied int64
+	// Expired counts stored copies removed by lease expiry.
+	Expired int64
+}
+
+// Add returns the field-wise sum of two stats snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Injected:     s.Injected + o.Injected,
+		PacketsIn:    s.PacketsIn + o.PacketsIn,
+		Stored:       s.Stored + o.Stored,
+		Superseded:   s.Superseded + o.Superseded,
+		DupDropped:   s.DupDropped + o.DupDropped,
+		TTLDropped:   s.TTLDropped + o.TTLDropped,
+		Retracted:    s.Retracted + o.Retracted,
+		MaintAdopt:   s.MaintAdopt + o.MaintAdopt,
+		MaintDrop:    s.MaintDrop + o.MaintDrop,
+		Broadcasts:   s.Broadcasts + o.Broadcasts,
+		Unicasts:     s.Unicasts + o.Unicasts,
+		SendErrors:   s.SendErrors + o.SendErrors,
+		DecodeErrors: s.DecodeErrors + o.DecodeErrors,
+		Events:       s.Events + o.Events,
+		Denied:       s.Denied + o.Denied,
+		Expired:      s.Expired + o.Expired,
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+
+	"tota/internal/tuple"
+)
+
+// store is a node's local tuple space: the set of tuple copies currently
+// stored at the node, in arrival order. Copies are indexed by kind and
+// by (kind, name) — the shapes every propagation hook and application
+// query uses — so selective reads do not scan the whole space. It
+// performs no locking; the Node serializes access.
+type store struct {
+	reg   *tuple.Registry
+	byID  map[tuple.ID]tuple.Tuple
+	order []tuple.ID
+	// byKind and byKindName list ids in arrival order per index key;
+	// removal leaves no holes (slices are compacted).
+	byKind     map[string][]tuple.ID
+	byKindName map[string][]tuple.ID
+}
+
+func newStore(reg *tuple.Registry) *store {
+	return &store{
+		reg:        reg,
+		byID:       make(map[tuple.ID]tuple.Tuple),
+		byKind:     make(map[string][]tuple.ID),
+		byKindName: make(map[string][]tuple.ID),
+	}
+}
+
+func kindNameKey(kind, name string) string {
+	return kind + "\x00" + name
+}
+
+func indexKeys(t tuple.Tuple) (kind, kindName string) {
+	kind = t.Kind()
+	return kind, kindNameKey(kind, t.Content().GetString("name"))
+}
+
+// put inserts or replaces the copy for t.ID().
+func (s *store) put(t tuple.Tuple) {
+	id := t.ID()
+	if old, ok := s.byID[id]; ok {
+		// Replacement: refresh the indexes if the keys changed (the
+		// name field could in principle evolve).
+		oldKind, oldKN := indexKeys(old)
+		newKind, newKN := indexKeys(t)
+		if oldKind != newKind {
+			s.byKind[oldKind] = removeID(s.byKind[oldKind], id)
+			s.byKind[newKind] = append(s.byKind[newKind], id)
+		}
+		if oldKN != newKN {
+			s.byKindName[oldKN] = removeID(s.byKindName[oldKN], id)
+			s.byKindName[newKN] = append(s.byKindName[newKN], id)
+		}
+		s.byID[id] = t
+		return
+	}
+	s.order = append(s.order, id)
+	s.byID[id] = t
+	kind, kn := indexKeys(t)
+	s.byKind[kind] = append(s.byKind[kind], id)
+	s.byKindName[kn] = append(s.byKindName[kn], id)
+}
+
+// get returns the stored copy for id.
+func (s *store) get(id tuple.ID) (tuple.Tuple, bool) {
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+// remove deletes the copy for id and returns it.
+func (s *store) remove(id tuple.ID) (tuple.Tuple, bool) {
+	t, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	delete(s.byID, id)
+	s.order = removeID(s.order, id)
+	kind, kn := indexKeys(t)
+	s.byKind[kind] = removeID(s.byKind[kind], id)
+	s.byKindName[kn] = removeID(s.byKindName[kn], id)
+	return t, true
+}
+
+func removeID(ids []tuple.ID, id tuple.ID) []tuple.ID {
+	for i, o := range ids {
+		if o == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// candidates returns the id list a template needs to inspect, using the
+// narrowest applicable index: (kind, name) when the template pins both,
+// kind when it pins the kind, the full space otherwise.
+func (s *store) candidates(tpl tuple.Template) []tuple.ID {
+	if tpl.Kind == "" || strings.HasSuffix(tpl.Kind, "*") {
+		return s.order
+	}
+	if name, ok := pinnedName(tpl); ok {
+		return s.byKindName[kindNameKey(tpl.Kind, name)]
+	}
+	return s.byKind[tpl.Kind]
+}
+
+// pinnedName reports whether the template requires an exact value for
+// the "name" field.
+func pinnedName(tpl tuple.Template) (string, bool) {
+	for _, p := range tpl.Fields {
+		if p.Name == "name" && !p.Any {
+			if v, ok := p.Value.(string); ok {
+				return v, true
+			}
+		}
+	}
+	return "", false
+}
+
+// read returns clones of the stored tuples matching tpl, in arrival
+// order. Clones keep callers from mutating the space through shared
+// content slices.
+func (s *store) read(tpl tuple.Template) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, id := range s.candidates(tpl) {
+		t := s.byID[id]
+		if !tpl.Matches(t) {
+			continue
+		}
+		c, err := s.reg.Clone(t)
+		if err != nil {
+			// The kind is unregistered (locally-constructed tuple);
+			// fall back to sharing the instance.
+			c = t
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// readOne returns a clone of the first stored tuple matching tpl.
+func (s *store) readOne(tpl tuple.Template) (tuple.Tuple, bool) {
+	for _, id := range s.candidates(tpl) {
+		t := s.byID[id]
+		if !tpl.Matches(t) {
+			continue
+		}
+		c, err := s.reg.Clone(t)
+		if err != nil {
+			c = t
+		}
+		return c, true
+	}
+	return nil, false
+}
+
+// readRaw returns the stored instances matching tpl without cloning,
+// for engine-internal use.
+func (s *store) readRaw(tpl tuple.Template) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, id := range s.candidates(tpl) {
+		if t := s.byID[id]; tpl.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ids returns the stored ids in arrival order (a copy).
+func (s *store) ids() []tuple.ID {
+	out := make([]tuple.ID, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// size returns the number of stored tuples.
+func (s *store) size() int { return len(s.byID) }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+func mkLocal(t *testing.T, name string, seq uint64) tuple.Tuple {
+	t.Helper()
+	l := pattern.NewLocal(name, tuple.I("v", int64(seq)))
+	l.SetID(tuple.ID{Node: "n", Seq: seq})
+	return l
+}
+
+func TestStorePutGetRemove(t *testing.T) {
+	s := newStore(tuple.DefaultRegistry)
+	a := mkLocal(t, "a", 1)
+	s.put(a)
+	if got, ok := s.get(a.ID()); !ok || got != a {
+		t.Fatal("get after put failed")
+	}
+	if s.size() != 1 || len(s.ids()) != 1 {
+		t.Errorf("size = %d", s.size())
+	}
+	if removed, ok := s.remove(a.ID()); !ok || removed != a {
+		t.Fatal("remove failed")
+	}
+	if s.size() != 0 {
+		t.Error("size after remove")
+	}
+	if _, ok := s.remove(a.ID()); ok {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestStoreReplacementKeepsSingleEntry(t *testing.T) {
+	s := newStore(tuple.DefaultRegistry)
+	a1 := mkLocal(t, "a", 1)
+	s.put(a1)
+	a2 := mkLocal(t, "a", 1) // same id, new instance
+	s.put(a2)
+	if s.size() != 1 {
+		t.Fatalf("size = %d after replacement", s.size())
+	}
+	got := s.readRaw(pattern.ByName(pattern.KindLocal, "a"))
+	if len(got) != 1 || got[0] != tuple.Tuple(a2) {
+		t.Errorf("readRaw = %v", got)
+	}
+}
+
+func TestStoreIndexedReadsMatchFullScan(t *testing.T) {
+	// Property: whatever sequence of puts/removes, index-assisted reads
+	// agree with a full-order scan.
+	rng := rand.New(rand.NewSource(8))
+	s := newStore(tuple.DefaultRegistry)
+	live := make(map[tuple.ID]tuple.Tuple)
+	names := []string{"a", "b", "c", "d"}
+	var seq uint64
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			seq++
+			name := names[rng.Intn(len(names))]
+			tt := mkLocal(t, name, seq)
+			s.put(tt)
+			live[tt.ID()] = tt
+		} else {
+			for id := range live {
+				s.remove(id)
+				delete(live, id)
+				break
+			}
+		}
+	}
+	for _, name := range names {
+		tpl := pattern.ByName(pattern.KindLocal, name)
+		indexed := s.readRaw(tpl)
+		var scanned []tuple.Tuple
+		for _, id := range s.order {
+			if tt := s.byID[id]; tpl.Matches(tt) {
+				scanned = append(scanned, tt)
+			}
+		}
+		if len(indexed) != len(scanned) {
+			t.Fatalf("name %s: indexed %d vs scanned %d", name, len(indexed), len(scanned))
+		}
+		for i := range indexed {
+			if indexed[i] != scanned[i] {
+				t.Fatalf("name %s: order mismatch at %d", name, i)
+			}
+		}
+	}
+	if got := s.readRaw(tuple.MatchAll()); len(got) != len(live) {
+		t.Errorf("MatchAll = %d, live = %d", len(got), len(live))
+	}
+}
+
+func TestStoreCandidatesSelectivity(t *testing.T) {
+	s := newStore(tuple.DefaultRegistry)
+	for i := 0; i < 100; i++ {
+		s.put(mkLocal(t, fmt.Sprintf("item%d", i), uint64(i+1)))
+	}
+	g := pattern.NewGradient("field")
+	g.SetID(tuple.ID{Node: "n", Seq: 999})
+	s.put(g)
+
+	if got := len(s.candidates(pattern.ByName(pattern.KindLocal, "item5"))); got != 1 {
+		t.Errorf("kind+name candidates = %d, want 1", got)
+	}
+	if got := len(s.candidates(tuple.Match(pattern.KindGradient))); got != 1 {
+		t.Errorf("kind candidates = %d, want 1", got)
+	}
+	if got := len(s.candidates(tuple.MatchAll())); got != 101 {
+		t.Errorf("all candidates = %d, want 101", got)
+	}
+	// Prefix-glob kinds cannot use the index.
+	if got := len(s.candidates(tuple.Template{Kind: "tota:*"})); got != 101 {
+		t.Errorf("glob candidates = %d, want 101", got)
+	}
+}
+
+func TestStoreReadOne(t *testing.T) {
+	s := newStore(tuple.DefaultRegistry)
+	s.put(mkLocal(t, "x", 1))
+	s.put(mkLocal(t, "x", 2))
+	got, ok := s.readOne(pattern.ByName(pattern.KindLocal, "x"))
+	if !ok || got.ID().Seq != 1 {
+		t.Errorf("readOne = %v, %v (want first arrival)", got, ok)
+	}
+	if _, ok := s.readOne(pattern.ByName(pattern.KindLocal, "zzz")); ok {
+		t.Error("readOne found missing tuple")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"tota/internal/tuple"
+)
+
+// TraceKind classifies engine decisions for tracing.
+type TraceKind int
+
+// Trace kinds.
+const (
+	// TraceInject: a tuple entered the network through the local API.
+	TraceInject TraceKind = iota + 1
+	// TraceStore: a copy entered the local space.
+	TraceStore
+	// TraceSupersede: a better copy replaced the stored one.
+	TraceSupersede
+	// TraceForward: the local copy was re-broadcast.
+	TraceForward
+	// TraceDup: a duplicate arrival was dropped.
+	TraceDup
+	// TraceTTL: a copy was dropped for exceeding MaxHops.
+	TraceTTL
+	// TraceAdopt: maintenance changed the local structure value.
+	TraceAdopt
+	// TraceWithdraw: maintenance removed an unsupported copy.
+	TraceWithdraw
+	// TraceRetract: a structure was torn down through this node.
+	TraceRetract
+	// TraceExpire: a leased copy aged out.
+	TraceExpire
+	// TraceDeny: the access policy rejected an operation.
+	TraceDeny
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceInject:
+		return "inject"
+	case TraceStore:
+		return "store"
+	case TraceSupersede:
+		return "supersede"
+	case TraceForward:
+		return "forward"
+	case TraceDup:
+		return "dup"
+	case TraceTTL:
+		return "ttl"
+	case TraceAdopt:
+		return "adopt"
+	case TraceWithdraw:
+		return "withdraw"
+	case TraceRetract:
+		return "retract"
+	case TraceExpire:
+		return "expire"
+	case TraceDeny:
+		return "deny"
+	default:
+		return "unknown-trace"
+	}
+}
+
+// TraceEvent is one engine decision.
+type TraceEvent struct {
+	Kind TraceKind
+	// Node is where the decision happened.
+	Node tuple.NodeID
+	// ID identifies the tuple involved.
+	ID tuple.ID
+	// TupleKind is the tuple's kind (when known).
+	TupleKind string
+	// From is the previous hop, when the decision concerns an arrival.
+	From tuple.NodeID
+	// Hop is the copy's hop count, when meaningful.
+	Hop int
+	// Value is the maintained structure value, when meaningful.
+	Value float64
+}
+
+// String implements fmt.Stringer.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%s %s %s", e.Node, e.Kind, e.ID)
+	if e.TupleKind != "" {
+		s += " (" + e.TupleKind + ")"
+	}
+	if e.From != "" && e.From != e.Node {
+		s += " from " + string(e.From)
+	}
+	if e.Kind == TraceAdopt || e.Kind == TraceStore {
+		s += fmt.Sprintf(" val=%g", e.Value)
+	}
+	return s
+}
+
+// Tracer receives engine decisions. It runs outside the engine lock, in
+// the goroutine that triggered the decision, after the triggering call
+// completes its state changes; it may call back into the node's API.
+type Tracer func(TraceEvent)
+
+// WithTracer installs an engine tracer.
+func WithTracer(tr Tracer) Option {
+	return optionFunc(func(c *Config) { c.Tracer = tr })
+}
+
+// traceLocked queues a trace event for post-unlock delivery. No-op
+// without a tracer.
+func (n *Node) traceLocked(ev TraceEvent) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	ev.Node = n.id
+	n.pendingTraces = append(n.pendingTraces, ev)
+}
+
+func (n *Node) takeTracesLocked() []TraceEvent {
+	ts := n.pendingTraces
+	n.pendingTraces = nil
+	return ts
+}
+
+func (n *Node) dispatchTraces(ts []TraceEvent) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	for _, ev := range ts {
+		n.cfg.Tracer(ev)
+	}
+}

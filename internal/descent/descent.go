@@ -1,0 +1,94 @@
+// Package descent is the shared motion-control kernel of the paper's
+// field-based coordination applications (flocking §5.3, Co-Fields-style
+// meetings): mobile agents repeatedly sense a potential over their
+// one-hop neighborhood and move toward its minimum — particles sliding
+// down the combined fields, "to some extent [mimicking] the way
+// electromagnetic fields propagate in space and influence the movement
+// of particles".
+package descent
+
+import (
+	"fmt"
+
+	"tota/internal/emulator"
+	"tota/internal/mobility"
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// Potential evaluates the field an agent descends, as perceived at a
+// node. self identifies the agent so its own contributions can be
+// excluded.
+type Potential func(at, self tuple.NodeID) float64
+
+// Config tunes a Controller.
+type Config struct {
+	// Speed is the agents' movement speed in space units per time unit.
+	Speed float64
+	// Bounds clips agent movement.
+	Bounds space.Rect
+}
+
+// Controller owns the movers of a set of agents inside an emulator
+// world and steps them down a potential.
+type Controller struct {
+	world  *emulator.World
+	agents []tuple.NodeID
+	movers map[tuple.NodeID]*mobility.Controlled
+}
+
+// New attaches velocity-controlled movers to the given world nodes.
+func New(w *emulator.World, agents []tuple.NodeID, cfg Config) (*Controller, error) {
+	c := &Controller{
+		world:  w,
+		agents: append([]tuple.NodeID(nil), agents...),
+		movers: make(map[tuple.NodeID]*mobility.Controlled, len(agents)),
+	}
+	for _, id := range c.agents {
+		if w.Node(id) == nil {
+			return nil, fmt.Errorf("descent: unknown node %s", id)
+		}
+		pos, ok := w.Graph().Position(id)
+		if !ok {
+			return nil, fmt.Errorf("descent: node %s has no position", id)
+		}
+		mv := mobility.NewControlled(pos, cfg.Bounds, cfg.Speed)
+		c.movers[id] = mv
+		w.SetMover(id, mv)
+	}
+	return c, nil
+}
+
+// Agents returns the agent ids.
+func (c *Controller) Agents() []tuple.NodeID {
+	return append([]tuple.NodeID(nil), c.agents...)
+}
+
+// Step points every agent toward the neighborhood minimum of pot and
+// advances the world by dt.
+func (c *Controller) Step(pot Potential, dt float64) {
+	for _, id := range c.agents {
+		mv := c.movers[id]
+		n := c.world.Node(id)
+		if n == nil {
+			continue
+		}
+		here := pot(id, id)
+		bestPos, bestVal := mv.Pos(), here
+		for _, nb := range n.Neighbors() {
+			v := pot(nb, id)
+			if v < bestVal {
+				if p, ok := c.world.Graph().Position(nb); ok {
+					bestVal = v
+					bestPos = p
+				}
+			}
+		}
+		if bestVal < here {
+			mv.SetVelocity(bestPos.Sub(mv.Pos()))
+		} else {
+			mv.SetVelocity(space.Vector{})
+		}
+	}
+	c.world.Tick(dt)
+}

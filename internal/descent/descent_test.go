@@ -1,0 +1,80 @@
+package descent
+
+import (
+	"testing"
+
+	"tota/internal/emulator"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func TestControllerValidation(t *testing.T) {
+	g := topology.Grid(3, 3, 1)
+	w := emulator.New(emulator.Config{Graph: g})
+	if _, err := New(w, []tuple.NodeID{"ghost"}, Config{Speed: 1}); err == nil {
+		t.Error("unknown agent accepted")
+	}
+	g.AddNode("nopos")
+	if _, err := New(w, []tuple.NodeID{"nopos"}, Config{Speed: 1}); err == nil {
+		t.Error("position-less agent accepted")
+	}
+}
+
+func TestStepDescendsPotential(t *testing.T) {
+	// Agent on a 5-node line; the potential is the x coordinate, so the
+	// agent must walk left.
+	g := topology.New()
+	for i := 0; i < 5; i++ {
+		g.SetPosition(topology.NodeName(i), space.Point{X: float64(i)})
+	}
+	g.SetPosition("agent", space.Point{X: 4, Y: 0.5})
+	g.Recompute(1.3)
+	w := emulator.New(emulator.Config{Graph: g, RadioRange: 1.3})
+
+	ctl, err := New(w, []tuple.NodeID{"agent"}, Config{
+		Speed:  1,
+		Bounds: space.Rect{Max: space.Point{X: 4, Y: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pot := func(at, self tuple.NodeID) float64 {
+		p, ok := w.Graph().Position(at)
+		if !ok {
+			return 1e9
+		}
+		return p.X
+	}
+	for i := 0; i < 20; i++ {
+		ctl.Step(pot, 0.5)
+	}
+	p, _ := w.Graph().Position("agent")
+	if p.X > 0.6 {
+		t.Errorf("agent did not descend: x=%v", p.X)
+	}
+	if got := ctl.Agents(); len(got) != 1 || got[0] != "agent" {
+		t.Errorf("Agents = %v", got)
+	}
+}
+
+func TestStepHoldsAtMinimum(t *testing.T) {
+	g := topology.New()
+	g.SetPosition("a", space.Point{X: 0})
+	g.SetPosition("b", space.Point{X: 1})
+	g.Recompute(1.5)
+	w := emulator.New(emulator.Config{Graph: g, RadioRange: 1.5})
+	ctl, err := New(w, []tuple.NodeID{"a"}, Config{Speed: 1, Bounds: space.Rect{Max: space.Point{X: 2, Y: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := func(at, self tuple.NodeID) float64 { return 1 }
+	before, _ := w.Graph().Position("a")
+	for i := 0; i < 5; i++ {
+		ctl.Step(flat, 1)
+	}
+	after, _ := w.Graph().Position("a")
+	if before != after {
+		t.Errorf("agent moved on a flat potential: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,299 @@
+// Package emulator is the programmatic counterpart of the paper's
+// graphic TOTA emulator: it runs hundreds of middleware nodes over the
+// simulated radio, moves them with mobility models, rearranges the
+// topology (the drag-and-drop of Fig. 3), and measures the distributed
+// tuple structures against analytical oracles.
+//
+// Time advances in ticks: each Tick moves every mover, recomputes the
+// unit-disk topology from the new positions, delivers one radio round,
+// and optionally drains the network to quiescence. Everything is driven
+// by seeded randomness, so runs are reproducible.
+package emulator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tota/internal/core"
+	"tota/internal/mobility"
+	"tota/internal/pattern"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// Config assembles a World.
+type Config struct {
+	// Graph is the initial topology; node positions seed the mobility
+	// state. The World takes ownership.
+	Graph *topology.Graph
+	// RadioRange, when positive, derives links from positions (unit
+	// disk) after every tick. When zero the edge set only changes
+	// through explicit edits.
+	RadioRange float64
+	// Loss is the per-packet drop probability of the radio.
+	Loss float64
+	// RefreshEvery, when positive, runs the middleware's anti-entropy
+	// pass (Node.Refresh) on every node each RefreshEvery ticks —
+	// required for convergence on lossy radios.
+	RefreshEvery int
+	// Seed drives every random choice.
+	Seed int64
+	// NodeOptions are extra middleware options applied to every node.
+	NodeOptions []core.Option
+}
+
+// World is a running emulation.
+type World struct {
+	cfg   Config
+	sim   *transport.Sim
+	graph *topology.Graph
+	nodes map[tuple.NodeID]*core.Node
+	moves map[tuple.NodeID]mobility.Mover
+	ticks int
+	time  float64
+}
+
+// New builds a world with one middleware node per graph node.
+func New(cfg Config) *World {
+	if cfg.Graph == nil {
+		cfg.Graph = topology.New()
+	}
+	w := &World{
+		cfg:   cfg,
+		graph: cfg.Graph,
+		sim:   transport.NewSim(cfg.Graph, transport.SimConfig{Loss: cfg.Loss, Seed: cfg.Seed}),
+		nodes: make(map[tuple.NodeID]*core.Node),
+		moves: make(map[tuple.NodeID]mobility.Mover),
+	}
+	for _, id := range cfg.Graph.Nodes() {
+		w.attach(id)
+	}
+	return w
+}
+
+func (w *World) attach(id tuple.NodeID) *core.Node {
+	ep := w.sim.Attach(id, nil)
+	opts := append([]core.Option{
+		core.WithLocalizer(space.FuncLocalizer(func() (space.Point, bool) {
+			return w.graph.Position(id)
+		})),
+	}, w.cfg.NodeOptions...)
+	n := core.New(ep, opts...)
+	w.sim.Bind(id, n)
+	w.nodes[id] = n
+	return n
+}
+
+// Node returns the middleware node with the given id (nil if absent).
+func (w *World) Node(id tuple.NodeID) *core.Node { return w.nodes[id] }
+
+// Nodes returns all node ids in deterministic order.
+func (w *World) Nodes() []tuple.NodeID { return w.graph.Nodes() }
+
+// Graph exposes the live topology (and its oracles).
+func (w *World) Graph() *topology.Graph { return w.graph }
+
+// Sim exposes the underlying radio (for traffic statistics).
+func (w *World) Sim() *transport.Sim { return w.sim }
+
+// Ticks returns the number of elapsed ticks.
+func (w *World) Ticks() int { return w.ticks }
+
+// Time returns the elapsed simulated time.
+func (w *World) Time() float64 { return w.time }
+
+// AddNode attaches a new node at the given position (a device joining
+// the network). Links appear on the next topology recomputation, or via
+// explicit AddEdge.
+func (w *World) AddNode(id tuple.NodeID, pos space.Point) *core.Node {
+	w.graph.SetPosition(id, pos)
+	return w.attach(id)
+}
+
+// RemoveNode crashes a node: its links drop and its middleware state
+// disappears.
+func (w *World) RemoveNode(id tuple.NodeID) {
+	w.sim.Detach(id)
+	delete(w.nodes, id)
+	delete(w.moves, id)
+}
+
+// AddEdge manually links two nodes (wired scenario / scripted edits).
+func (w *World) AddEdge(a, b tuple.NodeID) { w.sim.AddEdge(a, b) }
+
+// RemoveEdge manually unlinks two nodes.
+func (w *World) RemoveEdge(a, b tuple.NodeID) { w.sim.RemoveEdge(a, b) }
+
+// SetMover assigns a mobility model to a node. The mover's position
+// becomes authoritative for the node from the next Tick.
+func (w *World) SetMover(id tuple.NodeID, m mobility.Mover) {
+	w.moves[id] = m
+}
+
+// Mover returns the mover assigned to id, if any.
+func (w *World) Mover(id tuple.NodeID) (mobility.Mover, bool) {
+	m, ok := w.moves[id]
+	return m, ok
+}
+
+// MoveNode teleports a node (the emulator's drag-and-drop) and rewires
+// the topology if a radio range is configured.
+func (w *World) MoveNode(id tuple.NodeID, pos space.Point) {
+	w.graph.SetPosition(id, pos)
+	w.recompute()
+}
+
+func (w *World) recompute() {
+	if w.cfg.RadioRange <= 0 {
+		return
+	}
+	events := w.graph.Recompute(w.cfg.RadioRange)
+	w.sim.ApplyEdgeEvents(events)
+}
+
+// Tick advances time: movers step by dt, the topology follows the new
+// positions, and one radio round is delivered.
+func (w *World) Tick(dt float64) {
+	w.ticks++
+	w.time += dt
+	for _, id := range w.Nodes() {
+		w.nodes[id].SweepExpired(w.time)
+	}
+	ids := make([]tuple.NodeID, 0, len(w.moves))
+	for id := range w.moves {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w.graph.SetPosition(id, w.moves[id].Step(dt))
+	}
+	w.recompute()
+	if w.cfg.RefreshEvery > 0 && w.ticks%w.cfg.RefreshEvery == 0 {
+		w.RefreshAll()
+	}
+	w.sim.Step()
+}
+
+// RefreshAll runs the anti-entropy pass on every node (in
+// deterministic order) and returns the number of announcements.
+func (w *World) RefreshAll() int {
+	total := 0
+	for _, id := range w.Nodes() {
+		total += w.nodes[id].Refresh()
+	}
+	return total
+}
+
+// Settle drains the radio to quiescence without moving anything,
+// returning the number of rounds it took (maxRounds if it never went
+// quiet).
+func (w *World) Settle(maxRounds int) int {
+	return w.sim.RunUntilQuiet(maxRounds)
+}
+
+// GradientError compares the named maintained structure against the
+// BFS oracle from src: it returns the mean absolute value error over
+// nodes where both exist, plus the counts of nodes missing the tuple
+// (reachable within scope but without a copy) and holding it in excess
+// (beyond scope or unreachable but still storing it).
+func (w *World) GradientError(kind, name string, src tuple.NodeID, scope float64) (meanAbs float64, missing, extra int) {
+	dist := w.graph.BFSDistances(src)
+	var sum float64
+	var n int
+	for _, id := range w.Nodes() {
+		node := w.nodes[id]
+		ts := node.Read(pattern.ByName(kind, name))
+		var have bool
+		var val float64
+		if len(ts) > 0 {
+			if m, ok := ts[0].(tuple.Maintained); ok {
+				have = true
+				val = m.Value()
+			}
+		}
+		d, reachable := dist[id]
+		want := reachable && float64(d) <= scope
+		switch {
+		case want && have:
+			sum += math.Abs(val - float64(d))
+			n++
+		case want && !have:
+			missing++
+		case !want && have:
+			extra++
+		}
+	}
+	if n > 0 {
+		meanAbs = sum / float64(n)
+	}
+	return meanAbs, missing, extra
+}
+
+// TotalStats sums the middleware counters across all nodes.
+func (w *World) TotalStats() core.Stats {
+	var total core.Stats
+	for _, id := range w.Nodes() {
+		total = total.Add(w.nodes[id].Stats())
+	}
+	return total
+}
+
+// Render draws the world as ASCII art (the Fig. 3 snapshot analogue):
+// a width×height character grid over the bounding box, with each node
+// drawn using the mark function ('o' by default; return 0 to use the
+// default).
+func (w *World) Render(width, height int, mark func(tuple.NodeID) rune) string {
+	ids := w.Nodes()
+	if len(ids) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	minP := space.Point{X: math.Inf(1), Y: math.Inf(1)}
+	maxP := space.Point{X: math.Inf(-1), Y: math.Inf(-1)}
+	type placed struct {
+		id  tuple.NodeID
+		pos space.Point
+	}
+	var ps []placed
+	for _, id := range ids {
+		p, ok := w.graph.Position(id)
+		if !ok {
+			continue
+		}
+		ps = append(ps, placed{id: id, pos: p})
+		minP.X = math.Min(minP.X, p.X)
+		minP.Y = math.Min(minP.Y, p.Y)
+		maxP.X = math.Max(maxP.X, p.X)
+		maxP.Y = math.Max(maxP.Y, p.Y)
+	}
+	if len(ps) == 0 {
+		return ""
+	}
+	spanX := math.Max(maxP.X-minP.X, 1e-9)
+	spanY := math.Max(maxP.Y-minP.Y, 1e-9)
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(".", width))
+	}
+	for _, p := range ps {
+		x := int((p.pos.X - minP.X) / spanX * float64(width-1))
+		y := int((p.pos.Y - minP.Y) / spanY * float64(height-1))
+		r := rune('o')
+		if mark != nil {
+			if m := mark(p.id); m != 0 {
+				r = m
+			}
+		}
+		grid[height-1-y][x] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tick %d, %d nodes, %d links\n", w.ticks, w.graph.Len(), w.graph.EdgeCount())
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package emulator
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tota/internal/mobility"
+	"tota/internal/pattern"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func TestWorldBuildsNodesAndSettles(t *testing.T) {
+	w := New(Config{Graph: topology.Grid(4, 4, 1)})
+	if len(w.Nodes()) != 16 {
+		t.Fatalf("nodes = %d", len(w.Nodes()))
+	}
+	src := topology.NodeName(0)
+	if _, err := w.Node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	rounds := w.Settle(10000)
+	if rounds <= 0 || rounds >= 10000 {
+		t.Errorf("Settle rounds = %d", rounds)
+	}
+	meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "f", src, math.Inf(1))
+	if meanAbs != 0 || missing != 0 || extra != 0 {
+		t.Errorf("gradient error = %v, %d missing, %d extra", meanAbs, missing, extra)
+	}
+}
+
+func TestGradientErrorDetectsDeviation(t *testing.T) {
+	w := New(Config{Graph: topology.Line(4)})
+	src := topology.NodeName(0)
+	if _, err := w.Node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(1000)
+	// Delete one copy: GradientError must count it missing.
+	w.Node(topology.NodeName(2)).Delete(pattern.ByName(pattern.KindGradient, "f"))
+	_, missing, _ := w.GradientError(pattern.KindGradient, "f", src, math.Inf(1))
+	if missing != 1 {
+		t.Errorf("missing = %d, want 1", missing)
+	}
+}
+
+func TestTickMovesAndRewires(t *testing.T) {
+	g := topology.New()
+	g.SetPosition("a", space.Point{X: 0, Y: 0})
+	g.SetPosition("b", space.Point{X: 1, Y: 0})
+	g.SetPosition("m", space.Point{X: 10, Y: 0})
+	g.Recompute(1.5)
+	w := New(Config{Graph: g, RadioRange: 1.5})
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "m") {
+		t.Fatal("initial topology wrong")
+	}
+
+	// m walks toward b: after enough ticks they link up.
+	w.SetMover("m", mobility.NewWaypoints(space.Point{X: 10, Y: 0}, 1, space.Point{X: 2, Y: 0}))
+	for i := 0; i < 20; i++ {
+		w.Tick(1)
+	}
+	if !g.HasEdge("b", "m") {
+		t.Error("mobile node never linked up")
+	}
+	if w.Ticks() != 20 {
+		t.Errorf("Ticks = %d", w.Ticks())
+	}
+}
+
+func TestMobilityRepairsGradient(t *testing.T) {
+	// A line of three static nodes and one mobile node: the gradient
+	// from the left end must stay BFS-correct as the mobile node walks
+	// from one end to the other.
+	g := topology.New()
+	g.SetPosition("s", space.Point{X: 0, Y: 0})
+	g.SetPosition("r1", space.Point{X: 1, Y: 0})
+	g.SetPosition("r2", space.Point{X: 2, Y: 0})
+	g.SetPosition("mob", space.Point{X: 0.5, Y: 0.8})
+	g.Recompute(1.2)
+	w := New(Config{Graph: g, RadioRange: 1.2})
+	if _, err := w.Node("s").Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(1000)
+
+	w.SetMover("mob", mobility.NewWaypoints(space.Point{X: 0.5, Y: 0.8}, 0.25, space.Point{X: 2.0, Y: 0.8}))
+	for i := 0; i < 40; i++ {
+		w.Tick(0.25)
+	}
+	w.Settle(1000)
+	meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "f", "s", math.Inf(1))
+	if meanAbs != 0 || missing != 0 || extra != 0 {
+		t.Errorf("after walk: err=%v missing=%d extra=%d", meanAbs, missing, extra)
+	}
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	w := New(Config{Graph: topology.Line(3)})
+	src := topology.NodeName(0)
+	if _, err := w.Node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(1000)
+
+	n := w.AddNode("x", space.Point{X: 99, Y: 0})
+	w.AddEdge(topology.NodeName(2), "x")
+	w.Settle(1000)
+	ts := n.Read(pattern.ByName(pattern.KindGradient, "f"))
+	if len(ts) != 1 || ts[0].(tuple.Maintained).Value() != 3 {
+		t.Fatalf("newcomer gradient = %v", ts)
+	}
+
+	w.RemoveNode("x")
+	w.Settle(1000)
+	if w.Node("x") != nil {
+		t.Error("node still present")
+	}
+	if _, missing, extra := extractErr(w, src); missing != 0 || extra != 0 {
+		t.Errorf("structure inconsistent after crash: missing=%d extra=%d", missing, extra)
+	}
+}
+
+func extractErr(w *World, src tuple.NodeID) (float64, int, int) {
+	return w.GradientError(pattern.KindGradient, "f", src, math.Inf(1))
+}
+
+func TestTotalStats(t *testing.T) {
+	w := New(Config{Graph: topology.Line(3)})
+	if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(1000)
+	st := w.TotalStats()
+	if st.Injected != 1 || st.Stored != 3 {
+		t.Errorf("TotalStats = %+v", st)
+	}
+}
+
+func TestRender(t *testing.T) {
+	w := New(Config{Graph: topology.Grid(3, 3, 1)})
+	out := w.Render(12, 6, func(id tuple.NodeID) rune {
+		if id == topology.NodeName(4) {
+			return '#'
+		}
+		return 0
+	})
+	if !strings.Contains(out, "#") {
+		t.Errorf("custom mark missing:\n%s", out)
+	}
+	_, grid, ok := strings.Cut(out, "\n")
+	if !ok {
+		t.Fatalf("no header line:\n%s", out)
+	}
+	if strings.Count(grid, "o") != 8 {
+		t.Errorf("default marks = %d, want 8:\n%s", strings.Count(grid, "o"), out)
+	}
+	if !strings.Contains(out, "9 nodes") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if w.Render(0, 0, nil) != "" {
+		t.Error("degenerate render not empty")
+	}
+}
+
+func TestMoveNodeTeleport(t *testing.T) {
+	g := topology.New()
+	g.SetPosition("a", space.Point{X: 0, Y: 0})
+	g.SetPosition("b", space.Point{X: 5, Y: 0})
+	w := New(Config{Graph: g, RadioRange: 2})
+	if g.HasEdge("a", "b") {
+		t.Fatal("unexpected initial edge")
+	}
+	w.MoveNode("b", space.Point{X: 1, Y: 0})
+	if !g.HasEdge("a", "b") {
+		t.Error("teleport did not rewire")
+	}
+}
+
+func TestSeededLossIsApplied(t *testing.T) {
+	w := New(Config{Graph: topology.Line(2), Loss: 1.0, Seed: 5})
+	if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewFlood("x")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(100)
+	if got := len(w.Node(topology.NodeName(1)).Read(tuple.Match(pattern.KindFlood))); got != 0 {
+		t.Error("packet survived 100% loss")
+	}
+}

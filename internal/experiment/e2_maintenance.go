@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tota/internal/metrics"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// RunE2 quantifies what §6 defers to future work: "the TOTA delays in
+// updating the tuples distributed structures in response to dynamic
+// changes". A gradient is built on a grid, then perturbations of each
+// kind are applied one at a time; for each we measure the repair delay
+// (radio rounds until quiescence), the repair traffic, and verify the
+// structure converges back to the BFS oracle. The locality rows show
+// repair cost against the perturbation's distance from the source —
+// the paper's claim that maintenance is a local affair.
+func RunE2(scale Scale) *Result {
+	side := 8
+	trials := 5
+	if scale == Full {
+		side = 12
+		trials = 20
+	}
+	tbl := metrics.NewTable(
+		"E2 (§3/§6): structure self-maintenance under dynamic changes",
+		"perturbation", "trials", "repairRounds(mean)", "repairMsgs(mean)", "finalErr", "converged%")
+	res := newResult(tbl)
+
+	type outcome struct {
+		rounds, msgs float64
+		err          float64
+		converged    int
+		n            int
+	}
+	runOn := func(name string, gridSide int, perturb func(w *worldT, rng *rand.Rand) bool) {
+		var o outcome
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < trials; i++ {
+			g := topology.Grid(gridSide, gridSide, 1)
+			w := newWorld(g)
+			src := topology.NodeName(0)
+			if _, err := w.Node(src).Inject(pattern.NewGradient("e2")); err != nil {
+				continue
+			}
+			w.Settle(settleBudget)
+			w.Sim().ResetStats()
+			if !perturb(w, rng) {
+				continue
+			}
+			rounds := w.Settle(settleBudget)
+			st := w.Sim().Stats()
+			meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "e2", src, math.Inf(1))
+			o.rounds += float64(rounds)
+			o.msgs += float64(st.Sent)
+			o.err += meanAbs
+			if meanAbs == 0 && missing == 0 && extra == 0 {
+				o.converged++
+			}
+			o.n++
+		}
+		if o.n == 0 {
+			return
+		}
+		fn := float64(o.n)
+		tbl.AddRow(name, o.n, o.rounds/fn, o.msgs/fn, o.err/fn, 100*float64(o.converged)/fn)
+		res.Metrics["repair_rounds_"+name] = o.rounds / fn
+		res.Metrics["repair_msgs_"+name] = o.msgs / fn
+		res.Metrics["converged_"+name] = float64(o.converged) / fn
+	}
+	run := func(name string, perturb func(w *worldT, rng *rand.Rand) bool) {
+		runOn(name, side, perturb)
+	}
+
+	run("link removal", func(w *worldT, rng *rand.Rand) bool {
+		a, b, ok := randomRemovableEdge(w, rng)
+		if !ok {
+			return false
+		}
+		w.RemoveEdge(a, b)
+		return true
+	})
+	run("link addition", func(w *worldT, rng *rand.Rand) bool {
+		nodes := w.Graph().Nodes()
+		for tries := 0; tries < 50; tries++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			if a != b && !w.Graph().HasEdge(a, b) {
+				w.AddEdge(a, b)
+				return true
+			}
+		}
+		return false
+	})
+	run("node crash", func(w *worldT, rng *rand.Rand) bool {
+		nodes := w.Graph().Nodes()
+		// Never crash the source (index 0) — source crash is the
+		// teardown case measured separately.
+		id := nodes[1+rng.Intn(len(nodes)-1)]
+		if !connectedWithout(w.Graph(), id) {
+			return false
+		}
+		w.RemoveNode(id)
+		return true
+	})
+	run("node join", func(w *worldT, rng *rand.Rand) bool {
+		nodes := w.Graph().Nodes()
+		anchor := nodes[rng.Intn(len(nodes))]
+		w.AddNode("joiner", pointNear(w, anchor))
+		w.AddEdge(anchor, "joiner")
+		return true
+	})
+
+	// Locality: repair traffic vs distance of the removed link from the
+	// source. Local repair means cost does not grow with distance.
+	for _, band := range []struct {
+		name     string
+		min, max int
+	}{
+		{"link removal near source (d<=3)", 0, 3},
+		{"link removal far from source (d>=8)", 8, 1 << 30},
+	} {
+		band := band
+		run(band.name, func(w *worldT, rng *rand.Rand) bool {
+			src := topology.NodeName(0)
+			dist := w.Graph().BFSDistances(src)
+			for tries := 0; tries < 200; tries++ {
+				a, b, ok := randomRemovableEdge(w, rng)
+				if !ok {
+					return false
+				}
+				d := dist[a]
+				if d >= band.min && d <= band.max {
+					w.RemoveEdge(a, b)
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// Locality vs network size: if repair cost depended on N, these
+	// rows would grow with the grid; local repair keeps them flat.
+	if scale == Full {
+		for _, s := range []int{8, 12, 16, 20} {
+			s := s
+			runOn(fmt.Sprintf("link removal (%dx%d grid)", s, s), s,
+				func(w *worldT, rng *rand.Rand) bool {
+					a, b, ok := randomRemovableEdge(w, rng)
+					if !ok {
+						return false
+					}
+					w.RemoveEdge(a, b)
+					return true
+				})
+		}
+	}
+	return res
+}
+
+func randomRemovableEdge(w *worldT, rng *rand.Rand) (tuple.NodeID, tuple.NodeID, bool) {
+	g := w.Graph()
+	nodes := g.Nodes()
+	for tries := 0; tries < 100; tries++ {
+		a := nodes[rng.Intn(len(nodes))]
+		nbrs := g.Neighbors(a)
+		if len(nbrs) == 0 {
+			continue
+		}
+		b := nbrs[rng.Intn(len(nbrs))]
+		if !g.HasEdge(a, b) {
+			continue
+		}
+		// Keep the network connected so the repair target exists.
+		g.RemoveEdge(a, b)
+		connected := g.Connected()
+		g.AddEdge(a, b)
+		if connected {
+			return a, b, true
+		}
+	}
+	return "", "", false
+}
+
+func connectedWithout(g *topology.Graph, id tuple.NodeID) bool {
+	c := g.Clone()
+	c.RemoveNode(id)
+	return c.Connected()
+}

@@ -1,0 +1,93 @@
+// Package experiment regenerates every evaluation artifact of the TOTA
+// paper as a quantitative table (see DESIGN.md §3 and EXPERIMENTS.md).
+// E1 reproduces Fig. 1 (tuple propagation), E2 the §3/§6 structure
+// self-maintenance claims, E3 the §5.1 routing example with its flooding
+// baseline, E4/E5 the two §5.2 information-gathering variants, E6 the
+// §5.3 / Fig. 3 flocking, E7 the §6 scalability evaluation the authors
+// defer to future work, E8 the §4.2 communication substrate, and E9 the
+// §4.3 API microbenchmarks.
+//
+// Each RunE* function takes a Scale knob so the same code serves quick
+// test runs, `go test -bench`, and the full cmd/tota-bench tables.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tota/internal/emulator"
+	"tota/internal/metrics"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// Scale selects how big the experiment instances are.
+type Scale int
+
+// Scales.
+const (
+	// Quick runs in well under a second per experiment (unit tests).
+	Quick Scale = iota + 1
+	// Full runs the paper-shaped sweeps (cmd/tota-bench).
+	Full
+)
+
+// Result is one experiment's output: the reproduced table plus the
+// headline numbers benchmarks report as metrics.
+type Result struct {
+	// Table is the paper-shaped table.
+	Table *metrics.Table
+	// Metrics are headline scalar outcomes (name → value), e.g.
+	// "delivery_ratio" or "repair_rounds_mean".
+	Metrics map[string]float64
+}
+
+func newResult(t *metrics.Table) *Result {
+	return &Result{Table: t, Metrics: make(map[string]float64)}
+}
+
+// netSpec describes one network configuration in a sweep.
+type netSpec struct {
+	label string
+	build func() *topology.Graph
+}
+
+func gridSpec(w, h int) netSpec {
+	return netSpec{
+		label: fmt.Sprintf("grid %dx%d", w, h),
+		build: func() *topology.Graph { return topology.Grid(w, h, 1) },
+	}
+}
+
+func rggSpec(n int, side, radio float64, seed int64) netSpec {
+	return netSpec{
+		label: fmt.Sprintf("rgg n=%d", n),
+		build: func() *topology.Graph {
+			g := topology.ConnectedRandomGeometric(n, side, radio, rand.New(rand.NewSource(seed)), 200)
+			if g == nil {
+				// Fall back to a denser radio range; the caller's sweep
+				// parameters are chosen to make this unreachable.
+				g = topology.ConnectedRandomGeometric(n, side, radio*1.5, rand.New(rand.NewSource(seed)), 200)
+			}
+			return g
+		},
+	}
+}
+
+// worldT abbreviates the emulator world in experiment signatures.
+type worldT = emulator.World
+
+func newWorld(g *topology.Graph) *emulator.World {
+	return emulator.New(emulator.Config{Graph: g})
+}
+
+// pointNear returns a position adjacent to the anchor node, for
+// attaching joiners.
+func pointNear(w *emulator.World, anchor tuple.NodeID) space.Point {
+	p, _ := w.Graph().Position(anchor)
+	return space.Point{X: p.X + 0.3, Y: p.Y + 0.3}
+}
+
+// settleBudget is the round budget for draining a propagation wave.
+const settleBudget = 100000

@@ -1,0 +1,156 @@
+// Package flock implements the paper's §5.3 motion coordination: each
+// mobile agent propagates a FLOCK tuple whose perceived value is
+// minimal at the target distance X hops from the agent; every agent
+// then descends the sum of the other agents' fields, so the group
+// settles into a formation with pairwise distance ≈ X — the behavior
+// shown in the paper's Fig. 3 emulator snapshot.
+package flock
+
+import (
+	"fmt"
+	"math"
+
+	"tota/internal/descent"
+	"tota/internal/emulator"
+	"tota/internal/pattern"
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// FieldName is the shared name of every agent's flock tuple; agents
+// distinguish their own field by the tuple id's source node.
+const FieldName = "flock"
+
+// Config tunes a swarm.
+type Config struct {
+	// TargetHops is the paper's X: the hop distance agents maintain.
+	TargetHops float64
+	// Scope bounds each agent's field (0 = 3×TargetHops, a sensible
+	// horizon).
+	Scope float64
+	// Speed is the agents' movement speed in space units per time unit.
+	Speed float64
+	// Bounds clips agent movement.
+	Bounds space.Rect
+}
+
+// Swarm coordinates a set of mobile agents inside an emulator world.
+type Swarm struct {
+	world *emulator.World
+	cfg   Config
+	ctl   *descent.Controller
+}
+
+// NewSwarm turns the given world nodes into flocking agents: each gets
+// a velocity-controlled mover and injects its flock field.
+func NewSwarm(w *emulator.World, agents []tuple.NodeID, cfg Config) (*Swarm, error) {
+	if cfg.TargetHops <= 0 {
+		return nil, fmt.Errorf("flock: non-positive target distance %v", cfg.TargetHops)
+	}
+	if cfg.Scope <= 0 {
+		cfg.Scope = 3 * cfg.TargetHops
+	}
+	ctl, err := descent.New(w, agents, descent.Config{Speed: cfg.Speed, Bounds: cfg.Bounds})
+	if err != nil {
+		return nil, fmt.Errorf("flock: %w", err)
+	}
+	s := &Swarm{world: w, cfg: cfg, ctl: ctl}
+	for _, id := range ctl.Agents() {
+		f := pattern.NewFlock(FieldName, cfg.TargetHops).BoundedAt(cfg.Scope)
+		if _, err := w.Node(id).Inject(f); err != nil {
+			return nil, fmt.Errorf("flock: inject field at %s: %w", id, err)
+		}
+	}
+	return s, nil
+}
+
+// Agents returns the agent ids.
+func (s *Swarm) Agents() []tuple.NodeID { return s.ctl.Agents() }
+
+// potentialAt evaluates the combined flock field perceived at a node,
+// excluding fields sourced by `self`: the sum of |d − X| over the other
+// agents' tuples stored there. Nodes missing some agent's field (out of
+// scope) are penalized with the scope value so agents prefer staying in
+// contact.
+func (s *Swarm) potentialAt(at, self tuple.NodeID) float64 {
+	n := s.world.Node(at)
+	if n == nil {
+		return math.Inf(1)
+	}
+	agents := s.ctl.Agents()
+	byOwner := make(map[tuple.NodeID]float64, len(agents))
+	for _, t := range n.Read(pattern.ByName(pattern.KindFlock, FieldName)) {
+		f, ok := t.(*pattern.Flock)
+		if !ok {
+			continue
+		}
+		owner := f.ID().Node
+		if owner == self {
+			continue
+		}
+		v := f.FieldValue()
+		if old, seen := byOwner[owner]; !seen || v < old {
+			byOwner[owner] = v
+		}
+	}
+	total := 0.0
+	for _, other := range agents {
+		if other == self {
+			continue
+		}
+		if v, ok := byOwner[other]; ok {
+			total += v
+		} else {
+			total += s.cfg.Scope
+		}
+	}
+	return total
+}
+
+// Step runs one coordination round: every agent senses the local field
+// at its node and its one-hop neighborhood, sets its velocity toward
+// the minimum, and the world advances by dt.
+func (s *Swarm) Step(dt float64) {
+	s.ctl.Step(s.potentialAt, dt)
+}
+
+// Run executes rounds coordination steps, letting the network settle
+// between movements, and returns the error series (one sample per
+// round) of PairwiseHopError.
+func (s *Swarm) Run(rounds int, dt float64, settleRounds int) []float64 {
+	errs := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		s.Step(dt)
+		s.world.Settle(settleRounds)
+		errs = append(errs, s.PairwiseHopError())
+	}
+	return errs
+}
+
+// PairwiseHopError measures formation quality: the mean |hopdist(i,j) −
+// X| over all agent pairs, using the topology oracle. 0 means a perfect
+// formation at the target distance.
+func (s *Swarm) PairwiseHopError() float64 {
+	agents := s.ctl.Agents()
+	if len(agents) < 2 {
+		return 0
+	}
+	g := s.world.Graph()
+	var sum float64
+	var count int
+	for i, a := range agents {
+		dist := g.BFSDistances(a)
+		for _, b := range agents[i+1:] {
+			d, ok := dist[b]
+			if !ok {
+				// Disconnected pair: penalize with twice the target.
+				sum += 2 * s.cfg.TargetHops
+				count++
+				continue
+			}
+			sum += math.Abs(float64(d) - s.cfg.TargetHops)
+			count++
+		}
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,91 @@
+package flock
+
+import (
+	"testing"
+
+	"tota/internal/emulator"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// flockWorld builds a 10×3 relay grid (spacing 1, radio range 1.2) with
+// two mobile agents hovering over opposite ends.
+func flockWorld(t *testing.T) (*emulator.World, []tuple.NodeID) {
+	t.Helper()
+	g := topology.Grid(10, 3, 1)
+	g.SetPosition("a1", space.Point{X: 0.5, Y: 1.0})
+	g.SetPosition("a2", space.Point{X: 8.5, Y: 1.0})
+	g.Recompute(1.2)
+	w := emulator.New(emulator.Config{Graph: g, RadioRange: 1.2})
+	return w, []tuple.NodeID{"a1", "a2"}
+}
+
+func TestSwarmConfigValidation(t *testing.T) {
+	w, agents := flockWorld(t)
+	if _, err := NewSwarm(w, agents, Config{TargetHops: 0}); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := NewSwarm(w, []tuple.NodeID{"ghost"}, Config{TargetHops: 2}); err == nil {
+		t.Error("unknown agent accepted")
+	}
+}
+
+func TestTwoAgentsConvergeToTargetDistance(t *testing.T) {
+	w, agents := flockWorld(t)
+	bounds := space.Rect{Min: space.Point{X: 0, Y: 0}, Max: space.Point{X: 9, Y: 2}}
+	s, err := NewSwarm(w, agents, Config{
+		TargetHops: 3,
+		Scope:      15,
+		Speed:      0.5,
+		Bounds:     bounds,
+	})
+	if err != nil {
+		t.Fatalf("NewSwarm: %v", err)
+	}
+	w.Settle(10000) // let the initial fields build
+
+	initial := s.PairwiseHopError()
+	if initial <= 0 {
+		t.Fatalf("agents already in formation (err %v) — scenario too easy", initial)
+	}
+	errs := s.Run(120, 1, 10000)
+	final := errs[len(errs)-1]
+	if final > 1 {
+		t.Errorf("final pairwise hop error = %v, want ≤ 1 (initial %v)", final, initial)
+	}
+	if final >= initial {
+		t.Errorf("error did not decrease: initial %v, final %v", initial, final)
+	}
+}
+
+func TestSingleAgentErrorIsZero(t *testing.T) {
+	w, _ := flockWorld(t)
+	s, err := NewSwarm(w, []tuple.NodeID{"a1"}, Config{TargetHops: 3, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PairwiseHopError(); got != 0 {
+		t.Errorf("single-agent error = %v", got)
+	}
+	if got := s.Agents(); len(got) != 1 || got[0] != "a1" {
+		t.Errorf("Agents = %v", got)
+	}
+}
+
+func TestDisconnectedPairPenalized(t *testing.T) {
+	// Two agents with no relays and out of range: the error must use
+	// the disconnection penalty 2×target.
+	g := topology.New()
+	g.SetPosition("a1", space.Point{X: 0, Y: 0})
+	g.SetPosition("a2", space.Point{X: 100, Y: 0})
+	g.Recompute(1)
+	w := emulator.New(emulator.Config{Graph: g, RadioRange: 1})
+	s, err := NewSwarm(w, []tuple.NodeID{"a1", "a2"}, Config{TargetHops: 2, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PairwiseHopError(); got != 4 {
+		t.Errorf("disconnected error = %v, want 4", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package gather implements the paper's §5.2 information gathering in
+// both proposed variants.
+//
+// Push: information nodes (sensors) propagate a gradient tuple
+// C = (description, location, distance) so any device can read the
+// locally sensed copies to learn what exists, how far it is, and — by
+// following the tuple backwards — reach its source without global
+// knowledge.
+//
+// Pull (the [RomJH02] equivalent): a device injects a scoped query
+// tuple; information nodes subscribe to matching queries and react by
+// injecting an answer tuple that descends the query's own gradient back
+// to the enquiring device.
+package gather
+
+import (
+	"strings"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+// Name prefixes for the gathering structures.
+const (
+	ResourcePrefix = "res:"
+	QueryPrefix    = "query:"
+)
+
+// Resource is a sensed information advertisement.
+type Resource struct {
+	// Name is the advertised resource name (without prefix).
+	Name string
+	// Distance is the gradient value at the reading node (hops from
+	// the information node, times step).
+	Distance float64
+	// Desc is the advertised description payload.
+	Desc tuple.Content
+	// ID identifies the advertisement structure.
+	ID tuple.ID
+}
+
+// Advertise publishes an information node's resource as a gradient
+// field with the given scope (use math.Inf(1) for network-wide).
+func Advertise(n *core.Node, name string, scope float64, desc ...tuple.Field) (tuple.ID, error) {
+	g := pattern.NewGradient(ResourcePrefix+name, desc...).Bounded(scope)
+	return n.Inject(g)
+}
+
+// Discover reads every resource advertisement sensed at the local
+// node, nearest first not guaranteed — order is arrival order.
+func Discover(n *core.Node) []Resource {
+	var out []Resource
+	for _, t := range n.Read(tuple.Match(pattern.KindGradient)) {
+		g, ok := t.(*pattern.Gradient)
+		if !ok || !strings.HasPrefix(g.Name, ResourcePrefix) {
+			continue
+		}
+		out = append(out, Resource{
+			Name:     strings.TrimPrefix(g.Name, ResourcePrefix),
+			Distance: g.Val,
+			Desc:     g.Payload,
+			ID:       g.ID(),
+		})
+	}
+	return out
+}
+
+// Watch invokes fn for every resource advertisement as it becomes
+// sensible at the local node (and again when its distance changes, as
+// the middleware repairs the field) — standing discovery, the
+// subscription counterpart of Discover. It returns the subscription id
+// for core.Unsubscribe.
+func Watch(n *core.Node, fn func(Resource)) core.SubID {
+	return n.Subscribe(tuple.Match(pattern.KindGradient), func(ev core.Event) {
+		if ev.Type != core.TupleArrived {
+			return
+		}
+		g, ok := ev.Tuple.(*pattern.Gradient)
+		if !ok || !strings.HasPrefix(g.Name, ResourcePrefix) {
+			return
+		}
+		fn(Resource{
+			Name:     strings.TrimPrefix(g.Name, ResourcePrefix),
+			Distance: g.Val,
+			Desc:     g.Payload,
+			ID:       g.ID(),
+		})
+	})
+}
+
+// NextHop picks the neighbor to move to when walking a gradient back to
+// its source: the neighbor with the smallest value below the current
+// one. ok is false at the source or when no neighbor improves.
+func NextHop(selfVal float64, neighborVals map[tuple.NodeID]float64) (tuple.NodeID, bool) {
+	var best tuple.NodeID
+	bestVal := selfVal
+	found := false
+	for id, v := range neighborVals {
+		if v < bestVal || (found && v == bestVal && id < best) {
+			best = id
+			bestVal = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Query is a received information request.
+type Query struct {
+	// Topic is the query topic (without prefix).
+	Topic string
+	// QID is the caller-chosen query instance id.
+	QID string
+	// Fields is the query payload.
+	Fields tuple.Content
+	// structName routes the answer back.
+	structName string
+}
+
+// Answer is a received reply.
+type Answer struct {
+	// Topic and QID echo the query.
+	Topic string
+	QID   string
+	// Fields is the reply payload.
+	Fields tuple.Content
+}
+
+// Ask injects a query gradient with the given scope. qid distinguishes
+// concurrent queries from the same device (answers echo it). Delivered
+// answers are collected with Answers.
+func Ask(n *core.Node, topic, qid string, scope float64, fields ...tuple.Field) (tuple.ID, error) {
+	g := pattern.NewGradient(QueryPrefix+topic+"/"+qid, fields...).Bounded(scope)
+	return n.Inject(g)
+}
+
+// Answers drains the replies delivered to this node.
+func Answers(n *core.Node) []Answer {
+	var out []Answer
+	for _, t := range n.Delete(tuple.Match(pattern.KindDownhill)) {
+		d, ok := t.(*pattern.Downhill)
+		if !ok || !strings.HasPrefix(d.StructName, QueryPrefix) {
+			continue
+		}
+		topic, qid := splitQueryName(d.StructName)
+		out = append(out, Answer{Topic: topic, QID: qid, Fields: d.Payload})
+	}
+	return out
+}
+
+// Responder makes an information node answer matching queries: it
+// subscribes to query-gradient arrivals and reacts by injecting an
+// answer tuple that follows the query structure downhill to the asker —
+// exactly the paper's "query tuples create a structure to be used by
+// answer tuples to reach the enquiring device".
+type Responder struct {
+	node    *core.Node
+	topic   string
+	handler func(Query) (tuple.Content, bool)
+	sub     core.SubID
+}
+
+// NewResponder starts answering queries on the given topic. The handler
+// returns the reply payload, or ok=false to stay silent. Each query
+// instance is answered once, even though maintenance value changes
+// re-fire arrival events (core.OncePerTuple).
+func NewResponder(n *core.Node, topic string, handler func(Query) (tuple.Content, bool)) *Responder {
+	r := &Responder{
+		node:    n,
+		topic:   topic,
+		handler: handler,
+	}
+	r.sub = n.Subscribe(tuple.Match(pattern.KindGradient), core.OncePerTuple(r.react))
+	return r
+}
+
+// Close stops answering.
+func (r *Responder) Close() {
+	r.node.Unsubscribe(r.sub)
+}
+
+func (r *Responder) react(ev core.Event) {
+	if ev.Type != core.TupleArrived {
+		return
+	}
+	g, ok := ev.Tuple.(*pattern.Gradient)
+	if !ok || !strings.HasPrefix(g.Name, QueryPrefix) {
+		return
+	}
+	topic, qid := splitQueryName(g.Name)
+	if topic != r.topic {
+		return
+	}
+	reply, ok := r.handler(Query{
+		Topic:      topic,
+		QID:        qid,
+		Fields:     g.Payload,
+		structName: g.Name,
+	})
+	if !ok {
+		return
+	}
+	ans := pattern.NewDownhill(g.Name, reply...).StrictSlope()
+	if _, err := r.node.Inject(ans); err != nil {
+		// Nothing useful to do at an information node; the asker will
+		// simply miss this reply.
+		return
+	}
+}
+
+func splitQueryName(structName string) (topic, qid string) {
+	s := strings.TrimPrefix(structName, QueryPrefix)
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}

@@ -1,0 +1,302 @@
+package gather
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tota/internal/emulator"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func newWorld(t *testing.T, g *topology.Graph) *emulator.World {
+	t.Helper()
+	return emulator.New(emulator.Config{Graph: g})
+}
+
+func TestAdvertiseAndDiscover(t *testing.T) {
+	w := newWorld(t, topology.Line(6))
+	sensorA := topology.NodeName(0)
+	sensorB := topology.NodeName(5)
+	user := topology.NodeName(2)
+
+	if _, err := Advertise(w.Node(sensorA), "thermo", math.Inf(1), tuple.S("unit", "C")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Advertise(w.Node(sensorB), "printer", math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	found := Discover(w.Node(user))
+	if len(found) != 2 {
+		t.Fatalf("Discover = %v", found)
+	}
+	byName := map[string]Resource{}
+	for _, r := range found {
+		byName[r.Name] = r
+	}
+	if r := byName["thermo"]; r.Distance != 2 || r.Desc.GetString("unit") != "C" {
+		t.Errorf("thermo = %+v", r)
+	}
+	if r := byName["printer"]; r.Distance != 3 {
+		t.Errorf("printer = %+v", r)
+	}
+}
+
+func TestAdvertiseScopeLimitsDiscovery(t *testing.T) {
+	w := newWorld(t, topology.Line(6))
+	if _, err := Advertise(w.Node(topology.NodeName(0)), "near", 2); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	if got := Discover(w.Node(topology.NodeName(2))); len(got) != 1 {
+		t.Errorf("in-scope discovery = %v", got)
+	}
+	if got := Discover(w.Node(topology.NodeName(4))); len(got) != 0 {
+		t.Errorf("out-of-scope discovery = %v", got)
+	}
+}
+
+func TestWatchStandingDiscovery(t *testing.T) {
+	w := newWorld(t, topology.Line(4))
+	user := topology.NodeName(3)
+	var mu sync.Mutex
+	var seen []Resource
+	sub := Watch(w.Node(user), func(r Resource) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, r)
+	})
+
+	if _, err := Advertise(w.Node(topology.NodeName(0)), "late-sensor", math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	mu.Lock()
+	count := len(seen)
+	first := Resource{}
+	if count > 0 {
+		first = seen[0]
+	}
+	mu.Unlock()
+	if count == 0 {
+		t.Fatal("watch saw nothing")
+	}
+	if first.Name != "late-sensor" || first.Distance != 3 {
+		t.Errorf("first sighting = %+v", first)
+	}
+
+	// Unsubscribe stops delivery.
+	w.Node(user).Unsubscribe(sub)
+	if _, err := Advertise(w.Node(topology.NodeName(0)), "another", math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range seen {
+		if r.Name == "another" {
+			t.Error("watch fired after unsubscribe")
+		}
+	}
+}
+
+func TestNextHop(t *testing.T) {
+	tests := []struct {
+		name   string
+		self   float64
+		nbrs   map[tuple.NodeID]float64
+		want   tuple.NodeID
+		wantOK bool
+	}{
+		{
+			name:   "picks smallest",
+			self:   3,
+			nbrs:   map[tuple.NodeID]float64{"a": 2, "b": 4, "c": 1},
+			want:   "c",
+			wantOK: true,
+		},
+		{
+			name:   "at source",
+			self:   0,
+			nbrs:   map[tuple.NodeID]float64{"a": 1, "b": 1},
+			wantOK: false,
+		},
+		{
+			name:   "no improvement",
+			self:   2,
+			nbrs:   map[tuple.NodeID]float64{"a": 2, "b": 3},
+			wantOK: false,
+		},
+		{
+			name:   "empty neighborhood",
+			self:   5,
+			nbrs:   nil,
+			wantOK: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := NextHop(tt.self, tt.nbrs)
+			if ok != tt.wantOK || (ok && got != tt.want) {
+				t.Errorf("NextHop = %v, %v; want %v, %v", got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+// TestWalkBackToSource reproduces the paper's "by following backwards
+// the tuple up to its source, [a device] can easily reach the
+// information source without any a priori global information": a walker
+// repeatedly moves to the NextHop neighbor until it stands at the
+// sensor.
+func TestWalkBackToSource(t *testing.T) {
+	g := topology.Grid(5, 5, 1)
+	w := newWorld(t, g)
+	sensor := topology.NodeName(0)
+	if _, err := Advertise(w.Node(sensor), "target", math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	at := topology.NodeName(24) // far corner
+	steps := 0
+	for steps < 100 {
+		res := Discover(w.Node(at))
+		if len(res) != 1 {
+			t.Fatalf("at %s: resources = %v", at, res)
+		}
+		if res[0].Distance == 0 {
+			break
+		}
+		nbrVals := make(map[tuple.NodeID]float64)
+		for _, nb := range g.Neighbors(at) {
+			for _, r := range Discover(w.Node(nb)) {
+				if r.Name == "target" {
+					nbrVals[nb] = r.Distance
+				}
+			}
+		}
+		next, ok := NextHop(res[0].Distance, nbrVals)
+		if !ok {
+			t.Fatalf("stuck at %s (val %v)", at, res[0].Distance)
+		}
+		at = next
+		steps++
+	}
+	if at != sensor {
+		t.Fatalf("walk ended at %s after %d steps", at, steps)
+	}
+	if steps != 8 { // Manhattan distance corner-to-corner on 5×5
+		t.Errorf("walk took %d steps, want 8 (shortest path)", steps)
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	w := newWorld(t, topology.Line(5))
+	asker := topology.NodeName(0)
+	sensor := topology.NodeName(4)
+
+	resp := NewResponder(w.Node(sensor), "temp", func(q Query) (tuple.Content, bool) {
+		if q.QID != "q1" || q.Fields.GetString("want") != "celsius" {
+			t.Errorf("query = %+v", q)
+		}
+		return tuple.Content{tuple.F("reading", 21.5)}, true
+	})
+	defer resp.Close()
+
+	if _, err := Ask(w.Node(asker), "temp", "q1", math.Inf(1), tuple.S("want", "celsius")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	got := Answers(w.Node(asker))
+	if len(got) != 1 {
+		t.Fatalf("Answers = %v", got)
+	}
+	a := got[0]
+	if a.Topic != "temp" || a.QID != "q1" || a.Fields.GetFloat("reading") != 21.5 {
+		t.Errorf("answer = %+v", a)
+	}
+	// Intermediate node must not hold the answer.
+	if n := len(w.Node(topology.NodeName(2)).Read(tuple.Match(pattern.KindDownhill))); n != 0 {
+		t.Error("answer stored at relay")
+	}
+}
+
+func TestResponderAnswersEachQueryOnce(t *testing.T) {
+	w := newWorld(t, topology.Ring(6))
+	asker := topology.NodeName(0)
+	sensor := topology.NodeName(3)
+	var calls atomic.Int64
+	resp := NewResponder(w.Node(sensor), "t", func(Query) (tuple.Content, bool) {
+		calls.Add(1)
+		return tuple.Content{tuple.S("ok", "y")}, true
+	})
+	defer resp.Close()
+
+	if _, err := Ask(w.Node(asker), "t", "a", math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	// Perturb the ring: maintenance adoptions may re-fire arrival
+	// events for the query gradient; the responder must not re-answer.
+	w.RemoveEdge(topology.NodeName(1), topology.NodeName(2))
+	w.Settle(10000)
+	if got := calls.Load(); got != 1 {
+		t.Errorf("handler calls = %d, want 1", got)
+	}
+	if got := Answers(w.Node(asker)); len(got) != 1 {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+func TestResponderScopeAndTopicFiltering(t *testing.T) {
+	w := newWorld(t, topology.Line(6))
+	asker := topology.NodeName(0)
+
+	var offTopic, farSensor atomic.Int64
+	rOff := NewResponder(w.Node(topology.NodeName(2)), "other", func(Query) (tuple.Content, bool) {
+		offTopic.Add(1)
+		return nil, true
+	})
+	defer rOff.Close()
+	rFar := NewResponder(w.Node(topology.NodeName(5)), "t", func(Query) (tuple.Content, bool) {
+		farSensor.Add(1)
+		return nil, true
+	})
+	defer rFar.Close()
+
+	// Scope 2: the query gradient never reaches node 5.
+	if _, err := Ask(w.Node(asker), "t", "q", 2); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	if offTopic.Load() != 0 {
+		t.Error("off-topic responder fired")
+	}
+	if farSensor.Load() != 0 {
+		t.Error("out-of-scope responder fired")
+	}
+}
+
+func TestSilentHandlerSendsNothing(t *testing.T) {
+	w := newWorld(t, topology.Line(3))
+	asker := topology.NodeName(0)
+	resp := NewResponder(w.Node(topology.NodeName(2)), "t", func(Query) (tuple.Content, bool) {
+		return nil, false
+	})
+	defer resp.Close()
+	if _, err := Ask(w.Node(asker), "t", "q", math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	if got := Answers(w.Node(asker)); len(got) != 0 {
+		t.Errorf("answers = %v", got)
+	}
+}

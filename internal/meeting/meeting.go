@@ -1,0 +1,145 @@
+// Package meeting implements the Co-Fields meeting application the
+// paper builds TOTA toward (§1, §5.3; Mamei et al., "Coordinating
+// Mobility in a Ubiquitous Computing Scenario with Co-Fields"): each
+// participant propagates a plain gradient field; everyone descends the
+// sum of the *other* participants' fields, so the group converges on a
+// meeting point that minimizes the total distance — emergently, with no
+// negotiation and no global knowledge.
+package meeting
+
+import (
+	"fmt"
+	"math"
+
+	"tota/internal/descent"
+	"tota/internal/emulator"
+	"tota/internal/pattern"
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// FieldName is the shared name of every participant's field; fields are
+// distinguished by their tuple id's source node.
+const FieldName = "meet"
+
+// Config tunes a meeting.
+type Config struct {
+	// Scope bounds each participant's field (0 = unbounded).
+	Scope float64
+	// Speed is the participants' movement speed.
+	Speed float64
+	// Bounds clips movement.
+	Bounds space.Rect
+}
+
+// Meeting coordinates participants toward a common point.
+type Meeting struct {
+	world *emulator.World
+	cfg   Config
+	ctl   *descent.Controller
+}
+
+// New turns the given world nodes into meeting participants, injecting
+// one gradient field per participant.
+func New(w *emulator.World, participants []tuple.NodeID, cfg Config) (*Meeting, error) {
+	if cfg.Scope <= 0 {
+		cfg.Scope = math.Inf(1)
+	}
+	ctl, err := descent.New(w, participants, descent.Config{Speed: cfg.Speed, Bounds: cfg.Bounds})
+	if err != nil {
+		return nil, fmt.Errorf("meeting: %w", err)
+	}
+	m := &Meeting{world: w, cfg: cfg, ctl: ctl}
+	for _, id := range ctl.Agents() {
+		g := pattern.NewGradient(FieldName)
+		if !math.IsInf(cfg.Scope, 1) {
+			g = g.Bounded(cfg.Scope)
+		}
+		if _, err := w.Node(id).Inject(g); err != nil {
+			return nil, fmt.Errorf("meeting: inject field at %s: %w", id, err)
+		}
+	}
+	return m, nil
+}
+
+// Participants returns the participant ids.
+func (m *Meeting) Participants() []tuple.NodeID { return m.ctl.Agents() }
+
+// potentialAt is the summed distance to all other participants as
+// sensed at a node; unreachable fields are penalized with the scope (or
+// a large constant when unbounded).
+func (m *Meeting) potentialAt(at, self tuple.NodeID) float64 {
+	n := m.world.Node(at)
+	if n == nil {
+		return math.Inf(1)
+	}
+	penalty := m.cfg.Scope
+	if math.IsInf(penalty, 1) {
+		penalty = 1e6
+	}
+	agents := m.ctl.Agents()
+	byOwner := make(map[tuple.NodeID]float64, len(agents))
+	for _, t := range n.Read(pattern.ByName(pattern.KindGradient, FieldName)) {
+		g, ok := t.(*pattern.Gradient)
+		if !ok {
+			continue
+		}
+		owner := g.ID().Node
+		if owner == self {
+			continue
+		}
+		if old, seen := byOwner[owner]; !seen || g.Val < old {
+			byOwner[owner] = g.Val
+		}
+	}
+	total := 0.0
+	for _, other := range agents {
+		if other == self {
+			continue
+		}
+		if v, ok := byOwner[other]; ok {
+			total += v
+		} else {
+			total += penalty
+		}
+	}
+	return total
+}
+
+// Step runs one coordination round and advances the world by dt.
+func (m *Meeting) Step(dt float64) {
+	m.ctl.Step(m.potentialAt, dt)
+}
+
+// Run executes rounds coordination steps with network settling in
+// between, returning the Spread series.
+func (m *Meeting) Run(rounds int, dt float64, settleRounds int) []float64 {
+	out := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		m.Step(dt)
+		m.world.Settle(settleRounds)
+		out = append(out, m.Spread())
+	}
+	return out
+}
+
+// Spread is the meeting progress metric: the maximum pairwise hop
+// distance between participants (0 = everyone at the same node).
+func (m *Meeting) Spread() float64 {
+	agents := m.ctl.Agents()
+	maxD := 0.0
+	g := m.world.Graph()
+	for i, a := range agents {
+		dist := g.BFSDistances(a)
+		for _, b := range agents[i+1:] {
+			d, ok := dist[b]
+			if !ok {
+				return math.Inf(1)
+			}
+			if float64(d) > maxD {
+				maxD = float64(d)
+			}
+		}
+	}
+	return maxD
+}

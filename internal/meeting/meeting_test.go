@@ -1,0 +1,79 @@
+package meeting
+
+import (
+	"fmt"
+	"testing"
+
+	"tota/internal/emulator"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// meetingWorld builds a 9×9 relay grid with participants hovering over
+// three corners.
+func meetingWorld(t *testing.T, count int) (*emulator.World, []tuple.NodeID) {
+	t.Helper()
+	g := topology.Grid(9, 9, 1)
+	corners := []space.Point{
+		{X: 0.5, Y: 0.5},
+		{X: 7.5, Y: 0.5},
+		{X: 0.5, Y: 7.5},
+		{X: 7.5, Y: 7.5},
+	}
+	var ids []tuple.NodeID
+	for i := 0; i < count; i++ {
+		id := tuple.NodeID(fmt.Sprintf("user%d", i))
+		g.SetPosition(id, corners[i%len(corners)])
+		ids = append(ids, id)
+	}
+	g.Recompute(1.2)
+	w := emulator.New(emulator.Config{Graph: g, RadioRange: 1.2})
+	return w, ids
+}
+
+func TestParticipantsConvergeToMeetingPoint(t *testing.T) {
+	w, ids := meetingWorld(t, 3)
+	m, err := New(w, ids, Config{
+		Speed:  0.5,
+		Bounds: space.Rect{Max: space.Point{X: 8, Y: 8}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.Settle(100000)
+
+	initial := m.Spread()
+	if initial < 5 {
+		t.Fatalf("participants start too close (spread %v)", initial)
+	}
+	spreads := m.Run(150, 1, 100000)
+	final := spreads[len(spreads)-1]
+	if final > 2 {
+		t.Errorf("final spread = %v, want <= 2 (initial %v)", final, initial)
+	}
+	if final >= initial {
+		t.Errorf("spread did not shrink: %v -> %v", initial, final)
+	}
+}
+
+func TestMeetingValidation(t *testing.T) {
+	w, _ := meetingWorld(t, 2)
+	if _, err := New(w, []tuple.NodeID{"ghost"}, Config{Speed: 1}); err == nil {
+		t.Error("unknown participant accepted")
+	}
+}
+
+func TestSpreadSingleParticipant(t *testing.T) {
+	w, ids := meetingWorld(t, 1)
+	m, err := New(w, ids, Config{Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spread() != 0 {
+		t.Errorf("single-participant spread = %v", m.Spread())
+	}
+	if got := m.Participants(); len(got) != 1 {
+		t.Errorf("Participants = %v", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package metrics is the small statistics toolkit the experiments use
+// to aggregate per-node counters into the tables EXPERIMENTS.md reports:
+// histograms with quantiles, time series, and fixed-width text tables.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates float samples and answers summary queries.
+// The zero value is ready to use.
+type Histogram struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends one sample.
+func (h *Histogram) Add(v float64) {
+	h.vals = append(h.vals, v)
+	h.sorted = false
+}
+
+// AddN appends many samples.
+func (h *Histogram) AddN(vs ...float64) {
+	h.vals = append(h.vals, vs...)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.vals) }
+
+// Sum returns the sample total.
+func (h *Histogram) Sum() float64 {
+	s := 0.0
+	for _, v := range h.vals {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.Sum() / float64(len(h.vals))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (h *Histogram) Min() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.vals[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.vals[len(h.vals)-1]
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank on the
+// sorted samples.
+func (h *Histogram) Quantile(p float64) float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	h.sort()
+	if p <= 0 {
+		return h.vals[0]
+	}
+	if p >= 1 {
+		return h.vals[len(h.vals)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(h.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.vals[idx]
+}
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.vals)
+	if n == 0 {
+		return 0
+	}
+	m := h.Mean()
+	ss := 0.0
+	for _, v := range h.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+}
+
+// Series is an ordered sequence of (x, y) observations, e.g. structure
+// error over time.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Append adds one observation.
+func (s *Series) Append(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// Last returns the most recent observation.
+func (s *Series) Last() (x, y float64, ok bool) {
+	if len(s.Xs) == 0 {
+		return 0, 0, false
+	}
+	return s.Xs[len(s.Xs)-1], s.Ys[len(s.Ys)-1], true
+}
+
+// FirstXWhere returns the smallest x whose y satisfies pred — e.g. the
+// first tick at which the structure error reached zero.
+func (s *Series) FirstXWhere(pred func(y float64) bool) (float64, bool) {
+	for i, y := range s.Ys {
+		if pred(y) {
+			return s.Xs[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table formats experiment results as an aligned fixed-width text table
+// (the shape the paper-reproduction harness prints).
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.3g
+// trimmed.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case float32:
+			row[i] = FormatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// FormatFloat renders a float compactly (integers without decimals).
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero histogram not neutral")
+	}
+	h.AddN(4, 1, 3, 2)
+	h.Add(5)
+	if h.N() != 5 || h.Sum() != 15 || h.Mean() != 3 {
+		t.Errorf("N=%d Sum=%v Mean=%v", h.N(), h.Sum(), h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("Min=%v Max=%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if s := h.Stddev(); math.Abs(s-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v", s)
+	}
+}
+
+func TestHistogramQuantileMonotoneQuick(t *testing.T) {
+	f := func(vs []float64) bool {
+		var h Histogram
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Clamp magnitudes so Sum cannot overflow or lose the
+			// ordering Min ≤ Mean ≤ Max to float rounding.
+			h.Add(math.Mod(v, 1e9))
+		}
+		if h.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			q := h.Quantile(p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return h.Min() <= h.Mean() && h.Mean() <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if _, _, ok := s.Last(); ok {
+		t.Error("empty series has Last")
+	}
+	s.Append(0, 5)
+	s.Append(1, 3)
+	s.Append(2, 0)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if x, y, ok := s.Last(); !ok || x != 2 || y != 0 {
+		t.Errorf("Last = %v, %v, %v", x, y, ok)
+	}
+	x, ok := s.FirstXWhere(func(y float64) bool { return y == 0 })
+	if !ok || x != 2 {
+		t.Errorf("FirstXWhere = %v, %v", x, ok)
+	}
+	if _, ok := s.FirstXWhere(func(y float64) bool { return y > 100 }); ok {
+		t.Error("FirstXWhere matched impossible predicate")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Results", "n", "ratio", "name")
+	tb.AddRow(10, 0.51234, "flood")
+	tb.AddRow(200, 1.0, "gradient")
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "0.512") {
+		t.Errorf("float not trimmed: %q", out)
+	}
+	if !strings.Contains(out, "gradient") || !strings.Contains(out, "flood") {
+		t.Error("missing rows")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d: %q", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.142"},
+		{-2, "-2"},
+		{0.5, "0.500"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.give); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package mobility provides the node movement models used by the
+// emulator to reproduce the paper's dynamic-network scenarios: static
+// layouts, the random-waypoint and random-walk MANET standards, scripted
+// waypoint traces (the drag-and-drop rearrangements of the paper's GUI
+// emulator) and externally-controlled movers for application-driven
+// motion such as flocking.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"tota/internal/space"
+)
+
+// Mover advances one node's position through time. Step moves the node
+// by dt time units and returns the new position; Pos returns the current
+// position without moving.
+type Mover interface {
+	Step(dt float64) space.Point
+	Pos() space.Point
+}
+
+// Static never moves.
+type Static struct {
+	P space.Point
+}
+
+var _ Mover = (*Static)(nil)
+
+// Step implements Mover.
+func (s *Static) Step(float64) space.Point { return s.P }
+
+// Pos implements Mover.
+func (s *Static) Pos() space.Point { return s.P }
+
+// RandomWaypoint implements the classic random-waypoint model: pick a
+// uniform destination in Bounds, travel toward it at a uniform speed in
+// [SpeedMin, SpeedMax], pause for Pause time units, repeat.
+type RandomWaypoint struct {
+	Bounds   space.Rect
+	SpeedMin float64
+	SpeedMax float64
+	Pause    float64
+
+	rng     *rand.Rand
+	pos     space.Point
+	dest    space.Point
+	speed   float64
+	pausing float64
+	started bool
+}
+
+var _ Mover = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint creates a random-waypoint mover starting at start.
+func NewRandomWaypoint(start space.Point, bounds space.Rect, speedMin, speedMax, pause float64, rng *rand.Rand) *RandomWaypoint {
+	return &RandomWaypoint{
+		Bounds:   bounds,
+		SpeedMin: speedMin,
+		SpeedMax: speedMax,
+		Pause:    pause,
+		rng:      rng,
+		pos:      start,
+	}
+}
+
+// Pos implements Mover.
+func (m *RandomWaypoint) Pos() space.Point { return m.pos }
+
+// Step implements Mover.
+func (m *RandomWaypoint) Step(dt float64) space.Point {
+	for dt > 0 {
+		if m.pausing > 0 {
+			used := math.Min(dt, m.pausing)
+			m.pausing -= used
+			dt -= used
+			continue
+		}
+		if !m.started || m.pos == m.dest {
+			m.pickDest()
+		}
+		v := m.dest.Sub(m.pos)
+		remaining := v.Len()
+		if remaining == 0 {
+			m.pausing = m.Pause
+			continue
+		}
+		travel := m.speed * dt
+		if travel >= remaining {
+			m.pos = m.dest
+			dt -= remaining / m.speed
+			m.pausing = m.Pause
+			continue
+		}
+		m.pos = m.pos.Add(v.Unit().Scale(travel))
+		dt = 0
+	}
+	return m.pos
+}
+
+func (m *RandomWaypoint) pickDest() {
+	m.started = true
+	m.dest = space.Point{
+		X: m.Bounds.Min.X + m.rng.Float64()*(m.Bounds.Max.X-m.Bounds.Min.X),
+		Y: m.Bounds.Min.Y + m.rng.Float64()*(m.Bounds.Max.Y-m.Bounds.Min.Y),
+	}
+	m.speed = m.SpeedMin + m.rng.Float64()*(m.SpeedMax-m.SpeedMin)
+	if m.speed <= 0 {
+		m.speed = math.SmallestNonzeroFloat64
+	}
+}
+
+// RandomWalk moves at constant Speed with a heading that drifts by a
+// uniform angle in [-Turn, Turn] each step, bouncing off Bounds.
+type RandomWalk struct {
+	Bounds space.Rect
+	Speed  float64
+	Turn   float64 // max heading change per step, radians
+
+	rng     *rand.Rand
+	pos     space.Point
+	heading float64
+}
+
+var _ Mover = (*RandomWalk)(nil)
+
+// NewRandomWalk creates a random-walk mover starting at start with a
+// random initial heading.
+func NewRandomWalk(start space.Point, bounds space.Rect, speed, turn float64, rng *rand.Rand) *RandomWalk {
+	return &RandomWalk{
+		Bounds:  bounds,
+		Speed:   speed,
+		Turn:    turn,
+		rng:     rng,
+		pos:     start,
+		heading: rng.Float64() * 2 * math.Pi,
+	}
+}
+
+// Pos implements Mover.
+func (m *RandomWalk) Pos() space.Point { return m.pos }
+
+// Step implements Mover.
+func (m *RandomWalk) Step(dt float64) space.Point {
+	m.heading += (m.rng.Float64()*2 - 1) * m.Turn
+	next := m.pos.Add(space.Vector{
+		DX: math.Cos(m.heading) * m.Speed * dt,
+		DY: math.Sin(m.heading) * m.Speed * dt,
+	})
+	// Bounce off the walls by reflecting the offending coordinate.
+	if next.X < m.Bounds.Min.X || next.X > m.Bounds.Max.X {
+		m.heading = math.Pi - m.heading
+		next.X = clamp(next.X, m.Bounds.Min.X, m.Bounds.Max.X)
+	}
+	if next.Y < m.Bounds.Min.Y || next.Y > m.Bounds.Max.Y {
+		m.heading = -m.heading
+		next.Y = clamp(next.Y, m.Bounds.Min.Y, m.Bounds.Max.Y)
+	}
+	m.pos = next
+	return m.pos
+}
+
+// Waypoints replays a scripted sequence of positions, moving toward
+// each in turn at Speed; it models trace playback and scripted topology
+// rearrangements. After the last waypoint the mover stays put.
+type Waypoints struct {
+	Speed float64
+
+	pos  space.Point
+	path []space.Point
+}
+
+var _ Mover = (*Waypoints)(nil)
+
+// NewWaypoints creates a trace-playback mover starting at start.
+func NewWaypoints(start space.Point, speed float64, path ...space.Point) *Waypoints {
+	return &Waypoints{Speed: speed, pos: start, path: path}
+}
+
+// Pos implements Mover.
+func (m *Waypoints) Pos() space.Point { return m.pos }
+
+// Done reports whether all waypoints have been reached.
+func (m *Waypoints) Done() bool { return len(m.path) == 0 }
+
+// Step implements Mover.
+func (m *Waypoints) Step(dt float64) space.Point {
+	for dt > 0 && len(m.path) > 0 {
+		v := m.path[0].Sub(m.pos)
+		remaining := v.Len()
+		travel := m.Speed * dt
+		if travel >= remaining {
+			m.pos = m.path[0]
+			m.path = m.path[1:]
+			if m.Speed > 0 {
+				dt -= remaining / m.Speed
+			} else {
+				dt = 0
+			}
+			continue
+		}
+		m.pos = m.pos.Add(v.Unit().Scale(travel))
+		dt = 0
+	}
+	return m.pos
+}
+
+// Controlled moves with an externally-set velocity; application-level
+// motion coordination (flocking agents descending a field) drives it.
+type Controlled struct {
+	Bounds   space.Rect
+	MaxSpeed float64
+
+	pos space.Point
+	vel space.Vector
+}
+
+var _ Mover = (*Controlled)(nil)
+
+// NewControlled creates a velocity-driven mover starting at start.
+func NewControlled(start space.Point, bounds space.Rect, maxSpeed float64) *Controlled {
+	return &Controlled{Bounds: bounds, MaxSpeed: maxSpeed, pos: start}
+}
+
+// SetVelocity sets the current velocity, clipped to MaxSpeed.
+func (m *Controlled) SetVelocity(v space.Vector) {
+	if m.MaxSpeed > 0 && v.Len() > m.MaxSpeed {
+		v = v.Unit().Scale(m.MaxSpeed)
+	}
+	m.vel = v
+}
+
+// Velocity returns the current velocity.
+func (m *Controlled) Velocity() space.Vector { return m.vel }
+
+// Pos implements Mover.
+func (m *Controlled) Pos() space.Point { return m.pos }
+
+// Step implements Mover.
+func (m *Controlled) Step(dt float64) space.Point {
+	next := m.pos.Add(m.vel.Scale(dt))
+	next.X = clamp(next.X, m.Bounds.Min.X, m.Bounds.Max.X)
+	next.Y = clamp(next.Y, m.Bounds.Min.Y, m.Bounds.Max.Y)
+	m.pos = next
+	return m.pos
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, x))
+}

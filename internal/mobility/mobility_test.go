@@ -1,0 +1,136 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tota/internal/space"
+)
+
+var testBounds = space.Rect{Min: space.Point{X: 0, Y: 0}, Max: space.Point{X: 100, Y: 100}}
+
+func TestStatic(t *testing.T) {
+	m := &Static{P: space.Point{X: 3, Y: 4}}
+	for i := 0; i < 5; i++ {
+		if got := m.Step(10); got != m.P {
+			t.Fatalf("Static moved to %v", got)
+		}
+	}
+	if m.Pos() != (space.Point{X: 3, Y: 4}) {
+		t.Error("Pos changed")
+	}
+}
+
+func TestRandomWaypointStaysInBoundsAndMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewRandomWaypoint(space.Point{X: 50, Y: 50}, testBounds, 1, 5, 0.5, rng)
+	prev := m.Pos()
+	moved := false
+	for i := 0; i < 1000; i++ {
+		p := m.Step(0.5)
+		if !testBounds.Contains(p) {
+			t.Fatalf("left bounds: %v", p)
+		}
+		if p != prev {
+			moved = true
+		}
+		prev = p
+	}
+	if !moved {
+		t.Error("never moved")
+	}
+}
+
+func TestRandomWaypointSpeedRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const maxSpeed = 3.0
+	m := NewRandomWaypoint(space.Point{X: 10, Y: 10}, testBounds, 1, maxSpeed, 0, rng)
+	prev := m.Pos()
+	for i := 0; i < 500; i++ {
+		p := m.Step(1)
+		if d := p.Dist(prev); d > maxSpeed+1e-9 {
+			t.Fatalf("step %d moved %v > max speed %v", i, d, maxSpeed)
+		}
+		prev = p
+	}
+}
+
+func TestRandomWalkBounces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewRandomWalk(space.Point{X: 1, Y: 1}, testBounds, 10, 0.3, rng)
+	for i := 0; i < 2000; i++ {
+		p := m.Step(1)
+		if !testBounds.Contains(p) {
+			t.Fatalf("left bounds: %v", p)
+		}
+	}
+}
+
+func TestWaypointsReachesAllInOrder(t *testing.T) {
+	m := NewWaypoints(space.Point{}, 2,
+		space.Point{X: 4, Y: 0},
+		space.Point{X: 4, Y: 4},
+	)
+	if m.Done() {
+		t.Fatal("Done before start")
+	}
+	p := m.Step(1) // travels 2 units
+	if p != (space.Point{X: 2, Y: 0}) {
+		t.Errorf("after 1s: %v", p)
+	}
+	p = m.Step(1) // reaches first waypoint exactly
+	if p != (space.Point{X: 4, Y: 0}) {
+		t.Errorf("after 2s: %v", p)
+	}
+	p = m.Step(3) // 6 units: 4 to second waypoint, then stop
+	if p != (space.Point{X: 4, Y: 4}) || !m.Done() {
+		t.Errorf("after 5s: %v done=%v", p, m.Done())
+	}
+	if q := m.Step(10); q != p {
+		t.Errorf("moved after Done: %v", q)
+	}
+}
+
+func TestWaypointsCarryOverWithinStep(t *testing.T) {
+	// A single large step must traverse multiple waypoints.
+	m := NewWaypoints(space.Point{}, 1,
+		space.Point{X: 1, Y: 0},
+		space.Point{X: 1, Y: 1},
+		space.Point{X: 0, Y: 1},
+	)
+	p := m.Step(2.5)
+	want := space.Point{X: 0.5, Y: 1}
+	if p.Dist(want) > 1e-9 {
+		t.Errorf("after 2.5s: %v, want %v", p, want)
+	}
+}
+
+func TestControlled(t *testing.T) {
+	m := NewControlled(space.Point{X: 50, Y: 50}, testBounds, 2)
+	m.SetVelocity(space.Vector{DX: 10, DY: 0}) // clipped to 2
+	if v := m.Velocity(); math.Abs(v.Len()-2) > 1e-9 {
+		t.Errorf("velocity not clipped: %v", v)
+	}
+	p := m.Step(1)
+	if p.Dist(space.Point{X: 52, Y: 50}) > 1e-9 {
+		t.Errorf("Step = %v", p)
+	}
+	// Runs into the wall and clamps.
+	m.SetVelocity(space.Vector{DX: 2, DY: 0})
+	for i := 0; i < 100; i++ {
+		m.Step(1)
+	}
+	if m.Pos().X != testBounds.Max.X {
+		t.Errorf("did not clamp at wall: %v", m.Pos())
+	}
+}
+
+func TestControlledZeroMaxSpeedMeansUnlimited(t *testing.T) {
+	m := NewControlled(space.Point{X: 0, Y: 0}, testBounds, 0)
+	m.SetVelocity(space.Vector{DX: 30, DY: 0})
+	p := m.Step(1)
+	if p.X != 30 {
+		t.Errorf("Step = %v, want x=30", p)
+	}
+}

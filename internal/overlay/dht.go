@@ -1,0 +1,219 @@
+package overlay
+
+import (
+	"fmt"
+	"sync"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+// KV is one key/value pair stored in or retrieved from the overlay.
+type KV struct {
+	Key   string
+	Value string
+	// Found distinguishes an empty value from a missing key in Get
+	// results.
+	Found bool
+}
+
+// Peer is one DHT participant: a middleware node plus its ring
+// geometry, exposing put/get content addressing over TOTA tuples.
+type Peer struct {
+	node *core.Node
+	pos  float64
+	pred float64
+	sub  core.SubID
+
+	mu      sync.Mutex
+	results []KV
+	served  map[tuple.ID]struct{}
+}
+
+// NewPeer turns a middleware node into an overlay peer using the ring
+// layout. It stores the peer's ring geometry as a node-local tuple (so
+// passing Keyed tuples can route by it) and subscribes the get
+// responder.
+func NewPeer(n *core.Node, l *Layout) (*Peer, error) {
+	pos, ok := l.Pos[n.Self()]
+	if !ok {
+		return nil, fmt.Errorf("overlay: %s is not in the layout", n.Self())
+	}
+	p := &Peer{
+		node:   n,
+		pos:    pos,
+		pred:   l.Pred[n.Self()],
+		served: make(map[tuple.ID]struct{}),
+	}
+	if err := p.writeRingInfo(true); err != nil {
+		return nil, err
+	}
+	p.sub = n.Subscribe(tuple.Match(KindKeyed), p.react)
+	return p, nil
+}
+
+// writeRingInfo replaces the node-local ring geometry tuple.
+func (p *Peer) writeRingInfo(member bool) error {
+	p.node.Delete(pattern.ByName(pattern.KindLocal, ringInfoName))
+	ring := pattern.NewLocal(ringInfoName,
+		tuple.F("pos", p.pos),
+		tuple.F("pred", p.pred),
+		tuple.B("member", member),
+	)
+	if _, err := p.node.Inject(ring); err != nil {
+		return fmt.Errorf("overlay: store ring info: %w", err)
+	}
+	return nil
+}
+
+// UpdateLayout moves the peer to a new ring geometry (a membership
+// change elsewhere on the ring) and re-homes every stored key the peer
+// no longer owns: each is deleted locally and re-injected as a put,
+// which routes to its new owner.
+func (p *Peer) UpdateLayout(l *Layout) error {
+	pos, ok := l.Pos[p.node.Self()]
+	if !ok {
+		return fmt.Errorf("overlay: %s is not in the new layout", p.node.Self())
+	}
+	p.pos = pos
+	p.pred = l.Pred[p.node.Self()]
+	if err := p.writeRingInfo(true); err != nil {
+		return err
+	}
+	return p.rehome(func(target float64) bool {
+		return !owns(p.pos, p.pred, target)
+	})
+}
+
+// Resign hands off every stored key and marks the node a non-member:
+// in-flight traffic stops considering it an owner, but it still relays
+// its own re-homing puts.
+func (p *Peer) Resign() error {
+	if err := p.writeRingInfo(false); err != nil {
+		return err
+	}
+	return p.rehome(func(float64) bool { return true })
+}
+
+// rehome re-injects the stored puts whose target satisfies shouldMove.
+func (p *Peer) rehome(shouldMove func(target float64) bool) error {
+	for _, t := range p.node.Read(tuple.Match(KindKeyed)) {
+		k, ok := t.(*Keyed)
+		if !ok || k.Mode != ModePut || !shouldMove(k.Target) {
+			continue
+		}
+		p.node.Delete(tuple.MatchID(k.ID()))
+		if err := p.Put(k.Key, k.Payload.GetString("value")); err != nil {
+			return fmt.Errorf("overlay: re-home %q: %w", k.Key, err)
+		}
+	}
+	return nil
+}
+
+// Close stops serving gets.
+func (p *Peer) Close() {
+	p.node.Unsubscribe(p.sub)
+}
+
+// Node returns the underlying middleware node.
+func (p *Peer) Node() *core.Node { return p.node }
+
+// Pos returns the peer's ring position.
+func (p *Peer) Pos() float64 { return p.pos }
+
+// Put routes a key/value pair to its owner, where it is stored.
+func (p *Peer) Put(key, value string) error {
+	_, err := p.node.Inject(NewKeyed(ModePut, key, tuple.S("value", value)))
+	return err
+}
+
+// Get requests the value for a key; the owner's reply lands in
+// Results once the network settles.
+func (p *Peer) Get(key string) error {
+	q := NewKeyed(ModeGet, key)
+	q.Asker = p.node.Self()
+	_, err := p.node.Inject(q)
+	return err
+}
+
+// Results drains the replies received so far.
+func (p *Peer) Results() []KV {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.results
+	p.results = nil
+	return out
+}
+
+// Stored lists the key/value pairs this peer hosts (the keys it owns).
+func (p *Peer) Stored() []KV {
+	var out []KV
+	for _, t := range p.node.Read(tuple.Match(KindKeyed)) {
+		k, ok := t.(*Keyed)
+		if !ok || k.Mode != ModePut {
+			continue
+		}
+		out = append(out, KV{
+			Key:   k.Key,
+			Value: k.Payload.GetString("value"),
+			Found: true,
+		})
+	}
+	return out
+}
+
+// react answers arriving gets and collects arriving replies.
+func (p *Peer) react(ev core.Event) {
+	if ev.Type != core.TupleArrived {
+		return
+	}
+	k, ok := ev.Tuple.(*Keyed)
+	if !ok {
+		return
+	}
+	switch k.Mode {
+	case ModeGet:
+		p.mu.Lock()
+		if _, dup := p.served[k.ID()]; dup {
+			p.mu.Unlock()
+			return
+		}
+		p.served[k.ID()] = struct{}{}
+		p.mu.Unlock()
+		p.answer(k)
+	case ModeReply:
+		p.mu.Lock()
+		p.results = append(p.results, KV{
+			Key:   k.Key,
+			Value: k.Payload.GetString("value"),
+			Found: k.Payload.GetBool("found"),
+		})
+		p.mu.Unlock()
+		// The reply has been consumed; drop the stored copy.
+		p.node.Delete(tuple.MatchID(k.ID()))
+	}
+}
+
+func (p *Peer) answer(q *Keyed) {
+	value, found := "", false
+	for _, kv := range p.Stored() {
+		if kv.Key == q.Key {
+			value, found = kv.Value, true
+			break
+		}
+	}
+	reply := NewReply(q.Key, q.Asker,
+		tuple.S("value", value),
+		tuple.B("found", found),
+	)
+	// The query stays stored at this owner as a breadcrumb; remove it
+	// so repeated gets do not accumulate.
+	p.node.Delete(tuple.Match(KindKeyed,
+		tuple.Eq(tuple.S("name", q.Key)),
+		tuple.Eq(tuple.S("_mode", ModeGet))))
+	if _, err := p.node.Inject(reply); err != nil {
+		// The asker will simply miss this reply.
+		return
+	}
+}

@@ -1,0 +1,122 @@
+package overlay
+
+import (
+	"fmt"
+
+	"tota/internal/emulator"
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// Join adds a new peer to a running overlay: the ring is rewired to the
+// new layout, the newcomer gets its Peer, existing peers adopt the new
+// geometry and hand off the keys the newcomer now owns, and the network
+// settles. It returns the new layout; the peers map is updated in
+// place.
+func Join(w *emulator.World, peers map[tuple.NodeID]*Peer, old *Layout, fingers int, id tuple.NodeID) (*Layout, error) {
+	if _, dup := old.Pos[id]; dup {
+		return nil, fmt.Errorf("overlay: %s already on the ring", id)
+	}
+	next, err := ComputeLayout(append(append([]tuple.NodeID(nil), old.Order...), id))
+	if err != nil {
+		return nil, err
+	}
+	if w.Node(id) == nil {
+		w.AddNode(id, space.Point{})
+	}
+	w.Graph().SetWired(id, true)
+	rewire(w, old, next, fingers, nil)
+
+	p, err := NewPeer(w.Node(id), next)
+	if err != nil {
+		return nil, err
+	}
+	peers[id] = p
+	for pid, peer := range peers {
+		if pid == id {
+			continue
+		}
+		if err := peer.UpdateLayout(next); err != nil {
+			return nil, err
+		}
+	}
+	w.Settle(joinSettleBudget)
+	return next, nil
+}
+
+// Leave removes a peer gracefully: the remaining peers adopt the new
+// geometry first, the ring is rewired around the leaver (its own links
+// stay up during the handoff), the leaver resigns — re-homing every key
+// it stored — and is finally cut off. It returns the new layout; the
+// peers map is updated in place.
+func Leave(w *emulator.World, peers map[tuple.NodeID]*Peer, old *Layout, fingers int, id tuple.NodeID) (*Layout, error) {
+	if _, ok := old.Pos[id]; !ok {
+		return nil, fmt.Errorf("overlay: %s is not on the ring", id)
+	}
+	if len(old.Order) < 2 {
+		return nil, fmt.Errorf("overlay: cannot remove the last peer")
+	}
+	var rest []tuple.NodeID
+	for _, pid := range old.Order {
+		if pid != id {
+			rest = append(rest, pid)
+		}
+	}
+	next, err := ComputeLayout(rest)
+	if err != nil {
+		return nil, err
+	}
+	for pid, peer := range peers {
+		if pid == id {
+			continue
+		}
+		if err := peer.UpdateLayout(next); err != nil {
+			return nil, err
+		}
+	}
+	// Rewire, but keep the leaver's links up so its handoff puts can
+	// leave the node.
+	rewire(w, old, next, fingers, &id)
+
+	leaver, ok := peers[id]
+	if !ok {
+		return nil, fmt.Errorf("overlay: no peer for %s", id)
+	}
+	if err := leaver.Resign(); err != nil {
+		return nil, err
+	}
+	w.Settle(joinSettleBudget)
+
+	// Now cut the leaver off entirely.
+	for _, nb := range w.Graph().Neighbors(id) {
+		w.RemoveEdge(id, nb)
+	}
+	leaver.Close()
+	delete(peers, id)
+	w.Settle(joinSettleBudget)
+	return next, nil
+}
+
+const joinSettleBudget = 100000
+
+// rewire applies the overlay edge diff between two layouts. When keep
+// is non-nil, edges incident to *keep are never removed (they are still
+// needed for the leaver's handoff).
+func rewire(w *emulator.World, old, next *Layout, fingers int, keep *tuple.NodeID) {
+	oldEdges := RingEdges(old, fingers)
+	newEdges := RingEdges(next, fingers)
+	for e := range newEdges {
+		if _, had := oldEdges[e]; !had {
+			w.AddEdge(e.A, e.B)
+		}
+	}
+	for e := range oldEdges {
+		if _, has := newEdges[e]; has {
+			continue
+		}
+		if keep != nil && (e.A == *keep || e.B == *keep) {
+			continue
+		}
+		w.RemoveEdge(e.A, e.B)
+	}
+}

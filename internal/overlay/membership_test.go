@@ -1,0 +1,179 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+
+	"tota/internal/tuple"
+)
+
+// storedKeys returns key → hosting peer across the overlay.
+func storedKeys(peers map[tuple.NodeID]*Peer) map[string]tuple.NodeID {
+	out := make(map[string]tuple.NodeID)
+	for id, p := range peers {
+		for _, kv := range p.Stored() {
+			out[kv.Key] = id
+		}
+	}
+	return out
+}
+
+// assertAllKeysAtOwners checks that every key lives at exactly its
+// owner under the layout.
+func assertAllKeysAtOwners(t *testing.T, peers map[tuple.NodeID]*Peer, l *Layout, keys []string) {
+	t.Helper()
+	located := storedKeys(peers)
+	for _, k := range keys {
+		at, ok := located[k]
+		if !ok {
+			t.Errorf("key %q lost", k)
+			continue
+		}
+		if want := l.OwnerOf(k); at != want {
+			t.Errorf("key %q at %s, owner is %s", k, at, want)
+		}
+	}
+	if len(located) != len(keys) {
+		t.Errorf("stored %d keys, want %d", len(located), len(keys))
+	}
+}
+
+func seedKeys(t *testing.T, w interface {
+	Settle(int) int
+}, origin *Peer, n int) []string {
+	t.Helper()
+	var keys []string
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("mk-%d", i)
+		keys = append(keys, k)
+		if err := origin.Put(k, "v-"+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Settle(100000)
+	return keys
+}
+
+func TestJoinHandsOffKeys(t *testing.T) {
+	w, layout, peers := dhtNet(t, 10, 2)
+	keys := seedKeys(t, w, peers[layout.Order[0]], 20)
+	assertAllKeysAtOwners(t, peers, layout, keys)
+
+	next, err := Join(w, peers, layout, 2, "newcomer")
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if _, ok := peers["newcomer"]; !ok {
+		t.Fatal("newcomer not registered")
+	}
+	assertAllKeysAtOwners(t, peers, next, keys)
+
+	// The newcomer must actually own (and thus host) some ring interval
+	// keys if any hash into it; at minimum, gets must work through it.
+	reader := peers[next.Order[0]]
+	for _, k := range keys[:5] {
+		if err := reader.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Settle(100000)
+	results := reader.Results()
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, kv := range results {
+		if !kv.Found {
+			t.Errorf("key %q not found after join", kv.Key)
+		}
+	}
+}
+
+func TestLeaveHandsOffKeys(t *testing.T) {
+	w, layout, peers := dhtNet(t, 10, 2)
+	keys := seedKeys(t, w, peers[layout.Order[0]], 20)
+
+	// Remove the peer hosting the most keys — the worst case.
+	counts := make(map[tuple.NodeID]int)
+	for _, at := range storedKeys(peers) {
+		counts[at]++
+	}
+	var leaver tuple.NodeID
+	max := -1
+	for _, id := range layout.Order {
+		if counts[id] > max {
+			leaver = id
+			max = counts[id]
+		}
+	}
+
+	next, err := Leave(w, peers, layout, 2, leaver)
+	if err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if _, still := peers[leaver]; still {
+		t.Error("leaver still registered")
+	}
+	assertAllKeysAtOwners(t, peers, next, keys)
+
+	reader := peers[next.Order[len(next.Order)/2]]
+	for _, k := range keys {
+		if err := reader.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Settle(100000)
+	found := 0
+	for _, kv := range reader.Results() {
+		if kv.Found {
+			found++
+		}
+	}
+	if found != len(keys) {
+		t.Errorf("found %d/%d keys after leave", found, len(keys))
+	}
+}
+
+func TestJoinLeaveChurnSequence(t *testing.T) {
+	w, layout, peers := dhtNet(t, 8, 2)
+	keys := seedKeys(t, w, peers[layout.Order[0]], 15)
+
+	var err error
+	for i := 0; i < 3; i++ {
+		layout, err = Join(w, peers, layout, 2, tuple.NodeID(fmt.Sprintf("j%d", i)))
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		assertAllKeysAtOwners(t, peers, layout, keys)
+	}
+	for i := 0; i < 3; i++ {
+		leaver := layout.Order[i*2%len(layout.Order)]
+		layout, err = Leave(w, peers, layout, 2, leaver)
+		if err != nil {
+			t.Fatalf("leave %d: %v", i, err)
+		}
+		assertAllKeysAtOwners(t, peers, layout, keys)
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	w, layout, peers := dhtNet(t, 3, 0)
+	if _, err := Join(w, peers, layout, 0, layout.Order[0]); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	if _, err := Leave(w, peers, layout, 0, "stranger"); err == nil {
+		t.Error("leave of non-member accepted")
+	}
+	// Shrink to one peer, then refuse to remove the last.
+	var err error
+	layout, err = Leave(w, peers, layout, 0, layout.Order[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err = Leave(w, peers, layout, 0, layout.Order[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Leave(w, peers, layout, 0, layout.Order[0]); err == nil {
+		t.Error("removed the last peer")
+	}
+}

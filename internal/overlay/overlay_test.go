@@ -1,0 +1,234 @@
+package overlay
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tota/internal/emulator"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func peerIDs(n int) []tuple.NodeID {
+	ids := make([]tuple.NodeID, n)
+	for i := range ids {
+		ids[i] = tuple.NodeID(fmt.Sprintf("peer-%02d", i))
+	}
+	return ids
+}
+
+// dhtNet builds an emulator world whose topology is a ring overlay with
+// the given finger count, and one Peer per node.
+func dhtNet(t *testing.T, n, fingers int) (*emulator.World, *Layout, map[tuple.NodeID]*Peer) {
+	t.Helper()
+	g := topology.New()
+	ids := peerIDs(n)
+	layout, err := BuildRing(g, ids, fingers)
+	if err != nil {
+		t.Fatalf("BuildRing: %v", err)
+	}
+	w := emulator.New(emulator.Config{Graph: g})
+	peers := make(map[tuple.NodeID]*Peer, n)
+	for _, id := range ids {
+		p, err := NewPeer(w.Node(id), layout)
+		if err != nil {
+			t.Fatalf("NewPeer(%s): %v", id, err)
+		}
+		peers[id] = p
+	}
+	return w, layout, peers
+}
+
+func TestRingGeometry(t *testing.T) {
+	g := topology.New()
+	ids := peerIDs(8)
+	l, err := BuildRing(g, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Order) != 8 {
+		t.Fatalf("order = %v", l.Order)
+	}
+	// Plain ring: exactly n edges, each node degree 2.
+	if g.EdgeCount() != 8 {
+		t.Errorf("edges = %d, want 8", g.EdgeCount())
+	}
+	for _, id := range ids {
+		if d := g.Degree(id); d != 2 {
+			t.Errorf("degree(%s) = %d", id, d)
+		}
+	}
+	// Every ring position has exactly one owner, and it is the
+	// clockwise successor.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		key := math.Mod(math.Abs(x), 1)
+		owner := l.Owner(key)
+		count := 0
+		for _, id := range l.Order {
+			if owns(l.Pos[id], l.Pred[id], key) {
+				count++
+			}
+		}
+		return count == 1 && owner == l.successor(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingersAddShortcuts(t *testing.T) {
+	plain := topology.New()
+	if _, err := BuildRing(plain, peerIDs(16), 0); err != nil {
+		t.Fatal(err)
+	}
+	fingered := topology.New()
+	if _, err := BuildRing(fingered, peerIDs(16), 4); err != nil {
+		t.Fatal(err)
+	}
+	if fingered.EdgeCount() <= plain.EdgeCount() {
+		t.Errorf("fingers added no edges: %d vs %d", fingered.EdgeCount(), plain.EdgeCount())
+	}
+	if fingered.Diameter() >= plain.Diameter() {
+		t.Errorf("fingers did not shrink diameter: %d vs %d", fingered.Diameter(), plain.Diameter())
+	}
+}
+
+func TestPutStoresAtOwner(t *testing.T) {
+	w, layout, peers := dhtNet(t, 10, 3)
+	origin := layout.Order[0]
+	const key = "some-key"
+	if err := peers[origin].Put(key, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(100000)
+
+	owner := layout.OwnerOf(key)
+	for id, p := range peers {
+		stored := p.Stored()
+		if id == owner {
+			if len(stored) != 1 || stored[0].Value != "v1" {
+				t.Errorf("owner %s stored %v", id, stored)
+			}
+			continue
+		}
+		if len(stored) != 0 {
+			t.Errorf("non-owner %s stored %v", id, stored)
+		}
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	w, layout, peers := dhtNet(t, 12, 3)
+	writer := peers[layout.Order[2]]
+	reader := peers[layout.Order[7]]
+
+	if err := writer.Put("color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(100000)
+	if err := reader.Get("color"); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(100000)
+
+	got := reader.Results()
+	if len(got) != 1 {
+		t.Fatalf("results = %v", got)
+	}
+	if !got[0].Found || got[0].Value != "blue" || got[0].Key != "color" {
+		t.Errorf("result = %+v", got[0])
+	}
+	if again := reader.Results(); len(again) != 0 {
+		t.Errorf("Results did not drain: %v", again)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	w, layout, peers := dhtNet(t, 8, 2)
+	reader := peers[layout.Order[3]]
+	if err := reader.Get("never-stored"); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(100000)
+	got := reader.Results()
+	if len(got) != 1 || got[0].Found {
+		t.Errorf("results = %v", got)
+	}
+}
+
+func TestAllKeysRouteToTheirOwners(t *testing.T) {
+	w, layout, peers := dhtNet(t, 16, 4)
+	origin := peers[layout.Order[0]]
+	const keys = 24
+	for i := 0; i < keys; i++ {
+		if err := origin.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Settle(100000)
+
+	total := 0
+	for id, p := range peers {
+		for _, kv := range p.Stored() {
+			total++
+			if want := layout.OwnerOf(kv.Key); want != id {
+				t.Errorf("key %s stored at %s, owner is %s", kv.Key, id, want)
+			}
+		}
+	}
+	if total != keys {
+		t.Errorf("stored %d keys, want %d", total, keys)
+	}
+}
+
+func TestFingerTradeoffRoundsVsTraffic(t *testing.T) {
+	// With one-hop broadcast relaying, finger shortcuts cut routing
+	// latency (delivery rounds ~ O(log N) instead of O(N)) at the cost
+	// of extra parallel relays — the CAN/Pastry trade-off as it
+	// manifests on a broadcast substrate.
+	cost := func(fingers int) (rounds int, sent int64) {
+		w, layout, peers := dhtNet(t, 24, fingers)
+		w.Settle(100000)
+		w.Sim().ResetStats()
+		origin := peers[layout.Order[0]]
+		for i := 0; i < 10; i++ {
+			if err := origin.Put(fmt.Sprintf("k%d", i), "v"); err != nil {
+				t.Fatal(err)
+			}
+			rounds += w.Settle(100000)
+		}
+		return rounds, w.Sim().Stats().Sent
+	}
+	plainRounds, plainSent := cost(0)
+	fingerRounds, fingerSent := cost(4)
+	if fingerRounds >= plainRounds {
+		t.Errorf("fingers did not cut routing rounds: %d vs %d", fingerRounds, plainRounds)
+	}
+	if plainSent >= fingerSent {
+		t.Errorf("plain ring unexpectedly chattier: %d vs %d", plainSent, fingerSent)
+	}
+}
+
+func TestBuildRingErrors(t *testing.T) {
+	if _, err := BuildRing(topology.New(), nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+}
+
+func TestNewPeerRequiresLayoutMembership(t *testing.T) {
+	g := topology.New()
+	layout, err := BuildRing(g, peerIDs(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddNode("outsider")
+	w := emulator.New(emulator.Config{Graph: g})
+	if _, err := NewPeer(w.Node("outsider"), layout); err == nil {
+		t.Error("outsider accepted as peer")
+	}
+}

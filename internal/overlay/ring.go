@@ -1,0 +1,189 @@
+// Package overlay realizes the paper's virtual-space idea: "one could
+// think at mapping the peers of a TOTA network in any sort of virtual
+// overlay space [CAN], and propagating tuples accordingly to the
+// virtual space topology", which "allows TOTA to realize systems
+// providing content-based routing in the Internet peer-to-peer
+// scenario, such as CAN and Pastry" (§3, §5.1).
+//
+// Peers are mapped onto a one-dimensional ring of virtual positions
+// (the hash of their id); the wired overlay links each peer to its ring
+// successor and predecessor plus logarithmic finger shortcuts. Keys
+// hash onto the same ring and are owned by their successor peer.
+// Content-based routing is then a pure TOTA propagation rule: a Keyed
+// tuple carries its target position and relays only to nodes strictly
+// closer (clockwise) to it, exactly like a message descending a
+// distance field — except the field is the virtual geometry itself, so
+// no per-destination structure is needed.
+package overlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// Hash maps a string onto the unit ring [0, 1). The raw FNV-1a sum is
+// finalized with a splitmix64 avalanche: FNV alone leaves similar
+// strings (peer-01, peer-02, ...) clustered because trailing-byte
+// differences barely reach the high bits.
+func Hash(s string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return float64(Avalanche(h.Sum64())&(1<<53-1)) / float64(1<<53)
+}
+
+// Avalanche is the splitmix64 finalizer: a cheap full-avalanche bit
+// mixer turning any 64-bit value into a uniformly diffused one.
+func Avalanche(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// clockDist is the clockwise distance from a to b on the unit ring.
+func clockDist(a, b float64) float64 {
+	d := b - a
+	if d < 0 {
+		d++
+	}
+	return d
+}
+
+// owns reports whether a peer at pos with predecessor predPos owns ring
+// position key — the (pred, pos] interval.
+func owns(pos, predPos, key float64) bool {
+	if pos == predPos {
+		// Single-peer ring owns everything.
+		return true
+	}
+	d := clockDist(predPos, key)
+	return d > 0 && d <= clockDist(predPos, pos)
+}
+
+// Layout is the computed ring geometry.
+type Layout struct {
+	// Order lists the peers clockwise by position.
+	Order []tuple.NodeID
+	// Pos maps each peer to its ring position.
+	Pos map[tuple.NodeID]float64
+	// Pred maps each peer to its predecessor's position.
+	Pred map[tuple.NodeID]float64
+}
+
+// Owner returns the peer owning ring position key.
+func (l *Layout) Owner(key float64) tuple.NodeID {
+	for _, id := range l.Order {
+		if owns(l.Pos[id], l.Pred[id], key) {
+			return id
+		}
+	}
+	return l.Order[0]
+}
+
+// OwnerOf returns the peer owning a string key.
+func (l *Layout) OwnerOf(key string) tuple.NodeID { return l.Owner(Hash(key)) }
+
+// ComputeLayout derives the ring geometry for a peer set without
+// touching any graph.
+func ComputeLayout(peers []tuple.NodeID) (*Layout, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("overlay: no peers")
+	}
+	l := &Layout{
+		Pos:  make(map[tuple.NodeID]float64, len(peers)),
+		Pred: make(map[tuple.NodeID]float64, len(peers)),
+	}
+	seen := make(map[float64]tuple.NodeID, len(peers))
+	for _, id := range peers {
+		p := Hash(string(id))
+		if other, dup := seen[p]; dup {
+			return nil, fmt.Errorf("overlay: position collision between %s and %s", id, other)
+		}
+		seen[p] = id
+		l.Pos[id] = p
+	}
+	l.Order = append([]tuple.NodeID(nil), peers...)
+	sort.Slice(l.Order, func(i, j int) bool { return l.Pos[l.Order[i]] < l.Pos[l.Order[j]] })
+	n := len(l.Order)
+	for i, id := range l.Order {
+		l.Pred[id] = l.Pos[l.Order[(i-1+n)%n]]
+	}
+	return l, nil
+}
+
+// Edge is one undirected overlay link, with A < B canonically.
+type Edge struct {
+	A, B tuple.NodeID
+}
+
+func mkEdge(a, b tuple.NodeID) Edge {
+	if b < a {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// RingEdges computes the overlay edge set for a layout: the ring
+// (successor/predecessor links) plus up to `fingers` shortcut edges per
+// peer at exponentially growing clockwise offsets.
+func RingEdges(l *Layout, fingers int) map[Edge]struct{} {
+	edges := make(map[Edge]struct{}, len(l.Order)*(1+fingers))
+	n := len(l.Order)
+	for i, id := range l.Order {
+		pred := l.Order[(i-1+n)%n]
+		if pred != id {
+			edges[mkEdge(id, pred)] = struct{}{}
+		}
+		for k := 0; k < fingers; k++ {
+			span := 1.0
+			for j := 0; j <= k; j++ {
+				span /= 2
+			}
+			target := l.Pos[id] + span
+			for target >= 1 {
+				target--
+			}
+			if fid := l.successor(target); fid != id {
+				edges[mkEdge(id, fid)] = struct{}{}
+			}
+		}
+	}
+	return edges
+}
+
+// BuildRing computes the ring layout for the given peers and wires the
+// overlay links into the graph (0 fingers = plain ring). Peers are
+// marked wired so geometric recomputation leaves the overlay alone.
+func BuildRing(g *topology.Graph, peers []tuple.NodeID, fingers int) (*Layout, error) {
+	l, err := ComputeLayout(peers)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range l.Order {
+		g.SetWired(id, true)
+	}
+	for e := range RingEdges(l, fingers) {
+		g.AddEdge(e.A, e.B)
+	}
+	return l, nil
+}
+
+// successor returns the first peer clockwise from ring position p
+// (inclusive).
+func (l *Layout) successor(p float64) tuple.NodeID {
+	best := l.Order[0]
+	bestD := clockDist(p, l.Pos[best])
+	for _, id := range l.Order[1:] {
+		if d := clockDist(p, l.Pos[id]); d < bestD {
+			best = id
+			bestD = d
+		}
+	}
+	return best
+}

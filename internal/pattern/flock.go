@@ -1,0 +1,91 @@
+package pattern
+
+import (
+	"math"
+
+	"tota/internal/tuple"
+)
+
+// Flock is the §5.3 motion-coordination tuple: "val is initialized at
+// X, propagate to all the nodes decreasing by one in the first X hops,
+// then increasing val by one for all the further hops". The maintained
+// value is the monotone hop distance d from the source (so maintenance
+// works exactly like a gradient); the perceived field — what flocking
+// agents descend — is FieldValue() = |d − X|, minimal at distance X.
+// Agents clustering in each other's minima settle into a regular
+// formation at pairwise distance X.
+//
+// Content layout: (name, payload..., _val, _step, _scope, _x).
+type Flock struct {
+	Gradient
+
+	// X is the target distance in hops.
+	X float64
+}
+
+var (
+	_ tuple.Tuple      = (*Flock)(nil)
+	_ tuple.Maintained = (*Flock)(nil)
+)
+
+// NewFlock creates a flocking field with target distance x hops.
+func NewFlock(name string, x float64, payload ...tuple.Field) *Flock {
+	return &Flock{
+		Gradient: Gradient{
+			Name:     name,
+			Payload:  payload,
+			StepSize: 1,
+			Scope:    math.Inf(1),
+		},
+		X: x,
+	}
+}
+
+// BoundedAt sets the scope in hop distance and returns the tuple.
+func (f *Flock) BoundedAt(scope float64) *Flock {
+	f.Scope = scope
+	return f
+}
+
+// FieldValue returns the perceived flocking field at this copy: the
+// paper's V-shaped val with its minimum at X hops from the source.
+func (f *Flock) FieldValue() float64 {
+	return math.Abs(f.Val - f.X)
+}
+
+// Kind implements tuple.Tuple.
+func (f *Flock) Kind() string { return KindFlock }
+
+// Content implements tuple.Tuple.
+func (f *Flock) Content() tuple.Content {
+	return append(f.Gradient.Content(), tuple.F("_x", f.X))
+}
+
+// Evolve implements tuple.Tuple.
+func (f *Flock) Evolve(*tuple.Ctx) tuple.Tuple {
+	return f.WithValue(f.Val + f.Step())
+}
+
+// Supersedes implements tuple.Tuple.
+func (f *Flock) Supersedes(old tuple.Tuple) bool {
+	of, ok := old.(*Flock)
+	return ok && f.Val < of.Val
+}
+
+// WithValue implements tuple.Maintained.
+func (f *Flock) WithValue(v float64) tuple.Tuple {
+	c := *f
+	c.Val = v
+	return &c
+}
+
+func decodeFlock(id tuple.ID, c tuple.Content) (tuple.Tuple, error) {
+	g, err := gradientFromContent(c)
+	if err != nil {
+		return nil, err
+	}
+	_, meta := SplitMeta(c)
+	f := &Flock{Gradient: *g, X: MetaFloat(meta, "_x", 0)}
+	f.SetID(id)
+	return f, nil
+}

@@ -1,0 +1,120 @@
+package pattern
+
+import (
+	"testing"
+
+	"tota/internal/tuple"
+)
+
+func TestGossipCoinDeterministicAndSpread(t *testing.T) {
+	g := NewGossip("rumor", 0.5)
+	g.SetID(tuple.ID{Node: "src", Seq: 1})
+	if g.coin("n1") != g.coin("n1") {
+		t.Error("coin not deterministic")
+	}
+	// Over many nodes the coin must actually spread over [0,1).
+	low, high := 0, 0
+	for i := 0; i < 200; i++ {
+		c := g.coin(tuple.NodeID(string(rune('a'+i%26))) + tuple.NodeID(rune('0'+i/26)))
+		if c < 0 || c >= 1 {
+			t.Fatalf("coin out of range: %v", c)
+		}
+		if c < 0.5 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("coin never crossed 0.5: low=%d high=%d", low, high)
+	}
+}
+
+func TestGossipHooks(t *testing.T) {
+	g := NewGossip("rumor", 0, tuple.S("text", "x")).Within(3)
+	g.SetID(tuple.ID{Node: "src", Seq: 2})
+	got := roundTrip(t, g).(*Gossip)
+	if got.P != 0 || got.TTL != 3 {
+		t.Errorf("decoded = %+v", got)
+	}
+	injectCtx := &tuple.Ctx{Self: "src", From: "src", Hop: 0}
+	if !got.ShouldPropagate(injectCtx) {
+		t.Error("source did not relay")
+	}
+	// p=0: no other node relays, but they all store.
+	relayCtx := &tuple.Ctx{Self: "n1", From: "src", Hop: 1}
+	if got.ShouldPropagate(relayCtx) {
+		t.Error("p=0 relayed")
+	}
+	if !got.ShouldStore(relayCtx) {
+		t.Error("reached node did not store")
+	}
+	sure := NewGossip("rumor", 1).Within(2)
+	sure.SetID(tuple.ID{Node: "s", Seq: 3})
+	if !sure.ShouldPropagate(relayCtx) {
+		t.Error("p=1 did not relay")
+	}
+	if sure.ShouldPropagate(&tuple.Ctx{Self: "n", From: "m", Hop: 2}) {
+		t.Error("TTL ignored")
+	}
+}
+
+func TestPathEvolveRecordsRoute(t *testing.T) {
+	p := NewPath("trace", tuple.S("k", "v"))
+	p.SetID(tuple.ID{Node: "a", Seq: 1})
+	injectCtx := &tuple.Ctx{Self: "a", From: "a", Hop: 0}
+	p.OnArrive(injectCtx)
+	if len(p.Route) != 1 || p.Route[0] != "a" {
+		t.Fatalf("route after inject = %v", p.Route)
+	}
+
+	atB := p.Evolve(&tuple.Ctx{Self: "b", From: "a", Hop: 1}).(*Path)
+	atC := atB.Evolve(&tuple.Ctx{Self: "c", From: "b", Hop: 2}).(*Path)
+	want := []tuple.NodeID{"a", "b", "c"}
+	if len(atC.Route) != len(want) {
+		t.Fatalf("route = %v", atC.Route)
+	}
+	for i := range want {
+		if atC.Route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", atC.Route, want)
+		}
+	}
+	// Evolve must not mutate the ancestor copies.
+	if len(atB.Route) != 2 {
+		t.Errorf("ancestor mutated: %v", atB.Route)
+	}
+
+	got := roundTrip(t, atC).(*Path)
+	if len(got.Route) != 3 || got.Route[2] != "c" {
+		t.Errorf("decoded route = %v", got.Route)
+	}
+}
+
+func TestPathSupersedesShorter(t *testing.T) {
+	long := NewPath("t")
+	long.Route = []tuple.NodeID{"a", "b", "c", "d"}
+	short := NewPath("t")
+	short.Route = []tuple.NodeID{"a", "x", "d"}
+	if !short.Supersedes(long) || long.Supersedes(short) {
+		t.Error("shorter route did not win")
+	}
+	if short.Supersedes(NewFlood("t")) {
+		t.Error("foreign kind superseded")
+	}
+}
+
+func TestExpiringLeaseRoundTrip(t *testing.T) {
+	f := NewFlood("n").Expires(12.5)
+	f.SetID(tuple.ID{Node: "s", Seq: 4})
+	if got := roundTrip(t, f).(*Flood); got.Lease() != 12.5 {
+		t.Errorf("flood lease = %v", got.Lease())
+	}
+	g := NewGradient("n").Expires(3)
+	g.SetID(tuple.ID{Node: "s", Seq: 5})
+	if got := roundTrip(t, g).(*Gradient); got.Lease() != 3 {
+		t.Errorf("gradient lease = %v", got.Lease())
+	}
+	if NewFlood("x").Lease() != 0 {
+		t.Error("default lease not zero")
+	}
+}

@@ -1,0 +1,129 @@
+package pattern
+
+import (
+	"math"
+
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// Spatial is a gradient confined to a physical disc around its source,
+// the paper's "enabling a tuple to be propagated, say, at most for 10
+// meters from its source" — realized with data from the node's
+// localization device. The source position is captured at injection
+// (tuple.Injectable) and carried in the content so every hop can
+// evaluate the distance. Nodes without a localization fix neither store
+// nor relay spatial tuples.
+//
+// Content layout: (name, payload..., _val, _step, _scope, _radius, _sx, _sy).
+type Spatial struct {
+	Gradient
+
+	// Radius is the physical propagation bound in space units.
+	Radius float64
+	// Src is the source position captured at injection.
+	Src space.Point
+	// hasSrc reports whether the source position was captured; without
+	// it the tuple stays local to the source.
+	hasSrc bool
+}
+
+var (
+	_ tuple.Tuple      = (*Spatial)(nil)
+	_ tuple.Maintained = (*Spatial)(nil)
+	_ tuple.Injectable = (*Spatial)(nil)
+)
+
+// NewSpatial creates a unit-step gradient confined to radius space
+// units around the injection point.
+func NewSpatial(name string, radius float64, payload ...tuple.Field) *Spatial {
+	return &Spatial{
+		Gradient: Gradient{
+			Name:     name,
+			Payload:  payload,
+			StepSize: 1,
+			Scope:    math.Inf(1),
+		},
+		Radius: radius,
+	}
+}
+
+// Kind implements tuple.Tuple.
+func (s *Spatial) Kind() string { return KindSpatial }
+
+// Content implements tuple.Tuple.
+func (s *Spatial) Content() tuple.Content {
+	c := s.Gradient.Content()
+	return append(c,
+		tuple.F("_radius", s.Radius),
+		tuple.F("_sx", s.Src.X),
+		tuple.F("_sy", s.Src.Y),
+		tuple.B("_hassrc", s.hasSrc),
+	)
+}
+
+// OnInject implements tuple.Injectable, capturing the source position.
+func (s *Spatial) OnInject(ctx *tuple.Ctx) tuple.Tuple {
+	c := *s
+	c.Src = ctx.Pos
+	c.hasSrc = ctx.HasPos
+	return &c
+}
+
+// inRange reports whether the hook's node lies within the disc.
+func (s *Spatial) inRange(ctx *tuple.Ctx) bool {
+	if ctx.Injected() {
+		return true
+	}
+	if !s.hasSrc || !ctx.HasPos {
+		return false
+	}
+	return ctx.Pos.Dist(s.Src) <= s.Radius
+}
+
+// ShouldStore implements tuple.Tuple.
+func (s *Spatial) ShouldStore(ctx *tuple.Ctx) bool {
+	return s.inRange(ctx) && s.Gradient.ShouldStore(ctx)
+}
+
+// ShouldPropagate implements tuple.Tuple.
+func (s *Spatial) ShouldPropagate(ctx *tuple.Ctx) bool {
+	return s.inRange(ctx) && s.Gradient.ShouldPropagate(ctx)
+}
+
+// Evolve implements tuple.Tuple.
+func (s *Spatial) Evolve(*tuple.Ctx) tuple.Tuple {
+	return s.WithValue(s.Val + s.Step())
+}
+
+// Supersedes implements tuple.Tuple.
+func (s *Spatial) Supersedes(old tuple.Tuple) bool {
+	os, ok := old.(*Spatial)
+	return ok && s.Val < os.Val
+}
+
+// WithValue implements tuple.Maintained.
+func (s *Spatial) WithValue(v float64) tuple.Tuple {
+	c := *s
+	c.Val = v
+	return &c
+}
+
+func decodeSpatial(id tuple.ID, c tuple.Content) (tuple.Tuple, error) {
+	g, err := gradientFromContent(c)
+	if err != nil {
+		return nil, err
+	}
+	_, meta := SplitMeta(c)
+	s := &Spatial{
+		Gradient: *g,
+		Radius:   MetaFloat(meta, "_radius", 0),
+		Src: space.Point{
+			X: MetaFloat(meta, "_sx", 0),
+			Y: MetaFloat(meta, "_sy", 0),
+		},
+		hasSrc: MetaBool(meta, "_hassrc", false),
+	}
+	s.SetID(id)
+	return s, nil
+}

@@ -1,0 +1,188 @@
+// Package routing implements the paper's §5.1 MANET routing on top of
+// TOTA, plus the flooding baseline it degrades to.
+//
+// A node that wants to be reachable advertises a gradient structure
+// tuple ("structure", nodename, hopcount). Messages are downhill tuples
+// that follow the structure's hop count toward its source; "in all
+// situations in which such information is absent, the routing simply
+// reduces to flooding the network". The flooding baseline sends every
+// message as a plain network-wide flood and lets receivers filter.
+package routing
+
+import (
+	"strings"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+// StructPrefix prefixes the gradient name advertised by each
+// destination node.
+const StructPrefix = "route:"
+
+// srcField carries the sender id inside message payloads.
+const srcField = "src"
+
+// Message is one delivered payload.
+type Message struct {
+	// From is the sending node.
+	From tuple.NodeID
+	// To is the destination the message was addressed to.
+	To tuple.NodeID
+	// Body is the application payload.
+	Body tuple.Content
+}
+
+// Router provides gradient routing over a middleware node.
+type Router struct {
+	node *core.Node
+}
+
+// NewRouter wraps a middleware node.
+func NewRouter(n *core.Node) *Router {
+	return &Router{node: n}
+}
+
+// structName returns the gradient name advertising dst.
+func structName(dst tuple.NodeID) string {
+	return StructPrefix + string(dst)
+}
+
+// Advertise injects this node's routing overlay structure, making it a
+// reachable destination. It returns the structure's tuple id (for
+// Retract on shutdown).
+func (r *Router) Advertise() (tuple.ID, error) {
+	g := pattern.NewGradient(structName(r.node.Self()),
+		tuple.S("node", string(r.node.Self())))
+	return r.node.Inject(g)
+}
+
+// Send routes a message toward dst, descending dst's structure where
+// present and flooding where it is not (the paper's fallback).
+func (r *Router) Send(dst tuple.NodeID, body ...tuple.Field) error {
+	payload := append(tuple.Content{
+		tuple.S(srcField, string(r.node.Self())),
+		tuple.S("dst", string(dst)),
+	}, body...)
+	msg := pattern.NewDownhill(structName(dst), payload...)
+	_, err := r.node.Inject(msg)
+	return err
+}
+
+// Inbox drains and returns the messages delivered to this node.
+func (r *Router) Inbox() []Message {
+	ts := r.node.Delete(tuple.Match(pattern.KindDownhill))
+	return decodeMessages(r.node.Self(), ts)
+}
+
+// OnMessage invokes fn for every message as it is delivered. It returns
+// the subscription id. The delivered tuples remain in the space until
+// Inbox drains them.
+func (r *Router) OnMessage(fn func(Message)) core.SubID {
+	return r.node.Subscribe(tuple.Match(pattern.KindDownhill), func(ev core.Event) {
+		if ev.Type != core.TupleArrived {
+			return
+		}
+		if m, ok := toMessage(r.node.Self(), ev.Tuple); ok {
+			fn(m)
+		}
+	})
+}
+
+func decodeMessages(self tuple.NodeID, ts []tuple.Tuple) []Message {
+	var out []Message
+	for _, t := range ts {
+		if m, ok := toMessage(self, t); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func toMessage(self tuple.NodeID, t tuple.Tuple) (Message, bool) {
+	d, ok := t.(*pattern.Downhill)
+	if !ok {
+		return Message{}, false
+	}
+	body := make(tuple.Content, 0, len(d.Payload))
+	var from, to string
+	for _, f := range d.Payload {
+		switch f.Name {
+		case srcField:
+			from, _ = f.Value.(string)
+		case "dst":
+			to, _ = f.Value.(string)
+		default:
+			body = append(body, f)
+		}
+	}
+	return Message{From: tuple.NodeID(from), To: tuple.NodeID(to), Body: body}, true
+}
+
+// FloodRouter is the baseline: every message floods the whole network
+// and every node stores it; only the destination considers it
+// delivered. Its per-message cost is what gradient routing saves.
+type FloodRouter struct {
+	node *core.Node
+}
+
+// NewFloodRouter wraps a middleware node.
+func NewFloodRouter(n *core.Node) *FloodRouter {
+	return &FloodRouter{node: n}
+}
+
+// floodMsgName labels baseline messages.
+const floodMsgName = "route-flood"
+
+// Send floods a message addressed to dst.
+func (r *FloodRouter) Send(dst tuple.NodeID, body ...tuple.Field) error {
+	payload := append(tuple.Content{
+		tuple.S(srcField, string(r.node.Self())),
+		tuple.S("dst", string(dst)),
+	}, body...)
+	_, err := r.node.Inject(pattern.NewFlood(floodMsgName, payload...))
+	return err
+}
+
+// Inbox drains and returns the flooded messages addressed to this node.
+// Copies addressed elsewhere are left in place (they are other nodes'
+// traffic passing through).
+func (r *FloodRouter) Inbox() []Message {
+	self := string(r.node.Self())
+	mine := tuple.Match(pattern.KindFlood,
+		tuple.Eq(tuple.S("name", floodMsgName)),
+		tuple.Eq(tuple.S("dst", self)))
+	ts := r.node.Delete(mine)
+	var out []Message
+	for _, t := range ts {
+		f, ok := t.(*pattern.Flood)
+		if !ok {
+			continue
+		}
+		body := make(tuple.Content, 0, len(f.Payload))
+		var from string
+		for _, fl := range f.Payload {
+			switch fl.Name {
+			case srcField:
+				from, _ = fl.Value.(string)
+			case "dst":
+				// self, implied
+			default:
+				body = append(body, fl)
+			}
+		}
+		out = append(out, Message{From: tuple.NodeID(from), To: r.node.Self(), Body: body})
+	}
+	return out
+}
+
+// IsRouteStructure reports whether a tuple is a routing overlay
+// structure, and for which destination.
+func IsRouteStructure(t tuple.Tuple) (tuple.NodeID, bool) {
+	g, ok := t.(*pattern.Gradient)
+	if !ok || !strings.HasPrefix(g.Name, StructPrefix) {
+		return "", false
+	}
+	return tuple.NodeID(strings.TrimPrefix(g.Name, StructPrefix)), true
+}

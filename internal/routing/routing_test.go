@@ -1,0 +1,206 @@
+package routing
+
+import (
+	"sync"
+	"testing"
+
+	"tota/internal/emulator"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+func newWorld(t *testing.T, g *topology.Graph) *emulator.World {
+	t.Helper()
+	return emulator.New(emulator.Config{Graph: g})
+}
+
+func TestGradientRoutingDelivers(t *testing.T) {
+	w := newWorld(t, topology.Grid(4, 4, 1))
+	dst := topology.NodeName(0)
+	src := topology.NodeName(15)
+	rDst := NewRouter(w.Node(dst))
+	rSrc := NewRouter(w.Node(src))
+
+	if _, err := rDst.Advertise(); err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	w.Settle(10000)
+
+	if err := rSrc.Send(dst, tuple.S("body", "hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	w.Settle(10000)
+
+	got := rDst.Inbox()
+	if len(got) != 1 {
+		t.Fatalf("Inbox = %v", got)
+	}
+	m := got[0]
+	if m.From != src || m.To != dst || m.Body.GetString("body") != "hello" {
+		t.Errorf("message = %+v", m)
+	}
+	if again := rDst.Inbox(); len(again) != 0 {
+		t.Errorf("Inbox did not drain: %v", again)
+	}
+}
+
+func TestOnMessageSubscription(t *testing.T) {
+	w := newWorld(t, topology.Line(4))
+	dst := topology.NodeName(0)
+	src := topology.NodeName(3)
+	rDst := NewRouter(w.Node(dst))
+	rSrc := NewRouter(w.Node(src))
+	if _, err := rDst.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	var mu sync.Mutex
+	var got []Message
+	rDst.OnMessage(func(m Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, m)
+	})
+	if err := rSrc.Send(dst, tuple.S("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].From != src {
+		t.Errorf("OnMessage got %v", got)
+	}
+}
+
+func TestRoutingFallsBackToFloodWithoutStructure(t *testing.T) {
+	w := newWorld(t, topology.Line(4))
+	dst := topology.NodeName(0)
+	src := topology.NodeName(3)
+	// No Advertise: the downhill message floods; nothing can deliver it
+	// (no structure minimum), matching the paper's degraded mode where
+	// flooding substitutes for routing knowledge. Traffic must still
+	// traverse the network.
+	rSrc := NewRouter(w.Node(src))
+	if err := rSrc.Send(dst, tuple.S("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	if w.Node(dst).Stats().PacketsIn == 0 {
+		t.Error("flooded message never reached the destination's node")
+	}
+}
+
+func TestRoutingSurvivesLinkFailure(t *testing.T) {
+	w := newWorld(t, topology.Ring(8))
+	dst := topology.NodeName(0)
+	src := topology.NodeName(4)
+	rDst := NewRouter(w.Node(dst))
+	rSrc := NewRouter(w.Node(src))
+	if _, err := rDst.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	w.RemoveEdge(topology.NodeName(2), topology.NodeName(3))
+	w.Settle(10000) // structure repairs around the ring
+
+	if err := rSrc.Send(dst, tuple.S("n", "1")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+	if got := rDst.Inbox(); len(got) != 1 {
+		t.Fatalf("after repair, Inbox = %v", got)
+	}
+}
+
+func TestFloodRouterDeliversAndFilters(t *testing.T) {
+	w := newWorld(t, topology.Grid(3, 3, 1))
+	dst := topology.NodeName(0)
+	other := topology.NodeName(8)
+	src := topology.NodeName(4)
+	fDst := NewFloodRouter(w.Node(dst))
+	fOther := NewFloodRouter(w.Node(other))
+	fSrc := NewFloodRouter(w.Node(src))
+
+	if err := fSrc.Send(dst, tuple.S("body", "x")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	if got := fDst.Inbox(); len(got) != 1 || got[0].From != src || got[0].Body.GetString("body") != "x" {
+		t.Errorf("dst inbox = %v", got)
+	}
+	if got := fOther.Inbox(); len(got) != 0 {
+		t.Errorf("non-destination drained %v", got)
+	}
+	// The flood copy is still stored at the non-destination (the cost
+	// of the baseline).
+	if n := len(w.Node(other).Read(tuple.Match(pattern.KindFlood))); n != 1 {
+		t.Errorf("bystander stores %d copies", n)
+	}
+}
+
+func TestGradientRoutingCheaperThanFloodBaseline(t *testing.T) {
+	// Repeated messages between nearby nodes: gradient routing pays the
+	// structure once, then each message is confined to the slope
+	// region; the baseline floods every message.
+	build := func() (*emulator.World, tuple.NodeID, tuple.NodeID) {
+		w := newWorld(t, topology.Grid(6, 6, 1))
+		return w, topology.NodeName(0), topology.NodeName(14) // 4 hops apart
+	}
+
+	wA, dstA, srcA := build()
+	rDst := NewRouter(wA.Node(dstA))
+	rSrc := NewRouter(wA.Node(srcA))
+	if _, err := rDst.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	wA.Settle(10000)
+	wA.Sim().ResetStats()
+	const msgs = 10
+	for i := 0; i < msgs; i++ {
+		if err := rSrc.Send(dstA, tuple.I("i", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		wA.Settle(10000)
+	}
+	gradientSent := wA.Sim().Stats().Sent
+	if got := len(rDst.Inbox()); got != msgs {
+		t.Fatalf("gradient delivered %d/%d", got, msgs)
+	}
+
+	wB, dstB, srcB := build()
+	fDst := NewFloodRouter(wB.Node(dstB))
+	fSrc := NewFloodRouter(wB.Node(srcB))
+	wB.Sim().ResetStats()
+	for i := 0; i < msgs; i++ {
+		if err := fSrc.Send(dstB, tuple.I("i", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		wB.Settle(10000)
+	}
+	floodSent := wB.Sim().Stats().Sent
+	if got := len(fDst.Inbox()); got != msgs {
+		t.Fatalf("flood delivered %d/%d", got, msgs)
+	}
+
+	if gradientSent*2 >= floodSent {
+		t.Errorf("gradient routing (%d sends) not clearly cheaper than flooding (%d sends)",
+			gradientSent, floodSent)
+	}
+}
+
+func TestIsRouteStructure(t *testing.T) {
+	g := pattern.NewGradient(StructPrefix + "n7")
+	if dst, ok := IsRouteStructure(g); !ok || dst != "n7" {
+		t.Errorf("IsRouteStructure = %v, %v", dst, ok)
+	}
+	if _, ok := IsRouteStructure(pattern.NewGradient("other")); ok {
+		t.Error("non-route gradient accepted")
+	}
+	if _, ok := IsRouteStructure(pattern.NewFlood(StructPrefix + "x")); ok {
+		t.Error("flood accepted as structure")
+	}
+}

@@ -1,0 +1,169 @@
+// Package space models the physical / virtual space TOTA nodes live in.
+//
+// The TOTA paper observes that tuples propagating hop-by-hop enrich a
+// network with a notion of space: hop counters measure network distance,
+// and — when nodes carry a localization device such as GPS or Wi-Fi
+// triangulation — tuples can be scoped by *physical* distance ("propagate
+// at most 10 meters from the source"). This package provides the
+// geometric primitives (points, vectors, regions) and the Localizer
+// abstraction that stands in for such a localization device.
+package space
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the 2-D plane used by the emulator and by
+// spatially-scoped tuples. Units are abstract "meters".
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y)
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point {
+	return Point{X: p.X + v.DX, Y: p.Y + v.DY}
+}
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector {
+	return Vector{DX: p.X - q.X, DY: p.Y - q.Y}
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Vector is a displacement in the plane.
+type Vector struct {
+	DX, DY float64
+}
+
+// Len returns the Euclidean length of v.
+func (v Vector) Len() float64 {
+	return math.Hypot(v.DX, v.DY)
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector {
+	return Vector{DX: v.DX * k, DY: v.DY * k}
+}
+
+// Add returns the vector sum v + w.
+func (v Vector) Add(w Vector) Vector {
+	return Vector{DX: v.DX + w.DX, DY: v.DY + w.DY}
+}
+
+// Unit returns the unit vector with v's direction. The zero vector is
+// returned unchanged.
+func (v Vector) Unit() Vector {
+	l := v.Len()
+	if l == 0 {
+		return Vector{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Angle returns the direction of v in radians in (-pi, pi].
+func (v Vector) Angle() float64 {
+	return math.Atan2(v.DY, v.DX)
+}
+
+// Region is a set of points; spatially-scoped tuples use regions to
+// confine propagation ("propagate only within this area").
+type Region interface {
+	Contains(Point) bool
+}
+
+// Circle is a disc-shaped Region.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+var _ Region = Circle{}
+
+// Contains reports whether p lies inside (or on) the circle.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist(p) <= c.Radius
+}
+
+// Rect is an axis-aligned rectangular Region. Min is the lower-left
+// corner and Max the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+var _ Region = Rect{}
+
+// Contains reports whether p lies inside (or on the border of) the
+// rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// HalfPlane is the set of points q such that the angle between
+// (q - Origin) and Direction is at most Spread radians. It models the
+// paper's "propagate in a specific direction" scoping.
+type HalfPlane struct {
+	Origin    Point
+	Direction Vector
+	Spread    float64 // half-angle in radians
+}
+
+var _ Region = HalfPlane{}
+
+// Contains reports whether p lies within the angular sector.
+func (h HalfPlane) Contains(p Point) bool {
+	v := p.Sub(h.Origin)
+	if v.Len() == 0 {
+		return true
+	}
+	d := h.Direction.Unit()
+	u := v.Unit()
+	dot := d.DX*u.DX + d.DY*u.DY
+	dot = math.Max(-1, math.Min(1, dot))
+	return math.Acos(dot) <= h.Spread
+}
+
+// Localizer is the abstraction of a physical localization device (GPS,
+// Wi-Fi triangulation). In this reproduction it is fed by the mobility
+// model with ground-truth positions, optionally perturbed by noise.
+type Localizer interface {
+	// Position returns the node's current position. ok is false when no
+	// fix is available (a node without a localization device).
+	Position() (p Point, ok bool)
+}
+
+// FixedLocalizer always reports the same position.
+type FixedLocalizer struct {
+	P Point
+}
+
+var _ Localizer = FixedLocalizer{}
+
+// Position implements Localizer.
+func (f FixedLocalizer) Position() (Point, bool) { return f.P, true }
+
+// NoLocalizer reports that no position fix is available.
+type NoLocalizer struct{}
+
+var _ Localizer = NoLocalizer{}
+
+// Position implements Localizer.
+func (NoLocalizer) Position() (Point, bool) { return Point{}, false }
+
+// FuncLocalizer adapts a function to the Localizer interface; the
+// emulator uses it to expose live mobility-model positions.
+type FuncLocalizer func() (Point, bool)
+
+var _ Localizer = FuncLocalizer(nil)
+
+// Position implements Localizer.
+func (f FuncLocalizer) Position() (Point, bool) { return f() }

@@ -1,0 +1,146 @@
+package space
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{X: 1, Y: 2}
+	q := Point{X: 4, Y: 6}
+	if d := p.Dist(q); !almostEqual(d, 5) {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	v := q.Sub(p)
+	if v != (Vector{DX: 3, DY: 4}) {
+		t.Errorf("Sub = %v", v)
+	}
+	if got := p.Add(v); got != q {
+		t.Errorf("Add = %v, want %v", got, q)
+	}
+	if s := p.String(); s != "(1.00, 2.00)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{DX: 3, DY: 4}
+	if !almostEqual(v.Len(), 5) {
+		t.Errorf("Len = %v", v.Len())
+	}
+	if got := v.Scale(2); got != (Vector{DX: 6, DY: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Add(Vector{DX: 1, DY: -1}); got != (Vector{DX: 4, DY: 3}) {
+		t.Errorf("Add = %v", got)
+	}
+	u := v.Unit()
+	if !almostEqual(u.Len(), 1) {
+		t.Errorf("Unit length = %v", u.Len())
+	}
+	if z := (Vector{}).Unit(); z != (Vector{}) {
+		t.Errorf("Unit of zero = %v", z)
+	}
+	if a := (Vector{DX: 0, DY: 1}).Angle(); !almostEqual(a, math.Pi/2) {
+		t.Errorf("Angle = %v", a)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: Point{X: 0, Y: 0}, Radius: 2}
+	tests := []struct {
+		give Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{2, 0}, true}, // boundary inclusive
+		{Point{2.01, 0}, false},
+		{Point{1, 1}, true},
+	}
+	for _, tt := range tests {
+		if got := c.Contains(tt.give); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 5}}
+	tests := []struct {
+		give Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{10, 5}, true},
+		{Point{5, 2}, true},
+		{Point{-0.1, 2}, false},
+		{Point{5, 5.1}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.give); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestHalfPlaneContains(t *testing.T) {
+	h := HalfPlane{
+		Origin:    Point{0, 0},
+		Direction: Vector{DX: 1, DY: 0},
+		Spread:    math.Pi / 4,
+	}
+	tests := []struct {
+		give Point
+		want bool
+	}{
+		{Point{0, 0}, true},    // origin always contained
+		{Point{1, 0}, true},    // straight ahead
+		{Point{1, 0.99}, true}, // just inside 45°
+		{Point{1, 1.01}, false},
+		{Point{-1, 0}, false}, // behind
+	}
+	for _, tt := range tests {
+		if got := h.Contains(tt.give); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestLocalizers(t *testing.T) {
+	fixed := FixedLocalizer{P: Point{1, 2}}
+	if p, ok := fixed.Position(); !ok || p != (Point{1, 2}) {
+		t.Errorf("FixedLocalizer = %v, %v", p, ok)
+	}
+	if _, ok := (NoLocalizer{}).Position(); ok {
+		t.Error("NoLocalizer reported a fix")
+	}
+	fn := FuncLocalizer(func() (Point, bool) { return Point{3, 4}, true })
+	if p, ok := fn.Position(); !ok || p != (Point{3, 4}) {
+		t.Errorf("FuncLocalizer = %v, %v", p, ok)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistProperties(t *testing.T) {
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 1e6)
+	}
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		if !almostEqual(a.Dist(b), b.Dist(a)) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// NodeName returns the canonical zero-padded node name used by the
+// generators ("n0007"), chosen so lexicographic order equals numeric
+// order for deterministic iteration.
+func NodeName(i int) tuple.NodeID {
+	return tuple.NodeID(fmt.Sprintf("n%04d", i))
+}
+
+// Grid builds a w×h lattice with the given spacing between neighbors;
+// each node is linked to its 4-neighborhood. Node n(i) sits at
+// (spacing*(i%w), spacing*(i/w)). It models the regular MANET layouts
+// of the paper's emulator.
+func Grid(w, h int, spacing float64) *Graph {
+	g := New()
+	idx := func(x, y int) tuple.NodeID { return NodeName(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := idx(x, y)
+			g.SetPosition(id, space.Point{X: float64(x) * spacing, Y: float64(y) * spacing})
+			if x > 0 {
+				g.AddEdge(id, idx(x-1, y))
+			}
+			if y > 0 {
+				g.AddEdge(id, idx(x, y-1))
+			}
+		}
+	}
+	return g
+}
+
+// Line builds a path of n nodes spaced 1 apart along the x axis.
+func Line(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		id := NodeName(i)
+		g.SetPosition(id, space.Point{X: float64(i)})
+		if i > 0 {
+			g.AddEdge(id, NodeName(i-1))
+		}
+	}
+	return g
+}
+
+// Ring builds a cycle of n nodes.
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n > 2 {
+		g.AddEdge(NodeName(0), NodeName(n-1))
+	}
+	return g
+}
+
+// Star builds a hub-and-spokes graph with n leaves around node 0.
+func Star(n int) *Graph {
+	g := New()
+	hub := NodeName(0)
+	g.AddNode(hub)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(hub, NodeName(i))
+	}
+	return g
+}
+
+// RandomGeometric places n nodes uniformly at random in a side×side
+// square and links nodes within radioRange of each other — the standard
+// MANET topology model. The rng makes layouts reproducible.
+func RandomGeometric(n int, side, radioRange float64, rng *rand.Rand) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.SetPosition(NodeName(i), space.Point{
+			X: rng.Float64() * side,
+			Y: rng.Float64() * side,
+		})
+	}
+	g.Recompute(radioRange)
+	return g
+}
+
+// ConnectedRandomGeometric retries RandomGeometric with successive seeds
+// derived from rng until the result is connected (up to maxTries), so
+// experiments run on a usable network. It returns nil if no connected
+// layout was found.
+func ConnectedRandomGeometric(n int, side, radioRange float64, rng *rand.Rand, maxTries int) *Graph {
+	for i := 0; i < maxTries; i++ {
+		g := RandomGeometric(n, side, radioRange, rng)
+		if g.Connected() {
+			return g
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ShortestPath length equals the BFS distance for every
+// reachable pair, on random geometric graphs.
+func TestShortestPathAgreesWithBFSQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGeometric(20, 8, 3.5, rng)
+		nodes := g.Nodes()
+		src := nodes[rng.Intn(len(nodes))]
+		dist := g.BFSDistances(src)
+		for _, dst := range nodes {
+			d, reachable := dist[dst]
+			path := g.ShortestPath(src, dst)
+			if !reachable {
+				if path != nil {
+					return false
+				}
+				continue
+			}
+			if len(path) != d+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Recompute is idempotent — a second call right after the
+// first produces no events.
+func TestRecomputeIdempotentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGeometric(15, 6, 2.5, rng)
+		return len(g.Recompute(2.5)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Components partition the node set.
+func TestComponentsPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGeometric(18, 12, 2, rng) // sparse: many components
+		seen := make(map[string]bool)
+		total := 0
+		for _, comp := range g.Components() {
+			for _, id := range comp {
+				if seen[string(id)] {
+					return false
+				}
+				seen[string(id)] = true
+				total++
+			}
+		}
+		return total == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package topology maintains the dynamic neighborhood graph of a TOTA
+// network and provides the analytical oracles (BFS distances, shortest
+// paths, connectivity) that tests and experiments compare the
+// distributed tuple structures against.
+//
+// The graph can be edited directly (the paper's drag-and-drop emulator
+// rearrangements) or recomputed from node positions as a unit-disk graph
+// (the MANET "in wireless range" neighborhood relation).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+// EdgeEvent reports that the link between A and B appeared or
+// disappeared.
+type EdgeEvent struct {
+	A, B  tuple.NodeID
+	Added bool
+}
+
+// String implements fmt.Stringer.
+func (e EdgeEvent) String() string {
+	op := "-"
+	if e.Added {
+		op = "+"
+	}
+	return fmt.Sprintf("%s%s--%s", op, e.A, e.B)
+}
+
+// Graph is a dynamic undirected graph over node ids, optionally
+// annotated with positions. It is safe for concurrent use.
+type Graph struct {
+	mu    sync.RWMutex
+	adj   map[tuple.NodeID]map[tuple.NodeID]struct{}
+	pos   map[tuple.NodeID]space.Point
+	fixed map[tuple.NodeID]struct{} // nodes excluded from geometric recompute
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		adj:   make(map[tuple.NodeID]map[tuple.NodeID]struct{}),
+		pos:   make(map[tuple.NodeID]space.Point),
+		fixed: make(map[tuple.NodeID]struct{}),
+	}
+}
+
+// AddNode adds an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id tuple.NodeID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addNodeLocked(id)
+}
+
+func (g *Graph) addNodeLocked(id tuple.NodeID) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = make(map[tuple.NodeID]struct{})
+	}
+}
+
+// RemoveNode deletes a node and returns the edge-removal events for the
+// links it had (a node crash / departure).
+func (g *Graph) RemoveNode(id tuple.NodeID) []EdgeEvent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return nil
+	}
+	events := make([]EdgeEvent, 0, len(nbrs))
+	for n := range nbrs {
+		delete(g.adj[n], id)
+		events = append(events, EdgeEvent{A: id, B: n})
+	}
+	delete(g.adj, id)
+	delete(g.pos, id)
+	delete(g.fixed, id)
+	sortEvents(events)
+	return events
+}
+
+// HasNode reports whether id is in the graph.
+func (g *Graph) HasNode(id tuple.NodeID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.adj[id]
+	return ok
+}
+
+// AddEdge links a and b (adding missing nodes) and reports whether the
+// graph changed.
+func (g *Graph) AddEdge(a, b tuple.NodeID) bool {
+	if a == b {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addEdgeLocked(a, b)
+}
+
+func (g *Graph) addEdgeLocked(a, b tuple.NodeID) bool {
+	g.addNodeLocked(a)
+	g.addNodeLocked(b)
+	if _, ok := g.adj[a][b]; ok {
+		return false
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	return true
+}
+
+// RemoveEdge unlinks a and b and reports whether the graph changed.
+func (g *Graph) RemoveEdge(a, b tuple.NodeID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.removeEdgeLocked(a, b)
+}
+
+func (g *Graph) removeEdgeLocked(a, b tuple.NodeID) bool {
+	if _, ok := g.adj[a][b]; !ok {
+		return false
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	return true
+}
+
+// HasEdge reports whether a and b are linked.
+func (g *Graph) HasEdge(a, b tuple.NodeID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Neighbors returns a's neighbors in deterministic (sorted) order.
+func (g *Graph) Neighbors(a tuple.NodeID) []tuple.NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]tuple.NodeID, 0, len(g.adj[a]))
+	for n := range g.adj[a] {
+		out = append(out, n)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Degree returns the number of neighbors of a.
+func (g *Graph) Degree(a tuple.NodeID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.adj[a])
+}
+
+// Nodes returns all node ids in deterministic (sorted) order.
+func (g *Graph) Nodes() []tuple.NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]tuple.NodeID, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.adj)
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// SetPosition records a node's position (adding the node if missing).
+// Positions feed Recompute and the localization devices of the emulator.
+func (g *Graph) SetPosition(id tuple.NodeID, p space.Point) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addNodeLocked(id)
+	g.pos[id] = p
+}
+
+// Position returns a node's position, if one was recorded.
+func (g *Graph) Position(id tuple.NodeID) (space.Point, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// SetWired marks a node as excluded from geometric recomputation: its
+// manually-added edges persist regardless of positions. This models the
+// paper's wired-Internet nodes, whose neighborhood is defined by
+// addressability rather than radio range.
+func (g *Graph) SetWired(id tuple.NodeID, wired bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addNodeLocked(id)
+	if wired {
+		g.fixed[id] = struct{}{}
+	} else {
+		delete(g.fixed, id)
+	}
+}
+
+// Recompute rebuilds the edge set of all non-wired positioned nodes as a
+// unit-disk graph with the given radio range and returns the resulting
+// edge changes in deterministic order.
+func (g *Graph) Recompute(radioRange float64) []EdgeEvent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	ids := make([]tuple.NodeID, 0, len(g.pos))
+	for id := range g.pos {
+		if _, wired := g.fixed[id]; !wired {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids)
+
+	var events []EdgeEvent
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			inRange := g.pos[a].Dist(g.pos[b]) <= radioRange
+			if inRange {
+				if g.addEdgeLocked(a, b) {
+					events = append(events, EdgeEvent{A: a, B: b, Added: true})
+				}
+			} else if g.removeEdgeLocked(a, b) {
+				events = append(events, EdgeEvent{A: a, B: b})
+			}
+		}
+	}
+	return events
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := New()
+	for id, nbrs := range g.adj {
+		out.addNodeLocked(id)
+		for n := range nbrs {
+			out.addEdgeLocked(id, n)
+		}
+	}
+	for id, p := range g.pos {
+		out.pos[id] = p
+	}
+	for id := range g.fixed {
+		out.fixed[id] = struct{}{}
+	}
+	return out
+}
+
+// BFSDistances returns the hop distance from src to every reachable
+// node (src included, at distance 0). It is the oracle a converged
+// hop-count gradient structure must equal.
+func (g *Graph) BFSDistances(src tuple.NodeID) map[tuple.NodeID]int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.adj[src]; !ok {
+		return nil
+	}
+	dist := map[tuple.NodeID]int{src: 0}
+	queue := []tuple.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for n := range g.adj[cur] {
+			if _, seen := dist[n]; !seen {
+				dist[n] = dist[cur] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive),
+// or nil if dst is unreachable. Ties break toward lexicographically
+// smaller predecessors, so results are deterministic.
+func (g *Graph) ShortestPath(src, dst tuple.NodeID) []tuple.NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.adj[src]; !ok {
+		return nil
+	}
+	prev := map[tuple.NodeID]tuple.NodeID{src: src}
+	queue := []tuple.NodeID{src}
+	for len(queue) > 0 && prev[dst] == "" {
+		cur := queue[0]
+		queue = queue[1:]
+		nbrs := make([]tuple.NodeID, 0, len(g.adj[cur]))
+		for n := range g.adj[cur] {
+			nbrs = append(nbrs, n)
+		}
+		sortIDs(nbrs)
+		for _, n := range nbrs {
+			if _, seen := prev[n]; !seen {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil
+	}
+	var path []tuple.NodeID
+	for cur := dst; ; cur = prev[cur] {
+		path = append(path, cur)
+		if cur == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Connected reports whether the graph is non-empty and forms a single
+// connected component.
+func (g *Graph) Connected() bool {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return false
+	}
+	return len(g.BFSDistances(nodes[0])) == len(nodes)
+}
+
+// Components returns the connected components, each sorted, ordered by
+// their smallest member.
+func (g *Graph) Components() [][]tuple.NodeID {
+	nodes := g.Nodes()
+	seen := make(map[tuple.NodeID]bool, len(nodes))
+	var comps [][]tuple.NodeID
+	for _, n := range nodes {
+		if seen[n] {
+			continue
+		}
+		dist := g.BFSDistances(n)
+		comp := make([]tuple.NodeID, 0, len(dist))
+		for m := range dist {
+			seen[m] = true
+			comp = append(comp, m)
+		}
+		sortIDs(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Diameter returns the longest shortest-path length in the graph's
+// largest component.
+func (g *Graph) Diameter() int {
+	max := 0
+	for _, n := range g.Nodes() {
+		for _, d := range g.BFSDistances(n) {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func sortIDs(ids []tuple.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortEvents(evs []EdgeEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].A != evs[j].A {
+			return evs[i].A < evs[j].A
+		}
+		return evs[i].B < evs[j].B
+	})
+}

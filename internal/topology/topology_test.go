@@ -1,0 +1,300 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tota/internal/space"
+	"tota/internal/tuple"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New()
+	if !g.AddEdge("a", "b") {
+		t.Error("AddEdge new edge returned false")
+	}
+	if g.AddEdge("a", "b") {
+		t.Error("AddEdge duplicate returned true")
+	}
+	if g.AddEdge("a", "a") {
+		t.Error("self-loop accepted")
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edge not symmetric")
+	}
+	if !g.RemoveEdge("a", "b") {
+		t.Error("RemoveEdge returned false")
+	}
+	if g.RemoveEdge("a", "b") {
+		t.Error("RemoveEdge of missing edge returned true")
+	}
+	if g.HasEdge("a", "b") {
+		t.Error("edge still present after removal")
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (nodes survive edge removal)", g.Len())
+	}
+}
+
+func TestRemoveNodeEmitsEvents(t *testing.T) {
+	g := New()
+	g.AddEdge("hub", "a")
+	g.AddEdge("hub", "b")
+	g.AddEdge("a", "b")
+	events := g.RemoveNode("hub")
+	if len(events) != 2 {
+		t.Fatalf("events = %v, want 2 removals", events)
+	}
+	for _, e := range events {
+		if e.Added {
+			t.Errorf("event %v marked Added", e)
+		}
+	}
+	if g.HasNode("hub") {
+		t.Error("node still present")
+	}
+	if !g.HasEdge("a", "b") {
+		t.Error("unrelated edge removed")
+	}
+	if ev := g.RemoveNode("hub"); ev != nil {
+		t.Errorf("second RemoveNode = %v, want nil", ev)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	g.AddEdge("m", "z")
+	g.AddEdge("m", "a")
+	g.AddEdge("m", "k")
+	got := g.Neighbors("m")
+	want := []tuple.NodeID{"a", "k", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+	if d := g.Degree("m"); d != 3 {
+		t.Errorf("Degree = %d", d)
+	}
+}
+
+func TestBFSDistancesOnGrid(t *testing.T) {
+	g := Grid(4, 4, 1)
+	dist := g.BFSDistances(NodeName(0))
+	if len(dist) != 16 {
+		t.Fatalf("reached %d nodes, want 16", len(dist))
+	}
+	// Manhattan distance on a 4-connected grid.
+	for i := 0; i < 16; i++ {
+		want := i%4 + i/4
+		if got := dist[NodeName(i)]; got != want {
+			t.Errorf("dist[%v] = %d, want %d", NodeName(i), got, want)
+		}
+	}
+	if d := g.BFSDistances("missing"); d != nil {
+		t.Errorf("BFS from missing node = %v", d)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Grid(3, 3, 1)
+	path := g.ShortestPath(NodeName(0), NodeName(8))
+	if len(path) != 5 {
+		t.Fatalf("path = %v, want length 5", path)
+	}
+	if path[0] != NodeName(0) || path[len(path)-1] != NodeName(8) {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Errorf("path step %v-%v is not an edge", path[i-1], path[i])
+		}
+	}
+	if p := g.ShortestPath(NodeName(0), "unreachable"); p != nil {
+		t.Errorf("path to unreachable = %v", p)
+	}
+	if p := g.ShortestPath(NodeName(0), NodeName(0)); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New()
+	if g.Connected() {
+		t.Error("empty graph reported connected")
+	}
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "d")
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components = %v", comps)
+	}
+	if comps[0][0] != "a" || comps[1][0] != "c" {
+		t.Errorf("components not ordered: %v", comps)
+	}
+	g.AddEdge("b", "c")
+	if !g.Connected() {
+		t.Error("joined graph not connected")
+	}
+}
+
+func TestRecomputeUnitDisk(t *testing.T) {
+	g := New()
+	g.SetPosition("a", space.Point{X: 0, Y: 0})
+	g.SetPosition("b", space.Point{X: 1, Y: 0})
+	g.SetPosition("c", space.Point{X: 3, Y: 0})
+	events := g.Recompute(1.5)
+	if len(events) != 1 || !events[0].Added {
+		t.Fatalf("events = %v, want one addition", events)
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "c") {
+		t.Error("unit-disk edges wrong")
+	}
+
+	// Move c into range of b: one more edge appears.
+	g.SetPosition("c", space.Point{X: 2, Y: 0})
+	events = g.Recompute(1.5)
+	if len(events) != 1 || !events[0].Added || events[0].A != "b" || events[0].B != "c" {
+		t.Fatalf("events after move = %v", events)
+	}
+
+	// Move b away: both its links drop.
+	g.SetPosition("b", space.Point{X: 10, Y: 10})
+	events = g.Recompute(1.5)
+	removed := 0
+	for _, e := range events {
+		if !e.Added {
+			removed++
+		}
+	}
+	if removed != 2 {
+		t.Errorf("events after departure = %v, want 2 removals", events)
+	}
+}
+
+func TestRecomputeRespectsWired(t *testing.T) {
+	g := New()
+	g.SetPosition("a", space.Point{X: 0, Y: 0})
+	g.SetPosition("w", space.Point{X: 100, Y: 100})
+	g.SetWired("w", true)
+	g.AddEdge("a", "w") // manual wired link
+	if events := g.Recompute(1.5); len(events) != 0 {
+		t.Errorf("Recompute touched wired node: %v", events)
+	}
+	if !g.HasEdge("a", "w") {
+		t.Error("wired edge removed")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	t.Run("grid", func(t *testing.T) {
+		g := Grid(3, 2, 2)
+		if g.Len() != 6 {
+			t.Errorf("Len = %d", g.Len())
+		}
+		if g.EdgeCount() != 7 { // 2*3 grid: 3 vertical + 4 horizontal
+			t.Errorf("EdgeCount = %d, want 7", g.EdgeCount())
+		}
+		if p, ok := g.Position(NodeName(4)); !ok || p != (space.Point{X: 2, Y: 2}) {
+			t.Errorf("Position = %v, %v", p, ok)
+		}
+	})
+	t.Run("line", func(t *testing.T) {
+		g := Line(5)
+		if g.EdgeCount() != 4 || g.Diameter() != 4 {
+			t.Errorf("line: edges=%d diameter=%d", g.EdgeCount(), g.Diameter())
+		}
+	})
+	t.Run("ring", func(t *testing.T) {
+		g := Ring(6)
+		if g.EdgeCount() != 6 || g.Diameter() != 3 {
+			t.Errorf("ring: edges=%d diameter=%d", g.EdgeCount(), g.Diameter())
+		}
+	})
+	t.Run("star", func(t *testing.T) {
+		g := Star(5)
+		if g.Len() != 6 || g.Degree(NodeName(0)) != 5 || g.Diameter() != 2 {
+			t.Errorf("star: len=%d deg=%d", g.Len(), g.Degree(NodeName(0)))
+		}
+	})
+	t.Run("random geometric deterministic", func(t *testing.T) {
+		a := RandomGeometric(30, 10, 3, rand.New(rand.NewSource(1)))
+		b := RandomGeometric(30, 10, 3, rand.New(rand.NewSource(1)))
+		if a.EdgeCount() != b.EdgeCount() || a.Len() != b.Len() {
+			t.Error("same seed produced different graphs")
+		}
+	})
+	t.Run("connected random geometric", func(t *testing.T) {
+		g := ConnectedRandomGeometric(40, 10, 3, rand.New(rand.NewSource(7)), 50)
+		if g == nil {
+			t.Fatal("no connected layout found")
+		}
+		if !g.Connected() {
+			t.Error("result not connected")
+		}
+	})
+}
+
+func TestClone(t *testing.T) {
+	g := Grid(3, 3, 1)
+	c := g.Clone()
+	c.RemoveNode(NodeName(4))
+	if !g.HasNode(NodeName(4)) {
+		t.Error("Clone shares state with original")
+	}
+	if c.Len() != 8 || g.Len() != 9 {
+		t.Errorf("lens: clone=%d orig=%d", c.Len(), g.Len())
+	}
+}
+
+// Property: on connected random geometric graphs, BFS distances satisfy
+// the 1-Lipschitz condition across every edge.
+func TestBFSLipschitzQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGeometric(25, 10, 4, rng)
+		src := NodeName(int(rng.Int31n(25)))
+		dist := g.BFSDistances(src)
+		for _, a := range g.Nodes() {
+			da, oka := dist[a]
+			for _, b := range g.Neighbors(a) {
+				db, okb := dist[b]
+				if oka != okb {
+					return false // reachable node adjacent to unreachable one
+				}
+				if oka && okb && abs(da-db) > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEdgeEventString(t *testing.T) {
+	add := EdgeEvent{A: "a", B: "b", Added: true}
+	if add.String() != "+a--b" {
+		t.Errorf("String = %q", add.String())
+	}
+	rem := EdgeEvent{A: "a", B: "b"}
+	if rem.String() != "-a--b" {
+		t.Errorf("String = %q", rem.String())
+	}
+}

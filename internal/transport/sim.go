@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// Sim errors.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrNotNeighbor = errors.New("transport: destination is not a neighbor")
+)
+
+// SimConfig tunes the simulated radio.
+type SimConfig struct {
+	// Loss is the independent per-packet drop probability in [0, 1).
+	Loss float64
+	// LatencyRounds is how many Step calls a packet spends in flight
+	// (minimum 1).
+	LatencyRounds int
+	// Shuffle delivers each round's packets in a random (seeded)
+	// permutation instead of send order, exploring the delivery-order
+	// races the paper's §6 worries about.
+	Shuffle bool
+	// Dup is the independent probability that a packet is delivered
+	// twice (radio-level duplication the engine must absorb).
+	Dup float64
+	// Seed makes loss and shuffle decisions reproducible.
+	Seed int64
+}
+
+// Sim is a deterministic simulated radio network. Nodes attach to it to
+// obtain endpoints; the emulator (or a test) drives time by calling
+// Step, which delivers every packet sent at least LatencyRounds steps
+// earlier. Topology edits notify the attached handlers immediately.
+//
+// Determinism: packets are delivered in the order they were sent, loss
+// is drawn from a seeded source, and neighbor snapshots are sorted.
+// All methods are safe for concurrent use, but determinism additionally
+// requires the usual emulator discipline of sending from handler
+// callbacks and from the step-driving goroutine only.
+type Sim struct {
+	cfg SimConfig
+
+	mu       sync.Mutex
+	graph    *topology.Graph
+	handlers map[tuple.NodeID]Handler
+	inflight []simPacket
+	rng      *rand.Rand
+	stats    Stats
+}
+
+type simPacket struct {
+	from, to tuple.NodeID
+	data     []byte
+	dueRound int
+}
+
+// NewSim creates a simulated network over the given (shared, live)
+// topology graph.
+func NewSim(g *topology.Graph, cfg SimConfig) *Sim {
+	if cfg.LatencyRounds < 1 {
+		cfg.LatencyRounds = 1
+	}
+	return &Sim{
+		cfg:      cfg,
+		graph:    g,
+		handlers: make(map[tuple.NodeID]Handler),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Graph returns the underlying topology graph.
+func (s *Sim) Graph() *topology.Graph { return s.graph }
+
+// SetLoss changes the per-packet drop probability at runtime (failure
+// injection).
+func (s *Sim) SetLoss(p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Loss = p
+}
+
+// Attach registers a node and returns its endpoint. The handler may be
+// nil initially and set later with Bind (the middleware node needs the
+// endpoint at construction time).
+func (s *Sim) Attach(id tuple.NodeID, h Handler) *SimEndpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.graph.AddNode(id)
+	s.handlers[id] = h
+	return &SimEndpoint{net: s, id: id}
+}
+
+// Bind sets or replaces the handler for an attached node.
+func (s *Sim) Bind(id tuple.NodeID, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[id] = h
+}
+
+// Detach removes a node from the network (a crash): its links drop, its
+// queued packets are discarded, and surviving neighbors are notified.
+func (s *Sim) Detach(id tuple.NodeID) {
+	s.mu.Lock()
+	events := s.graph.RemoveNode(id)
+	delete(s.handlers, id)
+	kept := s.inflight[:0]
+	for _, p := range s.inflight {
+		if p.from != id && p.to != id {
+			kept = append(kept, p)
+		}
+	}
+	s.inflight = kept
+	s.mu.Unlock()
+	s.notify(events)
+}
+
+// ApplyEdgeEvents forwards externally produced topology changes (e.g.
+// from Graph.Recompute or manual edits) to the affected handlers. The
+// graph itself must already reflect the change.
+func (s *Sim) ApplyEdgeEvents(events []topology.EdgeEvent) {
+	s.notify(events)
+}
+
+// AddEdge links two nodes and notifies both handlers.
+func (s *Sim) AddEdge(a, b tuple.NodeID) {
+	if s.graph.AddEdge(a, b) {
+		s.notify([]topology.EdgeEvent{{A: a, B: b, Added: true}})
+	}
+}
+
+// RemoveEdge unlinks two nodes and notifies both handlers.
+func (s *Sim) RemoveEdge(a, b tuple.NodeID) {
+	if s.graph.RemoveEdge(a, b) {
+		s.notify([]topology.EdgeEvent{{A: a, B: b}})
+	}
+}
+
+func (s *Sim) notify(events []topology.EdgeEvent) {
+	for _, e := range events {
+		s.mu.Lock()
+		ha, hb := s.handlers[e.A], s.handlers[e.B]
+		s.mu.Unlock()
+		if ha != nil {
+			ha.HandleNeighbor(e.B, e.Added)
+		}
+		if hb != nil {
+			hb.HandleNeighbor(e.A, e.Added)
+		}
+	}
+}
+
+// Step advances simulated time by one round, delivering every due
+// packet (in send order) to handlers. It returns the number of packets
+// delivered.
+func (s *Sim) Step() int {
+	s.mu.Lock()
+	var due, later []simPacket
+	for _, p := range s.inflight {
+		p.dueRound--
+		if p.dueRound <= 0 {
+			due = append(due, p)
+		} else {
+			later = append(later, p)
+		}
+	}
+	s.inflight = later
+	if s.cfg.Shuffle {
+		s.rng.Shuffle(len(due), func(i, j int) {
+			due[i], due[j] = due[j], due[i]
+		})
+	}
+	s.mu.Unlock()
+
+	delivered := 0
+	for _, p := range due {
+		s.mu.Lock()
+		h := s.handlers[p.to]
+		linked := s.graph.HasEdge(p.from, p.to)
+		if h == nil || !linked {
+			s.stats.Dropped++
+			s.mu.Unlock()
+			continue
+		}
+		s.stats.Delivered++
+		s.mu.Unlock()
+		h.HandlePacket(p.from, p.data)
+		delivered++
+	}
+	return delivered
+}
+
+// RunUntilQuiet steps until no packets remain in flight or maxSteps is
+// reached, returning the number of steps taken. Handlers typically send
+// more packets while handling, so this runs a whole propagation wave to
+// quiescence.
+func (s *Sim) RunUntilQuiet(maxSteps int) int {
+	for i := 0; i < maxSteps; i++ {
+		s.mu.Lock()
+		pending := len(s.inflight)
+		s.mu.Unlock()
+		if pending == 0 {
+			return i
+		}
+		s.Step()
+	}
+	return maxSteps
+}
+
+// Pending returns the number of packets currently in flight.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Sim) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (s *Sim) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+func (s *Sim) send(from, to tuple.NodeID, data []byte) {
+	if s.cfg.Loss > 0 && s.rng.Float64() < s.cfg.Loss {
+		s.stats.Dropped++
+		s.stats.Sent++
+		return
+	}
+	s.stats.Sent++
+	copies := 1
+	if s.cfg.Dup > 0 && s.rng.Float64() < s.cfg.Dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		s.inflight = append(s.inflight, simPacket{
+			from:     from,
+			to:       to,
+			data:     data,
+			dueRound: s.cfg.LatencyRounds,
+		})
+	}
+}
+
+// SimEndpoint is one node's attachment to a Sim network.
+type SimEndpoint struct {
+	net *Sim
+	id  tuple.NodeID
+}
+
+var _ Sender = (*SimEndpoint)(nil)
+
+// Self implements Sender.
+func (e *SimEndpoint) Self() tuple.NodeID { return e.id }
+
+// Neighbors implements Sender.
+func (e *SimEndpoint) Neighbors() []tuple.NodeID {
+	return e.net.graph.Neighbors(e.id)
+}
+
+// Broadcast implements Sender, enqueueing one copy per current
+// neighbor (the radio's one-hop broadcast).
+func (e *SimEndpoint) Broadcast(data []byte) error {
+	nbrs := e.net.graph.Neighbors(e.id)
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if _, ok := e.net.handlers[e.id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, e.id)
+	}
+	e.net.stats.Broadcasts++
+	for _, n := range nbrs {
+		e.net.send(e.id, n, data)
+	}
+	return nil
+}
+
+// Send implements Sender.
+func (e *SimEndpoint) Send(to tuple.NodeID, data []byte) error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if _, ok := e.net.handlers[e.id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, e.id)
+	}
+	if !e.net.graph.HasEdge(e.id, to) {
+		return fmt.Errorf("%w: %s -> %s", ErrNotNeighbor, e.id, to)
+	}
+	e.net.send(e.id, to, data)
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package transport defines the communication substrate TOTA runs on
+// and provides a deterministic simulated radio network for emulation and
+// testing. A real UDP transport lives in the udp subpackage.
+//
+// TOTA's engine needs very little from its substrate: a node identity, a
+// one-hop broadcast (the paper's multicast-socket communication), an
+// optional one-hop unicast, and notification of neighbor appearance /
+// disappearance. Everything above that — propagation, dedup,
+// maintenance — is middleware.
+package transport
+
+import "tota/internal/tuple"
+
+// Sender is the outgoing half of a transport, the only part the
+// middleware engine needs to emit traffic.
+type Sender interface {
+	// Self returns the node's unique identity.
+	Self() tuple.NodeID
+	// Neighbors returns the current one-hop neighborhood.
+	Neighbors() []tuple.NodeID
+	// Broadcast delivers data to every current neighbor.
+	Broadcast(data []byte) error
+	// Send delivers data to a single neighbor.
+	Send(to tuple.NodeID, data []byte) error
+}
+
+// Handler receives the incoming half of a transport: packets from
+// neighbors and neighborhood change notifications. The middleware node
+// implements it.
+type Handler interface {
+	// HandlePacket processes one packet from a one-hop neighbor.
+	HandlePacket(from tuple.NodeID, data []byte)
+	// HandleNeighbor processes a neighbor appearing (added true) or
+	// disappearing (added false).
+	HandleNeighbor(peer tuple.NodeID, added bool)
+}
+
+// Stats counts substrate-level traffic for the experiments' overhead
+// metrics.
+type Stats struct {
+	// Sent counts point-to-point transmissions (a broadcast to k
+	// neighbors counts k).
+	Sent int64
+	// Broadcasts counts broadcast operations.
+	Broadcasts int64
+	// Delivered counts packets handed to handlers.
+	Delivered int64
+	// Dropped counts packets lost in flight.
+	Dropped int64
+}

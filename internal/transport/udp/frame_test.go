@@ -1,0 +1,92 @@
+package udp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tota/internal/tuple"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	tr := &Transport{cfg: Config{NodeID: "node-7"}}
+	payload := []byte{1, 2, 3, 255}
+	frame := tr.frame(frameData, payload)
+	typ, id, got, err := parseFrame(frame)
+	if err != nil {
+		t.Fatalf("parseFrame: %v", err)
+	}
+	if typ != frameData || id != "node-7" || string(got) != string(payload) {
+		t.Errorf("parsed = %v %q %v", typ, id, got)
+	}
+
+	hello := tr.frame(frameHello, nil)
+	typ, id, got, err = parseFrame(hello)
+	if err != nil {
+		t.Fatalf("parseFrame(hello): %v", err)
+	}
+	if typ != frameHello || id != "node-7" || len(got) != 0 {
+		t.Errorf("hello parsed = %v %q %v", typ, id, got)
+	}
+}
+
+func TestParseFrameRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{1, 0, 0, 0},
+		{frameData, 0, 0, 0, 200, 'x'}, // id length beyond buffer
+	}
+	for _, c := range cases {
+		if _, _, _, err := parseFrame(c); err == nil {
+			t.Errorf("parseFrame(%v) accepted", c)
+		}
+	}
+}
+
+// Property: every frame round-trips, and parseFrame never panics on
+// arbitrary bytes.
+func TestFrameQuick(t *testing.T) {
+	f := func(id string, payload []byte, garbage []byte) bool {
+		tr := &Transport{cfg: Config{NodeID: tuple.NodeID(id)}}
+		typ, gotID, gotPayload, err := parseFrame(tr.frame(frameData, payload))
+		if err != nil || typ != frameData || string(gotID) != id ||
+			string(gotPayload) != string(payload) {
+			return false
+		}
+		_, _, _, _ = parseFrame(garbage) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGarbageDatagramsIgnored feeds raw junk to a live socket: the
+// transport must survive and keep working.
+func TestGarbageDatagramsIgnored(t *testing.T) {
+	ta, na := newUDPNode(t, "ga")
+	tb, _ := newUDPNode(t, "gb")
+	connect(t, ta, tb)
+	ta.Start()
+	tb.Start()
+	eventually(t, "discovery", func() bool { return len(na.Neighbors()) == 1 })
+
+	// Throw junk at a's socket from an unknown sender.
+	if err := tb.AddPeer(ta.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	conn := tb // reuse b's socket via its exported surface: send raw data frames with bad payloads
+	for i := 0; i < 20; i++ {
+		// Bad engine payloads inside valid frames: decode errors.
+		if err := conn.Send("ga", []byte{0xff, 0xee, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "decode errors absorbed", func() bool {
+		return na.Stats().DecodeErrors >= 20
+	})
+	// Still functional afterwards.
+	if len(na.Neighbors()) != 1 {
+		t.Error("transport wedged by garbage")
+	}
+}

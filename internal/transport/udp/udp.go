@@ -1,0 +1,335 @@
+// Package udp is a real network transport for TOTA nodes, replacing the
+// paper's 802.11b multicast sockets with UDP datagrams so the middleware
+// runs across actual processes.
+//
+// Neighbor discovery follows the paper's wired-scenario recipe: each
+// node is configured with a list of candidate peer addresses (the
+// "central repository of TOTA node addresses") and exchanges periodic
+// HELLO beacons with them; a candidate becomes a neighbor when its
+// beacons arrive and is dropped when they stop. Broadcast sends one
+// datagram per current neighbor — the loopback-testable equivalent of
+// the one-hop radio multicast.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// Frame types on the socket.
+const (
+	frameHello byte = 1
+	frameData  byte = 2
+)
+
+const maxDatagram = 64 * 1024
+
+// Config tunes a UDP transport.
+type Config struct {
+	// NodeID is the node's identity; it must be unique in the network.
+	NodeID tuple.NodeID
+	// ListenAddr is the UDP address to bind ("127.0.0.1:0" for an
+	// ephemeral loopback port).
+	ListenAddr string
+	// Peers are the candidate neighbor addresses (the address
+	// repository). More can be added at runtime with AddPeer.
+	Peers []string
+	// HelloInterval is the beacon period (default 50ms).
+	HelloInterval time.Duration
+	// PeerTimeout is how long to wait for beacons before declaring a
+	// neighbor gone (default 4 × HelloInterval).
+	PeerTimeout time.Duration
+}
+
+// Transport is a UDP-backed transport.Sender. Attach the middleware
+// node with SetHandler, then Start.
+type Transport struct {
+	cfg  Config
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	handler  transport.Handler
+	peers    map[string]*peerState // keyed by remote address
+	byID     map[tuple.NodeID]*peerState
+	closed   bool
+	stopHup  chan struct{}
+	doneHup  chan struct{}
+	doneRead chan struct{}
+}
+
+type peerState struct {
+	addr     *net.UDPAddr
+	id       tuple.NodeID // "" until first hello
+	lastSeen time.Time
+	up       bool
+}
+
+var _ transport.Sender = (*Transport)(nil)
+
+// New binds the socket. Call SetHandler and then Start to begin
+// exchanging beacons and packets.
+func New(cfg Config) (*Transport, error) {
+	if cfg.NodeID == "" {
+		return nil, errors.New("udp: empty node id")
+	}
+	if cfg.HelloInterval <= 0 {
+		cfg.HelloInterval = 50 * time.Millisecond
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 4 * cfg.HelloInterval
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolve listen addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: listen: %w", err)
+	}
+	t := &Transport{
+		cfg:      cfg,
+		conn:     conn,
+		peers:    make(map[string]*peerState),
+		byID:     make(map[tuple.NodeID]*peerState),
+		stopHup:  make(chan struct{}),
+		doneHup:  make(chan struct{}),
+		doneRead: make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if err := t.AddPeer(p); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Addr returns the bound local address ("127.0.0.1:port"), which other
+// nodes list as a peer.
+func (t *Transport) Addr() string { return t.conn.LocalAddr().String() }
+
+// SetHandler attaches the packet/neighbor consumer (the middleware
+// node). It must be called before Start.
+func (t *Transport) SetHandler(h transport.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// AddPeer registers another candidate neighbor address.
+func (t *Transport) AddPeer(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udp: resolve peer %q: %w", addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.peers[ua.String()]; !ok {
+		t.peers[ua.String()] = &peerState{addr: ua}
+	}
+	return nil
+}
+
+// Start launches the beacon and receive loops.
+func (t *Transport) Start() {
+	go t.helloLoop()
+	go t.readLoop()
+}
+
+// Close stops the loops and closes the socket, waiting for the
+// goroutines to exit.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.stopHup)
+	err := t.conn.Close()
+	<-t.doneHup
+	<-t.doneRead
+	return err
+}
+
+// Self implements transport.Sender.
+func (t *Transport) Self() tuple.NodeID { return t.cfg.NodeID }
+
+// Neighbors implements transport.Sender.
+func (t *Transport) Neighbors() []tuple.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []tuple.NodeID
+	for id, p := range t.byID {
+		if p.up {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Broadcast implements transport.Sender.
+func (t *Transport) Broadcast(data []byte) error {
+	frame := t.frame(frameData, data)
+	t.mu.Lock()
+	var addrs []*net.UDPAddr
+	for _, p := range t.byID {
+		if p.up {
+			addrs = append(addrs, p.addr)
+		}
+	}
+	t.mu.Unlock()
+	var firstErr error
+	for _, a := range addrs {
+		if _, err := t.conn.WriteToUDP(frame, a); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Send implements transport.Sender.
+func (t *Transport) Send(to tuple.NodeID, data []byte) error {
+	t.mu.Lock()
+	p, ok := t.byID[to]
+	up := ok && p.up
+	t.mu.Unlock()
+	if !up {
+		return fmt.Errorf("udp: %s is not a neighbor", to)
+	}
+	_, err := t.conn.WriteToUDP(t.frame(frameData, data), p.addr)
+	return err
+}
+
+// frame prepends the frame header: type, sender id.
+func (t *Transport) frame(typ byte, payload []byte) []byte {
+	id := string(t.cfg.NodeID)
+	b := make([]byte, 0, 1+4+len(id)+len(payload))
+	b = append(b, typ)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
+	b = append(b, id...)
+	return append(b, payload...)
+}
+
+func parseFrame(data []byte) (typ byte, id tuple.NodeID, payload []byte, err error) {
+	if len(data) < 5 {
+		return 0, "", nil, errors.New("udp: short frame")
+	}
+	typ = data[0]
+	n := int(binary.BigEndian.Uint32(data[1:5]))
+	if len(data) < 5+n {
+		return 0, "", nil, errors.New("udp: truncated frame")
+	}
+	return typ, tuple.NodeID(data[5 : 5+n]), data[5+n:], nil
+}
+
+func (t *Transport) helloLoop() {
+	defer close(t.doneHup)
+	ticker := time.NewTicker(t.cfg.HelloInterval)
+	defer ticker.Stop()
+	hello := t.frame(frameHello, nil)
+	for {
+		select {
+		case <-t.stopHup:
+			return
+		case <-ticker.C:
+			t.mu.Lock()
+			var addrs []*net.UDPAddr
+			for _, p := range t.peers {
+				addrs = append(addrs, p.addr)
+			}
+			t.mu.Unlock()
+			for _, a := range addrs {
+				_, _ = t.conn.WriteToUDP(hello, a)
+			}
+			t.expirePeers()
+		}
+	}
+}
+
+func (t *Transport) expirePeers() {
+	now := time.Now()
+	t.mu.Lock()
+	var gone []tuple.NodeID
+	for id, p := range t.byID {
+		if p.up && now.Sub(p.lastSeen) > t.cfg.PeerTimeout {
+			p.up = false
+			gone = append(gone, id)
+		}
+	}
+	h := t.handler
+	t.mu.Unlock()
+	if h != nil {
+		for _, id := range gone {
+			h.HandleNeighbor(id, false)
+		}
+	}
+}
+
+func (t *Transport) readLoop() {
+	defer close(t.doneRead)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		typ, id, payload, perr := parseFrame(buf[:n])
+		if perr != nil || id == t.cfg.NodeID {
+			continue
+		}
+		switch typ {
+		case frameHello:
+			t.handleHello(id, raddr)
+		case frameData:
+			t.handleData(id, payload)
+		}
+	}
+}
+
+func (t *Transport) handleHello(id tuple.NodeID, raddr *net.UDPAddr) {
+	key := raddr.String()
+	t.mu.Lock()
+	p, ok := t.peers[key]
+	if !ok {
+		// Unsolicited hello: learn the peer (symmetric discovery).
+		p = &peerState{addr: raddr}
+		t.peers[key] = p
+	}
+	p.id = id
+	p.lastSeen = time.Now()
+	wasUp := p.up
+	p.up = true
+	t.byID[id] = p
+	h := t.handler
+	t.mu.Unlock()
+	if !wasUp && h != nil {
+		h.HandleNeighbor(id, true)
+	}
+}
+
+func (t *Transport) handleData(id tuple.NodeID, payload []byte) {
+	t.mu.Lock()
+	p, ok := t.byID[id]
+	up := ok && p.up
+	h := t.handler
+	t.mu.Unlock()
+	if !up || h == nil {
+		return
+	}
+	// Copy: the read buffer is reused.
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	h.HandlePacket(id, data)
+}

@@ -1,0 +1,273 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Factory reconstructs a tuple of a given kind from its identity and
+// content. Every kind used on the wire must register one.
+type Factory func(id ID, c Content) (Tuple, error)
+
+// Registry maps tuple kinds to factories, enabling the generic binary
+// codec: a tuple round-trips as (kind, id, content).
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory for kind. Registering the same kind twice is
+// an error so accidental collisions between tuple libraries surface
+// early.
+func (r *Registry) Register(kind string, f Factory) error {
+	if kind == "" {
+		return errors.New("tuple: empty kind")
+	}
+	if f == nil {
+		return fmt.Errorf("tuple: nil factory for kind %q", kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[kind]; dup {
+		return fmt.Errorf("tuple: kind %q already registered", kind)
+	}
+	r.factories[kind] = f
+	return nil
+}
+
+// MustRegister is Register for program initialization; it panics on
+// error.
+func (r *Registry) MustRegister(kind string, f Factory) {
+	if err := r.Register(kind, f); err != nil {
+		panic(err)
+	}
+}
+
+// New builds a tuple of the given kind from id and content.
+func (r *Registry) New(kind string, id ID, c Content) (Tuple, error) {
+	r.mu.RLock()
+	f, ok := r.factories[kind]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tuple: unknown kind %q", kind)
+	}
+	t, err := f(id, c)
+	if err != nil {
+		return nil, fmt.Errorf("tuple: decode kind %q: %w", kind, err)
+	}
+	return t, nil
+}
+
+// Clone deep-copies a tuple by rebuilding it from its kind, id and a
+// cloned content.
+func (r *Registry) Clone(t Tuple) (Tuple, error) {
+	return r.New(t.Kind(), t.ID(), t.Content().Clone())
+}
+
+// Kinds returns the registered kind names (in map order).
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		out = append(out, k)
+	}
+	return out
+}
+
+// DefaultRegistry is the process-wide registry; tuple libraries register
+// their kinds into it at initialization (the pluggable-codec-registry
+// pattern).
+var DefaultRegistry = NewRegistry()
+
+const codecVersion = 1
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("tuple: short buffer")
+	ErrBadVersion  = errors.New("tuple: unsupported codec version")
+)
+
+// Encode serializes a tuple as (kind, id, content) using a compact
+// big-endian binary format.
+func Encode(t Tuple) ([]byte, error) {
+	c := t.Content()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(c) > math.MaxUint16 {
+		return nil, fmt.Errorf("tuple: too many fields (%d)", len(c))
+	}
+	var b []byte
+	b = append(b, codecVersion)
+	b = appendString(b, t.Kind())
+	b = appendString(b, string(t.ID().Node))
+	b = binary.BigEndian.AppendUint64(b, t.ID().Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(c)))
+	for _, f := range c {
+		b = appendString(b, f.Name)
+		b = append(b, byte(f.Kind()))
+		switch v := f.Value.(type) {
+		case string:
+			b = appendString(b, v)
+		case int64:
+			b = binary.BigEndian.AppendUint64(b, uint64(v))
+		case float64:
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+		case bool:
+			if v {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		case []byte:
+			b = appendBytes(b, v)
+		}
+	}
+	return b, nil
+}
+
+// Decode reconstructs a tuple previously serialized with Encode, using
+// the registry's factory for its kind.
+func Decode(r *Registry, data []byte) (Tuple, error) {
+	kind, id, c, err := DecodeParts(data)
+	if err != nil {
+		return nil, err
+	}
+	return r.New(kind, id, c)
+}
+
+// DecodeParts parses the serialized form without invoking a factory,
+// for transports and tools that need only the envelope information.
+func DecodeParts(data []byte) (kind string, id ID, c Content, err error) {
+	d := decoder{buf: data}
+	v := d.byte()
+	if d.err == nil && v != codecVersion {
+		return "", ID{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	kind = d.string()
+	id.Node = NodeID(d.string())
+	id.Seq = d.uint64()
+	n := int(d.uint16())
+	if d.err != nil {
+		return "", ID{}, nil, d.err
+	}
+	c = make(Content, 0, n)
+	for i := 0; i < n; i++ {
+		name := d.string()
+		k := Kind(d.byte())
+		var val any
+		switch k {
+		case KindString:
+			val = d.string()
+		case KindInt:
+			val = int64(d.uint64())
+		case KindFloat:
+			val = math.Float64frombits(d.uint64())
+		case KindBool:
+			val = d.byte() != 0
+		case KindBytes:
+			val = d.bytes()
+		default:
+			if d.err == nil {
+				return "", ID{}, nil, fmt.Errorf("tuple: bad field kind %d", k)
+			}
+		}
+		if d.err != nil {
+			return "", ID{}, nil, d.err
+		}
+		c = append(c, Field{Name: name, Value: val})
+	}
+	if d.err != nil {
+		return "", ID{}, nil, d.err
+	}
+	return kind, id, c, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) string() string {
+	n := int(d.uint32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.uint32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

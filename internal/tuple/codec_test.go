@@ -1,0 +1,196 @@
+package tuple
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestRegistry(t *testing.T, kinds ...string) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, k := range kinds {
+		if err := r.Register(k, factoryFor(k)); err != nil {
+			t.Fatalf("Register(%q): %v", k, err)
+		}
+	}
+	return r
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := newTestRegistry(t, "k")
+	orig := newTestTuple("k", Content{
+		S("s", "héllo"),
+		I("i", -12345),
+		F("f", math.Pi),
+		B("b", true),
+		Bin("raw", []byte{0, 1, 2, 255}),
+		{Value: "positional"},
+	})
+	orig.SetID(ID{Node: "node-a", Seq: 42})
+
+	data, err := Encode(orig)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Kind() != "k" {
+		t.Errorf("Kind = %q", got.Kind())
+	}
+	if got.ID() != orig.ID() {
+		t.Errorf("ID = %v, want %v", got.ID(), orig.ID())
+	}
+	if !got.Content().Equal(orig.Content()) {
+		t.Errorf("Content = %v, want %v", got.Content(), orig.Content())
+	}
+}
+
+func TestEncodeRejectsInvalidContent(t *testing.T) {
+	bad := newTestTuple("k", Content{{Name: "x", Value: struct{}{}}})
+	if _, err := Encode(bad); err == nil {
+		t.Error("Encode accepted unsupported field type")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	r := newTestRegistry(t, "k")
+	good, err := Encode(newTestTuple("k", Content{S("a", "b")}))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	t.Run("empty buffer", func(t *testing.T) {
+		if _, err := Decode(r, nil); !errors.Is(err, ErrShortBuffer) {
+			t.Errorf("err = %v, want ErrShortBuffer", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{99}, good[1:]...)
+		if _, err := Decode(r, bad); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for i := 1; i < len(good); i++ {
+			if _, err := Decode(r, good[:i]); err == nil {
+				t.Errorf("Decode of %d-byte prefix succeeded", i)
+			}
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		other, err := Encode(newTestTuple("mystery", nil))
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if _, err := Decode(r, other); err == nil {
+			t.Error("Decode of unregistered kind succeeded")
+		}
+	})
+}
+
+func TestRegistryDuplicateAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("k", factoryFor("k")); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := r.Register("k", factoryFor("k")); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if err := r.Register("", factoryFor("")); err == nil {
+		t.Error("empty-kind Register succeeded")
+	}
+	if err := r.Register("nilf", nil); err == nil {
+		t.Error("nil-factory Register succeeded")
+	}
+	if ks := r.Kinds(); len(ks) != 1 || ks[0] != "k" {
+		t.Errorf("Kinds = %v", ks)
+	}
+}
+
+func TestRegistryClone(t *testing.T) {
+	r := newTestRegistry(t, "k")
+	orig := newTestTuple("k", Content{Bin("b", []byte{1, 2})})
+	orig.SetID(ID{Node: "n", Seq: 1})
+	cp, err := r.Clone(orig)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	cp.Content()[0].Value.([]byte)[0] = 9
+	if orig.Content()[0].Value.([]byte)[0] != 1 {
+		t.Error("Clone shares content with original")
+	}
+	if cp.ID() != orig.ID() {
+		t.Errorf("Clone changed id: %v", cp.ID())
+	}
+}
+
+// TestCodecRoundTripQuick property-tests the codec over randomly
+// generated contents.
+func TestCodecRoundTripQuick(t *testing.T) {
+	r := newTestRegistry(t, "q")
+	f := func(name string, s string, i int64, fl float64, b bool, raw []byte, node string, seq uint64) bool {
+		c := Content{
+			{Name: "", Value: s},
+			{Name: "", Value: i},
+			{Name: "", Value: fl},
+			{Name: "", Value: b},
+			{Name: "", Value: raw},
+		}
+		if name != "" {
+			c = append(c, Field{Name: name, Value: s})
+		}
+		orig := newTestTuple("q", c)
+		orig.SetID(ID{Node: NodeID(node), Seq: seq})
+		data, err := Encode(orig)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(r, data)
+		if err != nil {
+			return false
+		}
+		return got.ID() == orig.ID() && got.Content().Equal(orig.Content())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	tests := []ID{
+		{Node: "a", Seq: 0},
+		{Node: "node-17", Seq: 18446744073709551615},
+		{Node: "with#hash", Seq: 9},
+	}
+	for _, id := range tests {
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Errorf("ParseID(%q): %v", id.String(), err)
+			continue
+		}
+		if got != id {
+			t.Errorf("ParseID(%q) = %v, want %v", id.String(), got, id)
+		}
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	for _, s := range []string{"", "nohash", "a#notanumber", "a#-1"} {
+		if _, err := ParseID(s); err == nil {
+			t.Errorf("ParseID(%q) succeeded", s)
+		}
+	}
+}
+
+func TestIDIsZero(t *testing.T) {
+	if !(ID{}).IsZero() {
+		t.Error("zero ID not IsZero")
+	}
+	if (ID{Node: "n"}).IsZero() {
+		t.Error("non-zero ID reported IsZero")
+	}
+}

@@ -1,0 +1,44 @@
+package tuple
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeID uniquely identifies a TOTA node. Real deployments derive it
+// from a hardware address (the paper uses the MAC address); the
+// simulator assigns symbolic names.
+type NodeID string
+
+// ID uniquely identifies a distributed tuple across the whole network.
+// Per the paper (§4.1), contents cannot identify tuples — they change
+// during propagation — so each tuple is marked with an id combining the
+// injecting node's unique identifier and a per-node progressive counter.
+// The id is invisible at the application level; the middleware uses it
+// for dedup and maintenance.
+type ID struct {
+	Node NodeID
+	Seq  uint64
+}
+
+// IsZero reports whether the id has not been assigned yet.
+func (id ID) IsZero() bool { return id.Node == "" && id.Seq == 0 }
+
+// String implements fmt.Stringer, formatting as "node#seq".
+func (id ID) String() string {
+	return string(id.Node) + "#" + strconv.FormatUint(id.Seq, 10)
+}
+
+// ParseID parses the "node#seq" form produced by String.
+func ParseID(s string) (ID, error) {
+	i := strings.LastIndexByte(s, '#')
+	if i < 0 {
+		return ID{}, fmt.Errorf("tuple: malformed id %q", s)
+	}
+	seq, err := strconv.ParseUint(s[i+1:], 10, 64)
+	if err != nil {
+		return ID{}, fmt.Errorf("tuple: malformed id %q: %w", s, err)
+	}
+	return ID{Node: NodeID(s[:i]), Seq: seq}, nil
+}

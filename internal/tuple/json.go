@@ -1,0 +1,130 @@
+package tuple
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+)
+
+// jsonField is the interchange form of a Field: an explicit type tag
+// keeps int64/float64 distinct through JSON's single number type and
+// carries []byte as base64.
+type jsonField struct {
+	Name  string          `json:"name,omitempty"`
+	Type  string          `json:"type"`
+	Value json.RawMessage `json:"value"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f Field) MarshalJSON() ([]byte, error) {
+	jf := jsonField{Name: f.Name}
+	var err error
+	switch v := f.Value.(type) {
+	case string:
+		jf.Type = "string"
+		jf.Value, err = json.Marshal(v)
+	case int64:
+		jf.Type = "int"
+		jf.Value, err = json.Marshal(v)
+	case float64:
+		jf.Type = "float"
+		jf.Value, err = json.Marshal(v)
+	case bool:
+		jf.Type = "bool"
+		jf.Value, err = json.Marshal(v)
+	case []byte:
+		jf.Type = "bytes"
+		jf.Value, err = json.Marshal(base64.StdEncoding.EncodeToString(v))
+	default:
+		return nil, fmt.Errorf("%w (%T)", ErrBadValue, f.Value)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jf)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Field) UnmarshalJSON(data []byte) error {
+	var jf jsonField
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return err
+	}
+	f.Name = jf.Name
+	switch jf.Type {
+	case "string":
+		var v string
+		if err := json.Unmarshal(jf.Value, &v); err != nil {
+			return err
+		}
+		f.Value = v
+	case "int":
+		var v int64
+		if err := json.Unmarshal(jf.Value, &v); err != nil {
+			return err
+		}
+		f.Value = v
+	case "float":
+		var v float64
+		if err := json.Unmarshal(jf.Value, &v); err != nil {
+			return err
+		}
+		f.Value = v
+	case "bool":
+		var v bool
+		if err := json.Unmarshal(jf.Value, &v); err != nil {
+			return err
+		}
+		f.Value = v
+	case "bytes":
+		var s string
+		if err := json.Unmarshal(jf.Value, &s); err != nil {
+			return err
+		}
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return fmt.Errorf("tuple: bad base64 bytes field: %w", err)
+		}
+		f.Value = b
+	default:
+		return fmt.Errorf("tuple: unknown json field type %q", jf.Type)
+	}
+	return nil
+}
+
+// Note: Content is a []Field, so encoding/json handles it element-wise
+// through Field's methods; no dedicated methods are needed.
+
+// jsonTuple is the interchange form of a whole tuple.
+type jsonTuple struct {
+	Kind    string  `json:"kind"`
+	ID      string  `json:"id"`
+	Content Content `json:"content"`
+}
+
+// MarshalTupleJSON renders a tuple as JSON (kind, id, content), the
+// counterpart of the binary Encode for tools and logs.
+func MarshalTupleJSON(t Tuple) ([]byte, error) {
+	if err := t.Content().Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonTuple{
+		Kind:    t.Kind(),
+		ID:      t.ID().String(),
+		Content: t.Content(),
+	})
+}
+
+// UnmarshalTupleJSON rebuilds a tuple from its JSON form using the
+// registry's factory for its kind.
+func UnmarshalTupleJSON(r *Registry, data []byte) (Tuple, error) {
+	var jt jsonTuple
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return nil, fmt.Errorf("tuple: %w", err)
+	}
+	id, err := ParseID(jt.ID)
+	if err != nil {
+		return nil, err
+	}
+	return r.New(jt.Kind, id, jt.Content)
+}

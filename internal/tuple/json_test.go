@@ -1,0 +1,108 @@
+package tuple
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFieldJSONRoundTrip(t *testing.T) {
+	fields := Content{
+		S("s", "héllo"),
+		I("i", -42),
+		F("f", math.Pi),
+		B("b", true),
+		Bin("raw", []byte{0, 255, 7}),
+		{Value: "positional"},
+	}
+	data, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Content
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Equal(fields) {
+		t.Errorf("round trip changed content:\n got %v\nwant %v", got, fields)
+	}
+}
+
+func TestFieldJSONTypeTagsPreserveIntVsFloat(t *testing.T) {
+	data, err := json.Marshal(Content{I("n", 3), F("x", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Content
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[0].Value.(int64); !ok {
+		t.Errorf("int field decoded as %T", got[0].Value)
+	}
+	if _, ok := got[1].Value.(float64); !ok {
+		t.Errorf("float field decoded as %T", got[1].Value)
+	}
+}
+
+func TestFieldJSONErrors(t *testing.T) {
+	if _, err := json.Marshal(Field{Name: "x", Value: struct{}{}}); err == nil {
+		t.Error("unsupported type marshaled")
+	}
+	cases := []string{
+		`{"type":"mystery","value":1}`,
+		`{"type":"int","value":"notanint"}`,
+		`{"type":"bytes","value":"%%%"}`,
+		`{"type":"bool","value":3}`,
+		`{"type":"string","value":3}`,
+		`{"type":"float","value":"x"}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var f Field
+		if err := json.Unmarshal([]byte(c), &f); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestTupleJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("jk", factoryFor("jk"))
+	orig := newTestTuple("jk", Content{S("a", "x"), I("b", 9)})
+	orig.SetID(ID{Node: "n1", Seq: 4})
+
+	data, err := MarshalTupleJSON(orig)
+	if err != nil {
+		t.Fatalf("MarshalTupleJSON: %v", err)
+	}
+	if !strings.Contains(string(data), `"kind":"jk"`) {
+		t.Errorf("json = %s", data)
+	}
+	got, err := UnmarshalTupleJSON(r, data)
+	if err != nil {
+		t.Fatalf("UnmarshalTupleJSON: %v", err)
+	}
+	if got.ID() != orig.ID() || !got.Content().Equal(orig.Content()) {
+		t.Errorf("round trip changed tuple")
+	}
+}
+
+func TestUnmarshalTupleJSONErrors(t *testing.T) {
+	r := NewRegistry()
+	cases := []string{
+		`{`,
+		`{"kind":"nope","id":"n#1","content":[]}`,
+		`{"kind":"jk","id":"malformed","content":[]}`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalTupleJSON(r, []byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	bad := newTestTuple("jk", Content{{Name: "x", Value: struct{}{}}})
+	if _, err := MarshalTupleJSON(bad); err == nil {
+		t.Error("marshaled invalid content")
+	}
+}

@@ -1,0 +1,109 @@
+package tuple
+
+import "testing"
+
+func TestTemplateMatches(t *testing.T) {
+	tup := newTestTuple("sensor", Content{
+		S("type", "temperature"),
+		F("value", 21.5),
+		I("hops", 3),
+	})
+	tup.SetID(ID{Node: "n1", Seq: 7})
+
+	tests := []struct {
+		name string
+		give Template
+		want bool
+	}{
+		{name: "match all", give: MatchAll(), want: true},
+		{name: "kind exact", give: Match("sensor"), want: true},
+		{name: "kind mismatch", give: Match("other"), want: false},
+		{name: "kind prefix", give: Template{Kind: "sen*"}, want: true},
+		{name: "kind prefix mismatch", give: Template{Kind: "foo*"}, want: false},
+		{
+			name: "named exact value",
+			give: Match("sensor", Eq(S("type", "temperature"))),
+			want: true,
+		},
+		{
+			name: "named wrong value",
+			give: Match("sensor", Eq(S("type", "humidity"))),
+			want: false,
+		},
+		{
+			name: "named wildcard",
+			give: Match("", AnyField("value")),
+			want: true,
+		},
+		{
+			name: "named wildcard absent",
+			give: Match("", AnyField("nope")),
+			want: false,
+		},
+		{
+			name: "typed wildcard ok",
+			give: Match("", AnyOfKind("value", KindFloat)),
+			want: true,
+		},
+		{
+			name: "typed wildcard wrong kind",
+			give: Match("", AnyOfKind("value", KindInt)),
+			want: false,
+		},
+		{
+			name: "positional prefix",
+			give: Match("", FieldPattern{Any: true}, FieldPattern{Any: true}),
+			want: true,
+		},
+		{
+			name: "positional too long",
+			give: Match("", FieldPattern{Any: true}, FieldPattern{Any: true}, FieldPattern{Any: true}, FieldPattern{Any: true}),
+			want: false,
+		},
+		{
+			name: "positional value",
+			give: Match("", FieldPattern{Value: "temperature", Name: "type"}),
+			want: true,
+		},
+		{name: "id match", give: MatchID(ID{Node: "n1", Seq: 7}), want: true},
+		{name: "id mismatch", give: MatchID(ID{Node: "n1", Seq: 8}), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Matches(tup); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTemplateExact(t *testing.T) {
+	two := newTestTuple("k", Content{{Value: "a"}, {Value: "b"}})
+	tpl := Template{Exact: true, Fields: []FieldPattern{{Any: true}, {Any: true}}}
+	if !tpl.Matches(two) {
+		t.Error("exact template with matching arity did not match")
+	}
+	tplShort := Template{Exact: true, Fields: []FieldPattern{{Any: true}}}
+	if tplShort.Matches(two) {
+		t.Error("exact template with smaller arity matched")
+	}
+}
+
+func TestTemplateMatchesNil(t *testing.T) {
+	if MatchAll().Matches(nil) {
+		t.Error("template matched nil tuple")
+	}
+}
+
+func TestTemplateFilter(t *testing.T) {
+	a := newTestTuple("a", Content{S("x", "1")})
+	b := newTestTuple("b", Content{S("x", "2")})
+	c := newTestTuple("a", Content{S("x", "3")})
+	got := Match("a").Filter([]Tuple{a, b, c})
+	if len(got) != 2 || got[0] != Tuple(a) || got[1] != Tuple(c) {
+		t.Errorf("Filter returned %v", got)
+	}
+	if out := Match("zzz").Filter([]Tuple{a, b}); out != nil {
+		t.Errorf("Filter with no matches = %v, want nil", out)
+	}
+}

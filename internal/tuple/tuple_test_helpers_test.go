@@ -1,0 +1,28 @@
+package tuple
+
+// testTuple is a minimal concrete Tuple used throughout this package's
+// tests: all state lives in the content, so the generic factory suffices.
+type testTuple struct {
+	Base
+
+	kind string
+	c    Content
+}
+
+var _ Tuple = (*testTuple)(nil)
+
+func newTestTuple(kind string, c Content) *testTuple {
+	return &testTuple{kind: kind, c: c}
+}
+
+func (t *testTuple) Kind() string     { return t.kind }
+func (t *testTuple) Content() Content { return t.c }
+
+// factoryFor returns a Factory producing testTuples of the given kind.
+func factoryFor(kind string) Factory {
+	return func(id ID, c Content) (Tuple, error) {
+		tt := newTestTuple(kind, c)
+		tt.SetID(id)
+		return tt, nil
+	}
+}

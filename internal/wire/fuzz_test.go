@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"testing"
+
+	"tota/internal/tuple"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire codec: it must never
+// panic and must either reject the input or produce a message that
+// re-encodes.
+func FuzzDecode(f *testing.F) {
+	reg := tuple.NewRegistry()
+	reg.MustRegister("flat", func(id tuple.ID, c tuple.Content) (tuple.Tuple, error) {
+		ft := &flatTuple{c: c}
+		ft.SetID(id)
+		return ft, nil
+	})
+
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	ft.SetID(tuple.ID{Node: "n", Seq: 1})
+	if data, err := Encode(Message{Type: MsgTuple, Hop: 2, Parent: "p", Tuple: ft}); err == nil {
+		f.Add(data)
+	}
+	if data, err := Encode(Message{Type: MsgRetract, ID: tuple.ID{Node: "n", Seq: 9}}); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(reg, data)
+		if err != nil {
+			return
+		}
+		if _, err := Encode(msg); err != nil {
+			t.Fatalf("accepted message failed to re-encode: %+v: %v", msg, err)
+		}
+	})
+}

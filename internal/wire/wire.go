@@ -1,0 +1,143 @@
+// Package wire frames the middleware-level messages TOTA nodes exchange
+// over a transport: tuple propagation/announcement packets and structure
+// retraction packets. The framing is transport-agnostic; the simulated
+// radio and the UDP transport both carry these byte payloads verbatim.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tota/internal/tuple"
+)
+
+// MsgType discriminates engine packets.
+type MsgType uint8
+
+// Engine packet types.
+const (
+	// MsgTuple carries a tuple copy being propagated or announced; the
+	// receiver applies the tuple's propagation rule.
+	MsgTuple MsgType = iota + 1
+	// MsgRetract withdraws a distributed structure by id: the deletion
+	// analogue of propagation, flooding outward from the source.
+	MsgRetract
+	// MsgWithdraw announces that the sender no longer holds a local copy
+	// of the identified maintained tuple; one-hop only, it triggers the
+	// neighbors' maintenance checks.
+	MsgWithdraw
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgTuple:
+		return "tuple"
+	case MsgRetract:
+		return "retract"
+	case MsgWithdraw:
+		return "withdraw"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is one engine packet.
+type Message struct {
+	Type MsgType
+	// Hop is the number of hops this copy has traveled from its source
+	// (meaningful for MsgTuple).
+	Hop uint16
+	// Parent is the neighbor the sender's copy was adopted from, for
+	// maintained-structure announcements; receivers apply poisoned
+	// reverse (they never count a neighbor whose parent is themselves as
+	// support). Empty for source announcements and plain tuples.
+	Parent tuple.NodeID
+	// Tuple is the carried tuple (MsgTuple only).
+	Tuple tuple.Tuple
+	// ID identifies the structure involved (MsgRetract and MsgWithdraw).
+	ID tuple.ID
+}
+
+const wireVersion = 1
+
+// Wire errors.
+var (
+	ErrShort   = errors.New("wire: short message")
+	ErrVersion = errors.New("wire: unsupported version")
+	ErrType    = errors.New("wire: unknown message type")
+)
+
+// Encode serializes a message.
+func Encode(m Message) ([]byte, error) {
+	b := []byte{wireVersion, byte(m.Type)}
+	b = binary.BigEndian.AppendUint16(b, m.Hop)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Parent)))
+	b = append(b, m.Parent...)
+	switch m.Type {
+	case MsgTuple:
+		if m.Tuple == nil {
+			return nil, errors.New("wire: MsgTuple without tuple")
+		}
+		tb, err := tuple.Encode(m.Tuple)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode tuple: %w", err)
+		}
+		return append(b, tb...), nil
+	case MsgRetract, MsgWithdraw:
+		id := m.ID.String()
+		b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
+		return append(b, id...), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrType, m.Type)
+	}
+}
+
+// Decode parses a message, using the registry to rebuild carried tuples.
+func Decode(reg *tuple.Registry, data []byte) (Message, error) {
+	if len(data) < 4 {
+		return Message{}, ErrShort
+	}
+	if data[0] != wireVersion {
+		return Message{}, fmt.Errorf("%w: %d", ErrVersion, data[0])
+	}
+	m := Message{
+		Type: MsgType(data[1]),
+		Hop:  binary.BigEndian.Uint16(data[2:4]),
+	}
+	body := data[4:]
+	if len(body) < 4 {
+		return Message{}, ErrShort
+	}
+	pn := int(binary.BigEndian.Uint32(body[:4]))
+	if len(body) < 4+pn {
+		return Message{}, ErrShort
+	}
+	m.Parent = tuple.NodeID(body[4 : 4+pn])
+	body = body[4+pn:]
+	switch m.Type {
+	case MsgTuple:
+		t, err := tuple.Decode(reg, body)
+		if err != nil {
+			return Message{}, fmt.Errorf("wire: decode tuple: %w", err)
+		}
+		m.Tuple = t
+	case MsgRetract, MsgWithdraw:
+		if len(body) < 4 {
+			return Message{}, ErrShort
+		}
+		n := int(binary.BigEndian.Uint32(body[:4]))
+		if len(body) < 4+n {
+			return Message{}, ErrShort
+		}
+		id, err := tuple.ParseID(string(body[4 : 4+n]))
+		if err != nil {
+			return Message{}, fmt.Errorf("wire: %w", err)
+		}
+		m.ID = id
+	default:
+		return Message{}, fmt.Errorf("%w: %d", ErrType, m.Type)
+	}
+	return m, nil
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"tota/internal/tuple"
+)
+
+// flatTuple is a content-only tuple for wire tests.
+type flatTuple struct {
+	tuple.Base
+
+	c tuple.Content
+}
+
+var _ tuple.Tuple = (*flatTuple)(nil)
+
+func (f *flatTuple) Kind() string           { return "flat" }
+func (f *flatTuple) Content() tuple.Content { return f.c }
+
+func newWireRegistry(t *testing.T) *tuple.Registry {
+	t.Helper()
+	r := tuple.NewRegistry()
+	err := r.Register("flat", func(id tuple.ID, c tuple.Content) (tuple.Tuple, error) {
+		ft := &flatTuple{c: c}
+		ft.SetID(id)
+		return ft, nil
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return r
+}
+
+func TestTupleMessageRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v"), tuple.I("hops", 3)}}
+	ft.SetID(tuple.ID{Node: "src", Seq: 9})
+
+	data, err := Encode(Message{Type: MsgTuple, Hop: 7, Parent: "prev-hop", Tuple: ft})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgTuple || got.Hop != 7 || got.Parent != "prev-hop" {
+		t.Errorf("envelope = %+v", got)
+	}
+	if got.Tuple.ID() != ft.ID() || !got.Tuple.Content().Equal(ft.Content()) {
+		t.Errorf("tuple mismatch: %v", got.Tuple)
+	}
+}
+
+func TestRetractMessageRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	id := tuple.ID{Node: "node-1", Seq: 77}
+	data, err := Encode(Message{Type: MsgRetract, ID: id})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgRetract || got.ID != id {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestWithdrawMessageRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	id := tuple.ID{Node: "w", Seq: 3}
+	data, err := Encode(Message{Type: MsgWithdraw, ID: id})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgWithdraw || got.ID != id {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Message{Type: MsgTuple}); err == nil {
+		t.Error("Encode MsgTuple without tuple succeeded")
+	}
+	if _, err := Encode(Message{Type: MsgType(99)}); !errors.Is(err, ErrType) {
+		t.Errorf("unknown type: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	good, err := Encode(Message{Type: MsgTuple, Tuple: ft})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		give []byte
+		want error
+	}{
+		{name: "empty", give: nil, want: ErrShort},
+		{name: "tiny", give: []byte{1, 1}, want: ErrShort},
+		{name: "bad version", give: append([]byte{9}, good[1:]...), want: ErrVersion},
+		{name: "missing parent", give: []byte{1, 1, 0, 0}, want: ErrShort},
+		{name: "truncated parent", give: []byte{1, 1, 0, 0, 0, 0, 0, 5, 'x'}, want: ErrShort},
+		{name: "bad type", give: []byte{1, 99, 0, 0, 0, 0, 0, 0}, want: ErrType},
+		{
+			name: "retract truncated",
+			give: []byte{1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0, 0, 0, 9},
+			want: ErrShort,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(r, tt.give); !errors.Is(err, tt.want) {
+				t.Errorf("Decode = %v, want %v", err, tt.want)
+			}
+		})
+	}
+
+	t.Run("retract bad id", func(t *testing.T) {
+		msg := []byte{1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 'a', 'b', 'c'}
+		if _, err := Decode(r, msg); err == nil {
+			t.Error("Decode of malformed id succeeded")
+		}
+	})
+	t.Run("tuple body corrupt", func(t *testing.T) {
+		if _, err := Decode(r, good[:len(good)-2]); err == nil {
+			t.Error("Decode of truncated tuple succeeded")
+		}
+	})
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgTuple.String() != "tuple" || MsgRetract.String() != "retract" || MsgWithdraw.String() != "withdraw" {
+		t.Error("MsgType names wrong")
+	}
+	if MsgType(42).String() != "MsgType(42)" {
+		t.Errorf("unknown = %q", MsgType(42).String())
+	}
+}
