@@ -196,6 +196,45 @@ func BenchmarkGradientRepair(b *testing.B) {
 	}
 }
 
+// BenchmarkSettleParallel measures full gradient propagation on a
+// 20x20 grid — the tentpole workload for the parallel delivery pool.
+// The serial sub-benchmark forces Workers=1; the parallel one uses the
+// GOMAXPROCS-bounded default. Both produce bit-identical worlds.
+func BenchmarkSettleParallel(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			w := emulator.New(emulator.Config{
+				Graph:   topology.Grid(20, 20, 1),
+				Workers: workers,
+			})
+			if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+				b.Fatal(err)
+			}
+			w.Settle(100000)
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkRefreshSteadyState measures the anti-entropy pass on a
+// settled 10x10 gradient world: every node re-announces every stored
+// tuple, so this is dominated by the per-tuple encode path that the
+// wire-bytes cache is meant to collapse.
+func BenchmarkRefreshSteadyState(b *testing.B) {
+	w := emulator.New(emulator.Config{Graph: topology.Grid(10, 10, 1)})
+	if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+		b.Fatal(err)
+	}
+	w.Settle(100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RefreshAll()
+		w.Settle(100000)
+	}
+}
+
 func BenchmarkHandlePacket(b *testing.B) {
 	// Cost of one engine packet: decode + dedup + drop.
 	w := emulator.New(emulator.Config{Graph: topology.Line(2)})

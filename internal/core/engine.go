@@ -34,6 +34,22 @@ type tupleState struct {
 	// storedAt is the node's logical time when the copy was last
 	// (re)stored, for lease expiry.
 	storedAt float64
+	// encCache holds the wire encoding of the stored copy's last
+	// announcement, with the hop and parent it was built for. Refresh
+	// and announce re-broadcast unchanged structures every epoch; the
+	// cache makes those re-sends zero-encode and zero-copy (transports
+	// treat packet payloads as read-only, so the bytes are shared).
+	// Invalidated whenever the stored copy changes (see invalidateWire).
+	encCache  []byte
+	encHop    uint16
+	encParent tuple.NodeID
+}
+
+// invalidateWire drops the cached announcement encoding. It must be
+// called on every assignment or clearing of st.local: the cache is only
+// consulted for the currently stored copy.
+func (st *tupleState) invalidateWire() {
+	st.encCache = nil
 }
 
 type nbrVal struct {
@@ -76,7 +92,7 @@ func (s lockedStore) Delete(tpl tuple.Template) []tuple.Tuple {
 
 func (n *Node) ctxLocked(from tuple.NodeID, hop int) *tuple.Ctx {
 	pos, ok := n.cfg.Localizer.Position()
-	return &tuple.Ctx{
+	n.ctxScratch = tuple.Ctx{
 		Self:   n.id,
 		From:   from,
 		Hop:    hop,
@@ -84,6 +100,7 @@ func (n *Node) ctxLocked(from tuple.NodeID, hop int) *tuple.Ctx {
 		HasPos: ok,
 		Store:  lockedStore{n: n},
 	}
+	return &n.ctxScratch
 }
 
 // HandlePacket implements transport.Handler.
@@ -136,6 +153,7 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 	if t.ShouldStore(ctx) {
 		st.stored = true
 		st.local = t
+		st.invalidateWire()
 		st.hop = 0
 		st.storedAt = n.now
 		n.store.put(t)
@@ -186,6 +204,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 	if st.visited {
 		if st.stored && local.Supersedes(st.local) {
 			st.local = local
+			st.invalidateWire()
 			st.hop = hop
 			st.storedAt = n.now
 			n.store.put(local)
@@ -208,6 +227,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 	if local.ShouldStore(ctx) {
 		st.stored = true
 		st.local = local
+		st.invalidateWire()
 		st.storedAt = n.now
 		n.store.put(local)
 		n.stats.Stored++
@@ -278,6 +298,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		}
 		nl := cur.WithValue(desired)
 		st.local = nl
+		st.invalidateWire()
 		st.parent = bestNbr
 		st.hop = hopFromVal(desired, step, st.hop)
 		st.storedAt = n.now
@@ -302,6 +323,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 	}
 	st.stored = true
 	st.local = nl
+	st.invalidateWire()
 	st.parent = bestNbr
 	st.hop = hopFromVal(desired, step, ctx.Hop)
 	st.storedAt = n.now
@@ -319,6 +341,7 @@ func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
 	removed, _ := n.store.remove(id)
 	st.stored = false
 	st.local = nil
+	st.invalidateWire()
 	st.parent = ""
 	n.stats.MaintDrop++
 	n.traceLocked(TraceEvent{Kind: TraceWithdraw, ID: id})
@@ -376,6 +399,7 @@ func (n *Node) retractLocked(id tuple.ID) {
 			n.emitTupleLocked(TupleRemoved, removed)
 		}
 		st.local = nil
+		st.invalidateWire()
 	}
 	n.stats.Retracted++
 	n.traceLocked(TraceEvent{Kind: TraceRetract, ID: id})
@@ -398,6 +422,7 @@ func (n *Node) deleteLocked(tpl tuple.Template) []tuple.Tuple {
 			st := n.stateFor(id)
 			st.stored = false
 			st.local = nil
+			st.invalidateWire()
 			st.parent = ""
 			n.emitTupleLocked(TupleRemoved, removed)
 			if _, isM := removed.(tuple.Maintained); isM {
@@ -423,8 +448,10 @@ func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
 	// The paper: "when new nodes get in touch with a network, TOTA
 	// automatically checks the propagation rules of the stored tuples
 	// and eventually propagates the tuples to the new nodes". We
-	// unicast every stored propagating tuple to the newcomer.
-	for _, id := range n.store.ids() {
+	// unicast every stored propagating tuple to the newcomer, reusing
+	// the cached announcement bytes when the copy is unchanged.
+	n.idScratch = n.store.appendIDs(n.idScratch)
+	for _, id := range n.idScratch {
 		st := n.seen[id]
 		t, ok := n.store.get(id)
 		if !ok || st == nil {
@@ -434,13 +461,14 @@ func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
 		if !st.propagated && !isMaintained {
 			continue
 		}
+		data, ok := n.storedWireLocked(st)
+		if !ok {
+			continue
+		}
 		n.stats.Unicasts++
-		n.sendMsgLocked(peer, wire.Message{
-			Type:   wire.MsgTuple,
-			Hop:    clampHop(st.hop),
-			Parent: st.parent,
-			Tuple:  t,
-		})
+		if err := n.tr.Send(peer, data); err != nil {
+			n.stats.SendErrors++
+		}
 	}
 	n.emitNeighborLocked(NeighborAdded, peer)
 }
@@ -488,7 +516,8 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 		n.now = now
 	}
 	removed := 0
-	for _, id := range n.store.ids() {
+	n.idScratch = n.store.appendIDs(n.idScratch)
+	for _, id := range n.idScratch {
 		t, ok := n.store.get(id)
 		if !ok {
 			continue
@@ -504,6 +533,7 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 		n.store.remove(id)
 		st.stored = false
 		st.local = nil
+		st.invalidateWire()
 		st.parent = ""
 		st.retracted = true // local tombstone: expired copies stay dead
 		n.stats.Expired++
@@ -523,7 +553,8 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 func (n *Node) refreshLocked() int {
 	n.epoch++
 	count := 0
-	for _, id := range n.store.ids() {
+	n.idScratch = n.store.appendIDs(n.idScratch)
+	for _, id := range n.idScratch {
 		st := n.seen[id]
 		t, ok := n.store.get(id)
 		if !ok || st == nil {
@@ -548,24 +579,53 @@ func (n *Node) refreshLocked() int {
 		if !st.propagated {
 			continue
 		}
-		n.broadcastTupleLocked(t, st.hop, "")
+		// Plain propagated tuples have no parent; their announcement is
+		// the same message every epoch, so the cache makes steady-state
+		// refresh encode-free.
+		n.announceLocked(st)
 		count++
 	}
 	return count
 }
 
-// announceLocked broadcasts the node's stored copy of a maintained
-// structure with its current parent.
-func (n *Node) announceLocked(st *tupleState) {
+// storedWireLocked returns the wire bytes announcing the stored copy
+// (hop and parent included), re-encoding only when the copy, its hop,
+// or its parent changed since the last send. The returned slice is
+// shared with the transport and every queued packet; it is never
+// mutated.
+func (n *Node) storedWireLocked(st *tupleState) ([]byte, bool) {
 	if !st.stored || st.local == nil {
-		return
+		return nil, false
 	}
-	n.sendMsgLocked("", wire.Message{
+	hop := clampHop(st.hop)
+	if st.encCache != nil && st.encHop == hop && st.encParent == st.parent {
+		return st.encCache, true
+	}
+	data, err := wire.Encode(wire.Message{
 		Type:   wire.MsgTuple,
-		Hop:    clampHop(st.hop),
+		Hop:    hop,
 		Parent: st.parent,
 		Tuple:  st.local,
 	})
+	if err != nil {
+		n.stats.SendErrors++
+		return nil, false
+	}
+	st.encCache, st.encHop, st.encParent = data, hop, st.parent
+	return data, true
+}
+
+// announceLocked broadcasts the node's stored copy of a structure with
+// its current parent, using the cached encoding when nothing changed.
+func (n *Node) announceLocked(st *tupleState) {
+	data, ok := n.storedWireLocked(st)
+	if !ok {
+		return
+	}
+	n.stats.Broadcasts++
+	if err := n.tr.Broadcast(data); err != nil {
+		n.stats.SendErrors++
+	}
 }
 
 func (n *Node) broadcastTupleLocked(t tuple.Tuple, hop int, parent tuple.NodeID) {
@@ -597,6 +657,10 @@ func (n *Node) sendMsgLocked(to tuple.NodeID, msg wire.Message) {
 }
 
 func (n *Node) emitTupleLocked(typ EventType, t tuple.Tuple) {
+	// No subscriptions, no event: skip the defensive clone entirely.
+	if len(n.subs) == 0 {
+		return
+	}
 	// Subscription delivery is a read: policy-hidden tuples emit no
 	// events.
 	if !n.allow(OpRead, n.id, t) {
@@ -610,6 +674,9 @@ func (n *Node) emitTupleLocked(typ EventType, t tuple.Tuple) {
 }
 
 func (n *Node) emitNeighborLocked(typ EventType, peer tuple.NodeID) {
+	if len(n.subs) == 0 {
+		return
+	}
 	n.pending = append(n.pending, Event{
 		Type:  typ,
 		Node:  n.id,
@@ -625,20 +692,26 @@ func (n *Node) takePendingLocked() []Event {
 }
 
 // dispatch delivers pending events to matching subscriptions, outside
-// the engine lock so reactions can call the node API.
+// the engine lock so reactions can call the node API. n.subs is kept
+// sorted by subscription id, so matching preserves registration order
+// without a per-event sort; a node with no subscriptions pays only a
+// lock round-trip per event.
 func (n *Node) dispatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	var fns []Reaction
 	for _, ev := range evs {
 		n.mu.Lock()
-		matched := make([]*subscription, 0, len(n.subs))
+		if len(n.subs) == 0 {
+			n.mu.Unlock()
+			continue
+		}
+		fns = fns[:0]
 		for _, sub := range n.subs {
 			if sub.tpl.Matches(ev.Tuple) {
-				matched = append(matched, sub)
+				fns = append(fns, sub.fn)
 			}
-		}
-		sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
-		fns := make([]Reaction, len(matched))
-		for i, sub := range matched {
-			fns[i] = sub.fn
 		}
 		n.stats.Events += int64(len(fns))
 		n.mu.Unlock()

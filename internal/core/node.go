@@ -101,18 +101,29 @@ type Node struct {
 	tr  transport.Sender
 	id  tuple.NodeID
 
-	mu            sync.Mutex
-	seq           uint64
-	epoch         uint64
-	now           float64
-	store         *store
-	seen          map[tuple.ID]*tupleState
-	nbrs          map[tuple.NodeID]struct{}
-	subs          map[SubID]*subscription
+	mu    sync.Mutex
+	seq   uint64
+	epoch uint64
+	now   float64
+	store *store
+	seen  map[tuple.ID]*tupleState
+	nbrs  map[tuple.NodeID]struct{}
+	// subs is kept sorted by subscription id (ids are assigned
+	// monotonically, so appends preserve the order) and dispatch relies
+	// on that to fire reactions in registration order without sorting.
+	subs          []*subscription
 	nextSub       SubID
 	pending       []Event
 	pendingTraces []TraceEvent
 	stats         Stats
+	// idScratch is the reusable id snapshot buffer for the refresh,
+	// sweep, and catch-up loops (all run under mu, never nested).
+	idScratch []tuple.ID
+	// ctxScratch is the reusable hook context handed out by ctxLocked:
+	// at most one engine-created Ctx is ever live (all hook pipelines
+	// run sequentially under mu), so per-packet contexts need not
+	// allocate. Hooks must not retain the pointer past their call.
+	ctxScratch tuple.Ctx
 }
 
 var _ transport.Handler = (*Node)(nil)
@@ -145,7 +156,6 @@ func New(tr transport.Sender, opts ...Option) *Node {
 		store: newStore(cfg.Registry),
 		seen:  make(map[tuple.ID]*tupleState),
 		nbrs:  make(map[tuple.NodeID]struct{}),
-		subs:  make(map[SubID]*subscription),
 	}
 	for _, nb := range tr.Neighbors() {
 		n.nbrs[nb] = struct{}{}
@@ -293,7 +303,7 @@ func (n *Node) Subscribe(tpl tuple.Template, fn Reaction) SubID {
 	defer n.mu.Unlock()
 	n.nextSub++
 	id := n.nextSub
-	n.subs[id] = &subscription{id: id, tpl: tpl, fn: fn}
+	n.subs = append(n.subs, &subscription{id: id, tpl: tpl, fn: fn})
 	return id
 }
 
@@ -301,7 +311,12 @@ func (n *Node) Subscribe(tpl tuple.Template, fn Reaction) SubID {
 func (n *Node) Unsubscribe(id SubID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.subs, id)
+	for i, sub := range n.subs {
+		if sub.id == id {
+			n.subs = append(n.subs[:i], n.subs[i+1:]...)
+			return
+		}
+	}
 }
 
 // Refresh re-announces every stored propagating tuple to the current

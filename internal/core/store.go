@@ -6,27 +6,74 @@ import (
 	"tota/internal/tuple"
 )
 
+// idList is an arrival-ordered id set with O(1) removal: deleting marks
+// the slot as a zero-id tombstone and records the hole, and the slice is
+// compacted lazily once tombstones dominate. pos maps each live id to
+// its slot, so bulk removals (expiry sweeps over thousands of tuples)
+// stay linear instead of O(n²).
+type idList struct {
+	ids  []tuple.ID
+	pos  map[tuple.ID]int
+	dead int
+}
+
+func (l *idList) add(id tuple.ID) {
+	if l.pos == nil {
+		l.pos = make(map[tuple.ID]int)
+	}
+	l.pos[id] = len(l.ids)
+	l.ids = append(l.ids, id)
+}
+
+func (l *idList) remove(id tuple.ID) {
+	i, ok := l.pos[id]
+	if !ok {
+		return
+	}
+	l.ids[i] = tuple.ID{}
+	delete(l.pos, id)
+	l.dead++
+	if l.dead > 8 && l.dead*2 > len(l.ids) {
+		l.compact()
+	}
+}
+
+func (l *idList) compact() {
+	live := l.ids[:0]
+	for _, id := range l.ids {
+		if !id.IsZero() {
+			l.pos[id] = len(live)
+			live = append(live, id)
+		}
+	}
+	l.ids = live
+	l.dead = 0
+}
+
 // store is a node's local tuple space: the set of tuple copies currently
 // stored at the node, in arrival order. Copies are indexed by kind and
 // by (kind, name) — the shapes every propagation hook and application
 // query uses — so selective reads do not scan the whole space. It
 // performs no locking; the Node serializes access.
+//
+// Iteration over the id lists may encounter tombstones (zero ids, or ids
+// removed from byID but not yet compacted out of a list); consumers skip
+// any id without a byID entry.
 type store struct {
 	reg   *tuple.Registry
 	byID  map[tuple.ID]tuple.Tuple
-	order []tuple.ID
-	// byKind and byKindName list ids in arrival order per index key;
-	// removal leaves no holes (slices are compacted).
-	byKind     map[string][]tuple.ID
-	byKindName map[string][]tuple.ID
+	order idList
+	// byKind and byKindName list ids in arrival order per index key.
+	byKind     map[string]*idList
+	byKindName map[string]*idList
 }
 
 func newStore(reg *tuple.Registry) *store {
 	return &store{
 		reg:        reg,
 		byID:       make(map[tuple.ID]tuple.Tuple),
-		byKind:     make(map[string][]tuple.ID),
-		byKindName: make(map[string][]tuple.ID),
+		byKind:     make(map[string]*idList),
+		byKindName: make(map[string]*idList),
 	}
 }
 
@@ -39,6 +86,21 @@ func indexKeys(t tuple.Tuple) (kind, kindName string) {
 	return kind, kindNameKey(kind, t.Content().GetString("name"))
 }
 
+func (s *store) indexAdd(m map[string]*idList, key string, id tuple.ID) {
+	l, ok := m[key]
+	if !ok {
+		l = &idList{}
+		m[key] = l
+	}
+	l.add(id)
+}
+
+func (s *store) indexRemove(m map[string]*idList, key string, id tuple.ID) {
+	if l, ok := m[key]; ok {
+		l.remove(id)
+	}
+}
+
 // put inserts or replaces the copy for t.ID().
 func (s *store) put(t tuple.Tuple) {
 	id := t.ID()
@@ -48,21 +110,21 @@ func (s *store) put(t tuple.Tuple) {
 		oldKind, oldKN := indexKeys(old)
 		newKind, newKN := indexKeys(t)
 		if oldKind != newKind {
-			s.byKind[oldKind] = removeID(s.byKind[oldKind], id)
-			s.byKind[newKind] = append(s.byKind[newKind], id)
+			s.indexRemove(s.byKind, oldKind, id)
+			s.indexAdd(s.byKind, newKind, id)
 		}
 		if oldKN != newKN {
-			s.byKindName[oldKN] = removeID(s.byKindName[oldKN], id)
-			s.byKindName[newKN] = append(s.byKindName[newKN], id)
+			s.indexRemove(s.byKindName, oldKN, id)
+			s.indexAdd(s.byKindName, newKN, id)
 		}
 		s.byID[id] = t
 		return
 	}
-	s.order = append(s.order, id)
+	s.order.add(id)
 	s.byID[id] = t
 	kind, kn := indexKeys(t)
-	s.byKind[kind] = append(s.byKind[kind], id)
-	s.byKindName[kn] = append(s.byKindName[kn], id)
+	s.indexAdd(s.byKind, kind, id)
+	s.indexAdd(s.byKindName, kn, id)
 }
 
 // get returns the stored copy for id.
@@ -78,33 +140,31 @@ func (s *store) remove(id tuple.ID) (tuple.Tuple, bool) {
 		return nil, false
 	}
 	delete(s.byID, id)
-	s.order = removeID(s.order, id)
+	s.order.remove(id)
 	kind, kn := indexKeys(t)
-	s.byKind[kind] = removeID(s.byKind[kind], id)
-	s.byKindName[kn] = removeID(s.byKindName[kn], id)
+	s.indexRemove(s.byKind, kind, id)
+	s.indexRemove(s.byKindName, kn, id)
 	return t, true
-}
-
-func removeID(ids []tuple.ID, id tuple.ID) []tuple.ID {
-	for i, o := range ids {
-		if o == id {
-			return append(ids[:i], ids[i+1:]...)
-		}
-	}
-	return ids
 }
 
 // candidates returns the id list a template needs to inspect, using the
 // narrowest applicable index: (kind, name) when the template pins both,
-// kind when it pins the kind, the full space otherwise.
+// kind when it pins the kind, the full space otherwise. The returned
+// slice may contain tombstones; callers skip ids missing from byID.
 func (s *store) candidates(tpl tuple.Template) []tuple.ID {
 	if tpl.Kind == "" || strings.HasSuffix(tpl.Kind, "*") {
-		return s.order
+		return s.order.ids
 	}
 	if name, ok := pinnedName(tpl); ok {
-		return s.byKindName[kindNameKey(tpl.Kind, name)]
+		if l := s.byKindName[kindNameKey(tpl.Kind, name)]; l != nil {
+			return l.ids
+		}
+		return nil
 	}
-	return s.byKind[tpl.Kind]
+	if l := s.byKind[tpl.Kind]; l != nil {
+		return l.ids
+	}
+	return nil
 }
 
 // pinnedName reports whether the template requires an exact value for
@@ -126,8 +186,8 @@ func pinnedName(tpl tuple.Template) (string, bool) {
 func (s *store) read(tpl tuple.Template) []tuple.Tuple {
 	var out []tuple.Tuple
 	for _, id := range s.candidates(tpl) {
-		t := s.byID[id]
-		if !tpl.Matches(t) {
+		t, ok := s.byID[id]
+		if !ok || !tpl.Matches(t) {
 			continue
 		}
 		c, err := s.reg.Clone(t)
@@ -144,8 +204,8 @@ func (s *store) read(tpl tuple.Template) []tuple.Tuple {
 // readOne returns a clone of the first stored tuple matching tpl.
 func (s *store) readOne(tpl tuple.Template) (tuple.Tuple, bool) {
 	for _, id := range s.candidates(tpl) {
-		t := s.byID[id]
-		if !tpl.Matches(t) {
+		t, ok := s.byID[id]
+		if !ok || !tpl.Matches(t) {
 			continue
 		}
 		c, err := s.reg.Clone(t)
@@ -162,7 +222,7 @@ func (s *store) readOne(tpl tuple.Template) (tuple.Tuple, bool) {
 func (s *store) readRaw(tpl tuple.Template) []tuple.Tuple {
 	var out []tuple.Tuple
 	for _, id := range s.candidates(tpl) {
-		if t := s.byID[id]; tpl.Matches(t) {
+		if t, ok := s.byID[id]; ok && tpl.Matches(t) {
 			out = append(out, t)
 		}
 	}
@@ -171,9 +231,21 @@ func (s *store) readRaw(tpl tuple.Template) []tuple.Tuple {
 
 // ids returns the stored ids in arrival order (a copy).
 func (s *store) ids() []tuple.ID {
-	out := make([]tuple.ID, len(s.order))
-	copy(out, s.order)
-	return out
+	return s.appendIDs(nil)
+}
+
+// appendIDs fills buf (reset to zero length) with the stored ids in
+// arrival order and returns it, letting hot loops reuse one scratch
+// slice instead of copying the order on every pass. The result is a
+// snapshot: callers may remove tuples while iterating it.
+func (s *store) appendIDs(buf []tuple.ID) []tuple.ID {
+	buf = buf[:0]
+	for _, id := range s.order.ids {
+		if !id.IsZero() {
+			buf = append(buf, id)
+		}
+	}
+	return buf
 }
 
 // size returns the number of stored tuples.

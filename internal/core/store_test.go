@@ -79,7 +79,7 @@ func TestStoreIndexedReadsMatchFullScan(t *testing.T) {
 		tpl := pattern.ByName(pattern.KindLocal, name)
 		indexed := s.readRaw(tpl)
 		var scanned []tuple.Tuple
-		for _, id := range s.order {
+		for _, id := range s.ids() {
 			if tt := s.byID[id]; tpl.Matches(tt) {
 				scanned = append(scanned, tt)
 			}
@@ -119,6 +119,54 @@ func TestStoreCandidatesSelectivity(t *testing.T) {
 	// Prefix-glob kinds cannot use the index.
 	if got := len(s.candidates(tuple.Template{Kind: "tota:*"})); got != 101 {
 		t.Errorf("glob candidates = %d, want 101", got)
+	}
+}
+
+// TestStoreBulkRemoval exercises the tombstone/compaction path that
+// keeps sweeping thousands of expiring tuples linear: interleaved bulk
+// removals must preserve arrival order, index consistency, and the
+// ids() snapshot, with no tombstones leaking out.
+func TestStoreBulkRemoval(t *testing.T) {
+	s := newStore(tuple.DefaultRegistry)
+	const n = 5000
+	for i := 1; i <= n; i++ {
+		s.put(mkLocal(t, fmt.Sprintf("bulk%d", i%7), uint64(i)))
+	}
+	// Remove every id not divisible by 5, front-to-back (worst case for
+	// a compacting slice).
+	for i := 1; i <= n; i++ {
+		if i%5 != 0 {
+			if _, ok := s.remove(tuple.ID{Node: "n", Seq: uint64(i)}); !ok {
+				t.Fatalf("remove seq %d failed", i)
+			}
+		}
+	}
+	if s.size() != n/5 {
+		t.Fatalf("size = %d, want %d", s.size(), n/5)
+	}
+	ids := s.ids()
+	if len(ids) != n/5 {
+		t.Fatalf("ids() = %d entries, want %d", len(ids), n/5)
+	}
+	for i, id := range ids {
+		if id.IsZero() {
+			t.Fatal("ids() leaked a tombstone")
+		}
+		if want := uint64((i + 1) * 5); id.Seq != want {
+			t.Fatalf("ids()[%d].Seq = %d, want %d (arrival order lost)", i, id.Seq, want)
+		}
+	}
+	// Index-assisted reads agree with the survivors.
+	got := s.readRaw(pattern.ByName(pattern.KindLocal, "bulk3"))
+	for _, tt := range got {
+		if tt.ID().Seq%5 != 0 {
+			t.Fatalf("readRaw returned removed tuple %s", tt.ID())
+		}
+	}
+	// Re-adding after heavy removal still works.
+	s.put(mkLocal(t, "fresh", n+1))
+	if _, ok := s.get(tuple.ID{Node: "n", Seq: n + 1}); !ok {
+		t.Fatal("put after bulk removal failed")
 	}
 }
 

@@ -42,6 +42,10 @@ type Config struct {
 	RefreshEvery int
 	// Seed drives every random choice.
 	Seed int64
+	// Workers bounds the radio's parallel delivery pool (see
+	// transport.SimConfig.Workers). Zero means GOMAXPROCS; one forces
+	// serial delivery. Seeded runs are bit-identical at any setting.
+	Workers int
 	// NodeOptions are extra middleware options applied to every node.
 	NodeOptions []core.Option
 }
@@ -65,7 +69,11 @@ func New(cfg Config) *World {
 	w := &World{
 		cfg:   cfg,
 		graph: cfg.Graph,
-		sim:   transport.NewSim(cfg.Graph, transport.SimConfig{Loss: cfg.Loss, Seed: cfg.Seed}),
+		sim: transport.NewSim(cfg.Graph, transport.SimConfig{
+			Loss:    cfg.Loss,
+			Seed:    cfg.Seed,
+			Workers: cfg.Workers,
+		}),
 		nodes: make(map[tuple.NodeID]*core.Node),
 		moves: make(map[tuple.NodeID]mobility.Mover),
 	}

@@ -1,0 +1,139 @@
+package emulator
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/mobility"
+	"tota/internal/pattern"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// parallelRun captures everything determinism must preserve: the full
+// distributed state, the middleware and radio counters, the gradient
+// error, and every node's engine-decision trace in order.
+type parallelRun struct {
+	fingerprint string
+	nodeStats   core.Stats
+	simStats    transport.Stats
+	gradErr     float64
+	missing     int
+	extra       int
+	traces      map[tuple.NodeID][]string
+}
+
+// runParallelScenario executes a lossy mobile scenario (mobility,
+// refresh, retraction) with the given radio worker-pool bound.
+func runParallelScenario(seed int64, workers int) parallelRun {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.ConnectedRandomGeometric(30, 10, 3, rng, 100)
+
+	var traceMu sync.Mutex
+	traces := make(map[tuple.NodeID][]string)
+	tracer := func(ev core.TraceEvent) {
+		traceMu.Lock()
+		traces[ev.Node] = append(traces[ev.Node], ev.String())
+		traceMu.Unlock()
+	}
+
+	w := New(Config{
+		Graph:        g,
+		RadioRange:   3,
+		Loss:         0.2,
+		RefreshEvery: 5,
+		Seed:         seed,
+		Workers:      workers,
+		NodeOptions:  []core.Option{core.WithTracer(tracer)},
+	})
+	bounds := space.Rect{Max: space.Point{X: 10, Y: 10}}
+	for i, id := range g.Nodes() {
+		if i%3 == 0 {
+			p, _ := g.Position(id)
+			w.SetMover(id, mobility.NewRandomWaypoint(p, bounds, 0.5, 1, 0, rng))
+		}
+	}
+	src := topology.NodeName(0)
+	if _, err := w.Node(src).Inject(pattern.NewGradient("f")); err != nil {
+		panic(err)
+	}
+	floodID, err := w.Node(topology.NodeName(5)).Inject(pattern.NewFlood("news"))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 40; i++ {
+		w.Tick(0.5)
+		if i == 25 {
+			w.Node(topology.NodeName(5)).Retract(floodID)
+		}
+	}
+	w.Settle(100000)
+	meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "f", src, 1e18)
+	return parallelRun{
+		fingerprint: fingerprint(w),
+		nodeStats:   w.TotalStats(),
+		simStats:    w.Sim().Stats(),
+		gradErr:     meanAbs,
+		missing:     missing,
+		extra:       extra,
+		traces:      traces,
+	}
+}
+
+func diffRuns(t *testing.T, label string, a, b parallelRun) {
+	t.Helper()
+	if a.fingerprint != b.fingerprint {
+		t.Errorf("%s: distributed state fingerprints diverged", label)
+	}
+	if a.nodeStats != b.nodeStats {
+		t.Errorf("%s: middleware stats diverged:\n%+v\n%+v", label, a.nodeStats, b.nodeStats)
+	}
+	if a.simStats != b.simStats {
+		t.Errorf("%s: radio stats diverged:\n%+v\n%+v", label, a.simStats, b.simStats)
+	}
+	if a.gradErr != b.gradErr || a.missing != b.missing || a.extra != b.extra {
+		t.Errorf("%s: gradient readings diverged: (%v,%d,%d) vs (%v,%d,%d)",
+			label, a.gradErr, a.missing, a.extra, b.gradErr, b.missing, b.extra)
+	}
+	if !reflect.DeepEqual(a.traces, b.traces) {
+		for id, want := range a.traces {
+			got := b.traces[id]
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: node %s trace diverged (%d vs %d events)", label, id, len(want), len(got))
+				break
+			}
+		}
+	}
+}
+
+// TestParallelSteppingIsDeterministic proves the tentpole guarantee:
+// the same seed and topology produce identical Stats, per-node traces,
+// and gradient values whether the radio delivers serially (Workers=1,
+// or GOMAXPROCS=1) or on a parallel worker pool (Workers=8, or
+// GOMAXPROCS=8), with loss, mobility, refresh and retraction all
+// active.
+func TestParallelSteppingIsDeterministic(t *testing.T) {
+	serial := runParallelScenario(99, 1)
+	if serial.simStats.Delivered == 0 {
+		t.Fatal("scenario delivered nothing; not a meaningful determinism check")
+	}
+	for _, workers := range []int{2, 8} {
+		parallel := runParallelScenario(99, workers)
+		diffRuns(t, fmt.Sprintf("workers=1 vs workers=%d", workers), serial, parallel)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	one := runParallelScenario(99, 0)
+	runtime.GOMAXPROCS(8)
+	eight := runParallelScenario(99, 0)
+	runtime.GOMAXPROCS(prev)
+	diffRuns(t, "GOMAXPROCS=1 vs GOMAXPROCS=8", one, eight)
+	diffRuns(t, "workers=1 vs GOMAXPROCS default pool", serial, eight)
+}

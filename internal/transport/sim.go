@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tota/internal/topology"
 	"tota/internal/tuple"
@@ -32,6 +35,10 @@ type SimConfig struct {
 	Dup float64
 	// Seed makes loss and shuffle decisions reproducible.
 	Seed int64
+	// Workers bounds the delivery worker pool used by Step. Zero means
+	// GOMAXPROCS; one forces serial delivery. Whatever the value, a
+	// seeded run produces bit-identical results (see Step).
+	Workers int
 }
 
 // Sim is a deterministic simulated radio network. Nodes attach to it to
@@ -39,26 +46,40 @@ type SimConfig struct {
 // Step, which delivers every packet sent at least LatencyRounds steps
 // earlier. Topology edits notify the attached handlers immediately.
 //
-// Determinism: packets are delivered in the order they were sent, loss
-// is drawn from a seeded source, and neighbor snapshots are sorted.
-// All methods are safe for concurrent use, but determinism additionally
-// requires the usual emulator discipline of sending from handler
-// callbacks and from the step-driving goroutine only.
+// Determinism: each destination's packets are delivered in send order by
+// a single worker, loss is drawn from a seeded source in a deterministic
+// merge order, and neighbor snapshots are sorted. All methods are safe
+// for concurrent use, but determinism additionally requires the usual
+// emulator discipline: handler callbacks (and their reactions) send only
+// from the node being delivered to, and topology edits happen only from
+// the step-driving goroutine between Step calls.
 type Sim struct {
 	cfg SimConfig
 
-	mu       sync.Mutex
-	graph    *topology.Graph
-	handlers map[tuple.NodeID]Handler
-	inflight []simPacket
-	rng      *rand.Rand
-	stats    Stats
+	mu         sync.Mutex
+	graph      *topology.Graph
+	handlers   map[tuple.NodeID]Handler
+	inflight   []simPacket
+	rng        *rand.Rand
+	stats      Stats
+	delivering bool
+	// staged collects sends produced inside handler callbacks during a
+	// Step's delivery phase, keyed by source node; slice order is the
+	// per-source send sequence. The merge at the end of the step replays
+	// them in (source, seq) order so loss/dup draws and in-flight order
+	// are identical whatever the worker scheduling.
+	staged map[tuple.NodeID][]stagedSend
 }
 
 type simPacket struct {
 	from, to tuple.NodeID
 	data     []byte
 	dueRound int
+}
+
+type stagedSend struct {
+	to   tuple.NodeID
+	data []byte
 }
 
 // NewSim creates a simulated network over the given (shared, live)
@@ -72,6 +93,7 @@ func NewSim(g *topology.Graph, cfg SimConfig) *Sim {
 		graph:    g,
 		handlers: make(map[tuple.NodeID]Handler),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		staged:   make(map[tuple.NodeID][]stagedSend),
 	}
 }
 
@@ -156,44 +178,190 @@ func (s *Sim) notify(events []topology.EdgeEvent) {
 	}
 }
 
-// Step advances simulated time by one round, delivering every due
-// packet (in send order) to handlers. It returns the number of packets
-// delivered.
+// destGroup is one round's packets for a single destination, in send
+// order. Exactly one worker owns a group, so the destination's handler
+// calls stay serialized and ordered.
+type destGroup struct {
+	to      tuple.NodeID
+	h       Handler
+	packets []simPacket
+}
+
+// Step advances simulated time by one round, delivering every due packet
+// to handlers and returning the number delivered. Packets are
+// partitioned by destination: each destination's packets are handled in
+// send order by a single worker, while distinct destinations proceed
+// concurrently on a pool bounded by SimConfig.Workers. Sends produced
+// inside handler callbacks are staged and merged in deterministic
+// (source node, send sequence) order after all workers finish, so a
+// seeded run is bit-identical at any worker count or GOMAXPROCS.
 func (s *Sim) Step() int {
 	s.mu.Lock()
-	var due, later []simPacket
+	// Age packets in place: surviving packets keep the inflight backing
+	// array (no per-round reallocation), due ones are copied out.
+	var due []simPacket
+	kept := s.inflight[:0]
 	for _, p := range s.inflight {
 		p.dueRound--
 		if p.dueRound <= 0 {
 			due = append(due, p)
 		} else {
-			later = append(later, p)
+			kept = append(kept, p)
 		}
 	}
-	s.inflight = later
+	s.inflight = kept
 	if s.cfg.Shuffle {
 		s.rng.Shuffle(len(due), func(i, j int) {
 			due[i], due[j] = due[j], due[i]
 		})
 	}
-	s.mu.Unlock()
+	if len(due) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	delivered := 0
-	for _, p := range due {
-		s.mu.Lock()
-		h := s.handlers[p.to]
-		linked := s.graph.HasEdge(p.from, p.to)
-		if h == nil || !linked {
-			s.stats.Dropped++
-			s.mu.Unlock()
+	var delivered, droppedLinks int64
+	if workers <= 1 {
+		// Serial fast path: deliver in due order without building
+		// destination groups. Per-destination order is the due order
+		// filtered by destination — exactly what the groups preserve —
+		// and each source's staged sends depend only on its own delivery
+		// order, so this is bit-identical to the pooled path.
+		hs := make([]Handler, len(due))
+		dropped := int64(0)
+		for i, p := range due {
+			if hs[i] = s.handlers[p.to]; hs[i] == nil {
+				dropped++
+			}
+		}
+		s.stats.Dropped += dropped
+		s.delivering = true
+		s.mu.Unlock()
+		for i, p := range due {
+			h := hs[i]
+			if h == nil {
+				continue
+			}
+			if !s.graph.HasEdge(p.from, p.to) {
+				droppedLinks++
+				continue
+			}
+			h.HandlePacket(p.from, p.data)
+			delivered++
+		}
+	} else {
+		// Partition by destination (preserving per-destination order) and
+		// resolve handlers once; packets to unknown nodes drop immediately.
+		groups := make([]*destGroup, 0, 16)
+		byDest := make(map[tuple.NodeID]*destGroup, 16)
+		dropped := int64(0)
+		for _, p := range due {
+			g, ok := byDest[p.to]
+			if !ok {
+				h := s.handlers[p.to]
+				if h == nil {
+					dropped++
+					continue
+				}
+				g = &destGroup{to: p.to, h: h}
+				byDest[p.to] = g
+				groups = append(groups, g)
+			}
+			g.packets = append(g.packets, p)
+		}
+		s.stats.Dropped += dropped
+		s.delivering = true
+		s.mu.Unlock()
+		delivered, droppedLinks = s.deliverGroups(groups, workers)
+	}
+
+	s.mu.Lock()
+	s.delivering = false
+	s.stats.Delivered += delivered
+	s.stats.Dropped += droppedLinks
+	s.mergeStagedLocked()
+	s.mu.Unlock()
+	return int(delivered)
+}
+
+// deliverGroups runs the delivery phase over the destination groups,
+// inline when the pool would not help, otherwise on a bounded worker
+// pool. Both paths produce identical results: ordering guarantees come
+// from per-destination ownership plus the staged-send merge, not from
+// scheduling.
+func (s *Sim) deliverGroups(groups []*destGroup, workers int) (delivered, dropped int64) {
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			d, dr := s.deliverGroup(g)
+			delivered += d
+			dropped += dr
+		}
+		return delivered, dropped
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var d, dr int64
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(groups)) {
+					break
+				}
+				gd, gdr := s.deliverGroup(groups[i])
+				d += gd
+				dr += gdr
+			}
+			atomic.AddInt64(&delivered, d)
+			atomic.AddInt64(&dropped, dr)
+		}()
+	}
+	wg.Wait()
+	return delivered, dropped
+}
+
+// deliverGroup hands one destination's packets to its handler in order.
+// The link check is per-packet: a handler reaction may not edit the
+// topology mid-step, but earlier rounds' edits must still gate delivery.
+func (s *Sim) deliverGroup(g *destGroup) (delivered, dropped int64) {
+	for _, p := range g.packets {
+		if !s.graph.HasEdge(p.from, p.to) {
+			dropped++
 			continue
 		}
-		s.stats.Delivered++
-		s.mu.Unlock()
-		h.HandlePacket(p.from, p.data)
+		g.h.HandlePacket(p.from, p.data)
 		delivered++
 	}
-	return delivered
+	return delivered, dropped
+}
+
+// mergeStagedLocked replays the sends staged during the delivery phase
+// in (source node, send sequence) order, consuming the seeded rng for
+// loss/dup decisions in that same deterministic order.
+func (s *Sim) mergeStagedLocked() {
+	if len(s.staged) == 0 {
+		return
+	}
+	sources := make([]tuple.NodeID, 0, len(s.staged))
+	for src := range s.staged {
+		sources = append(sources, src)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	for _, src := range sources {
+		for _, snd := range s.staged[src] {
+			s.commitSendLocked(src, snd.to, snd.data)
+		}
+		delete(s.staged, src)
+	}
 }
 
 // RunUntilQuiet steps until no packets remain in flight or maxSteps is
@@ -234,7 +402,18 @@ func (s *Sim) ResetStats() {
 	s.stats = Stats{}
 }
 
+// send enqueues one transmission. During a Step's delivery phase the
+// send is staged (rng untouched) for the deterministic merge; otherwise
+// it commits immediately.
 func (s *Sim) send(from, to tuple.NodeID, data []byte) {
+	if s.delivering {
+		s.staged[from] = append(s.staged[from], stagedSend{to: to, data: data})
+		return
+	}
+	s.commitSendLocked(from, to, data)
+}
+
+func (s *Sim) commitSendLocked(from, to tuple.NodeID, data []byte) {
 	if s.cfg.Loss > 0 && s.rng.Float64() < s.cfg.Loss {
 		s.stats.Dropped++
 		s.stats.Sent++
@@ -272,7 +451,8 @@ func (e *SimEndpoint) Neighbors() []tuple.NodeID {
 }
 
 // Broadcast implements Sender, enqueueing one copy per current
-// neighbor (the radio's one-hop broadcast).
+// neighbor (the radio's one-hop broadcast). The payload slice is shared,
+// not copied: receivers must treat packet data as read-only.
 func (e *SimEndpoint) Broadcast(data []byte) error {
 	nbrs := e.net.graph.Neighbors(e.id)
 	e.net.mu.Lock()

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// forwarder is a Handler that re-broadcasts every packet it receives
+// while the payload's TTL byte is positive — a deterministic traffic
+// amplifier that exercises sends-from-handler-callbacks, the path the
+// staged merge must keep deterministic.
+type forwarder struct {
+	ep *SimEndpoint
+
+	mu  sync.Mutex
+	log []string
+}
+
+func (f *forwarder) HandlePacket(from tuple.NodeID, data []byte) {
+	f.mu.Lock()
+	f.log = append(f.log, fmt.Sprintf("%s:%x", from, data))
+	f.mu.Unlock()
+	if len(data) == 0 || data[0] == 0 {
+		return
+	}
+	fwd := make([]byte, len(data))
+	copy(fwd, data)
+	fwd[0]--
+	_ = f.ep.Broadcast(fwd)
+}
+
+func (f *forwarder) HandleNeighbor(peer tuple.NodeID, added bool) {}
+
+func (f *forwarder) snapshot() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// runForwardingStorm floods a 5x5 grid with TTL-limited re-broadcasts
+// under loss, duplication and shuffled delivery, and returns the global
+// Stats plus each node's received-packet sequence.
+func runForwardingStorm(workers int) (Stats, map[tuple.NodeID][]string) {
+	g := topology.Grid(5, 5, 1)
+	s := NewSim(g, SimConfig{
+		Loss:    0.15,
+		Dup:     0.1,
+		Shuffle: true,
+		Seed:    7,
+		Workers: workers,
+	})
+	fwds := make(map[tuple.NodeID]*forwarder)
+	for _, id := range g.Nodes() {
+		f := &forwarder{}
+		f.ep = s.Attach(id, f)
+		fwds[id] = f
+	}
+	for i := 0; i < 4; i++ {
+		payload := make([]byte, 5)
+		payload[0] = 6 // TTL
+		binary.BigEndian.PutUint32(payload[1:], uint32(i))
+		if err := fwds[topology.NodeName(i*7)].ep.Broadcast(payload); err != nil {
+			panic(err)
+		}
+	}
+	s.RunUntilQuiet(10000)
+	logs := make(map[tuple.NodeID][]string)
+	for id, f := range fwds {
+		logs[id] = f.snapshot()
+	}
+	return s.Stats(), logs
+}
+
+// TestStepDeterministicAcrossWorkerCounts is the parallel-delivery
+// determinism guarantee: with loss, duplication, shuffling and handler
+// re-broadcasts all active, a seeded run must be bit-identical whether
+// delivery is serial or spread over any number of workers.
+func TestStepDeterministicAcrossWorkerCounts(t *testing.T) {
+	baseStats, baseLogs := runForwardingStorm(1)
+	if baseStats.Delivered == 0 || baseStats.Dropped == 0 {
+		t.Fatalf("storm too quiet to be a meaningful test: %+v", baseStats)
+	}
+	for _, workers := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
+		stats, logs := runForwardingStorm(workers)
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats diverged: %+v vs %+v", workers, stats, baseStats)
+		}
+		for id, want := range baseLogs {
+			got := logs[id]
+			if len(got) != len(want) {
+				t.Errorf("workers=%d: node %s received %d packets, want %d", workers, id, len(got), len(want))
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("workers=%d: node %s packet %d = %s, want %s", workers, id, i, got[i], want[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestStepDeterministicAcrossGOMAXPROCS re-runs the storm with the
+// default worker pool (Workers=0, i.e. GOMAXPROCS-bounded) under
+// different GOMAXPROCS settings.
+func TestStepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	statsSerial, _ := runForwardingStorm(0)
+	runtime.GOMAXPROCS(8)
+	statsParallel, _ := runForwardingStorm(0)
+	runtime.GOMAXPROCS(prev)
+	if statsSerial != statsParallel {
+		t.Errorf("GOMAXPROCS=1 vs 8 diverged: %+v vs %+v", statsSerial, statsParallel)
+	}
+}
+
+// TestSimConcurrentAttachStepSend hammers the Sim from many goroutines
+// at once — steppers, senders, attachers, detachers, topology editors —
+// to prove memory safety under -race. (Determinism is not expected
+// here; that requires the emulator's single-driver discipline.)
+func TestSimConcurrentAttachStepSend(t *testing.T) {
+	g := topology.Grid(4, 4, 1)
+	s := NewSim(g, SimConfig{Loss: 0.1, Dup: 0.1, Shuffle: true, Seed: 3})
+	eps := make([]*SimEndpoint, 0, 16)
+	for _, id := range g.Nodes() {
+		f := &forwarder{}
+		f.ep = s.Attach(id, f)
+		eps = append(eps, f.ep)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Stepper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			s.Step()
+		}
+	}()
+	// Senders.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; !stop.Load(); j++ {
+				ep := eps[(i*5+j)%len(eps)]
+				_ = ep.Broadcast([]byte{2, byte(j)})
+			}
+		}(i)
+	}
+	// Attach/detach churner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; !stop.Load(); j++ {
+			id := tuple.NodeID(fmt.Sprintf("x%04d", j%8))
+			f := &forwarder{}
+			f.ep = s.Attach(id, f)
+			s.AddEdge(id, topology.NodeName(j%16))
+			_ = f.ep.Broadcast([]byte{1})
+			s.Detach(id)
+		}
+	}()
+	// Topology editor.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; !stop.Load(); j++ {
+			a, b := topology.NodeName(j%16), topology.NodeName((j+5)%16)
+			s.RemoveEdge(a, b)
+			s.AddEdge(a, b)
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	stop.Store(true)
+	wg.Wait()
+	s.RunUntilQuiet(10000)
+}

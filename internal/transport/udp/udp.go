@@ -179,9 +179,17 @@ func (t *Transport) Neighbors() []tuple.NodeID {
 	return out
 }
 
+// framePool recycles frame build buffers across Broadcast/Send calls:
+// WriteToUDP copies the datagram into the kernel synchronously, so the
+// buffer can be returned immediately. Buffers grow to the largest
+// message seen and stay that size, so steady-state sends allocate
+// nothing.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Broadcast implements transport.Sender.
 func (t *Transport) Broadcast(data []byte) error {
-	frame := t.frame(frameData, data)
+	bufp := framePool.Get().(*[]byte)
+	frame := t.frameTo(*bufp, frameData, data)
 	t.mu.Lock()
 	var addrs []*net.UDPAddr
 	for _, p := range t.byID {
@@ -196,6 +204,8 @@ func (t *Transport) Broadcast(data []byte) error {
 			firstErr = err
 		}
 	}
+	*bufp = frame
+	framePool.Put(bufp)
 	return firstErr
 }
 
@@ -208,18 +218,33 @@ func (t *Transport) Send(to tuple.NodeID, data []byte) error {
 	if !up {
 		return fmt.Errorf("udp: %s is not a neighbor", to)
 	}
-	_, err := t.conn.WriteToUDP(t.frame(frameData, data), p.addr)
+	bufp := framePool.Get().(*[]byte)
+	frame := t.frameTo(*bufp, frameData, data)
+	_, err := t.conn.WriteToUDP(frame, p.addr)
+	*bufp = frame
+	framePool.Put(bufp)
 	return err
 }
 
 // frame prepends the frame header: type, sender id.
 func (t *Transport) frame(typ byte, payload []byte) []byte {
+	return t.frameTo(nil, typ, payload)
+}
+
+// frameTo builds a frame into dst (reusing its capacity when possible,
+// preallocating the exact size otherwise).
+func (t *Transport) frameTo(dst []byte, typ byte, payload []byte) []byte {
 	id := string(t.cfg.NodeID)
-	b := make([]byte, 0, 1+4+len(id)+len(payload))
-	b = append(b, typ)
-	b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
-	b = append(b, id...)
-	return append(b, payload...)
+	need := 1 + 4 + len(id) + len(payload)
+	if cap(dst) < need {
+		dst = make([]byte, 0, need)
+	} else {
+		dst = dst[:0]
+	}
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(id)))
+	dst = append(dst, id...)
+	return append(dst, payload...)
 }
 
 func parseFrame(data []byte) (typ byte, id tuple.NodeID, payload []byte, err error) {

@@ -13,15 +13,51 @@ import (
 type Factory func(id ID, c Content) (Tuple, error)
 
 // Registry maps tuple kinds to factories, enabling the generic binary
-// codec: a tuple round-trips as (kind, id, content).
+// codec: a tuple round-trips as (kind, id, content). It also interns
+// the low-cardinality strings of the wire format (kinds, node ids,
+// field names) so steady-state decoding stops allocating them.
 type Registry struct {
 	mu        sync.RWMutex
 	factories map[string]Factory
+
+	strMu sync.RWMutex
+	strs  map[string]string
 }
+
+// internCap bounds the intern table; when full it is reset rather than
+// evicted, so a burst of unique strings cannot grow it without bound.
+const internCap = 4096
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{factories: make(map[string]Factory)}
+	return &Registry{
+		factories: make(map[string]Factory),
+		strs:      make(map[string]string),
+	}
+}
+
+// Intern returns b as a string, reusing a previously returned string
+// with the same contents when possible. Decoders call it for repeated
+// protocol strings (kinds, node ids, field names): after the first
+// packet of a given shape, those lookups allocate nothing.
+func (r *Registry) Intern(b []byte) string {
+	if r == nil || len(b) == 0 {
+		return string(b)
+	}
+	r.strMu.RLock()
+	s, ok := r.strs[string(b)] // compiler avoids the []byte->string alloc
+	r.strMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	r.strMu.Lock()
+	if len(r.strs) >= internCap {
+		r.strs = make(map[string]string, internCap/4)
+	}
+	r.strs[s] = s
+	r.strMu.Unlock()
+	return s
 }
 
 // Register adds a factory for kind. Registering the same kind twice is
@@ -96,9 +132,41 @@ var (
 	ErrBadVersion  = errors.New("tuple: unsupported codec version")
 )
 
+// EncodedSize returns the exact number of bytes Encode produces for t,
+// so callers can allocate (or reserve) encode buffers in one shot.
+func EncodedSize(t Tuple) int {
+	return encodedSize(t, t.Content())
+}
+
+func encodedSize(t Tuple, c Content) int {
+	n := 1 + 4 + len(t.Kind()) + 4 + len(t.ID().Node) + 8 + 2
+	for _, f := range c {
+		n += 4 + len(f.Name) + 1
+		switch v := f.Value.(type) {
+		case string:
+			n += 4 + len(v)
+		case int64, float64:
+			n += 8
+		case bool:
+			n++
+		case []byte:
+			n += 4 + len(v)
+		}
+	}
+	return n
+}
+
 // Encode serializes a tuple as (kind, id, content) using a compact
-// big-endian binary format.
+// big-endian binary format. The output is sized exactly, so encoding
+// costs a single allocation.
 func Encode(t Tuple) ([]byte, error) {
+	return AppendEncode(nil, t)
+}
+
+// AppendEncode appends the serialized form of t to dst and returns the
+// extended slice, growing dst at most once (to the exact final size).
+// It lets message framers build a whole packet in one buffer.
+func AppendEncode(dst []byte, t Tuple) ([]byte, error) {
 	c := t.Content()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -106,7 +174,12 @@ func Encode(t Tuple) ([]byte, error) {
 	if len(c) > math.MaxUint16 {
 		return nil, fmt.Errorf("tuple: too many fields (%d)", len(c))
 	}
-	var b []byte
+	if need := encodedSize(t, c); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	b := dst
 	b = append(b, codecVersion)
 	b = appendString(b, t.Kind())
 	b = appendString(b, string(t.ID().Node))
@@ -138,7 +211,7 @@ func Encode(t Tuple) ([]byte, error) {
 // Decode reconstructs a tuple previously serialized with Encode, using
 // the registry's factory for its kind.
 func Decode(r *Registry, data []byte) (Tuple, error) {
-	kind, id, c, err := DecodeParts(data)
+	kind, id, c, err := decodeParts(r, data)
 	if err != nil {
 		return nil, err
 	}
@@ -148,13 +221,21 @@ func Decode(r *Registry, data []byte) (Tuple, error) {
 // DecodeParts parses the serialized form without invoking a factory,
 // for transports and tools that need only the envelope information.
 func DecodeParts(data []byte) (kind string, id ID, c Content, err error) {
-	d := decoder{buf: data}
+	return decodeParts(nil, data)
+}
+
+// decodeParts is DecodeParts with an optional registry whose intern
+// table absorbs the repeated protocol strings (kind, node id, field
+// names); field values are never interned — their cardinality is
+// unbounded.
+func decodeParts(r *Registry, data []byte) (kind string, id ID, c Content, err error) {
+	d := decoder{buf: data, reg: r}
 	v := d.byte()
 	if d.err == nil && v != codecVersion {
 		return "", ID{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
-	kind = d.string()
-	id.Node = NodeID(d.string())
+	kind = d.istring()
+	id.Node = NodeID(d.istring())
 	id.Seq = d.uint64()
 	n := int(d.uint16())
 	if d.err != nil {
@@ -162,7 +243,7 @@ func DecodeParts(data []byte) (kind string, id ID, c Content, err error) {
 	}
 	c = make(Content, 0, n)
 	for i := 0; i < n; i++ {
-		name := d.string()
+		name := d.istring()
 		k := Kind(d.byte())
 		var val any
 		switch k {
@@ -205,6 +286,7 @@ func appendBytes(b, v []byte) []byte {
 type decoder struct {
 	buf []byte
 	err error
+	reg *Registry // optional; enables string interning
 }
 
 func (d *decoder) take(n int) []byte {
@@ -257,6 +339,20 @@ func (d *decoder) string() string {
 	b := d.take(n)
 	if b == nil {
 		return ""
+	}
+	return string(b)
+}
+
+// istring is string for low-cardinality protocol strings: it consults
+// the registry's intern table so repeated decodes allocate nothing.
+func (d *decoder) istring() string {
+	n := int(d.uint32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	if d.reg != nil {
+		return d.reg.Intern(b)
 	}
 	return string(b)
 }

@@ -69,29 +69,40 @@ var (
 	ErrType    = errors.New("wire: unknown message type")
 )
 
-// Encode serializes a message.
+// Encode serializes a message. The buffer is preallocated to the exact
+// message size (via tuple.EncodedSize), so the whole packet is built
+// with one allocation and no re-copies — the per-packet hot path of
+// every broadcast, refresh, and announcement.
 func Encode(m Message) ([]byte, error) {
-	b := []byte{wireVersion, byte(m.Type)}
-	b = binary.BigEndian.AppendUint16(b, m.Hop)
-	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Parent)))
-	b = append(b, m.Parent...)
+	header := 2 + 2 + 4 + len(m.Parent)
 	switch m.Type {
 	case MsgTuple:
 		if m.Tuple == nil {
 			return nil, errors.New("wire: MsgTuple without tuple")
 		}
-		tb, err := tuple.Encode(m.Tuple)
+		b := make([]byte, 0, header+tuple.EncodedSize(m.Tuple))
+		b = appendHeader(b, m)
+		b, err := tuple.AppendEncode(b, m.Tuple)
 		if err != nil {
 			return nil, fmt.Errorf("wire: encode tuple: %w", err)
 		}
-		return append(b, tb...), nil
+		return b, nil
 	case MsgRetract, MsgWithdraw:
 		id := m.ID.String()
+		b := make([]byte, 0, header+4+len(id))
+		b = appendHeader(b, m)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
 		return append(b, id...), nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrType, m.Type)
 	}
+}
+
+func appendHeader(b []byte, m Message) []byte {
+	b = append(b, wireVersion, byte(m.Type))
+	b = binary.BigEndian.AppendUint16(b, m.Hop)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Parent)))
+	return append(b, m.Parent...)
 }
 
 // Decode parses a message, using the registry to rebuild carried tuples.
@@ -114,7 +125,7 @@ func Decode(reg *tuple.Registry, data []byte) (Message, error) {
 	if len(body) < 4+pn {
 		return Message{}, ErrShort
 	}
-	m.Parent = tuple.NodeID(body[4 : 4+pn])
+	m.Parent = tuple.NodeID(reg.Intern(body[4 : 4+pn]))
 	body = body[4+pn:]
 	switch m.Type {
 	case MsgTuple:

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Runs the full benchmark suite with allocation stats and records the
+# raw output as BENCH_<date>.json (test2json stream, one JSON event per
+# line) next to a plain-text copy for quick diffing between runs.
+#
+# Usage: scripts/bench.sh [extra go test args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+date="$(date +%Y%m%d)"
+json="BENCH_${date}.json"
+txt="BENCH_${date}.txt"
+
+go test -run '^$' -bench . -benchmem -json "$@" ./... | tee "$json" |
+	grep -o '"Output":".*"' |
+	sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' \
+		>"$txt"
+
+echo "wrote $json and $txt" >&2
