@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -17,6 +18,7 @@ import (
 	"tota/internal/emulator"
 	"tota/internal/experiment"
 	"tota/internal/meeting"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/routing"
 	"tota/internal/space"
@@ -38,26 +40,115 @@ func run(args []string) error {
 	height := fs.Int("h", 8, "grid height")
 	rounds := fs.Int("rounds", 100, "coordination rounds (flock scenario)")
 	trace := fs.Bool("trace", false, "print engine trace events (gradient scenario)")
+	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json and /healthz while the scenario runs")
+	dash := fs.Int("dash", 0, "print a one-line telemetry dashboard every N radio rounds")
+	report := fs.String("report", "", "write the final aggregated JSON report to this file ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	env := &obsEnv{scenario: *scenario, addr: *obsAddr, dash: *dash, report: *report}
+	var err error
 	switch *scenario {
 	case "gradient":
-		return gradientScenario(*width, *height, *trace)
+		err = gradientScenario(*width, *height, *trace, env)
 	case "flock":
-		return flockScenario(*rounds)
+		err = flockScenario(*rounds)
 	case "routing":
-		return routingScenario(*width, *height)
+		err = routingScenario(*width, *height, env)
 	case "meeting":
-		return meetingScenario(*rounds)
+		err = meetingScenario(*rounds, env)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
+	if err != nil {
+		return err
+	}
+	return env.finish()
+}
+
+// obsEnv carries the telemetry flags into a scenario: it exposes the
+// world on -obs.addr, prints a dashboard line every -dash rounds while
+// the radio settles, and emits the -report JSON artifact at the end.
+type obsEnv struct {
+	scenario string
+	addr     string
+	dash     int
+	report   string
+
+	srv     *obs.Server
+	world   *emulator.World
+	rollups []emulator.Rollup
+}
+
+// attach hooks the scenario's world up to the requested telemetry.
+// Scenarios that build their world indirectly (flock) skip it; finish
+// then has nothing to report.
+func (e *obsEnv) attach(w *emulator.World) error {
+	e.world = w
+	if e.addr == "" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	w.RegisterMetrics(reg)
+	obs.RegisterRuntime(reg)
+	srv, err := obs.Serve(e.addr, reg)
+	if err != nil {
+		return err
+	}
+	e.srv = srv
+	fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+	return nil
+}
+
+// settle drains the radio like World.Settle, publishing a rollup every
+// round so live scrapes advance, and sampling the dashboard/report
+// every -dash rounds.
+func (e *obsEnv) settle(w *emulator.World, maxRounds int) int {
+	if e.world != w || (e.addr == "" && e.dash <= 0 && e.report == "") {
+		return w.Settle(maxRounds)
+	}
+	rounds := 0
+	for ; rounds < maxRounds && w.Sim().Pending() > 0; rounds++ {
+		w.Sim().Step()
+		w.PublishRollup()
+		if e.dash > 0 && (rounds+1)%e.dash == 0 {
+			r := w.Rollup()
+			e.rollups = append(e.rollups, r)
+			fmt.Println(r.Dashboard())
+		}
+	}
+	return rounds
+}
+
+// finish emits the report and shuts the exposition server down.
+func (e *obsEnv) finish() error {
+	defer func() {
+		if e.srv != nil {
+			_ = e.srv.Close()
+		}
+	}()
+	if e.report == "" {
+		return nil
+	}
+	if e.world == nil {
+		return fmt.Errorf("-report: scenario %q does not expose its world", e.scenario)
+	}
+	rep := emulator.Report{Scenario: e.scenario, Rollups: e.rollups, Final: e.world.Rollup()}
+	w := io.Writer(os.Stdout)
+	if e.report != "-" {
+		f, err := os.Create(e.report)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	return rep.WriteJSON(w)
 }
 
 // meetingScenario runs the Co-Fields meeting application: three users
 // descend each other's summed fields until they gather.
-func meetingScenario(rounds int) error {
+func meetingScenario(rounds int, env *obsEnv) error {
 	g := topology.Grid(9, 9, 1)
 	users := []tuple.NodeID{"userA", "userB", "userC"}
 	starts := []space.Point{{X: 0.5, Y: 0.5}, {X: 7.5, Y: 0.5}, {X: 3.5, Y: 7.5}}
@@ -66,6 +157,9 @@ func meetingScenario(rounds int) error {
 	}
 	g.Recompute(1.2)
 	world := emulator.New(emulator.Config{Graph: g, RadioRange: 1.2})
+	if err := env.attach(world); err != nil {
+		return err
+	}
 	m, err := meeting.New(world, users, meeting.Config{
 		Speed:  0.5,
 		Bounds: space.Rect{Max: space.Point{X: 8, Y: 8}},
@@ -73,7 +167,7 @@ func meetingScenario(rounds int) error {
 	if err != nil {
 		return err
 	}
-	world.Settle(100000)
+	env.settle(world, 100000)
 	mark := func(id tuple.NodeID) rune {
 		for i, u := range users {
 			if u == id {
@@ -90,7 +184,7 @@ func meetingScenario(rounds int) error {
 
 // gradientScenario injects a hop-count field at the grid center and
 // prints the resulting structure of space as digits.
-func gradientScenario(w, h int, trace bool) error {
+func gradientScenario(w, h int, trace bool, env *obsEnv) error {
 	g := topology.Grid(w, h, 1)
 	var opts []core.Option
 	if trace {
@@ -99,11 +193,14 @@ func gradientScenario(w, h int, trace bool) error {
 		}))
 	}
 	world := emulator.New(emulator.Config{Graph: g, NodeOptions: opts})
+	if err := env.attach(world); err != nil {
+		return err
+	}
 	src := topology.NodeName(h/2*w + w/2)
 	if _, err := world.Node(src).Inject(pattern.NewGradient("demo")); err != nil {
 		return err
 	}
-	rounds := world.Settle(100000)
+	rounds := env.settle(world, 100000)
 	fmt.Printf("gradient injected at %s; settled in %d rounds, %d radio sends\n\n",
 		src, rounds, world.Sim().Stats().Sent)
 	fmt.Println(world.Render(4*w, 2*h, func(id tuple.NodeID) rune {
@@ -138,23 +235,26 @@ func flockScenario(rounds int) error {
 
 // routingScenario advertises a destination and routes a message to it,
 // showing which nodes relayed.
-func routingScenario(w, h int) error {
+func routingScenario(w, h int, env *obsEnv) error {
 	g := topology.Grid(w, h, 1)
 	world := emulator.New(emulator.Config{Graph: g})
+	if err := env.attach(world); err != nil {
+		return err
+	}
 	dst := topology.NodeName(0)
 	src := topology.NodeName(2*w + 2) // (2,2): the descent region is a corner patch
 	rDst := routing.NewRouter(world.Node(dst))
 	if _, err := rDst.Advertise(); err != nil {
 		return err
 	}
-	world.Settle(100000)
+	env.settle(world, 100000)
 	structSends := world.Sim().Stats().Sent
 	world.Sim().ResetStats()
 
 	if err := routing.NewRouter(world.Node(src)).Send(dst, tuple.S("body", "hello")); err != nil {
 		return err
 	}
-	world.Settle(100000)
+	env.settle(world, 100000)
 	msgs := rDst.Inbox()
 	fmt.Printf("overlay structure: %d sends; message: %d sends; delivered: %d\n",
 		structSends, world.Sim().Stats().Sent, len(msgs))

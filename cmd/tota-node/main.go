@@ -17,12 +17,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tota/internal/core"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/transport/udp"
 	"tota/internal/tuple"
@@ -40,13 +43,16 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	id := fs.String("id", "", "node id (required, unique)")
 	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
 	peers := fs.String("peers", "", "comma-separated candidate peer addresses")
+	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json, /healthz and pprof on this address")
+	traceOut := fs.String("trace.jsonl", "", "append engine trace events as JSON lines to this file ('-' for stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	cfg := udp.Config{NodeID: tuple.NodeID(*id), ListenAddr: *listen}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := udp.Config{NodeID: tuple.NodeID(*id), ListenAddr: *listen, Logger: logger}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
 	}
@@ -56,10 +62,51 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	defer func() { _ = tr.Close() }()
 
-	node := core.New(tr)
+	// Telemetry: the registry reads component-owned counters at scrape
+	// time, so the node pays nothing on the packet path; the trace
+	// pipeline stamps events with wall-clock seconds since start.
+	reg := obs.NewRegistry()
+	start := time.Now()
+	clock := func() float64 { return time.Since(start).Seconds() }
+	lat := obs.NewLatencies(reg, clock, obs.ExpBuckets(0.001, 2, 16))
+	var sink *obs.JSONLSink
+	if *traceOut != "" {
+		w := io.Writer(os.Stderr)
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }()
+			w = f
+		}
+		sink = obs.NewJSONLSink(w, reg, clock, 0)
+		defer func() { _ = sink.Close() }()
+	}
+	var sinkTracer core.Tracer
+	if sink != nil {
+		sinkTracer = sink.Tracer()
+	}
+
+	node := core.New(tr,
+		core.WithLogger(logger),
+		core.WithTracer(obs.MultiTracer(lat.Tracer(), sinkTracer)))
 	tr.SetHandler(node)
 	tr.Start()
 	fmt.Fprintf(out, "node %s listening on %s\n", *id, tr.Addr())
+
+	obs.RegisterNodeStats(reg, node.Stats)
+	obs.RegisterStoreSize(reg, node.StoreSize)
+	obs.RegisterUDPStats(reg, tr)
+	obs.RegisterRuntime(reg)
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(out, "telemetry on http://%s/metrics\n", srv.Addr())
+	}
 
 	return shell(node, in, out)
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tota/internal/obs"
+)
+
+// TestRunObsEndpoint boots a full node with -obs.addr and scrapes it
+// over HTTP while the shell is live — the acceptance path for the
+// telemetry exposition.
+func TestRunObsEndpoint(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		err := run([]string{
+			"-id", "obs-test",
+			"-obs.addr", "127.0.0.1:0",
+			"-trace.jsonl", traceFile,
+		}, inR, outW)
+		_ = outW.Close()
+		errc <- err
+	}()
+
+	// run prints "telemetry on http://HOST:PORT/metrics" before the
+	// shell prompt; scan until we have the scrape address.
+	sc := bufio.NewScanner(outR)
+	var base string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "telemetry on http://"); ok {
+			base = "http://" + strings.TrimSuffix(rest, "/metrics")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no telemetry address announced (scan err %v)", sc.Err())
+	}
+	// From here the shell output is noise; keep draining it so the
+	// shell never blocks writing prompts.
+	go func() { _, _ = io.Copy(io.Discard, outR) }()
+
+	// Inject a tuple so the trace pipeline has something to export.
+	if _, err := io.WriteString(inW, "gradient demo\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tota_node_packets_in_total",
+		"tota_node_dup_dropped_total",
+		"tota_node_repairs_total",
+		"tota_propagation_latency_bucket",
+		"tota_udp_datagrams_sent_total",
+		"tota_go_goroutines",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snaps)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Error("/metrics.json empty")
+	}
+
+	if _, err := io.WriteString(inW, "quit\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The JSONL sink flushed on exit: the injection must be there.
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"inject"`) {
+		t.Errorf("trace file missing inject event: %q", data)
+	}
+}

@@ -108,11 +108,11 @@ func (n *Node) HandlePacket(from tuple.NodeID, data []byte) {
 	n.mu.Lock()
 	msg, err := wire.Decode(n.cfg.Registry, data)
 	if err != nil {
-		n.stats.DecodeErrors++
 		n.mu.Unlock()
+		n.noteDecodeError(from, err)
 		return
 	}
-	n.stats.PacketsIn++
+	n.stats.PacketsIn.Add(1)
 	switch msg.Type {
 	case wire.MsgTuple:
 		n.handleTupleLocked(from, msg)
@@ -157,7 +157,7 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 		st.hop = 0
 		st.storedAt = n.now
 		n.store.put(t)
-		n.stats.Stored++
+		n.stats.Stored.Add(1)
 		n.emitTupleLocked(TupleArrived, t)
 	}
 	if t.ShouldPropagate(ctx) {
@@ -173,7 +173,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 	}
 	st := n.stateFor(t.ID())
 	if st.retracted {
-		n.stats.DupDropped++
+		n.stats.DupDropped.Add(1)
 		return
 	}
 	hop := int(msg.Hop) + 1
@@ -192,7 +192,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 	}
 
 	if hop > n.cfg.MaxHops {
-		n.stats.TTLDropped++
+		n.stats.TTLDropped.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceTTL, ID: t.ID(), TupleKind: t.Kind(), From: from, Hop: hop})
 		return
 	}
@@ -208,7 +208,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 			st.hop = hop
 			st.storedAt = n.now
 			n.store.put(local)
-			n.stats.Superseded++
+			n.stats.Superseded.Add(1)
 			n.traceLocked(TraceEvent{Kind: TraceSupersede, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
 			n.emitTupleLocked(TupleArrived, local)
 			if local.ShouldPropagate(ctx) {
@@ -217,7 +217,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 			}
 			return
 		}
-		n.stats.DupDropped++
+		n.stats.DupDropped.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceDup, ID: t.ID(), TupleKind: t.Kind(), From: from})
 		return
 	}
@@ -230,7 +230,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 		st.invalidateWire()
 		st.storedAt = n.now
 		n.store.put(local)
-		n.stats.Stored++
+		n.stats.Stored.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceStore, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
 		n.emitTupleLocked(TupleArrived, local)
 	}
@@ -303,7 +303,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		st.hop = hopFromVal(desired, step, st.hop)
 		st.storedAt = n.now
 		n.store.put(nl)
-		n.stats.MaintAdopt++
+		n.stats.MaintAdopt.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceAdopt, ID: id, TupleKind: nl.Kind(), From: bestNbr, Value: desired})
 		n.emitTupleLocked(TupleArrived, nl)
 		if nl.ShouldPropagate(ctx) {
@@ -328,7 +328,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 	st.hop = hopFromVal(desired, step, ctx.Hop)
 	st.storedAt = n.now
 	n.store.put(nl)
-	n.stats.Stored++
+	n.stats.Stored.Add(1)
 	n.traceLocked(TraceEvent{Kind: TraceStore, ID: id, TupleKind: nl.Kind(), From: bestNbr, Hop: st.hop, Value: desired})
 	n.emitTupleLocked(TupleArrived, nl)
 	if nl.ShouldPropagate(ctx) {
@@ -343,7 +343,7 @@ func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
 	st.local = nil
 	st.invalidateWire()
 	st.parent = ""
-	n.stats.MaintDrop++
+	n.stats.MaintDrop.Add(1)
 	n.traceLocked(TraceEvent{Kind: TraceWithdraw, ID: id})
 	if removed != nil {
 		n.emitTupleLocked(TupleRemoved, removed)
@@ -401,7 +401,7 @@ func (n *Node) retractLocked(id tuple.ID) {
 		st.local = nil
 		st.invalidateWire()
 	}
-	n.stats.Retracted++
+	n.stats.Retracted.Add(1)
 	n.traceLocked(TraceEvent{Kind: TraceRetract, ID: id})
 	n.sendMsgLocked("", wire.Message{Type: wire.MsgRetract, ID: id})
 }
@@ -465,9 +465,9 @@ func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
 		if !ok {
 			continue
 		}
-		n.stats.Unicasts++
+		n.stats.Unicasts.Add(1)
 		if err := n.tr.Send(peer, data); err != nil {
-			n.stats.SendErrors++
+			n.noteSendError("catch-up unicast", err)
 		}
 	}
 	n.emitNeighborLocked(NeighborAdded, peer)
@@ -536,7 +536,7 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 		st.invalidateWire()
 		st.parent = ""
 		st.retracted = true // local tombstone: expired copies stay dead
-		n.stats.Expired++
+		n.stats.Expired.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceExpire, ID: id, TupleKind: t.Kind()})
 		n.emitTupleLocked(TupleRemoved, t)
 		if _, isM := t.(tuple.Maintained); isM {
@@ -608,7 +608,7 @@ func (n *Node) storedWireLocked(st *tupleState) ([]byte, bool) {
 		Tuple:  st.local,
 	})
 	if err != nil {
-		n.stats.SendErrors++
+		n.noteSendError("announce encode", err)
 		return nil, false
 	}
 	st.encCache, st.encHop, st.encParent = data, hop, st.parent
@@ -622,9 +622,9 @@ func (n *Node) announceLocked(st *tupleState) {
 	if !ok {
 		return
 	}
-	n.stats.Broadcasts++
+	n.stats.Broadcasts.Add(1)
 	if err := n.tr.Broadcast(data); err != nil {
-		n.stats.SendErrors++
+		n.noteSendError("announce broadcast", err)
 	}
 }
 
@@ -642,17 +642,17 @@ func (n *Node) broadcastTupleLocked(t tuple.Tuple, hop int, parent tuple.NodeID)
 func (n *Node) sendMsgLocked(to tuple.NodeID, msg wire.Message) {
 	data, err := wire.Encode(msg)
 	if err != nil {
-		n.stats.SendErrors++
+		n.noteSendError("encode", err)
 		return
 	}
 	if to == "" {
-		n.stats.Broadcasts++
+		n.stats.Broadcasts.Add(1)
 		err = n.tr.Broadcast(data)
 	} else {
 		err = n.tr.Send(to, data)
 	}
 	if err != nil {
-		n.stats.SendErrors++
+		n.noteSendError("send", err)
 	}
 }
 
@@ -713,7 +713,7 @@ func (n *Node) dispatch(evs []Event) {
 				fns = append(fns, sub.fn)
 			}
 		}
-		n.stats.Events += int64(len(fns))
+		n.stats.Events.Add(int64(len(fns)))
 		n.mu.Unlock()
 		for _, fn := range fns {
 			fn(ev)
@@ -741,3 +741,31 @@ func clampHop(h int) uint16 {
 	}
 	return uint16(h)
 }
+
+// noteSendError counts a transport send (or encode) failure and emits
+// a rate-limited structured log line. Send failures are expected in
+// dynamic networks (a neighbor may vanish between the neighborhood
+// snapshot and the transmission), so the engine never propagates them;
+// the counter and log line keep them observable instead of silent.
+// Logging fires at occurrence counts 1, 2, 4, 8, … so a flapping link
+// cannot flood the log.
+func (n *Node) noteSendError(op string, err error) {
+	c := n.stats.SendErrors.Add(1)
+	if n.cfg.Logger != nil && isPowerOfTwo(c) {
+		n.cfg.Logger.Warn("tota: transport send failed",
+			"node", string(n.id), "op", op, "err", err, "count", c)
+	}
+}
+
+// noteDecodeError counts an undecodable packet, with the same
+// power-of-two log rate limiting as noteSendError. Called outside the
+// engine lock.
+func (n *Node) noteDecodeError(from tuple.NodeID, err error) {
+	c := n.stats.DecodeErrors.Add(1)
+	if n.cfg.Logger != nil && isPowerOfTwo(c) {
+		n.cfg.Logger.Warn("tota: undecodable packet dropped",
+			"node", string(n.id), "from", string(from), "err", err, "count", c)
+	}
+}
+
+func isPowerOfTwo(c int64) bool { return c > 0 && c&(c-1) == 0 }

@@ -201,8 +201,8 @@ func TestRetractUnknownIDTombstones(t *testing.T) {
 	}
 	// A second retract for the same id is a no-op.
 	n.handleRetractLockedPublic(id)
-	if n.stats.Retracted != 0 {
-		t.Errorf("tombstone-only retract counted: %d", n.stats.Retracted)
+	if got := n.stats.Retracted.Load(); got != 0 {
+		t.Errorf("tombstone-only retract counted: %d", got)
 	}
 }
 

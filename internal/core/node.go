@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"tota/internal/space"
@@ -52,6 +53,11 @@ type Config struct {
 	DisableCatchUp bool
 	// Tracer, when set, receives every engine decision (see TraceEvent).
 	Tracer Tracer
+	// Logger, when set, receives rate-limited structured logs for
+	// swallowed errors (transport send failures, undecodable packets).
+	// Each error class logs at occurrence counts 1, 2, 4, 8, … so a
+	// flapping link cannot flood the log.
+	Logger *slog.Logger
 }
 
 // DefaultMaxHops is the default engine-level propagation bound.
@@ -95,6 +101,12 @@ func WithoutCatchUp() Option {
 	return optionFunc(func(c *Config) { c.DisableCatchUp = true })
 }
 
+// WithLogger installs a structured logger for rate-limited error
+// reporting (send failures, undecodable packets).
+func WithLogger(l *slog.Logger) Option {
+	return optionFunc(func(c *Config) { c.Logger = l })
+}
+
 // Node is one TOTA middleware instance.
 type Node struct {
 	cfg Config
@@ -115,7 +127,7 @@ type Node struct {
 	nextSub       SubID
 	pending       []Event
 	pendingTraces []TraceEvent
-	stats         Stats
+	stats         atomicStats
 	// idScratch is the reusable id snapshot buffer for the refresh,
 	// sweep, and catch-up loops (all run under mu, never nested).
 	idScratch []tuple.ID
@@ -205,7 +217,7 @@ func (n *Node) Inject(t tuple.Tuple) (tuple.ID, error) {
 	n.seq++
 	id := tuple.ID{Node: n.id, Seq: n.seq}
 	t.SetID(id)
-	n.stats.Injected++
+	n.stats.Injected.Add(1)
 	ctx := n.ctxLocked(n.id, 0)
 	if inj, ok := t.(tuple.Injectable); ok {
 		if t2 := inj.OnInject(ctx); t2 != nil {
@@ -359,11 +371,11 @@ func (n *Node) StoreSize() int {
 	return n.store.size()
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. It takes no lock:
+// the counters are atomics, so telemetry may call it at any time — even
+// while a parallel emulation step is mutating other nodes.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return n.stats.Snapshot()
 }
 
 func sortNodeIDs(ids []tuple.NodeID) {

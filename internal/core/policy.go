@@ -72,7 +72,7 @@ func (n *Node) allow(op Op, requester tuple.NodeID, t tuple.Tuple) bool {
 	if n.cfg.Policy.Allow(op, requester, t) {
 		return true
 	}
-	n.stats.Denied++
+	n.stats.Denied.Add(1)
 	ev := TraceEvent{Kind: TraceDeny, From: requester}
 	if t != nil {
 		ev.ID = t.ID()

@@ -1,8 +1,10 @@
 package core
 
-// Stats counts the middleware-level activity of one node; experiments
-// aggregate these across the network to report overheads and repair
-// costs.
+import "sync/atomic"
+
+// Stats is a snapshot of the middleware-level activity of one node;
+// experiments aggregate these across the network to report overheads
+// and repair costs. Obtain one with Node.Stats.
 type Stats struct {
 	// Injected counts tuples injected through the local API.
 	Injected int64
@@ -57,5 +59,53 @@ func (s Stats) Add(o Stats) Stats {
 		Events:       s.Events + o.Events,
 		Denied:       s.Denied + o.Denied,
 		Expired:      s.Expired + o.Expired,
+	}
+}
+
+// atomicStats is the node's live counter set. Mutations happen under
+// the engine lock (so per-node sequences stay deterministic), but every
+// field is an atomic so telemetry can snapshot counters mid-step —
+// while parallel delivery workers are driving other nodes — without
+// taking any engine lock.
+type atomicStats struct {
+	Injected     atomic.Int64
+	PacketsIn    atomic.Int64
+	Stored       atomic.Int64
+	Superseded   atomic.Int64
+	DupDropped   atomic.Int64
+	TTLDropped   atomic.Int64
+	Retracted    atomic.Int64
+	MaintAdopt   atomic.Int64
+	MaintDrop    atomic.Int64
+	Broadcasts   atomic.Int64
+	Unicasts     atomic.Int64
+	SendErrors   atomic.Int64
+	DecodeErrors atomic.Int64
+	Events       atomic.Int64
+	Denied       atomic.Int64
+	Expired      atomic.Int64
+}
+
+// Snapshot reads every counter atomically (field by field: the
+// snapshot is not a consistent cut, which is fine for monotone
+// counters).
+func (a *atomicStats) Snapshot() Stats {
+	return Stats{
+		Injected:     a.Injected.Load(),
+		PacketsIn:    a.PacketsIn.Load(),
+		Stored:       a.Stored.Load(),
+		Superseded:   a.Superseded.Load(),
+		DupDropped:   a.DupDropped.Load(),
+		TTLDropped:   a.TTLDropped.Load(),
+		Retracted:    a.Retracted.Load(),
+		MaintAdopt:   a.MaintAdopt.Load(),
+		MaintDrop:    a.MaintDrop.Load(),
+		Broadcasts:   a.Broadcasts.Load(),
+		Unicasts:     a.Unicasts.Load(),
+		SendErrors:   a.SendErrors.Load(),
+		DecodeErrors: a.DecodeErrors.Load(),
+		Events:       a.Events.Load(),
+		Denied:       a.Denied.Load(),
+		Expired:      a.Expired.Load(),
 	}
 }

@@ -124,10 +124,21 @@ func (n *Node) takeTracesLocked() []TraceEvent {
 }
 
 func (n *Node) dispatchTraces(ts []TraceEvent) {
-	if n.cfg.Tracer == nil {
+	if n.cfg.Tracer == nil || len(ts) == 0 {
 		return
 	}
 	for _, ev := range ts {
 		n.cfg.Tracer(ev)
 	}
+	// Recycle the buffer: tracers receive events by value and must not
+	// retain the slice, so steady-state tracing allocates nothing once
+	// the buffer has grown to the per-call high-water mark.
+	for i := range ts {
+		ts[i] = TraceEvent{}
+	}
+	n.mu.Lock()
+	if n.pendingTraces == nil {
+		n.pendingTraces = ts[:0]
+	}
+	n.mu.Unlock()
 }

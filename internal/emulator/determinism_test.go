@@ -3,11 +3,15 @@ package emulator
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
+	"tota/internal/core"
 	"tota/internal/mobility"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/space"
 	"tota/internal/topology"
@@ -68,6 +72,90 @@ func TestSameSeedSameUniverse(t *testing.T) {
 	c := runScenario(100)
 	if a == c {
 		t.Error("different seeds produced identical universes (suspicious)")
+	}
+}
+
+// runTracedScenario executes the fixed lossy mobile scenario with the
+// engine trace stream fanned out to both a per-node collector and a
+// JSONL export sink, returning the per-node streams and the sink's
+// written/dropped counts.
+func runTracedScenario(seed int64, workers int) (perNode map[tuple.NodeID][]string, written, dropped int64) {
+	var jsonl strings.Builder
+	sink := obs.NewJSONLSink(&jsonl, nil, nil, 1<<16)
+	var mu sync.Mutex
+	perNode = make(map[tuple.NodeID][]string)
+	tracer := obs.MultiTracer(sink.Tracer(), func(ev core.TraceEvent) {
+		mu.Lock()
+		perNode[ev.Node] = append(perNode[ev.Node], ev.String())
+		mu.Unlock()
+	})
+
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.ConnectedRandomGeometric(30, 10, 3, rng, 100)
+	w := New(Config{
+		Graph:        g,
+		RadioRange:   3,
+		Loss:         0.2,
+		RefreshEvery: 5,
+		Seed:         seed,
+		Workers:      workers,
+		NodeOptions:  []core.Option{core.WithTracer(tracer)},
+	})
+	bounds := space.Rect{Max: space.Point{X: 10, Y: 10}}
+	for i, id := range g.Nodes() {
+		if i%3 == 0 {
+			p, _ := g.Position(id)
+			w.SetMover(id, mobility.NewRandomWaypoint(p, bounds, 0.5, 1, 0, rng))
+		}
+	}
+	if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 40; i++ {
+		w.Tick(0.5)
+	}
+	w.Settle(100000)
+	_ = sink.Close()
+	return perNode, sink.Written(), sink.Dropped()
+}
+
+// TestTraceStreamsDeterministicAcrossWorkers extends the same-seed
+// guarantee to the observability pipeline: each node's engine trace
+// stream is complete (nothing shed by the export sink) and identically
+// ordered whether the radio delivers serially (Workers=1) or on a
+// parallel worker pool.
+func TestTraceStreamsDeterministicAcrossWorkers(t *testing.T) {
+	serial, serialWritten, serialDropped := runTracedScenario(99, 1)
+	if serialDropped != 0 {
+		t.Fatalf("serial sink shed %d events", serialDropped)
+	}
+	var total int64
+	for _, evs := range serial {
+		total += int64(len(evs))
+	}
+	if total == 0 {
+		t.Fatal("scenario traced nothing; not a meaningful determinism check")
+	}
+	if serialWritten != total {
+		t.Errorf("sink exported %d of %d traced events", serialWritten, total)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, written, dropped := runTracedScenario(99, workers)
+		if dropped != 0 {
+			t.Errorf("workers=%d: sink shed %d events", workers, dropped)
+		}
+		if written != serialWritten {
+			t.Errorf("workers=%d: exported %d events, serial exported %d", workers, written, serialWritten)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			for id, want := range serial {
+				if got := parallel[id]; !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: node %s trace diverged (%d vs %d events)",
+						workers, id, len(want), len(got))
+					break
+				}
+			}
+		}
 	}
 }
 

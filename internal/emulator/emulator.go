@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tota/internal/core"
 	"tota/internal/mobility"
@@ -59,6 +60,14 @@ type World struct {
 	moves map[tuple.NodeID]mobility.Mover
 	ticks int
 	time  float64
+
+	// Telemetry. Churn counters are atomics so scrapes read them
+	// lock-free; the cached rollup is what live gauges serve (the graph
+	// and node maps must not be walked concurrently with a Tick).
+	churnAdds    atomic.Int64
+	churnRemoves atomic.Int64
+	obsOn        atomic.Bool
+	lastRollup   atomic.Pointer[Rollup]
 }
 
 // New builds a world with one middleware node per graph node.
@@ -125,16 +134,27 @@ func (w *World) AddNode(id tuple.NodeID, pos space.Point) *core.Node {
 // RemoveNode crashes a node: its links drop and its middleware state
 // disappears.
 func (w *World) RemoveNode(id tuple.NodeID) {
+	w.churnRemoves.Add(int64(len(w.graph.Neighbors(id))))
 	w.sim.Detach(id)
 	delete(w.nodes, id)
 	delete(w.moves, id)
 }
 
 // AddEdge manually links two nodes (wired scenario / scripted edits).
-func (w *World) AddEdge(a, b tuple.NodeID) { w.sim.AddEdge(a, b) }
+func (w *World) AddEdge(a, b tuple.NodeID) {
+	if !w.graph.HasEdge(a, b) {
+		w.churnAdds.Add(1)
+	}
+	w.sim.AddEdge(a, b)
+}
 
 // RemoveEdge manually unlinks two nodes.
-func (w *World) RemoveEdge(a, b tuple.NodeID) { w.sim.RemoveEdge(a, b) }
+func (w *World) RemoveEdge(a, b tuple.NodeID) {
+	if w.graph.HasEdge(a, b) {
+		w.churnRemoves.Add(1)
+	}
+	w.sim.RemoveEdge(a, b)
+}
 
 // SetMover assigns a mobility model to a node. The mover's position
 // becomes authoritative for the node from the next Tick.
@@ -160,6 +180,16 @@ func (w *World) recompute() {
 		return
 	}
 	events := w.graph.Recompute(w.cfg.RadioRange)
+	var adds, removes int64
+	for _, e := range events {
+		if e.Added {
+			adds++
+		} else {
+			removes++
+		}
+	}
+	w.churnAdds.Add(adds)
+	w.churnRemoves.Add(removes)
 	w.sim.ApplyEdgeEvents(events)
 }
 
@@ -184,6 +214,9 @@ func (w *World) Tick(dt float64) {
 		w.RefreshAll()
 	}
 	w.sim.Step()
+	if w.obsOn.Load() {
+		w.PublishRollup()
+	}
 }
 
 // RefreshAll runs the anti-entropy pass on every node (in

@@ -1,0 +1,132 @@
+package emulator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tota/internal/core"
+	"tota/internal/obs"
+	"tota/internal/transport"
+)
+
+// Rollup is one emulation-wide telemetry snapshot: the per-round
+// aggregation of node stats, radio traffic, topology churn and queue
+// depth that experiments and the tota-emu dashboard report.
+type Rollup struct {
+	// Tick and Time locate the snapshot on the emulation clock.
+	Tick int     `json:"tick"`
+	Time float64 `json:"time"`
+	// Nodes and Edges describe the current topology.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Inflight is the radio's in-flight packet queue depth.
+	Inflight int `json:"inflight"`
+	// ChurnAdds / ChurnRemoves count cumulative link appearances and
+	// disappearances (mobility, scripted edits, crashes).
+	ChurnAdds    int64 `json:"churn_adds"`
+	ChurnRemoves int64 `json:"churn_removes"`
+	// StoreSize is the total number of stored tuples across all nodes.
+	StoreSize int `json:"store_size"`
+	// Stats is the field-wise sum of every node's middleware counters.
+	Stats core.Stats `json:"stats"`
+	// Net is the radio's traffic counters.
+	Net transport.Stats `json:"net"`
+}
+
+// Rollup computes a fresh emulation-wide snapshot. It walks the node
+// map, so it must be called from the driving goroutine (between Ticks),
+// never concurrently with one — live scrapes read the cached copy
+// published by Tick instead (see RegisterMetrics).
+func (w *World) Rollup() Rollup {
+	r := Rollup{
+		Tick:         w.ticks,
+		Time:         w.time,
+		Nodes:        w.graph.Len(),
+		Edges:        w.graph.EdgeCount(),
+		Inflight:     w.sim.Pending(),
+		ChurnAdds:    w.churnAdds.Load(),
+		ChurnRemoves: w.churnRemoves.Load(),
+		Net:          w.sim.Stats(),
+	}
+	for _, id := range w.Nodes() {
+		n := w.nodes[id]
+		r.Stats = r.Stats.Add(n.Stats())
+		r.StoreSize += n.StoreSize()
+	}
+	return r
+}
+
+// PublishRollup caches the current rollup for lock-free consumption by
+// registered gauges. Tick calls it automatically once RegisterMetrics
+// has been used; drivers that step the radio directly (Settle loops)
+// should call it whenever they want scrapes to advance.
+func (w *World) PublishRollup() {
+	r := w.Rollup()
+	w.lastRollup.Store(&r)
+}
+
+// cachedRollup returns the last published rollup (zero before the
+// first publication).
+func (w *World) cachedRollup() Rollup {
+	if r := w.lastRollup.Load(); r != nil {
+		return *r
+	}
+	return Rollup{}
+}
+
+// RegisterMetrics exposes the emulation on a telemetry registry:
+// topology and queue gauges plus aggregated middleware counters. All
+// series read the rollup cached by the last Tick/PublishRollup, so
+// scrapes never race the stepping goroutine.
+func (w *World) RegisterMetrics(reg *obs.Registry) {
+	w.obsOn.Store(true)
+	w.PublishRollup()
+	gauge := func(name, help string, field func(Rollup) float64) {
+		reg.GaugeFunc(name, help, func() float64 { return field(w.cachedRollup()) })
+	}
+	counter := func(name, help string, field func(Rollup) int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(field(w.cachedRollup())) })
+	}
+	gauge("tota_emu_tick", "Emulation tick of the published rollup.", func(r Rollup) float64 { return float64(r.Tick) })
+	gauge("tota_emu_time", "Simulated time of the published rollup.", func(r Rollup) float64 { return r.Time })
+	gauge("tota_emu_nodes", "Nodes in the topology.", func(r Rollup) float64 { return float64(r.Nodes) })
+	gauge("tota_emu_edges", "Links in the topology.", func(r Rollup) float64 { return float64(r.Edges) })
+	gauge("tota_emu_inflight", "Radio packets in flight.", func(r Rollup) float64 { return float64(r.Inflight) })
+	gauge("tota_emu_store_size", "Stored tuples across all nodes.", func(r Rollup) float64 { return float64(r.StoreSize) })
+	counter("tota_emu_churn_adds_total", "Links that appeared (mobility, edits).", func(r Rollup) int64 { return r.ChurnAdds })
+	counter("tota_emu_churn_removes_total", "Links that disappeared (mobility, edits, crashes).", func(r Rollup) int64 { return r.ChurnRemoves })
+	counter("tota_emu_packets_in_total", "Engine packets received, summed over nodes.", func(r Rollup) int64 { return r.Stats.PacketsIn })
+	counter("tota_emu_stored_total", "First-time stores, summed over nodes.", func(r Rollup) int64 { return r.Stats.Stored })
+	counter("tota_emu_dup_dropped_total", "Duplicate arrivals dropped, summed over nodes.", func(r Rollup) int64 { return r.Stats.DupDropped })
+	counter("tota_emu_repairs_total", "Maintenance adoptions, summed over nodes.", func(r Rollup) int64 { return r.Stats.MaintAdopt })
+	counter("tota_emu_withdrawals_total", "Maintenance withdrawals, summed over nodes.", func(r Rollup) int64 { return r.Stats.MaintDrop })
+	counter("tota_emu_send_errors_total", "Transport send failures, summed over nodes.", func(r Rollup) int64 { return r.Stats.SendErrors })
+	counter("tota_emu_radio_sent_total", "Radio transmissions.", func(r Rollup) int64 { return r.Net.Sent })
+	counter("tota_emu_radio_dropped_total", "Radio packets lost.", func(r Rollup) int64 { return r.Net.Dropped })
+}
+
+// Dashboard renders a rollup as one compact text line — the periodic
+// emulator dashboard (`tota-emu -dash N`).
+func (r Rollup) Dashboard() string {
+	return fmt.Sprintf(
+		"[tick %d t=%.1f] nodes=%d edges=%d inflight=%d churn=+%d/-%d stored=%d | in=%d dup=%d repair=%d withdraw=%d ttl=%d sendErr=%d | radio sent=%d dropped=%d",
+		r.Tick, r.Time, r.Nodes, r.Edges, r.Inflight, r.ChurnAdds, r.ChurnRemoves, r.StoreSize,
+		r.Stats.PacketsIn, r.Stats.DupDropped, r.Stats.MaintAdopt, r.Stats.MaintDrop,
+		r.Stats.TTLDropped, r.Stats.SendErrors, r.Net.Sent, r.Net.Dropped)
+}
+
+// Report is the final aggregated JSON artifact a tota-emu run emits:
+// the scenario label, the periodic rollups, and the final state.
+type Report struct {
+	Scenario string   `json:"scenario"`
+	Rollups  []Rollup `json:"rollups,omitempty"`
+	Final    Rollup   `json:"final"`
+}
+
+// WriteJSON renders the report, indented.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

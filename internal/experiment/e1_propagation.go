@@ -3,7 +3,9 @@ package experiment
 import (
 	"math"
 
+	"tota/internal/core"
 	"tota/internal/metrics"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 )
 
@@ -29,24 +31,33 @@ func RunE1(scale Scale) *Result {
 	}
 	tbl := metrics.NewTable(
 		"E1 (Fig. 1): gradient tuple propagation builds the structure of space",
-		"network", "nodes", "edges", "rounds", "msgs", "coverage%", "meanAbsErr", "wrongNodes")
+		"network", "nodes", "edges", "rounds", "msgs", "coverage%", "meanAbsErr", "wrongNodes",
+		"lat p50", "lat p95")
 	res := newResult(tbl)
 	for _, spec := range specs {
 		g := spec.build()
-		w := newWorld(g)
+		// Per-node propagation latency (inject → store, in radio
+		// rounds), derived from the trace stream by the telemetry
+		// latency tracker clocked on the settle round counter.
+		var round int64
+		lat := obs.NewLatencies(nil, func() float64 { return float64(round) }, obs.RoundBuckets)
+		w := newWorldOpts(g, core.WithTracer(lat.Tracer()))
 		src := g.Nodes()[0]
 		if _, err := w.Node(src).Inject(pattern.NewGradient("e1")); err != nil {
 			continue
 		}
-		rounds := w.Settle(settleBudget)
+		rounds := settleCounting(w, &round, settleBudget)
 		sent := w.Sim().Stats().Sent
 		meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "e1", src, math.Inf(1))
 		covered := float64(g.Len()-missing) / float64(g.Len())
+		p50, p95 := lat.Propagation.Quantile(0.5), lat.Propagation.Quantile(0.95)
 		tbl.AddRow(spec.label, g.Len(), g.EdgeCount(), rounds, sent,
-			100*covered, meanAbs, missing+extra)
+			100*covered, meanAbs, missing+extra, p50, p95)
 		res.Metrics["rounds_"+spec.label] = float64(rounds)
 		res.Metrics["coverage_"+spec.label] = covered
 		res.Metrics["err_"+spec.label] = meanAbs
+		res.Metrics["prop_p50_"+spec.label] = p50
+		res.Metrics["prop_p95_"+spec.label] = p95
 	}
 	return res
 }

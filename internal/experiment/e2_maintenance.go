@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand"
 
+	"tota/internal/core"
 	"tota/internal/metrics"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/topology"
 	"tota/internal/tuple"
@@ -28,7 +30,8 @@ func RunE2(scale Scale) *Result {
 	}
 	tbl := metrics.NewTable(
 		"E2 (§3/§6): structure self-maintenance under dynamic changes",
-		"perturbation", "trials", "repairRounds(mean)", "repairMsgs(mean)", "finalErr", "converged%")
+		"perturbation", "trials", "repairRounds(mean)", "repairMsgs(mean)", "finalErr", "converged%",
+		"repairLat p50", "repairLat p95")
 	res := newResult(tbl)
 
 	type outcome struct {
@@ -40,19 +43,25 @@ func RunE2(scale Scale) *Result {
 	runOn := func(name string, gridSide int, perturb func(w *worldT, rng *rand.Rand) bool) {
 		var o outcome
 		rng := rand.New(rand.NewSource(42))
+		// Repair latency (churn → first adoption, in radio rounds)
+		// aggregated over the trials, clocked on the settle counter.
+		var round int64
+		lat := obs.NewLatencies(nil, func() float64 { return float64(round) }, obs.RoundBuckets)
 		for i := 0; i < trials; i++ {
+			lat.Reset()
 			g := topology.Grid(gridSide, gridSide, 1)
-			w := newWorld(g)
+			w := newWorldOpts(g, core.WithTracer(lat.Tracer()))
 			src := topology.NodeName(0)
 			if _, err := w.Node(src).Inject(pattern.NewGradient("e2")); err != nil {
 				continue
 			}
-			w.Settle(settleBudget)
+			settleCounting(w, &round, settleBudget)
 			w.Sim().ResetStats()
 			if !perturb(w, rng) {
 				continue
 			}
-			rounds := w.Settle(settleBudget)
+			lat.MarkChurn()
+			rounds := settleCounting(w, &round, settleBudget)
 			st := w.Sim().Stats()
 			meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "e2", src, math.Inf(1))
 			o.rounds += float64(rounds)
@@ -67,10 +76,13 @@ func RunE2(scale Scale) *Result {
 			return
 		}
 		fn := float64(o.n)
-		tbl.AddRow(name, o.n, o.rounds/fn, o.msgs/fn, o.err/fn, 100*float64(o.converged)/fn)
+		p50, p95 := lat.Repair.Quantile(0.5), lat.Repair.Quantile(0.95)
+		tbl.AddRow(name, o.n, o.rounds/fn, o.msgs/fn, o.err/fn, 100*float64(o.converged)/fn, p50, p95)
 		res.Metrics["repair_rounds_"+name] = o.rounds / fn
 		res.Metrics["repair_msgs_"+name] = o.msgs / fn
 		res.Metrics["converged_"+name] = float64(o.converged) / fn
+		res.Metrics["repair_lat_p50_"+name] = p50
+		res.Metrics["repair_lat_p95_"+name] = p95
 	}
 	run := func(name string, perturb func(w *worldT, rng *rand.Rand) bool) {
 		runOn(name, side, perturb)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tota/internal/core"
 	"tota/internal/emulator"
 	"tota/internal/metrics"
 	"tota/internal/space"
@@ -80,6 +81,26 @@ type worldT = emulator.World
 
 func newWorld(g *topology.Graph) *emulator.World {
 	return emulator.New(emulator.Config{Graph: g})
+}
+
+// newWorldOpts builds a world whose nodes all carry extra middleware
+// options (e.g. a latency-tracking tracer).
+func newWorldOpts(g *topology.Graph, opts ...core.Option) *emulator.World {
+	return emulator.New(emulator.Config{Graph: g, NodeOptions: opts})
+}
+
+// settleCounting drains the radio like World.Settle while advancing the
+// supplied round counter, so trace-derived latency histograms can use
+// it as their clock: the counter is incremented before each Step, and
+// tracer callbacks only run inside Step, so an event delivered during
+// round k reads exactly k.
+func settleCounting(w *emulator.World, round *int64, maxRounds int) int {
+	rounds := 0
+	for ; rounds < maxRounds && w.Sim().Pending() > 0; rounds++ {
+		*round++
+		w.Sim().Step()
+	}
+	return rounds
 }
 
 // pointNear returns a position adjacent to the anchor node, for

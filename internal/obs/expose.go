@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.RUnlock()
+
+	// Group by family: the text format requires all samples of one
+	// metric name to be contiguous under a single header.
+	var names []string
+	byName := make(map[string][]*metric, len(ms))
+	for _, m := range ms {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		family := byName[name]
+		if family[0].help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, family[0].help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, promType(family[0].typ))
+		for _, m := range family {
+			switch m.typ {
+			case typeCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+			case typeGauge:
+				writeSample(&b, m.name, m.labels, m.gauge.Value())
+			case typeCounterFunc, typeGaugeFunc:
+				writeSample(&b, m.name, m.labels, m.fn())
+			case typeHistogram:
+				writeHistogram(&b, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promType(t metricType) string {
+	switch t {
+	case typeCounter, typeCounterFunc:
+		return "counter"
+	case typeHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writeSample renders one series line, formatting NaN/Inf the way the
+// Prometheus text format expects.
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+func writeHistogram(b *strings.Builder, m *metric) {
+	h := m.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", m.name, withLE(m.labels, formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", m.name, withLE(m.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", m.name, m.labels, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", m.name, m.labels, h.Count())
+}
+
+// withLE merges the le label into a pre-rendered label string.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// Snapshot is the JSON form of one instrument.
+type Snapshot struct {
+	Name   string  `json:"name"`
+	Type   string  `json:"type"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	// Histogram-only summary.
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Mean      float64            `json:"mean,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Snapshots returns the JSON-friendly state of every instrument, in
+// registration order.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.RLock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.RUnlock()
+	out := make([]Snapshot, 0, len(ms))
+	for _, m := range ms {
+		s := Snapshot{Name: m.name, Type: promType(m.typ), Labels: m.labels}
+		switch m.typ {
+		case typeCounter:
+			s.Value = float64(m.counter.Value())
+		case typeGauge:
+			s.Value = m.gauge.Value()
+		case typeCounterFunc, typeGaugeFunc:
+			s.Value = m.fn()
+		case typeHistogram:
+			s.Count = m.hist.Count()
+			s.Sum = m.hist.Sum()
+			s.Mean = m.hist.Mean()
+			s.Quantiles = map[string]float64{
+				"p50": m.hist.Quantile(0.50),
+				"p90": m.hist.Quantile(0.90),
+				"p95": m.hist.Quantile(0.95),
+				"p99": m.hist.Quantile(0.99),
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as a JSON array of snapshots.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshots())
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tota_packets_in_total", "Packets.").Add(12)
+	r.Histogram("tota_propagation_latency", "Latency.", RoundBuckets).Observe(3)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"tota_packets_in_total 12",
+		`tota_propagation_latency_bucket{le="4"} 1`,
+		"tota_propagation_latency_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	body, ct := get("/metrics.json")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+	if len(snaps) != 2 {
+		t.Errorf("/metrics.json snapshots = %d, want 2", len(snaps))
+	}
+
+	if body, _ := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

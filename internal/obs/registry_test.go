@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	// Re-registration with the same name+labels returns the same
+	// instrument.
+	if r.Counter("c_total", "a counter") != c {
+		t.Error("re-registered counter is a different instrument")
+	}
+}
+
+func TestCountersAreRaceFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", RoundBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 100))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Errorf("sum = %v, want 5050", got)
+	}
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0.50, 50, 1.5},
+		{0.90, 90, 1.5},
+		{0.99, 99, 1.5},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%v = %v, want ~%v", tc.p, got, tc.want)
+		}
+	}
+	// Samples beyond the last bound clamp to it.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2 (last bound)", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tota_x_total", "Things.", L("node", "a")).Add(3)
+	r.Counter("tota_x_total", "Things.", L("node", "b")).Add(4)
+	r.Gauge("tota_depth", "Queue depth.").Set(7)
+	r.GaugeFunc("tota_live", "Live value.", func() float64 { return 42 })
+	h := r.Histogram("tota_lat", "Latency.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE tota_x_total counter",
+		`tota_x_total{node="a"} 3`,
+		`tota_x_total{node="b"} 4`,
+		"# TYPE tota_depth gauge",
+		"tota_depth 7",
+		"tota_live 42",
+		"# TYPE tota_lat histogram",
+		`tota_lat_bucket{le="1"} 1`,
+		`tota_lat_bucket{le="2"} 2`,
+		`tota_lat_bucket{le="+Inf"} 3`,
+		"tota_lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Family header appears exactly once even with two labeled series.
+	if strings.Count(out, "# TYPE tota_x_total") != 1 {
+		t.Errorf("duplicated family header:\n%s", out)
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].Value != 2 || snaps[0].Type != "counter" {
+		t.Errorf("counter snapshot = %+v", snaps[0])
+	}
+	if snaps[1].Count != 2 || snaps[1].Quantiles["p50"] == 0 {
+		t.Errorf("histogram snapshot = %+v", snaps[1])
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"name": "c_total"`) {
+		t.Errorf("JSON missing counter:\n%s", b.String())
+	}
+}

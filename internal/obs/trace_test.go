@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/tuple"
+)
+
+func ev(kind core.TraceKind, node, idNode string, seq uint64) core.TraceEvent {
+	return core.TraceEvent{
+		Kind: kind,
+		Node: tuple.NodeID(node),
+		ID:   tuple.ID{Node: tuple.NodeID(idNode), Seq: seq},
+	}
+}
+
+func TestJSONLSinkWritesRecords(t *testing.T) {
+	var b strings.Builder
+	clockVal := 0.0
+	s := NewJSONLSink(&b, nil, func() float64 { return clockVal }, 16)
+	tr := s.Tracer()
+
+	clockVal = 1
+	tr(ev(core.TraceInject, "a", "a", 1))
+	clockVal = 3
+	tr(core.TraceEvent{
+		Kind: core.TraceStore, Node: "b", ID: tuple.ID{Node: "a", Seq: 1},
+		TupleKind: "gradient", From: "a", Hop: 2, Value: 2,
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Written() != 2 || s.Dropped() != 0 {
+		t.Fatalf("written=%d dropped=%d", s.Written(), s.Dropped())
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var recs []TraceRecord
+	for sc.Scan() {
+		var r TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Kind != "inject" || recs[0].T != 1 || recs[0].Node != "a" {
+		t.Errorf("inject record = %+v", recs[0])
+	}
+	if recs[1].Kind != "store" || recs[1].From != "a" || recs[1].Hop != 2 || recs[1].Val != 2 || recs[1].Tuple != "gradient" {
+		t.Errorf("store record = %+v", recs[1])
+	}
+}
+
+// blockingWriter stalls until released, forcing the sink's buffer to
+// fill so the drop-counting backpressure is observable.
+type blockingWriter struct {
+	release chan struct{}
+	sink    strings.Builder
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return w.sink.Write(p)
+}
+
+func TestJSONLSinkShedsWhenFull(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	s := NewJSONLSink(w, nil, nil, 2)
+	tr := s.Tracer()
+	// The writer goroutine takes one event off the channel and blocks
+	// writing it; at most depth more sit in the buffer. Everything
+	// beyond that must be shed, not block the engine.
+	for i := 0; i < 50; i++ {
+		tr(ev(core.TraceDup, "a", "a", uint64(i+1)))
+	}
+	if s.Dropped() == 0 {
+		t.Error("expected drops with a stalled writer")
+	}
+	close(w.release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Written()+s.Dropped() != 50 {
+		t.Errorf("written %d + dropped %d != 50", s.Written(), s.Dropped())
+	}
+}
+
+func TestLatenciesPropagationAndRepair(t *testing.T) {
+	reg := NewRegistry()
+	now := 0.0
+	l := NewLatencies(reg, func() float64 { return now }, RoundBuckets)
+	tr := l.Tracer()
+
+	// Propagation: inject at tick 0, stores at ticks 2 and 5.
+	tr(ev(core.TraceInject, "a", "a", 1))
+	now = 2
+	tr(ev(core.TraceStore, "b", "a", 1))
+	now = 5
+	tr(ev(core.TraceStore, "c", "a", 1))
+	// A store at the injecting node itself is not propagation.
+	tr(ev(core.TraceStore, "a", "a", 1))
+	if got := l.Propagation.Count(); got != 2 {
+		t.Errorf("propagation samples = %d, want 2", got)
+	}
+	if mean := l.Propagation.Mean(); mean != 3.5 {
+		t.Errorf("propagation mean = %v, want 3.5", mean)
+	}
+
+	// Per-id repair: withdraw at 10, re-store at 13.
+	now = 10
+	tr(ev(core.TraceWithdraw, "b", "a", 1))
+	now = 13
+	tr(ev(core.TraceStore, "b", "a", 1))
+	if got := l.Repair.Count(); got != 1 {
+		t.Fatalf("repair samples = %d, want 1", got)
+	}
+	if got := l.Repair.Sum(); got != 3 {
+		t.Errorf("repair latency = %v, want 3", got)
+	}
+
+	// Churn repair: mark at 20, first adoption at 26 samples; the
+	// second adoption does not (the mark is consumed).
+	now = 20
+	l.MarkChurn()
+	now = 26
+	tr(ev(core.TraceAdopt, "c", "a", 1))
+	tr(ev(core.TraceAdopt, "d", "a", 1))
+	if got := l.Repair.Count(); got != 2 {
+		t.Fatalf("repair samples after churn = %d, want 2", got)
+	}
+	if got := l.Repair.Sum(); got != 9 {
+		t.Errorf("repair latency sum = %v, want 9", got)
+	}
+
+	// The registry exposes both histograms.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tota_propagation_latency_count 2", "tota_repair_latency_count 2"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tota/internal/transport"
@@ -46,6 +48,33 @@ type Config struct {
 	// PeerTimeout is how long to wait for beacons before declaring a
 	// neighbor gone (default 4 × HelloInterval).
 	PeerTimeout time.Duration
+	// Logger, when set, receives rate-limited structured logs for
+	// socket write failures and undecodable frames (at occurrence
+	// counts 1, 2, 4, 8, …).
+	Logger *slog.Logger
+}
+
+// Stats is a snapshot of a transport's socket-level counters.
+type Stats struct {
+	// Sent counts datagrams written to the socket (data and hello).
+	Sent int64
+	// SendErrors counts socket write failures.
+	SendErrors int64
+	// Received counts datagrams read from the socket.
+	Received int64
+	// BadFrames counts received frames that failed to parse.
+	BadFrames int64
+	// Hellos counts discovery beacons received.
+	Hellos int64
+}
+
+// udpStats is the live atomic counter set behind Stats.
+type udpStats struct {
+	sent       atomic.Int64
+	sendErrors atomic.Int64
+	received   atomic.Int64
+	badFrames  atomic.Int64
+	hellos     atomic.Int64
 }
 
 // Transport is a UDP-backed transport.Sender. Attach the middleware
@@ -54,10 +83,13 @@ type Transport struct {
 	cfg  Config
 	conn *net.UDPConn
 
+	stats udpStats
+
 	mu       sync.Mutex
 	handler  transport.Handler
 	peers    map[string]*peerState // keyed by remote address
 	byID     map[tuple.NodeID]*peerState
+	started  bool
 	closed   bool
 	stopHup  chan struct{}
 	doneHup  chan struct{}
@@ -142,12 +174,15 @@ func (t *Transport) AddPeer(addr string) error {
 
 // Start launches the beacon and receive loops.
 func (t *Transport) Start() {
+	t.mu.Lock()
+	t.started = true
+	t.mu.Unlock()
 	go t.helloLoop()
 	go t.readLoop()
 }
 
 // Close stops the loops and closes the socket, waiting for the
-// goroutines to exit.
+// goroutines to exit. Safe before Start (only the socket is closed).
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -155,11 +190,14 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
+	started := t.started
 	t.mu.Unlock()
 	close(t.stopHup)
 	err := t.conn.Close()
-	<-t.doneHup
-	<-t.doneRead
+	if started {
+		<-t.doneHup
+		<-t.doneRead
+	}
 	return err
 }
 
@@ -177,6 +215,35 @@ func (t *Transport) Neighbors() []tuple.NodeID {
 		}
 	}
 	return out
+}
+
+// Stats returns a snapshot of the socket-level counters. Lock-free:
+// the counters are atomics, safe to read from a telemetry scrape at
+// any time.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Sent:       t.stats.sent.Load(),
+		SendErrors: t.stats.sendErrors.Load(),
+		Received:   t.stats.received.Load(),
+		BadFrames:  t.stats.badFrames.Load(),
+		Hellos:     t.stats.hellos.Load(),
+	}
+}
+
+// write sends one datagram, counting it and any failure (with a
+// rate-limited log line: failures are expected while peers restart, so
+// they must not flood the log or fail the caller's whole broadcast).
+func (t *Transport) write(frame []byte, to *net.UDPAddr) error {
+	t.stats.sent.Add(1)
+	_, err := t.conn.WriteToUDP(frame, to)
+	if err != nil {
+		c := t.stats.sendErrors.Add(1)
+		if t.cfg.Logger != nil && c&(c-1) == 0 {
+			t.cfg.Logger.Warn("udp: send failed",
+				"node", string(t.cfg.NodeID), "to", to.String(), "err", err, "count", c)
+		}
+	}
+	return err
 }
 
 // framePool recycles frame build buffers across Broadcast/Send calls:
@@ -200,7 +267,7 @@ func (t *Transport) Broadcast(data []byte) error {
 	t.mu.Unlock()
 	var firstErr error
 	for _, a := range addrs {
-		if _, err := t.conn.WriteToUDP(frame, a); err != nil && firstErr == nil {
+		if err := t.write(frame, a); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -220,7 +287,7 @@ func (t *Transport) Send(to tuple.NodeID, data []byte) error {
 	}
 	bufp := framePool.Get().(*[]byte)
 	frame := t.frameTo(*bufp, frameData, data)
-	_, err := t.conn.WriteToUDP(frame, p.addr)
+	err := t.write(frame, p.addr)
 	*bufp = frame
 	framePool.Put(bufp)
 	return err
@@ -276,7 +343,7 @@ func (t *Transport) helloLoop() {
 			}
 			t.mu.Unlock()
 			for _, a := range addrs {
-				_, _ = t.conn.WriteToUDP(hello, a)
+				_ = t.write(hello, a)
 			}
 			t.expirePeers()
 		}
@@ -310,12 +377,22 @@ func (t *Transport) readLoop() {
 		if err != nil {
 			return // socket closed
 		}
+		t.stats.received.Add(1)
 		typ, id, payload, perr := parseFrame(buf[:n])
-		if perr != nil || id == t.cfg.NodeID {
+		if perr != nil {
+			c := t.stats.badFrames.Add(1)
+			if t.cfg.Logger != nil && c&(c-1) == 0 {
+				t.cfg.Logger.Warn("udp: undecodable frame dropped",
+					"node", string(t.cfg.NodeID), "from", raddr.String(), "err", perr, "count", c)
+			}
+			continue
+		}
+		if id == t.cfg.NodeID {
 			continue
 		}
 		switch typ {
 		case frameHello:
+			t.stats.hellos.Add(1)
 			t.handleHello(id, raddr)
 		case frameData:
 			t.handleData(id, payload)

@@ -17,3 +17,8 @@ go test -run '^$' -bench . -benchmem -json "$@" ./... | tee "$json" |
 		>"$txt"
 
 echo "wrote $json and $txt" >&2
+
+# Headline telemetry cost: BenchmarkObsOverhead compares the packet hot
+# path baseline against metrics/latency-tracker/JSONL-export modes; the
+# allocs/op columns must stay identical (budget: +1; see DESIGN.md §7).
+grep 'BenchmarkObsOverhead' "$txt" >&2 || true
