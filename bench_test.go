@@ -220,9 +220,9 @@ func BenchmarkSettleParallel(b *testing.B) {
 }
 
 // BenchmarkRefreshSteadyState measures the anti-entropy pass on a
-// settled 10x10 gradient world: every node re-announces every stored
-// tuple, so this is dominated by the per-tuple encode path that the
-// wire-bytes cache is meant to collapse.
+// settled 10x10 gradient world. With digest suppression a converged
+// epoch sends one compact digest per node instead of re-broadcasting
+// full tuples, so the benchmark is dominated by digest encode/decode.
 func BenchmarkRefreshSteadyState(b *testing.B) {
 	w := emulator.New(emulator.Config{Graph: topology.Grid(10, 10, 1)})
 	if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
@@ -234,6 +234,42 @@ func BenchmarkRefreshSteadyState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w.RefreshAll()
 		w.Settle(100000)
+	}
+}
+
+// BenchmarkRefreshSteadyState100 is the sub-linearity probe: 100 nodes
+// holding eight converged gradients each. Per-epoch broadcasts must
+// stay at one digest frame per node regardless of how many structures
+// are stored; the reported broadcasts/op and suppressed_ratio make the
+// claim visible in bench output.
+func BenchmarkRefreshSteadyState100(b *testing.B) {
+	w := emulator.New(emulator.Config{Graph: topology.Grid(10, 10, 1)})
+	for i, src := range []int{0, 9, 33, 45, 57, 66, 81, 99} {
+		g := pattern.NewGradient(fmt.Sprintf("f%d", i))
+		if _, err := w.Node(topology.NodeName(src)).Inject(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Settle(100000)
+	// Warm-up epoch: first refresh may full-announce tuples whose bytes
+	// were never refresh-broadcast; afterwards digests take over.
+	w.RefreshAll()
+	w.Settle(100000)
+	before := w.TotalStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RefreshAll()
+		w.Settle(100000)
+	}
+	b.StopTimer()
+	after := w.TotalStats()
+	n := float64(b.N)
+	b.ReportMetric(float64(after.Broadcasts-before.Broadcasts)/n, "broadcasts/op")
+	ann := after.RefreshAnnounced - before.RefreshAnnounced
+	supp := after.RefreshSuppressed - before.RefreshSuppressed
+	if total := ann + supp; total > 0 {
+		b.ReportMetric(float64(supp)/float64(total), "suppressed_ratio")
 	}
 }
 

@@ -43,6 +43,27 @@ type tupleState struct {
 	encCache  []byte
 	encHop    uint16
 	encParent tuple.NodeID
+	// ver is this node's announcement version for the tuple: bumped
+	// whenever the announcement bytes change (stored copy, hop, or
+	// parent), never reset, so equal versions imply identical
+	// announcements. Carried on full announcements and digest entries;
+	// 0 means "never announced" and is never put on the wire.
+	ver uint32
+	// refreshedVer is the last ver whose full bytes were broadcast to
+	// the whole neighborhood. Refresh re-sends full bytes only when it
+	// differs from ver, and advertises a digest entry otherwise.
+	refreshedVer uint32
+	// nbrVer records, per neighbor, the last announcement version whose
+	// content this node consumed (full bytes, or a digest entry that
+	// carried everything maintenance needs). A digest entry matching
+	// the recorded version proves nothing changed, suppressing the
+	// anti-entropy pull.
+	nbrVer map[tuple.NodeID]uint32
+	// exemplar retains the last maintained tuple heard in full, so
+	// digest-driven maintenance can re-adopt a structure after a
+	// withdrawal without pulling full bytes again. Cleared on
+	// retraction.
+	exemplar tuple.Maintained
 }
 
 // invalidateWire drops the cached announcement encoding. It must be
@@ -106,12 +127,30 @@ func (n *Node) ctxLocked(from tuple.NodeID, hop int) *tuple.Ctx {
 // HandlePacket implements transport.Handler.
 func (n *Node) HandlePacket(from tuple.NodeID, data []byte) {
 	n.mu.Lock()
-	msg, err := wire.Decode(n.cfg.Registry, data)
-	if err != nil {
+	if err := wire.DecodeInto(n.cfg.Registry, data, &n.decodeScratch); err != nil {
 		n.mu.Unlock()
 		n.noteDecodeError(from, err)
 		return
 	}
+	msg := &n.decodeScratch
+	if msg.Type == wire.MsgBatch {
+		n.stats.FramesIn.Add(1)
+		for i := range msg.Batch {
+			n.handleMsgLocked(from, &msg.Batch[i])
+		}
+	} else {
+		n.handleMsgLocked(from, msg)
+	}
+	evs := n.takePendingLocked()
+	trs := n.takeTracesLocked()
+	n.mu.Unlock()
+	n.dispatchTraces(trs)
+	n.dispatch(evs)
+}
+
+// handleMsgLocked dispatches one engine message (a whole packet, or one
+// sub-message of a batch frame).
+func (n *Node) handleMsgLocked(from tuple.NodeID, msg *wire.Message) {
 	n.stats.PacketsIn.Add(1)
 	switch msg.Type {
 	case wire.MsgTuple:
@@ -120,12 +159,11 @@ func (n *Node) HandlePacket(from tuple.NodeID, data []byte) {
 		n.handleRetractLocked(msg.ID)
 	case wire.MsgWithdraw:
 		n.handleWithdrawLocked(from, msg.ID)
+	case wire.MsgDigest:
+		n.handleDigestLocked(from, msg)
+	case wire.MsgPull:
+		n.handlePullLocked(from, msg)
 	}
-	evs := n.takePendingLocked()
-	trs := n.takeTracesLocked()
-	n.mu.Unlock()
-	n.dispatchTraces(trs)
-	n.dispatch(evs)
 }
 
 // HandleNeighbor implements transport.Handler.
@@ -166,7 +204,7 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 	}
 }
 
-func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
+func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 	t := msg.Tuple
 	if !n.allow(OpAccept, from, t) {
 		return
@@ -176,9 +214,18 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 		n.stats.DupDropped.Add(1)
 		return
 	}
+	if msg.Ver != 0 {
+		// A stored-state announcement: remember the sender's version so
+		// later digest entries matching it prove nothing changed.
+		if st.nbrVer == nil {
+			st.nbrVer = make(map[tuple.NodeID]uint32)
+		}
+		st.nbrVer[from] = msg.Ver
+	}
 	hop := int(msg.Hop) + 1
 
 	if m, ok := t.(tuple.Maintained); ok {
+		st.exemplar = m
 		// Maintained structures bypass the plain pipeline: every
 		// announcement updates the support table and triggers the
 		// maintenance check, which performs adoption, improvement and
@@ -239,6 +286,136 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg wire.Message) {
 		n.broadcastTupleLocked(local, hop, "")
 		n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
 	}
+}
+
+// handleDigestLocked processes an anti-entropy digest: per entry,
+// refresh the support tables (maintained entries carry value and parent
+// inline) and decide whether the sender's full bytes are needed. Pulls
+// for missing or changed tuples are coalesced into one request per
+// digest.
+func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
+	n.stats.DigestsIn.Add(1)
+	n.pullScratch = n.pullScratch[:0]
+	for i := range msg.Digest {
+		e := &msg.Digest[i]
+		st := n.stateFor(e.ID)
+		if st.retracted {
+			continue
+		}
+		if e.Maintained {
+			n.digestMaintainedLocked(from, e, st)
+			continue
+		}
+		if !st.visited {
+			// The digest advertises a tuple that never propagated here —
+			// a lost broadcast or a fresh join. Pull the full bytes.
+			n.pullScratch = append(n.pullScratch, e.ID)
+			continue
+		}
+		if st.nbrVer == nil {
+			st.nbrVer = make(map[tuple.NodeID]uint32)
+		}
+		last, heard := st.nbrVer[from]
+		if heard && last != e.Ver {
+			// The sender's stored copy changed since this node last held
+			// its full bytes (superseded, re-evolved): fetch the update.
+			n.pullScratch = append(n.pullScratch, e.ID)
+			continue
+		}
+		// First digest from this neighbor for an already-visited tuple:
+		// record the version without pulling — the propagation pipeline
+		// already ran here, so only future changes matter.
+		st.nbrVer[from] = e.Ver
+	}
+	n.sendPullsLocked(from)
+}
+
+// digestMaintainedLocked applies one maintained-structure digest entry:
+// the entry carries everything the maintenance check consumes (value
+// and parent), so a node that has ever held the structure's full bytes
+// treats it exactly like a full announcement. Only nodes that never saw
+// the structure pull.
+func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st *tupleState) {
+	if st.nbrVals == nil {
+		st.nbrVals = make(map[tuple.NodeID]nbrVal)
+	}
+	st.nbrVals[from] = nbrVal{val: e.Value, parent: e.Parent, epoch: n.epoch}
+	ex := st.exemplar
+	if ex == nil {
+		if m, ok := st.local.(tuple.Maintained); ok {
+			ex = m
+		}
+	}
+	if ex == nil {
+		// Support recorded, but this node cannot adopt from a digest
+		// alone: it needs the structure's full bytes once.
+		n.pullScratch = append(n.pullScratch, e.ID)
+		return
+	}
+	if st.nbrVer == nil {
+		st.nbrVer = make(map[tuple.NodeID]uint32)
+	}
+	st.nbrVer[from] = e.Ver
+	n.maintainLocked(e.ID, ex, n.ctxLocked(from, int(e.Hop)+1))
+}
+
+// sendPullsLocked unicasts the accumulated pull requests to the digest
+// sender, chunked against the frame payload budget.
+func (n *Node) sendPullsLocked(to tuple.NodeID) {
+	ids := n.pullScratch
+	if len(ids) == 0 {
+		return
+	}
+	start, size := 0, wire.PullOverhead
+	for i := range ids {
+		is := wire.PullIDSize(ids[i])
+		if i > start && (size+is > n.frameLimit || i-start >= wire.MaxPullIDs) {
+			n.sendPullMsgLocked(to, ids[start:i])
+			start, size = i, wire.PullOverhead
+		}
+		size += is
+	}
+	n.sendPullMsgLocked(to, ids[start:])
+	n.pullScratch = ids[:0]
+}
+
+func (n *Node) sendPullMsgLocked(to tuple.NodeID, ids []tuple.ID) {
+	data, err := wire.Encode(wire.Message{Type: wire.MsgPull, Want: ids})
+	if err != nil {
+		n.noteSendError("pull encode", err)
+		return
+	}
+	n.stats.PullsOut.Add(1)
+	if err := n.tr.Send(to, data); err != nil {
+		n.noteSendError("pull send", err)
+	}
+}
+
+// handlePullLocked answers an anti-entropy pull: unicast the full
+// announcement bytes of every requested tuple this node still stores,
+// coalesced into batch frames. Requests for retracted structures are
+// answered with the retraction, spreading the tombstone instead.
+func (n *Node) handlePullLocked(from tuple.NodeID, msg *wire.Message) {
+	n.stats.PullsIn.Add(1)
+	for _, id := range msg.Want {
+		st, ok := n.seen[id]
+		if !ok {
+			continue
+		}
+		if st.retracted {
+			if data, err := wire.Encode(wire.Message{Type: wire.MsgRetract, ID: id}); err == nil {
+				n.stageMsgs = append(n.stageMsgs, data)
+			}
+			continue
+		}
+		data, ok := n.storedWireLocked(st)
+		if !ok {
+			continue
+		}
+		n.stats.Unicasts.Add(1)
+		n.stageMsgs = append(n.stageMsgs, data)
+	}
+	n.flushStagedLocked(from)
 }
 
 // maintainLocked re-establishes the local consistency of a maintained
@@ -392,6 +569,8 @@ func (n *Node) retractLocked(id tuple.ID) {
 	}
 	st.retracted = true
 	st.nbrVals = nil
+	st.nbrVer = nil
+	st.exemplar = nil
 	st.parent = ""
 	if st.stored {
 		st.stored = false
@@ -466,10 +645,9 @@ func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
 			continue
 		}
 		n.stats.Unicasts.Add(1)
-		if err := n.tr.Send(peer, data); err != nil {
-			n.noteSendError("catch-up unicast", err)
-		}
+		n.stageMsgs = append(n.stageMsgs, data)
 	}
+	n.flushStagedLocked(peer)
 	n.emitNeighborLocked(NeighborAdded, peer)
 }
 
@@ -478,9 +656,14 @@ func (n *Node) handleNeighborRemovedLocked(peer tuple.NodeID) {
 		return
 	}
 	delete(n.nbrs, peer)
-	// Re-check every maintained structure that counted the lost peer.
+	// Re-check every maintained structure that counted the lost peer,
+	// and forget what the peer last heard: if it returns, the digest
+	// protocol restarts from scratch for it.
 	var affected []tuple.ID
 	for id, st := range n.seen {
+		if st.nbrVer != nil {
+			delete(st.nbrVer, peer)
+		}
 		if st.nbrVals == nil {
 			continue
 		}
@@ -536,6 +719,7 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 		st.invalidateWire()
 		st.parent = ""
 		st.retracted = true // local tombstone: expired copies stay dead
+		st.exemplar = nil
 		n.stats.Expired.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceExpire, ID: id, TupleKind: t.Kind()})
 		n.emitTupleLocked(TupleRemoved, t)
@@ -547,13 +731,19 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 	return removed
 }
 
-// refreshLocked re-broadcasts every stored propagating tuple, and for
-// maintained non-source structures also re-validates local consistency
-// (a neighbor's withdrawal may itself have been lost).
+// refreshLocked runs one anti-entropy epoch over every stored
+// propagating tuple. For maintained non-source structures it first
+// re-validates local consistency (a neighbor's withdrawal may itself
+// have been lost). Tuples whose announcement changed since their last
+// full broadcast are re-sent in full; unchanged tuples are advertised
+// by a compact digest entry instead, and neighbors pull full bytes only
+// for entries they cannot reconstruct. All outgoing messages of the
+// epoch are staged and flushed as coalesced batch frames.
 func (n *Node) refreshLocked() int {
 	n.epoch++
 	count := 0
 	n.idScratch = n.store.appendIDs(n.idScratch)
+	n.digestScratch = n.digestScratch[:0]
 	for _, id := range n.idScratch {
 		st := n.seen[id]
 		t, ok := n.store.get(id)
@@ -572,20 +762,133 @@ func (n *Node) refreshLocked() int {
 					continue
 				}
 			}
-			n.announceLocked(st)
-			count++
+			count += n.stageRefreshLocked(st)
 			continue
 		}
 		if !st.propagated {
 			continue
 		}
-		// Plain propagated tuples have no parent; their announcement is
-		// the same message every epoch, so the cache makes steady-state
-		// refresh encode-free.
-		n.announceLocked(st)
-		count++
+		count += n.stageRefreshLocked(st)
 	}
+	n.stageDigestsLocked()
+	n.flushStagedLocked("")
 	return count
+}
+
+// stageRefreshLocked queues this epoch's announcement of one stored
+// tuple: the cached full bytes when the announcement changed since the
+// last neighborhood-wide broadcast, a digest entry otherwise. The
+// digest entry for a maintained structure carries value and parent, so
+// for neighbors that already hold the structure it is equivalent to the
+// full announcement at a fraction of the bytes and decode cost.
+func (n *Node) stageRefreshLocked(st *tupleState) int {
+	data, ok := n.storedWireLocked(st)
+	if !ok {
+		return 0
+	}
+	if st.refreshedVer != st.ver {
+		st.refreshedVer = st.ver
+		n.stats.RefreshAnnounced.Add(1)
+		n.stageMsgs = append(n.stageMsgs, data)
+		return 1
+	}
+	n.stats.RefreshSuppressed.Add(1)
+	e := wire.DigestEntry{ID: st.local.ID(), Ver: st.ver, Hop: clampHop(st.hop)}
+	if m, ok := st.local.(tuple.Maintained); ok {
+		e.Maintained = true
+		e.Value = m.Value()
+		e.Parent = st.parent
+	}
+	n.digestScratch = append(n.digestScratch, e)
+	return 1
+}
+
+// stageDigestsLocked encodes the epoch's digest entries into one or
+// more digest messages, each sized to fit the frame payload budget, and
+// stages them for the flush.
+func (n *Node) stageDigestsLocked() {
+	entries := n.digestScratch
+	if len(entries) == 0 {
+		return
+	}
+	budget := n.frameLimit - wire.BatchOverhead - wire.BatchPerMessage
+	start, size := 0, wire.DigestOverhead
+	for i := range entries {
+		es := wire.DigestEntrySize(&entries[i])
+		if i > start && (size+es > budget || i-start >= wire.MaxDigestEntries) {
+			n.stageDigestMsgLocked(entries[start:i])
+			start, size = i, wire.DigestOverhead
+		}
+		size += es
+	}
+	n.stageDigestMsgLocked(entries[start:])
+	n.digestScratch = entries[:0]
+}
+
+func (n *Node) stageDigestMsgLocked(entries []wire.DigestEntry) {
+	data, err := wire.Encode(wire.Message{Type: wire.MsgDigest, Digest: entries})
+	if err != nil {
+		n.noteSendError("digest encode", err)
+		return
+	}
+	n.stats.DigestsOut.Add(1)
+	n.stageMsgs = append(n.stageMsgs, data)
+}
+
+// flushStagedLocked transmits the staged messages, coalescing runs of
+// them into batch frames bounded by the frame payload budget. A run of
+// one is sent bare (the single-message format stays on the wire, so
+// peers without batching still interoperate). An empty destination
+// broadcasts; otherwise the frames are unicast.
+func (n *Node) flushStagedLocked(to tuple.NodeID) {
+	msgs := n.stageMsgs
+	if len(msgs) == 0 {
+		return
+	}
+	start, size := 0, wire.BatchOverhead
+	for i := range msgs {
+		ms := wire.BatchPerMessage + len(msgs[i])
+		if i > start && (size+ms > n.frameLimit || i-start >= wire.MaxBatchMessages) {
+			n.sendFrameLocked(to, msgs[start:i])
+			start, size = i, wire.BatchOverhead
+		}
+		size += ms
+	}
+	n.sendFrameLocked(to, msgs[start:])
+	for i := range msgs {
+		msgs[i] = nil
+	}
+	n.stageMsgs = msgs[:0]
+}
+
+// sendFrameLocked transmits one run of staged messages: bare when the
+// run is a single message, as a batch frame otherwise. Frames are
+// freshly allocated (EncodeBatch copies), so cached announcement bytes
+// can be staged without aliasing hazards.
+func (n *Node) sendFrameLocked(to tuple.NodeID, msgs [][]byte) {
+	if len(msgs) == 0 {
+		return
+	}
+	data := msgs[0]
+	if len(msgs) > 1 {
+		frame, err := wire.EncodeBatch(msgs)
+		if err != nil {
+			n.noteSendError("frame encode", err)
+			return
+		}
+		n.stats.FramesOut.Add(1)
+		data = frame
+	}
+	var err error
+	if to == "" {
+		n.stats.Broadcasts.Add(1)
+		err = n.tr.Broadcast(data)
+	} else {
+		err = n.tr.Send(to, data)
+	}
+	if err != nil {
+		n.noteSendError("frame send", err)
+	}
 }
 
 // storedWireLocked returns the wire bytes announcing the stored copy
@@ -601,10 +904,14 @@ func (n *Node) storedWireLocked(st *tupleState) ([]byte, bool) {
 	if st.encCache != nil && st.encHop == hop && st.encParent == st.parent {
 		return st.encCache, true
 	}
+	// The announcement bytes are about to change: bump the version so
+	// digests distinguish this announcement from every earlier one.
+	st.ver++
 	data, err := wire.Encode(wire.Message{
 		Type:   wire.MsgTuple,
 		Hop:    hop,
 		Parent: st.parent,
+		Ver:    st.ver,
 		Tuple:  st.local,
 	})
 	if err != nil {
@@ -622,6 +929,9 @@ func (n *Node) announceLocked(st *tupleState) {
 	if !ok {
 		return
 	}
+	// A full broadcast reaches the whole neighborhood, so subsequent
+	// refreshes can advertise this version by digest.
+	st.refreshedVer = st.ver
 	n.stats.Broadcasts.Add(1)
 	if err := n.tr.Broadcast(data); err != nil {
 		n.noteSendError("announce broadcast", err)

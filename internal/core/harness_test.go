@@ -47,6 +47,16 @@ func newLateNode(tn *testNet, ep *transport.SimEndpoint) *core.Node {
 	return n
 }
 
+// totalStats sums the middleware counters across every node in the
+// fixture — the network-wide traffic ledger refresh tests assert on.
+func (tn *testNet) totalStats() core.Stats {
+	var s core.Stats
+	for _, n := range tn.nodes {
+		s = s.Add(n.Stats())
+	}
+	return s
+}
+
 // node returns the middleware node with the given id.
 func (tn *testNet) node(id tuple.NodeID) *core.Node {
 	n, ok := tn.nodes[id]

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"tota/internal/space"
@@ -93,12 +94,21 @@ func TestOpString(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Injected: 1, PacketsIn: 2, Stored: 3, Superseded: 4, DupDropped: 5,
-		TTLDropped: 6, Retracted: 7, MaintAdopt: 8, MaintDrop: 9, Broadcasts: 10,
-		Unicasts: 11, SendErrors: 12, DecodeErrors: 13, Events: 14, Denied: 15, Expired: 16}
+	// Fill every field via reflection so a counter missed by Add (or a
+	// new field without an Add line) fails here instead of silently
+	// reporting zeros in experiment rollups.
+	var a Stats
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(i + 1))
+	}
 	sum := a.Add(a)
-	if sum.Injected != 2 || sum.Expired != 32 || sum.Denied != 30 || sum.Events != 28 {
-		t.Errorf("Add = %+v", sum)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		if got, want := sv.Field(i).Int(), int64(2*(i+1)); got != want {
+			t.Errorf("Add dropped field %s: got %d, want %d",
+				sv.Type().Field(i).Name, got, want)
+		}
 	}
 }
 

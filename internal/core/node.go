@@ -20,6 +20,7 @@ import (
 	"tota/internal/space"
 	"tota/internal/transport"
 	"tota/internal/tuple"
+	"tota/internal/wire"
 )
 
 // API errors.
@@ -51,6 +52,11 @@ type Config struct {
 	// DisableCatchUp turns off unicasting stored tuples to newcomers
 	// (ablation A1: joiners rely on later announcements or refresh).
 	DisableCatchUp bool
+	// MaxFrameBytes bounds the payload size of coalesced batch frames
+	// (refresh flushes, newcomer catch-up, pull responses). 0 asks the
+	// transport (transport.FrameLimiter) and falls back to
+	// DefaultFrameBytes.
+	MaxFrameBytes int
 	// Tracer, when set, receives every engine decision (see TraceEvent).
 	Tracer Tracer
 	// Logger, when set, receives rate-limited structured logs for
@@ -62,6 +68,11 @@ type Config struct {
 
 // DefaultMaxHops is the default engine-level propagation bound.
 const DefaultMaxHops = 128
+
+// DefaultFrameBytes is the default batch-frame payload budget, chosen
+// to fit a typical UDP datagram under an Ethernet MTU; MTU-aware
+// transports override it via transport.FrameLimiter.
+const DefaultFrameBytes = 1400
 
 // Option customizes a Node.
 type Option interface {
@@ -107,6 +118,12 @@ func WithLogger(l *slog.Logger) Option {
 	return optionFunc(func(c *Config) { c.Logger = l })
 }
 
+// WithMaxFrameBytes overrides the batch-frame payload budget, e.g. to
+// force chunking in tests or match an unusual link MTU.
+func WithMaxFrameBytes(n int) Option {
+	return optionFunc(func(c *Config) { c.MaxFrameBytes = n })
+}
+
 // Node is one TOTA middleware instance.
 type Node struct {
 	cfg Config
@@ -136,6 +153,23 @@ type Node struct {
 	// run sequentially under mu), so per-packet contexts need not
 	// allocate. Hooks must not retain the pointer past their call.
 	ctxScratch tuple.Ctx
+	// frameLimit is the batch-frame payload budget resolved at
+	// construction (Config.MaxFrameBytes, transport.FrameLimiter, or
+	// DefaultFrameBytes).
+	frameLimit int
+	// stageMsgs accumulates pre-encoded outgoing messages between a
+	// staging pass (refresh, catch-up, pull response) and its flush into
+	// coalesced frames; reused across flushes.
+	stageMsgs [][]byte
+	// digestScratch accumulates the refresh epoch's digest entries.
+	digestScratch []wire.DigestEntry
+	// pullScratch accumulates the tuple ids to pull from one digest's
+	// sender.
+	pullScratch []tuple.ID
+	// decodeScratch is the reusable incoming-message buffer (used under
+	// mu): steady-state digest and batch deliveries reuse its slice
+	// capacity instead of allocating per packet.
+	decodeScratch wire.Message
 }
 
 var _ transport.Handler = (*Node)(nil)
@@ -161,13 +195,23 @@ func New(tr transport.Sender, opts ...Option) *Node {
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = DefaultMaxHops
 	}
+	frameLimit := cfg.MaxFrameBytes
+	if frameLimit <= 0 {
+		if fl, ok := tr.(transport.FrameLimiter); ok {
+			frameLimit = fl.FramePayloadLimit()
+		}
+	}
+	if frameLimit <= 0 {
+		frameLimit = DefaultFrameBytes
+	}
 	n := &Node{
-		cfg:   cfg,
-		tr:    tr,
-		id:    tr.Self(),
-		store: newStore(cfg.Registry),
-		seen:  make(map[tuple.ID]*tupleState),
-		nbrs:  make(map[tuple.NodeID]struct{}),
+		cfg:        cfg,
+		tr:         tr,
+		id:         tr.Self(),
+		store:      newStore(cfg.Registry),
+		seen:       make(map[tuple.ID]*tupleState),
+		nbrs:       make(map[tuple.NodeID]struct{}),
+		frameLimit: frameLimit,
 	}
 	for _, nb := range tr.Neighbors() {
 		n.nbrs[nb] = struct{}{}
@@ -331,12 +375,16 @@ func (n *Node) Unsubscribe(id SubID) {
 	}
 }
 
-// Refresh re-announces every stored propagating tuple to the current
-// neighborhood — the engine's anti-entropy pass. Event-driven
-// maintenance alone converges only when packets arrive; on lossy radios
-// a periodic Refresh (the emulator's RefreshEvery, or any timer)
-// re-seeds lost announcements so structures still converge. It returns
-// the number of tuples announced.
+// Refresh runs one anti-entropy epoch over every stored propagating
+// tuple. Event-driven maintenance alone converges only when packets
+// arrive; on lossy radios a periodic Refresh (the emulator's
+// RefreshEvery, or any timer) re-seeds lost state so structures still
+// converge. Tuples whose announcement changed since their last full
+// broadcast are re-sent in full; unchanged tuples are advertised by a
+// compact digest, and neighbors pull full bytes only for entries they
+// are missing — so steady-state refresh traffic is a handful of
+// coalesced frames per node instead of one packet per tuple. It
+// returns the number of tuples covered (announced or digested).
 func (n *Node) Refresh() int {
 	n.mu.Lock()
 	count := n.refreshLocked()

@@ -1,9 +1,11 @@
 package core_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
+	"tota/internal/core"
 	"tota/internal/pattern"
 	"tota/internal/topology"
 	"tota/internal/tuple"
@@ -24,15 +26,37 @@ func TestRefreshIsIdempotentOnConvergedStructure(t *testing.T) {
 	src := topology.NodeName(0)
 	injectGradient(t, tn, src, "f", math.Inf(1))
 
-	before := tn.sim.Stats().Delivered
+	// Warm-up epoch: the first refresh after convergence may broadcast
+	// full bytes once per node (nothing has been refresh-announced yet).
 	refreshAll(tn)
 	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
-	// Refresh announces but triggers no adoptions: each node sends one
-	// announcement per stored tuple and nothing cascades.
-	delta := tn.sim.Stats().Delivered - before
-	maxExpected := int64(2 * 2 * g.EdgeCount()) // one announce per node per direction, with slack
-	if delta > maxExpected {
-		t.Errorf("refresh caused %d deliveries, want <= %d (no cascade)", delta, maxExpected)
+
+	// Steady state: a refresh epoch on a converged structure sends zero
+	// full tuples — every node advertises by digest, neighbors verify
+	// versions, and nobody pulls.
+	before := tn.totalStats()
+	deliveredBefore := tn.sim.Stats().Delivered
+	refreshAll(tn)
+	tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+	after := tn.totalStats()
+	if d := after.RefreshAnnounced - before.RefreshAnnounced; d != 0 {
+		t.Errorf("converged refresh re-sent %d full tuples, want 0", d)
+	}
+	if d := after.PullsOut - before.PullsOut; d != 0 {
+		t.Errorf("converged refresh triggered %d pulls, want 0", d)
+	}
+	nodes := int64(len(g.Nodes()))
+	if d := after.RefreshSuppressed - before.RefreshSuppressed; d != nodes {
+		t.Errorf("suppressed %d announcements, want %d (one stored tuple per node)", d, nodes)
+	}
+	if d := after.Broadcasts - before.Broadcasts; d != nodes {
+		t.Errorf("refresh epoch used %d broadcasts, want %d (one digest per node)", d, nodes)
+	}
+	// Each digest reaches the one-hop neighborhood and nothing cascades.
+	delivered := tn.sim.Stats().Delivered - deliveredBefore
+	maxExpected := int64(2 * g.EdgeCount())
+	if delivered > maxExpected {
+		t.Errorf("refresh caused %d deliveries, want <= %d (no cascade)", delivered, maxExpected)
 	}
 }
 
@@ -151,6 +175,179 @@ func TestLossyConvergenceWithRefresh(t *testing.T) {
 		}
 	}
 	t.Error("structure did not converge after 30 lossy refresh cycles")
+}
+
+// TestRefreshDigestHealsLostWithdrawal: a node silently loses its copy
+// (its withdrawal is dropped, so neighbors still believe it converged).
+// The next refresh epoch must re-adopt the copy from digests alone — no
+// full-tuple refresh announcement and no pull, because the node kept an
+// exemplar of the structure.
+func TestRefreshDigestHealsLostWithdrawal(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+	refreshAll(tn) // warm up: digests from here on
+	end := topology.NodeName(2)
+
+	tn.sim.SetLoss(1)
+	if got := len(tn.node(end).Delete(pattern.ByName(pattern.KindGradient, "f"))); got != 1 {
+		t.Fatalf("Delete removed %d tuples, want 1", got)
+	}
+	tn.quiesce() // the withdrawal evaporates
+	tn.sim.SetLoss(0)
+	if _, have := tn.gradVal(end, pattern.KindGradient, "f"); have {
+		t.Fatal("deleted copy still present")
+	}
+
+	before := tn.totalStats()
+	refreshAll(tn)
+	if v, have := tn.gradVal(end, pattern.KindGradient, "f"); !have || v != 2 {
+		t.Fatalf("node 2 after digest heal = %v, %v; want val 2", v, have)
+	}
+	after := tn.totalStats()
+	if d := after.RefreshAnnounced - before.RefreshAnnounced; d != 0 {
+		t.Errorf("heal needed %d full refresh announcements, want 0 (digest-driven)", d)
+	}
+	if d := after.PullsOut - before.PullsOut; d != 0 {
+		t.Errorf("heal needed %d pulls, want 0 (exemplar retained)", d)
+	}
+}
+
+// TestRefreshHealsUnderDigestLoss: the anti-entropy pass still converges
+// when digest and pull messages are themselves dropped — a lost digest
+// or lost pull just retries on a later epoch.
+func TestRefreshHealsUnderDigestLoss(t *testing.T) {
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+	refreshAll(tn)
+
+	// Knock out an interior copy with its withdrawal suppressed.
+	victim := topology.NodeName(5)
+	tn.sim.SetLoss(1)
+	if got := len(tn.node(victim).Delete(pattern.ByName(pattern.KindGradient, "f"))); got != 1 {
+		t.Fatalf("Delete removed %d tuples, want 1", got)
+	}
+	tn.quiesce()
+
+	tn.sim.SetLoss(0.5)
+	for i := 0; i < 30; i++ {
+		refreshAll(tn)
+		if v, have := tn.gradVal(victim, pattern.KindGradient, "f"); have && v == 2 {
+			tn.sim.SetLoss(0)
+			refreshAll(tn)
+			tn.assertGradientMatchesBFS(src, "f", math.Inf(1))
+			return
+		}
+	}
+	t.Error("lost copy did not heal under 50% digest loss in 30 refresh epochs")
+}
+
+// TestDigestPullHealsNewcomer: with the catch-up unicast disabled, a
+// node that joins after convergence hears only digests. It cannot
+// reconstruct the structure from the compact entry, so it must pull the
+// full bytes and adopt from the response.
+func TestDigestPullHealsNewcomer(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g, core.WithoutCatchUp())
+	mid, end := topology.NodeName(1), topology.NodeName(2)
+	tn.sim.RemoveEdge(mid, end)
+	tn.quiesce()
+
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	refreshAll(tn) // converge and warm up nodes 0-1
+
+	tn.sim.AddEdge(mid, end) // node 2 joins; no catch-up fires
+	tn.quiesce()
+	if _, have := tn.gradVal(end, pattern.KindGradient, "f"); have {
+		t.Fatal("newcomer acquired the structure without refresh")
+	}
+
+	before := tn.totalStats()
+	refreshAll(tn)
+	if v, have := tn.gradVal(end, pattern.KindGradient, "f"); !have || v != 2 {
+		t.Fatalf("newcomer after digest+pull = %v, %v; want val 2", v, have)
+	}
+	after := tn.totalStats()
+	if d := after.PullsOut - before.PullsOut; d == 0 {
+		t.Error("newcomer healed without pulling — expected a digest-triggered pull")
+	}
+	if d := after.PullsIn - before.PullsIn; d == 0 {
+		t.Error("no node served a pull request")
+	}
+}
+
+// TestRefreshBatchesFullAnnouncements: when an epoch stages several full
+// announcements they leave as one coalesced batch frame, and the
+// receiver unpacks every sub-message.
+func TestRefreshBatchesFullAnnouncements(t *testing.T) {
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	tn.sim.SetLoss(1)
+	const floods = 10
+	for i := 0; i < floods; i++ {
+		if _, err := tn.node(src).Inject(pattern.NewFlood(fmt.Sprintf("news-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.quiesce()
+	tn.sim.SetLoss(0)
+
+	before := tn.totalStats()
+	refreshAll(tn)
+	after := tn.totalStats()
+	if d := after.FramesOut - before.FramesOut; d != 1 {
+		t.Errorf("refresh sent %d batch frames, want 1 (all announcements coalesced)", d)
+	}
+	if d := after.FramesIn - before.FramesIn; d != 1 {
+		t.Errorf("receiver saw %d batch frames, want 1", d)
+	}
+	for i := 0; i < floods; i++ {
+		name := fmt.Sprintf("news-%d", i)
+		if len(tn.node(topology.NodeName(1)).Read(pattern.ByName(pattern.KindFlood, name))) != 1 {
+			t.Errorf("flood %q missing at the receiver", name)
+		}
+	}
+}
+
+// TestRefreshChunksFramesToBudget: a tight frame budget splits the
+// staged announcements across several frames, none of which exceeds the
+// configured payload limit, and delivery is unaffected.
+func TestRefreshChunksFramesToBudget(t *testing.T) {
+	const limit = 300
+	g := topology.Line(2)
+	tn := newTestNet(t, g, core.WithMaxFrameBytes(limit))
+	src := topology.NodeName(0)
+	tn.sim.SetLoss(1)
+	const floods = 10
+	for i := 0; i < floods; i++ {
+		if _, err := tn.node(src).Inject(pattern.NewFlood(fmt.Sprintf("chunk-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.quiesce()
+	tn.sim.SetLoss(0)
+
+	before := tn.totalStats()
+	refreshAll(tn)
+	after := tn.totalStats()
+	frames := after.FramesOut - before.FramesOut
+	if frames < 2 {
+		t.Errorf("tight budget produced %d frames, want >= 2 (chunked)", frames)
+	}
+	for i := 0; i < floods; i++ {
+		name := fmt.Sprintf("chunk-%d", i)
+		if len(tn.node(topology.NodeName(1)).Read(pattern.ByName(pattern.KindFlood, name))) != 1 {
+			t.Errorf("flood %q missing at the receiver", name)
+		}
+	}
 }
 
 func converged(tn *testNet, src tuple.NodeID) bool {

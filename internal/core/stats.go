@@ -38,6 +38,26 @@ type Stats struct {
 	Denied int64
 	// Expired counts stored copies removed by lease expiry.
 	Expired int64
+	// FramesOut counts multi-message batch frames sent (a flush run of
+	// one message goes out bare and is not counted).
+	FramesOut int64
+	// FramesIn counts batch frames received (sub-messages count toward
+	// PacketsIn individually).
+	FramesIn int64
+	// DigestsOut counts anti-entropy digest messages sent by refresh.
+	DigestsOut int64
+	// DigestsIn counts digest messages received.
+	DigestsIn int64
+	// PullsOut counts anti-entropy pull requests sent.
+	PullsOut int64
+	// PullsIn counts pull requests received.
+	PullsIn int64
+	// RefreshAnnounced counts tuples re-sent in full by refresh because
+	// their announcement changed since the last full broadcast.
+	RefreshAnnounced int64
+	// RefreshSuppressed counts tuples refresh advertised by digest entry
+	// instead of full bytes — the anti-entropy suppression win.
+	RefreshSuppressed int64
 }
 
 // Add returns the field-wise sum of two stats snapshots.
@@ -56,9 +76,17 @@ func (s Stats) Add(o Stats) Stats {
 		Unicasts:     s.Unicasts + o.Unicasts,
 		SendErrors:   s.SendErrors + o.SendErrors,
 		DecodeErrors: s.DecodeErrors + o.DecodeErrors,
-		Events:       s.Events + o.Events,
-		Denied:       s.Denied + o.Denied,
-		Expired:      s.Expired + o.Expired,
+		Events:            s.Events + o.Events,
+		Denied:            s.Denied + o.Denied,
+		Expired:           s.Expired + o.Expired,
+		FramesOut:         s.FramesOut + o.FramesOut,
+		FramesIn:          s.FramesIn + o.FramesIn,
+		DigestsOut:        s.DigestsOut + o.DigestsOut,
+		DigestsIn:         s.DigestsIn + o.DigestsIn,
+		PullsOut:          s.PullsOut + o.PullsOut,
+		PullsIn:           s.PullsIn + o.PullsIn,
+		RefreshAnnounced:  s.RefreshAnnounced + o.RefreshAnnounced,
+		RefreshSuppressed: s.RefreshSuppressed + o.RefreshSuppressed,
 	}
 }
 
@@ -81,9 +109,17 @@ type atomicStats struct {
 	Unicasts     atomic.Int64
 	SendErrors   atomic.Int64
 	DecodeErrors atomic.Int64
-	Events       atomic.Int64
-	Denied       atomic.Int64
-	Expired      atomic.Int64
+	Events            atomic.Int64
+	Denied            atomic.Int64
+	Expired           atomic.Int64
+	FramesOut         atomic.Int64
+	FramesIn          atomic.Int64
+	DigestsOut        atomic.Int64
+	DigestsIn         atomic.Int64
+	PullsOut          atomic.Int64
+	PullsIn           atomic.Int64
+	RefreshAnnounced  atomic.Int64
+	RefreshSuppressed atomic.Int64
 }
 
 // Snapshot reads every counter atomically (field by field: the
@@ -104,8 +140,16 @@ func (a *atomicStats) Snapshot() Stats {
 		Unicasts:     a.Unicasts.Load(),
 		SendErrors:   a.SendErrors.Load(),
 		DecodeErrors: a.DecodeErrors.Load(),
-		Events:       a.Events.Load(),
-		Denied:       a.Denied.Load(),
-		Expired:      a.Expired.Load(),
+		Events:            a.Events.Load(),
+		Denied:            a.Denied.Load(),
+		Expired:           a.Expired.Load(),
+		FramesOut:         a.FramesOut.Load(),
+		FramesIn:          a.FramesIn.Load(),
+		DigestsOut:        a.DigestsOut.Load(),
+		DigestsIn:         a.DigestsIn.Load(),
+		PullsOut:          a.PullsOut.Load(),
+		PullsIn:           a.PullsIn.Load(),
+		RefreshAnnounced:  a.RefreshAnnounced.Load(),
+		RefreshSuppressed: a.RefreshSuppressed.Load(),
 	}
 }

@@ -102,6 +102,10 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 	counter("tota_emu_repairs_total", "Maintenance adoptions, summed over nodes.", func(r Rollup) int64 { return r.Stats.MaintAdopt })
 	counter("tota_emu_withdrawals_total", "Maintenance withdrawals, summed over nodes.", func(r Rollup) int64 { return r.Stats.MaintDrop })
 	counter("tota_emu_send_errors_total", "Transport send failures, summed over nodes.", func(r Rollup) int64 { return r.Stats.SendErrors })
+	counter("tota_emu_frames_out_total", "Batch frames sent, summed over nodes.", func(r Rollup) int64 { return r.Stats.FramesOut })
+	counter("tota_emu_digests_out_total", "Digest messages sent, summed over nodes.", func(r Rollup) int64 { return r.Stats.DigestsOut })
+	counter("tota_emu_pulls_out_total", "Pull requests sent, summed over nodes.", func(r Rollup) int64 { return r.Stats.PullsOut })
+	counter("tota_emu_refresh_suppressed_total", "Refresh announcements suppressed by digests, summed over nodes.", func(r Rollup) int64 { return r.Stats.RefreshSuppressed })
 	counter("tota_emu_radio_sent_total", "Radio transmissions.", func(r Rollup) int64 { return r.Net.Sent })
 	counter("tota_emu_radio_dropped_total", "Radio packets lost.", func(r Rollup) int64 { return r.Net.Dropped })
 }
@@ -110,10 +114,12 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 // emulator dashboard (`tota-emu -dash N`).
 func (r Rollup) Dashboard() string {
 	return fmt.Sprintf(
-		"[tick %d t=%.1f] nodes=%d edges=%d inflight=%d churn=+%d/-%d stored=%d | in=%d dup=%d repair=%d withdraw=%d ttl=%d sendErr=%d | radio sent=%d dropped=%d",
+		"[tick %d t=%.1f] nodes=%d edges=%d inflight=%d churn=+%d/-%d stored=%d | in=%d dup=%d repair=%d withdraw=%d ttl=%d sendErr=%d | frames=%d digests=%d pulls=%d suppressed=%d | radio sent=%d dropped=%d",
 		r.Tick, r.Time, r.Nodes, r.Edges, r.Inflight, r.ChurnAdds, r.ChurnRemoves, r.StoreSize,
 		r.Stats.PacketsIn, r.Stats.DupDropped, r.Stats.MaintAdopt, r.Stats.MaintDrop,
-		r.Stats.TTLDropped, r.Stats.SendErrors, r.Net.Sent, r.Net.Dropped)
+		r.Stats.TTLDropped, r.Stats.SendErrors,
+		r.Stats.FramesOut, r.Stats.DigestsOut, r.Stats.PullsOut, r.Stats.RefreshSuppressed,
+		r.Net.Sent, r.Net.Dropped)
 }
 
 // Report is the final aggregated JSON artifact a tota-emu run emits:

@@ -30,7 +30,7 @@ func RunE2(scale Scale) *Result {
 	}
 	tbl := metrics.NewTable(
 		"E2 (§3/§6): structure self-maintenance under dynamic changes",
-		"perturbation", "trials", "repairRounds(mean)", "repairMsgs(mean)", "finalErr", "converged%",
+		"perturbation", "trials", "repairRounds(mean)", "repairMsgs(mean)", "msgs/round", "finalErr", "converged%",
 		"repairLat p50", "repairLat p95")
 	res := newResult(tbl)
 
@@ -77,9 +77,14 @@ func RunE2(scale Scale) *Result {
 		}
 		fn := float64(o.n)
 		p50, p95 := lat.Repair.Quantile(0.5), lat.Repair.Quantile(0.95)
-		tbl.AddRow(name, o.n, o.rounds/fn, o.msgs/fn, o.err/fn, 100*float64(o.converged)/fn, p50, p95)
+		msgsPerRound := 0.0
+		if o.rounds > 0 {
+			msgsPerRound = o.msgs / o.rounds
+		}
+		tbl.AddRow(name, o.n, o.rounds/fn, o.msgs/fn, msgsPerRound, o.err/fn, 100*float64(o.converged)/fn, p50, p95)
 		res.Metrics["repair_rounds_"+name] = o.rounds / fn
 		res.Metrics["repair_msgs_"+name] = o.msgs / fn
+		res.Metrics["repair_msgs_per_round_"+name] = msgsPerRound
 		res.Metrics["converged_"+name] = float64(o.converged) / fn
 		res.Metrics["repair_lat_p50_"+name] = p50
 		res.Metrics["repair_lat_p95_"+name] = p95

@@ -33,7 +33,7 @@ func RunE7(scale Scale) *Result {
 	}
 	tbl := metrics.NewTable(
 		"E7 (§6): scalability — structure build cost vs network size and scope",
-		"network", "nodes", "scope", "rounds", "msgs", "msgs/node", "bytes/node")
+		"network", "nodes", "scope", "rounds", "msgs", "msgs/node", "msgs/round", "bytes/node")
 	res := newResult(tbl)
 
 	for _, spec := range specs {
@@ -58,10 +58,15 @@ func RunE7(scale Scale) *Result {
 				scopeLabel = "inf"
 			}
 			bytesPerNode := storedStructureBytes(w, src)
+			msgsPerRound := 0.0
+			if rounds > 0 {
+				msgsPerRound = float64(sent) / float64(rounds)
+			}
 			tbl.AddRow(spec.label, g.Len(), scopeLabel, rounds, sent,
-				float64(sent)/float64(g.Len()), bytesPerNode)
+				float64(sent)/float64(g.Len()), msgsPerRound, bytesPerNode)
 			res.Metrics["rounds_"+spec.label+"_s"+scopeLabel] = float64(rounds)
 			res.Metrics["msgs_per_node_"+spec.label+"_s"+scopeLabel] = float64(sent) / float64(g.Len())
+			res.Metrics["msgs_per_round_"+spec.label+"_s"+scopeLabel] = msgsPerRound
 		}
 	}
 	return res

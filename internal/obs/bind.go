@@ -31,6 +31,14 @@ func RegisterNodeStats(r *Registry, source func() core.Stats, labels ...Label) {
 	bind("tota_node_events_total", "Events dispatched to reactions.", func(s core.Stats) int64 { return s.Events })
 	bind("tota_node_denied_total", "Operations rejected by the access policy.", func(s core.Stats) int64 { return s.Denied })
 	bind("tota_node_expired_total", "Stored copies removed by lease expiry.", func(s core.Stats) int64 { return s.Expired })
+	bind("tota_frames_out_total", "Multi-message batch frames sent.", func(s core.Stats) int64 { return s.FramesOut })
+	bind("tota_frames_in_total", "Batch frames received.", func(s core.Stats) int64 { return s.FramesIn })
+	bind("tota_digests_out_total", "Anti-entropy digest messages sent by refresh.", func(s core.Stats) int64 { return s.DigestsOut })
+	bind("tota_digests_in_total", "Digest messages received.", func(s core.Stats) int64 { return s.DigestsIn })
+	bind("tota_pulls_out_total", "Anti-entropy pull requests sent.", func(s core.Stats) int64 { return s.PullsOut })
+	bind("tota_pulls_in_total", "Pull requests received.", func(s core.Stats) int64 { return s.PullsIn })
+	bind("tota_refresh_announced_total", "Tuples re-sent in full by refresh (announcement changed).", func(s core.Stats) int64 { return s.RefreshAnnounced })
+	bind("tota_refresh_suppressed_total", "Tuples refresh advertised by digest instead of full bytes.", func(s core.Stats) int64 { return s.RefreshSuppressed })
 }
 
 // RegisterStoreSize exposes the local tuple-space size.

@@ -24,6 +24,17 @@ type Sender interface {
 	Send(to tuple.NodeID, data []byte) error
 }
 
+// FrameLimiter is optionally implemented by transports that bound the
+// payload size of one transmission (e.g. a UDP transport constrained by
+// the link MTU). The middleware engine packs its coalesced batch frames
+// against the reported budget; transports that don't implement it get
+// the engine's default.
+type FrameLimiter interface {
+	// FramePayloadLimit returns the largest payload, in bytes, the
+	// transport can carry in one Broadcast or Send.
+	FramePayloadLimit() int
+}
+
 // Handler receives the incoming half of a transport: packets from
 // neighbors and neighborhood change notifications. The middleware node
 // implements it.

@@ -33,6 +33,11 @@ const (
 
 const maxDatagram = 64 * 1024
 
+// DefaultMTU is the default datagram size budget: a conservative
+// Ethernet-class MTU with room for IP/UDP headers, so frames survive
+// typical links without fragmentation.
+const DefaultMTU = 1400
+
 // Config tunes a UDP transport.
 type Config struct {
 	// NodeID is the node's identity; it must be unique in the network.
@@ -48,6 +53,12 @@ type Config struct {
 	// PeerTimeout is how long to wait for beacons before declaring a
 	// neighbor gone (default 4 × HelloInterval).
 	PeerTimeout time.Duration
+	// MTU is the largest datagram the link should carry, in bytes
+	// (default DefaultMTU, capped at the 64KB UDP maximum). The
+	// transport advertises MTU minus its own frame header as the
+	// engine's batch-frame payload budget (transport.FrameLimiter), so
+	// coalesced refresh frames never exceed one datagram.
+	MTU int
 	// Logger, when set, receives rate-limited structured logs for
 	// socket write failures and undecodable frames (at occurrence
 	// counts 1, 2, 4, 8, …).
@@ -104,6 +115,18 @@ type peerState struct {
 }
 
 var _ transport.Sender = (*Transport)(nil)
+var _ transport.FrameLimiter = (*Transport)(nil)
+
+// FramePayloadLimit implements transport.FrameLimiter: the configured
+// MTU minus this transport's own frame header (type, sender id).
+func (t *Transport) FramePayloadLimit() int {
+	overhead := 1 + 4 + len(t.cfg.NodeID)
+	limit := t.cfg.MTU - overhead
+	if limit < 1 {
+		return 1
+	}
+	return limit
+}
 
 // New binds the socket. Call SetHandler and then Start to begin
 // exchanging beacons and packets.
@@ -119,6 +142,12 @@ func New(cfg Config) (*Transport, error) {
 	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.MTU > maxDatagram {
+		cfg.MTU = maxDatagram
 	}
 	laddr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
 	if err != nil {

@@ -191,3 +191,33 @@ func TestSendToNonNeighborFails(t *testing.T) {
 		t.Error("Send to unknown peer succeeded")
 	}
 }
+
+func TestFramePayloadLimit(t *testing.T) {
+	tr, err := New(Config{NodeID: "mtu-node", ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tr.Close()
+	want := DefaultMTU - (1 + 4 + len("mtu-node"))
+	if got := tr.FramePayloadLimit(); got != want {
+		t.Errorf("FramePayloadLimit = %d, want %d", got, want)
+	}
+
+	small, err := New(Config{NodeID: "y", ListenAddr: "127.0.0.1:0", MTU: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer small.Close()
+	if got := small.FramePayloadLimit(); got != 1 {
+		t.Errorf("tiny MTU FramePayloadLimit = %d, want 1 (floor)", got)
+	}
+
+	huge, err := New(Config{NodeID: "z", ListenAddr: "127.0.0.1:0", MTU: 1 << 30})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer huge.Close()
+	if got := huge.FramePayloadLimit(); got > 64*1024 {
+		t.Errorf("FramePayloadLimit = %d exceeds the datagram maximum", got)
+	}
+}

@@ -25,6 +25,36 @@ func FuzzDecode(f *testing.F) {
 	if data, err := Encode(Message{Type: MsgRetract, ID: tuple.ID{Node: "n", Seq: 9}}); err == nil {
 		f.Add(data)
 	}
+	if data, err := Encode(Message{Type: MsgDigest, Digest: []DigestEntry{
+		{ID: tuple.ID{Node: "a", Seq: 1}, Ver: 3, Hop: 1},
+		{ID: tuple.ID{Node: "b", Seq: 2}, Ver: 9, Hop: 2, Maintained: true, Value: 1.5, Parent: "a"},
+	}}); err == nil {
+		f.Add(data)
+	}
+	if data, err := Encode(Message{Type: MsgPull, Want: []tuple.ID{
+		{Node: "a", Seq: 1}, {Node: "b", Seq: 2},
+	}}); err == nil {
+		f.Add(data)
+	}
+	// A two-message batch frame: a versioned tuple announcement plus a
+	// withdraw.
+	if tupleMsg, err := Encode(Message{Type: MsgTuple, Hop: 1, Ver: 4, Parent: "p", Tuple: ft}); err == nil {
+		if wd, err := Encode(Message{Type: MsgWithdraw, ID: tuple.ID{Node: "n", Seq: 2}}); err == nil {
+			if frame, err := EncodeBatch([][]byte{tupleMsg, wd}); err == nil {
+				f.Add(frame)
+				// Handcrafted nested batch: must be rejected, not recursed.
+				var nested []byte
+				nested = append(nested, 1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0, 0, 0, 1)
+				nested = append(nested,
+					byte(len(frame)>>24), byte(len(frame)>>16), byte(len(frame)>>8), byte(len(frame)))
+				f.Add(append(nested, frame...))
+			}
+		}
+	}
+	// Oversized claimed counts with no bytes behind them.
+	f.Add([]byte{1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, byte(MsgPull), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{})
 	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})
 

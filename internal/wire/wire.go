@@ -1,13 +1,15 @@
 // Package wire frames the middleware-level messages TOTA nodes exchange
-// over a transport: tuple propagation/announcement packets and structure
-// retraction packets. The framing is transport-agnostic; the simulated
-// radio and the UDP transport both carry these byte payloads verbatim.
+// over a transport: tuple propagation/announcement packets, structure
+// retraction packets, anti-entropy digests, and multi-message batch
+// frames. The framing is transport-agnostic; the simulated radio and
+// the UDP transport both carry these byte payloads verbatim.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"tota/internal/tuple"
 )
@@ -27,6 +29,19 @@ const (
 	// of the identified maintained tuple; one-hop only, it triggers the
 	// neighbors' maintenance checks.
 	MsgWithdraw
+	// MsgDigest is the anti-entropy summary: instead of re-broadcasting
+	// full tuple bytes every refresh epoch, a node advertises compact
+	// (id, version) entries — plus value and parent for maintained
+	// structures, so the support tables refresh from the digest alone.
+	// Receivers pull full bytes only for entries they are missing.
+	MsgDigest
+	// MsgPull requests full announcements for the listed tuple ids — the
+	// anti-entropy pull a receiver issues for digest entries it cannot
+	// reconstruct locally.
+	MsgPull
+	// MsgBatch is a container frame: N independently encoded messages
+	// coalesced into one transport packet. Batches must not nest.
+	MsgBatch
 )
 
 // String implements fmt.Stringer.
@@ -38,9 +53,31 @@ func (t MsgType) String() string {
 		return "retract"
 	case MsgWithdraw:
 		return "withdraw"
+	case MsgDigest:
+		return "digest"
+	case MsgPull:
+		return "pull"
+	case MsgBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
+}
+
+// DigestEntry is one advertised tuple in a MsgDigest: the id plus the
+// sender's announcement version for it. For maintained structures the
+// entry also carries the sender's current value and parent, which is
+// everything a neighbor's maintenance check consumes — full tuple bytes
+// travel only on demand (MsgPull).
+type DigestEntry struct {
+	ID  tuple.ID
+	Ver uint32
+	Hop uint16
+	// Maintained marks entries for self-maintained structures, which
+	// carry Value and Parent inline.
+	Maintained bool
+	Value      float64
+	Parent     tuple.NodeID
 }
 
 // Message is one engine packet.
@@ -58,30 +95,80 @@ type Message struct {
 	Tuple tuple.Tuple
 	// ID identifies the structure involved (MsgRetract and MsgWithdraw).
 	ID tuple.ID
+	// Ver is the sender's announcement version for the carried tuple
+	// (MsgTuple): a per-sender counter bumped whenever the stored copy,
+	// its hop, or its parent changes. Receivers remember the last
+	// version heard per neighbor so digest entries with a matching
+	// version suppress redundant re-sends.
+	Ver uint32
+	// Digest lists the sender's stored announcements (MsgDigest).
+	Digest []DigestEntry
+	// Want lists the tuple ids whose full bytes the sender requests
+	// (MsgPull).
+	Want []tuple.ID
+	// Batch holds the decoded sub-messages of a batch frame (MsgBatch).
+	Batch []Message
 }
 
 const wireVersion = 1
 
+// Hard decode bounds: a frame claiming more than these is rejected
+// before any allocation is sized from attacker-controlled counts.
+const (
+	// MaxBatchMessages bounds the sub-messages in one batch frame.
+	MaxBatchMessages = 512
+	// MaxDigestEntries bounds the entries in one digest message.
+	MaxDigestEntries = 8192
+	// MaxPullIDs bounds the ids in one pull request.
+	MaxPullIDs = 8192
+)
+
 // Wire errors.
 var (
-	ErrShort   = errors.New("wire: short message")
-	ErrVersion = errors.New("wire: unsupported version")
-	ErrType    = errors.New("wire: unknown message type")
+	ErrShort       = errors.New("wire: short message")
+	ErrVersion     = errors.New("wire: unsupported version")
+	ErrType        = errors.New("wire: unknown message type")
+	ErrTooLarge    = errors.New("wire: frame exceeds decode bounds")
+	ErrNestedBatch = errors.New("wire: nested batch frame")
 )
+
+// Batch frame layout constants, exported so the engine can pack frames
+// against a transport's payload budget without trial encodes.
+const (
+	headerSize = 2 + 2 + 4 // version, type, hop, parent length (empty parent)
+	// BatchOverhead is the fixed cost of a batch frame: the shared
+	// header plus the sub-message count.
+	BatchOverhead = headerSize + 4
+	// BatchPerMessage is the additional cost of each coalesced message
+	// (its length prefix).
+	BatchPerMessage = 4
+	// DigestOverhead is the fixed cost of a digest message with an empty
+	// parent (header plus entry count); per-entry costs come from
+	// DigestEntrySize.
+	DigestOverhead = headerSize + 4
+	// PullOverhead is the fixed cost of a pull message with an empty
+	// parent (header plus id count); per-id costs come from PullIDSize.
+	PullOverhead = headerSize + 4
+)
+
+// PullIDSize returns the encoded size of one pull-request id, for
+// packing pulls against a frame payload budget.
+func PullIDSize(id tuple.ID) int { return 2 + len(id.Node) + 8 }
 
 // Encode serializes a message. The buffer is preallocated to the exact
 // message size (via tuple.EncodedSize), so the whole packet is built
 // with one allocation and no re-copies — the per-packet hot path of
 // every broadcast, refresh, and announcement.
 func Encode(m Message) ([]byte, error) {
-	header := 2 + 2 + 4 + len(m.Parent)
+	header := headerSize + len(m.Parent)
 	switch m.Type {
 	case MsgTuple:
 		if m.Tuple == nil {
 			return nil, errors.New("wire: MsgTuple without tuple")
 		}
-		b := make([]byte, 0, header+tuple.EncodedSize(m.Tuple))
+		b := make([]byte, 0, header+4+tuple.EncodedSize(m.Tuple))
 		b = appendHeader(b, m)
+		b = binary.BigEndian.AppendUint32(b, m.Ver)
 		b, err := tuple.AppendEncode(b, m.Tuple)
 		if err != nil {
 			return nil, fmt.Errorf("wire: encode tuple: %w", err)
@@ -93,9 +180,117 @@ func Encode(m Message) ([]byte, error) {
 		b = appendHeader(b, m)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
 		return append(b, id...), nil
+	case MsgDigest:
+		if len(m.Digest) > MaxDigestEntries {
+			return nil, fmt.Errorf("%w: %d digest entries", ErrTooLarge, len(m.Digest))
+		}
+		size := header + 4
+		for i := range m.Digest {
+			size += digestEntrySize(&m.Digest[i])
+		}
+		b := make([]byte, 0, size)
+		b = appendHeader(b, m)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Digest)))
+		for i := range m.Digest {
+			b = appendDigestEntry(b, &m.Digest[i])
+		}
+		return b, nil
+	case MsgPull:
+		if len(m.Want) > MaxPullIDs {
+			return nil, fmt.Errorf("%w: %d pull ids", ErrTooLarge, len(m.Want))
+		}
+		size := header + 4
+		for _, id := range m.Want {
+			size += 2 + len(id.Node) + 8
+		}
+		b := make([]byte, 0, size)
+		b = appendHeader(b, m)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Want)))
+		for _, id := range m.Want {
+			b = appendID(b, id)
+		}
+		return b, nil
+	case MsgBatch:
+		subs := make([][]byte, 0, len(m.Batch))
+		for i := range m.Batch {
+			if m.Batch[i].Type == MsgBatch {
+				return nil, ErrNestedBatch
+			}
+			sub, err := Encode(m.Batch[i])
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		return EncodeBatch(subs)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrType, m.Type)
 	}
+}
+
+// DigestEntrySize returns the encoded size of a digest entry, for
+// packing digests against a frame payload budget.
+func DigestEntrySize(e *DigestEntry) int { return digestEntrySize(e) }
+
+func digestEntrySize(e *DigestEntry) int {
+	size := 1 + 2 + len(e.ID.Node) + 8 + 4 + 2
+	if e.Maintained {
+		size += 8 + 2 + len(e.Parent)
+	}
+	return size
+}
+
+func appendDigestEntry(b []byte, e *DigestEntry) []byte {
+	flags := byte(0)
+	if e.Maintained {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = appendID(b, e.ID)
+	b = binary.BigEndian.AppendUint32(b, e.Ver)
+	b = binary.BigEndian.AppendUint16(b, e.Hop)
+	if e.Maintained {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(e.Value))
+		b = binary.BigEndian.AppendUint16(b, uint16(len(e.Parent)))
+		b = append(b, e.Parent...)
+	}
+	return b
+}
+
+// appendID encodes a tuple id as (node length, node, seq) — more
+// compact and alloc-free to decode compared to the "node#seq" string
+// form used by the retract/withdraw bodies.
+func appendID(b []byte, id tuple.ID) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(id.Node)))
+	b = append(b, id.Node...)
+	return binary.BigEndian.AppendUint64(b, id.Seq)
+}
+
+// EncodeBatch coalesces independently encoded messages into one batch
+// frame. The sub-message byte slices are copied, never aliased, so
+// cached announcement encodings can be packed directly.
+func EncodeBatch(msgs [][]byte) ([]byte, error) {
+	if len(msgs) == 0 {
+		return nil, errors.New("wire: empty batch")
+	}
+	if len(msgs) > MaxBatchMessages {
+		return nil, fmt.Errorf("%w: %d batched messages", ErrTooLarge, len(msgs))
+	}
+	size := BatchOverhead
+	for _, msg := range msgs {
+		if len(msg) >= 2 && MsgType(msg[1]) == MsgBatch {
+			return nil, ErrNestedBatch
+		}
+		size += BatchPerMessage + len(msg)
+	}
+	b := make([]byte, 0, size)
+	b = appendHeader(b, Message{Type: MsgBatch})
+	b = binary.BigEndian.AppendUint32(b, uint32(len(msgs)))
+	for _, msg := range msgs {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(msg)))
+		b = append(b, msg...)
+	}
+	return b, nil
 }
 
 func appendHeader(b []byte, m Message) []byte {
@@ -107,48 +302,210 @@ func appendHeader(b []byte, m Message) []byte {
 
 // Decode parses a message, using the registry to rebuild carried tuples.
 func Decode(reg *tuple.Registry, data []byte) (Message, error) {
+	var m Message
+	if err := DecodeInto(reg, data, &m); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses like Decode but reuses the capacity of m's slice
+// fields (Digest, Want, Batch) across calls — the engine's per-node
+// decode scratch, which makes steady-state digest and batch deliveries
+// slice-allocation-free. *m is overwritten entirely. Everything a
+// caller retains from a decoded message (tuples, ids, interned node
+// names) stays valid after the next DecodeInto call; only the slice
+// headers are recycled.
+func DecodeInto(reg *tuple.Registry, data []byte, m *Message) error {
+	return decodeInto(reg, data, m, false)
+}
+
+func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) error {
+	digest, want, batch := m.Digest[:0], m.Want[:0], m.Batch[:0]
+	*m = Message{Digest: digest, Want: want, Batch: batch}
 	if len(data) < 4 {
-		return Message{}, ErrShort
+		return ErrShort
 	}
 	if data[0] != wireVersion {
-		return Message{}, fmt.Errorf("%w: %d", ErrVersion, data[0])
+		return fmt.Errorf("%w: %d", ErrVersion, data[0])
 	}
-	m := Message{
-		Type: MsgType(data[1]),
-		Hop:  binary.BigEndian.Uint16(data[2:4]),
-	}
+	m.Type = MsgType(data[1])
+	m.Hop = binary.BigEndian.Uint16(data[2:4])
 	body := data[4:]
 	if len(body) < 4 {
-		return Message{}, ErrShort
+		return ErrShort
 	}
 	pn := int(binary.BigEndian.Uint32(body[:4]))
-	if len(body) < 4+pn {
-		return Message{}, ErrShort
+	if pn < 0 || len(body) < 4+pn {
+		return ErrShort
 	}
 	m.Parent = tuple.NodeID(reg.Intern(body[4 : 4+pn]))
 	body = body[4+pn:]
 	switch m.Type {
 	case MsgTuple:
-		t, err := tuple.Decode(reg, body)
+		if len(body) < 4 {
+			return ErrShort
+		}
+		m.Ver = binary.BigEndian.Uint32(body[:4])
+		t, err := tuple.Decode(reg, body[4:])
 		if err != nil {
-			return Message{}, fmt.Errorf("wire: decode tuple: %w", err)
+			return fmt.Errorf("wire: decode tuple: %w", err)
 		}
 		m.Tuple = t
 	case MsgRetract, MsgWithdraw:
 		if len(body) < 4 {
-			return Message{}, ErrShort
+			return ErrShort
 		}
 		n := int(binary.BigEndian.Uint32(body[:4]))
-		if len(body) < 4+n {
-			return Message{}, ErrShort
+		if n < 0 || len(body) < 4+n {
+			return ErrShort
 		}
 		id, err := tuple.ParseID(string(body[4 : 4+n]))
 		if err != nil {
-			return Message{}, fmt.Errorf("wire: %w", err)
+			return fmt.Errorf("wire: %w", err)
 		}
 		m.ID = id
+	case MsgDigest:
+		return decodeDigest(reg, body, m)
+	case MsgPull:
+		return decodePull(reg, body, m)
+	case MsgBatch:
+		if inBatch {
+			return ErrNestedBatch
+		}
+		return decodeBatch(reg, body, m)
 	default:
-		return Message{}, fmt.Errorf("%w: %d", ErrType, m.Type)
+		return fmt.Errorf("%w: %d", ErrType, m.Type)
 	}
-	return m, nil
+	return nil
+}
+
+func decodeDigest(reg *tuple.Registry, body []byte, m *Message) error {
+	if len(body) < 4 {
+		return ErrShort
+	}
+	count := int(binary.BigEndian.Uint32(body[:4]))
+	body = body[4:]
+	if count > MaxDigestEntries {
+		return fmt.Errorf("%w: %d digest entries", ErrTooLarge, count)
+	}
+	// Minimal entry size bounds the claimed count before any append
+	// grows the scratch slice.
+	const minEntry = 1 + 2 + 8 + 4 + 2
+	if count*minEntry > len(body) {
+		return ErrShort
+	}
+	for i := 0; i < count; i++ {
+		var e DigestEntry
+		if len(body) < 1 {
+			return ErrShort
+		}
+		flags := body[0]
+		e.Maintained = flags&1 != 0
+		body = body[1:]
+		var err error
+		if e.ID, body, err = takeID(reg, body); err != nil {
+			return err
+		}
+		if len(body) < 4+2 {
+			return ErrShort
+		}
+		e.Ver = binary.BigEndian.Uint32(body[:4])
+		e.Hop = binary.BigEndian.Uint16(body[4:6])
+		body = body[6:]
+		if e.Maintained {
+			if len(body) < 8+2 {
+				return ErrShort
+			}
+			e.Value = math.Float64frombits(binary.BigEndian.Uint64(body[:8]))
+			pn := int(binary.BigEndian.Uint16(body[8:10]))
+			body = body[10:]
+			if len(body) < pn {
+				return ErrShort
+			}
+			e.Parent = tuple.NodeID(reg.Intern(body[:pn]))
+			body = body[pn:]
+		}
+		m.Digest = append(m.Digest, e)
+	}
+	return nil
+}
+
+func decodePull(reg *tuple.Registry, body []byte, m *Message) error {
+	if len(body) < 4 {
+		return ErrShort
+	}
+	count := int(binary.BigEndian.Uint32(body[:4]))
+	body = body[4:]
+	if count > MaxPullIDs {
+		return fmt.Errorf("%w: %d pull ids", ErrTooLarge, count)
+	}
+	const minID = 2 + 8
+	if count*minID > len(body) {
+		return ErrShort
+	}
+	for i := 0; i < count; i++ {
+		id, rest, err := takeID(reg, body)
+		if err != nil {
+			return err
+		}
+		body = rest
+		m.Want = append(m.Want, id)
+	}
+	return nil
+}
+
+func decodeBatch(reg *tuple.Registry, body []byte, m *Message) error {
+	if len(body) < 4 {
+		return ErrShort
+	}
+	count := int(binary.BigEndian.Uint32(body[:4]))
+	body = body[4:]
+	if count == 0 {
+		return errors.New("wire: empty batch")
+	}
+	if count > MaxBatchMessages {
+		return fmt.Errorf("%w: %d batched messages", ErrTooLarge, count)
+	}
+	// A sub-message is at least a header plus a 4-byte body prefix.
+	const minMsg = 4 + headerSize + 4
+	if count*minMsg > len(body) {
+		return ErrShort
+	}
+	for i := 0; i < count; i++ {
+		if len(body) < 4 {
+			return ErrShort
+		}
+		n := int(binary.BigEndian.Uint32(body[:4]))
+		if n < 0 || len(body) < 4+n {
+			return ErrShort
+		}
+		// Reuse the scratch element (and its nested slice capacity) when
+		// the previous decode left one behind.
+		if i < cap(m.Batch) {
+			m.Batch = m.Batch[:i+1]
+		} else {
+			m.Batch = append(m.Batch, Message{})
+		}
+		if err := decodeInto(reg, body[4:4+n], &m.Batch[i], true); err != nil {
+			return fmt.Errorf("wire: batch message %d: %w", i, err)
+		}
+		body = body[4+n:]
+	}
+	return nil
+}
+
+func takeID(reg *tuple.Registry, body []byte) (tuple.ID, []byte, error) {
+	if len(body) < 2 {
+		return tuple.ID{}, nil, ErrShort
+	}
+	nn := int(binary.BigEndian.Uint16(body[:2]))
+	if len(body) < 2+nn+8 {
+		return tuple.ID{}, nil, ErrShort
+	}
+	id := tuple.ID{
+		Node: tuple.NodeID(reg.Intern(body[2 : 2+nn])),
+		Seq:  binary.BigEndian.Uint64(body[2+nn : 2+nn+8]),
+	}
+	return id, body[2+nn+8:], nil
 }

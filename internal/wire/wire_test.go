@@ -145,7 +145,236 @@ func TestMsgTypeString(t *testing.T) {
 	if MsgTuple.String() != "tuple" || MsgRetract.String() != "retract" || MsgWithdraw.String() != "withdraw" {
 		t.Error("MsgType names wrong")
 	}
+	if MsgDigest.String() != "digest" || MsgPull.String() != "pull" || MsgBatch.String() != "batch" {
+		t.Error("MsgType names wrong")
+	}
 	if MsgType(42).String() != "MsgType(42)" {
 		t.Errorf("unknown = %q", MsgType(42).String())
+	}
+}
+
+func TestTupleMessageCarriesVersion(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	ft.SetID(tuple.ID{Node: "src", Seq: 1})
+
+	data, err := Encode(Message{Type: MsgTuple, Ver: 41, Tuple: ft})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Ver != 41 {
+		t.Errorf("Ver = %d, want 41", got.Ver)
+	}
+}
+
+func TestDigestMessageRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	msg := Message{Type: MsgDigest, Digest: []DigestEntry{
+		{ID: tuple.ID{Node: "a", Seq: 1}, Ver: 3, Hop: 2},
+		{
+			ID: tuple.ID{Node: "b", Seq: 9}, Ver: 17, Hop: 4,
+			Maintained: true, Value: 4.5, Parent: "up",
+		},
+		{
+			ID: tuple.ID{Node: "src", Seq: 2}, Ver: 1,
+			Maintained: true, Value: 0, Parent: "",
+		},
+	}}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgDigest || len(got.Digest) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range msg.Digest {
+		if got.Digest[i] != msg.Digest[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got.Digest[i], msg.Digest[i])
+		}
+	}
+}
+
+func TestPullMessageRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	msg := Message{Type: MsgPull, Want: []tuple.ID{
+		{Node: "a", Seq: 1}, {Node: "longer-node-name", Seq: 1 << 40},
+	}}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgPull || len(got.Want) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range msg.Want {
+		if got.Want[i] != msg.Want[i] {
+			t.Errorf("id %d = %+v, want %+v", i, got.Want[i], msg.Want[i])
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	ft.SetID(tuple.ID{Node: "src", Seq: 5})
+
+	subs := []Message{
+		{Type: MsgTuple, Hop: 1, Ver: 2, Parent: "p", Tuple: ft},
+		{Type: MsgWithdraw, ID: tuple.ID{Node: "w", Seq: 8}},
+		{Type: MsgDigest, Digest: []DigestEntry{{ID: tuple.ID{Node: "d", Seq: 1}, Ver: 7}}},
+	}
+	encoded := make([][]byte, len(subs))
+	for i, sub := range subs {
+		b, err := Encode(sub)
+		if err != nil {
+			t.Fatalf("Encode sub %d: %v", i, err)
+		}
+		encoded[i] = b
+	}
+	frame, err := EncodeBatch(encoded)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+
+	wantLen := BatchOverhead
+	for _, b := range encoded {
+		wantLen += BatchPerMessage + len(b)
+	}
+	if len(frame) != wantLen {
+		t.Errorf("frame len = %d, want %d (BatchOverhead/BatchPerMessage drifted)", len(frame), wantLen)
+	}
+
+	got, err := Decode(r, frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgBatch || len(got.Batch) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if b := got.Batch[0]; b.Type != MsgTuple || b.Hop != 1 || b.Ver != 2 || b.Parent != "p" ||
+		b.Tuple.ID() != ft.ID() || !b.Tuple.Content().Equal(ft.Content()) {
+		t.Errorf("batch[0] = %+v", b)
+	}
+	if b := got.Batch[1]; b.Type != MsgWithdraw || b.ID != subs[1].ID {
+		t.Errorf("batch[1] = %+v", b)
+	}
+	if b := got.Batch[2]; b.Type != MsgDigest || len(b.Digest) != 1 || b.Digest[0] != subs[2].Digest[0] {
+		t.Errorf("batch[2] = %+v", b)
+	}
+
+	// Encoding the decoded batch message re-packs the same frame.
+	again, err := Encode(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(frame) {
+		t.Error("re-encoded batch differs from original frame")
+	}
+}
+
+func TestBatchRejectsNestedAndEmpty(t *testing.T) {
+	r := newWireRegistry(t)
+	inner, err := Encode(Message{Type: MsgRetract, ID: tuple.ID{Node: "n", Seq: 1}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	frame, err := EncodeBatch([][]byte{inner})
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+
+	if _, err := EncodeBatch([][]byte{frame}); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("EncodeBatch(batch) = %v, want ErrNestedBatch", err)
+	}
+	if _, err := Encode(Message{Type: MsgBatch, Batch: []Message{{Type: MsgBatch}}}); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("Encode nested = %v, want ErrNestedBatch", err)
+	}
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Error("EncodeBatch(nil) succeeded")
+	}
+
+	// Handcraft a nested frame: a batch whose single sub-message is
+	// itself a batch. Decode must reject it without panicking.
+	nested, err := EncodeBatch([][]byte{inner})
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	var b []byte
+	b = append(b, 1, byte(MsgBatch), 0, 0, 0, 0, 0, 0) // header, empty parent
+	b = append(b, 0, 0, 0, 1)                          // count=1
+	b = append(b, byte(len(nested)>>24), byte(len(nested)>>16), byte(len(nested)>>8), byte(len(nested)))
+	b = append(b, nested...)
+	if _, err := Decode(r, b); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("Decode nested = %v, want ErrNestedBatch", err)
+	}
+}
+
+func TestDecodeRejectsOversizedCounts(t *testing.T) {
+	r := newWireRegistry(t)
+	// Each frame claims a huge element count with no bytes behind it;
+	// decode must fail fast without sizing an allocation from the claim.
+	frames := map[string][]byte{
+		"batch":  {1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+		"digest": {1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+		"pull":   {1, byte(MsgPull), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, frame := range frames {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(r, frame); !errors.Is(err, ErrTooLarge) {
+				t.Errorf("Decode = %v, want ErrTooLarge", err)
+			}
+		})
+	}
+	// A plausible count (within bounds) but truncated body is short, not
+	// an allocation of count elements.
+	short := []byte{1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0, 0, 0, 200}
+	if _, err := Decode(r, short); !errors.Is(err, ErrShort) {
+		t.Errorf("Decode = %v, want ErrShort", err)
+	}
+
+	big := Message{Type: MsgDigest, Digest: make([]DigestEntry, MaxDigestEntries+1)}
+	if _, err := Encode(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode oversized digest = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeIntoReusesScratch(t *testing.T) {
+	r := newWireRegistry(t)
+	digest, err := Encode(Message{Type: MsgDigest, Digest: []DigestEntry{
+		{ID: tuple.ID{Node: "a", Seq: 1}, Ver: 1},
+		{ID: tuple.ID{Node: "b", Seq: 2}, Ver: 2},
+	}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	var m Message
+	if err := DecodeInto(r, digest, &m); err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	// Warm-up decode grows the scratch; subsequent decodes of the same
+	// shape must not allocate slices.
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := DecodeInto(r, digest, &m); err != nil {
+			t.Fatalf("DecodeInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state digest DecodeInto allocs = %v, want 0", allocs)
+	}
+	if len(m.Digest) != 2 || m.Digest[1].ID.Node != "b" {
+		t.Errorf("decoded digest = %+v", m.Digest)
 	}
 }

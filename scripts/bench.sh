@@ -22,3 +22,37 @@ echo "wrote $json and $txt" >&2
 # path baseline against metrics/latency-tracker/JSONL-export modes; the
 # allocs/op columns must stay identical (budget: +1; see DESIGN.md §7).
 grep 'BenchmarkObsOverhead' "$txt" >&2 || true
+
+# Headline maintenance cost: the steady-state refresh benchmarks report
+# broadcasts/op and the digest suppression ratio (see DESIGN.md §8).
+grep 'BenchmarkRefreshSteadyState' "$txt" >&2 || true
+
+# Delta against the most recent prior run. The .txt files are benchstat
+# input; use benchstat when installed, otherwise fall back to an awk
+# summary of ns/op and allocs/op changes per benchmark.
+prev="$(ls -1 BENCH_*.txt 2>/dev/null | grep -v "^${txt}\$" | sort | tail -n 1)" || prev=""
+if [ -n "$prev" ]; then
+	echo "--- delta vs $prev ---" >&2
+	if command -v benchstat >/dev/null 2>&1; then
+		benchstat "$prev" "$txt" >&2 || true
+	else
+		awk -v prev="$prev" '
+			/^Benchmark/ {
+				ns = ""; al = ""
+				for (i = 2; i <= NF; i++) {
+					if ($i == "ns/op") ns = $(i - 1)
+					if ($i == "allocs/op") al = $(i - 1)
+				}
+				if (FILENAME == prev) { ons[$1] = ns; oal[$1] = al; next }
+				if (!($1 in ons)) next
+				line = sprintf("%-50s", $1)
+				if (ns != "" && ons[$1] + 0 > 0)
+					line = line sprintf("  ns/op %12.0f -> %12.0f (%+.1f%%)",
+						ons[$1], ns, (ns - ons[$1]) / ons[$1] * 100)
+				if (al != "" && oal[$1] + 0 > 0)
+					line = line sprintf("  allocs/op %8d -> %8d (%+.1f%%)",
+						oal[$1], al, (al - oal[$1]) / oal[$1] * 100)
+				print line
+			}' "$prev" "$txt" >&2 || true
+	fi
+fi
