@@ -200,7 +200,14 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 	}
 	if t.ShouldPropagate(ctx) {
 		st.propagated = true
-		n.broadcastTupleLocked(t, 0, "")
+		if st.stored {
+			// Versioned announcement: receivers record the version, so
+			// later digest entries can prove nothing changed (and a
+			// mismatch triggers the anti-entropy pull).
+			n.announceLocked(st)
+		} else {
+			n.broadcastTupleLocked(t, 0, "")
+		}
 	}
 }
 
@@ -259,7 +266,7 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 			n.traceLocked(TraceEvent{Kind: TraceSupersede, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
 			n.emitTupleLocked(TupleArrived, local)
 			if local.ShouldPropagate(ctx) {
-				n.broadcastTupleLocked(local, hop, "")
+				n.announceLocked(st)
 				n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
 			}
 			return
@@ -283,7 +290,11 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 	}
 	if local.ShouldPropagate(ctx) {
 		st.propagated = true
-		n.broadcastTupleLocked(local, hop, "")
+		if st.stored {
+			n.announceLocked(st)
+		} else {
+			n.broadcastTupleLocked(local, hop, "")
+		}
 		n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
 	}
 }
@@ -302,6 +313,14 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 		if st.retracted {
 			continue
 		}
+		// The digest path must honor the same acceptance policy as the
+		// full announcement it replaces: a denied entry updates no state
+		// and triggers no pull. When no full bytes for the structure ever
+		// reached this node there is nothing to judge yet; the eventual
+		// pull response is gated by handleTupleLocked instead.
+		if t := digestSubject(st); t != nil && !n.allow(OpAccept, from, t) {
+			continue
+		}
 		if e.Maintained {
 			n.digestMaintainedLocked(from, e, st)
 			continue
@@ -312,22 +331,30 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 			n.pullScratch = append(n.pullScratch, e.ID)
 			continue
 		}
-		if st.nbrVer == nil {
-			st.nbrVer = make(map[tuple.NodeID]uint32)
-		}
-		last, heard := st.nbrVer[from]
-		if heard && last != e.Ver {
-			// The sender's stored copy changed since this node last held
-			// its full bytes (superseded, re-evolved): fetch the update.
+		if last, heard := st.nbrVer[from]; !heard || last != e.Ver {
+			// This node never consumed the sender's current announcement:
+			// its versioned broadcast was lost, or the stored copy changed
+			// since (superseded, re-evolved). Fetch the full bytes — the
+			// response re-runs the propagation pipeline (supersede checks
+			// included) and records the version, so the pull repeats only
+			// until one round trip survives.
 			n.pullScratch = append(n.pullScratch, e.ID)
-			continue
 		}
-		// First digest from this neighbor for an already-visited tuple:
-		// record the version without pulling — the propagation pipeline
-		// already ran here, so only future changes matter.
-		st.nbrVer[from] = e.Ver
 	}
 	n.sendPullsLocked(from)
+}
+
+// digestSubject returns the tuple a digest entry can be policy-checked
+// against: the retained exemplar, else the stored copy. nil when the
+// structure's full bytes never reached this node.
+func digestSubject(st *tupleState) tuple.Tuple {
+	if st.exemplar != nil {
+		return st.exemplar
+	}
+	if st.local != nil {
+		return st.local
+	}
+	return nil
 }
 
 // digestMaintainedLocked applies one maintained-structure digest entry:
@@ -336,10 +363,6 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 // treats it exactly like a full announcement. Only nodes that never saw
 // the structure pull.
 func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st *tupleState) {
-	if st.nbrVals == nil {
-		st.nbrVals = make(map[tuple.NodeID]nbrVal)
-	}
-	st.nbrVals[from] = nbrVal{val: e.Value, parent: e.Parent, epoch: n.epoch}
 	ex := st.exemplar
 	if ex == nil {
 		if m, ok := st.local.(tuple.Maintained); ok {
@@ -347,11 +370,16 @@ func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st
 		}
 	}
 	if ex == nil {
-		// Support recorded, but this node cannot adopt from a digest
-		// alone: it needs the structure's full bytes once.
+		// This node cannot adopt — or policy-check — from the compact
+		// entry alone: it needs the structure's full bytes once. No
+		// support is recorded until an announcement passes OpAccept.
 		n.pullScratch = append(n.pullScratch, e.ID)
 		return
 	}
+	if st.nbrVals == nil {
+		st.nbrVals = make(map[tuple.NodeID]nbrVal)
+	}
+	st.nbrVals[from] = nbrVal{val: e.Value, parent: e.Parent, epoch: n.epoch}
 	if st.nbrVer == nil {
 		st.nbrVer = make(map[tuple.NodeID]uint32)
 	}

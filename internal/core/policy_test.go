@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"tota/internal/core"
@@ -104,6 +105,37 @@ func TestPolicyDeniesDelete(t *testing.T) {
 	}
 	if len(n.Read(pattern.ByName(pattern.KindFlood, "keep"))) != 1 {
 		t.Error("protected tuple was deleted")
+	}
+}
+
+// TestPolicyDeniesDigestSupport: refresh digests carry maintained
+// values inline and must pass the same OpAccept gate as the full
+// announcements they replace. Triangle 0-1-2 where everyone refuses
+// gradient state from node 2: once edge 0-1 breaks, node 1's only
+// remaining route runs through node 2, so node 1 must withdraw its copy
+// rather than adopt support from node 2's digests.
+func TestPolicyDeniesDigestSupport(t *testing.T) {
+	g := topology.Ring(3)
+	banned := topology.NodeName(2)
+	tn := newTestNet(t, g, core.WithPolicy(
+		core.PolicyFunc(func(op core.Op, requester tuple.NodeID, t tuple.Tuple) bool {
+			return op != core.OpAccept || requester != banned
+		})))
+	src := topology.NodeName(0)
+	injectGradient(t, tn, src, "f", math.Inf(1))
+	refreshAll(tn) // digest-driven maintenance from here on
+
+	tn.sim.RemoveEdge(src, topology.NodeName(1))
+	tn.quiesce()
+	for i := 0; i < 3; i++ {
+		refreshAll(tn)
+	}
+	if v, have := tn.gradVal(topology.NodeName(1), pattern.KindGradient, "f"); have {
+		t.Errorf("node 1 holds val %v via policy-denied support from node 2", v)
+	}
+	// The allowed side of the structure is untouched.
+	if v, have := tn.gradVal(banned, pattern.KindGradient, "f"); !have || v != 1 {
+		t.Errorf("node 2 = %v, %v; want val 1", v, have)
 	}
 }
 

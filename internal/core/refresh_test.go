@@ -350,6 +350,64 @@ func TestRefreshChunksFramesToBudget(t *testing.T) {
 	}
 }
 
+// TestRefreshDigestRepairsLostSupersede: a plain superseding tuple is
+// upgraded at one node while a downstream link is gone, so the
+// superseding broadcast never reaches the stale copy. When the link
+// returns (catch-up disabled), refresh digests alone must deliver the
+// upgrade: the stale node sees its neighbor advertise an announcement
+// version it never consumed and pulls the full bytes.
+func TestRefreshDigestRepairsLostSupersede(t *testing.T) {
+	g := topology.Line(4)
+	tn := newTestNet(t, g, core.WithoutCatchUp())
+	src := topology.NodeName(0)
+	if _, err := tn.node(src).Inject(pattern.NewPath("p")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	if got := routeLen(tn, topology.NodeName(3), "p"); got != 4 {
+		t.Fatalf("node 3 route length = %d, want 4", got)
+	}
+
+	// Shortcut 0-2 appears while 2-3 is down: node 2 learns the shorter
+	// route (via a first-contact digest pull from node 0), node 3 cannot.
+	n2, n3 := topology.NodeName(2), topology.NodeName(3)
+	tn.sim.RemoveEdge(n2, n3)
+	tn.quiesce()
+	tn.sim.AddEdge(src, n2)
+	tn.quiesce()
+	refreshAll(tn)
+	if got := routeLen(tn, n2, "p"); got != 2 {
+		t.Fatalf("node 2 route length = %d, want 2 after shortcut", got)
+	}
+	// One more epoch: node 2's single full re-broadcast of the upgraded
+	// copy happens now, while node 3 is unreachable — the "lost
+	// superseding announcement". From here on node 2 advertises the new
+	// version by digest only.
+	refreshAll(tn)
+
+	tn.sim.AddEdge(n2, n3)
+	tn.quiesce()
+	if got := routeLen(tn, n3, "p"); got != 4 {
+		t.Fatalf("node 3 upgraded without refresh: route length %d", got)
+	}
+	for i := 0; i < 3; i++ {
+		refreshAll(tn)
+	}
+	if got := routeLen(tn, n3, "p"); got != 3 {
+		t.Errorf("node 3 route length = %d, want 3 (superseding copy via digest pull)", got)
+	}
+}
+
+// routeLen returns the length of the named path tuple's route at a
+// node, 0 when the tuple is absent.
+func routeLen(tn *testNet, id tuple.NodeID, name string) int {
+	ts := tn.node(id).Read(pattern.ByName(pattern.KindPath, name))
+	if len(ts) == 0 {
+		return 0
+	}
+	return len(ts[0].(*pattern.Path).Route)
+}
+
 func converged(tn *testNet, src tuple.NodeID) bool {
 	dist := tn.graph.BFSDistances(src)
 	for _, id := range tn.graph.Nodes() {

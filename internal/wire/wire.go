@@ -186,7 +186,11 @@ func Encode(m Message) ([]byte, error) {
 		}
 		size := header + 4
 		for i := range m.Digest {
-			size += digestEntrySize(&m.Digest[i])
+			e := &m.Digest[i]
+			if len(e.ID.Node) > math.MaxUint16 || len(e.Parent) > math.MaxUint16 {
+				return nil, fmt.Errorf("%w: digest entry id or parent over %d bytes", ErrTooLarge, math.MaxUint16)
+			}
+			size += digestEntrySize(e)
 		}
 		b := make([]byte, 0, size)
 		b = appendHeader(b, m)
@@ -201,6 +205,9 @@ func Encode(m Message) ([]byte, error) {
 		}
 		size := header + 4
 		for _, id := range m.Want {
+			if len(id.Node) > math.MaxUint16 {
+				return nil, fmt.Errorf("%w: pull id node over %d bytes", ErrTooLarge, math.MaxUint16)
+			}
 			size += 2 + len(id.Node) + 8
 		}
 		b := make([]byte, 0, size)
@@ -259,7 +266,8 @@ func appendDigestEntry(b []byte, e *DigestEntry) []byte {
 
 // appendID encodes a tuple id as (node length, node, seq) — more
 // compact and alloc-free to decode compared to the "node#seq" string
-// form used by the retract/withdraw bodies.
+// form used by the retract/withdraw bodies. Encode validates that the
+// node name fits the uint16 length prefix before any entry is appended.
 func appendID(b []byte, id tuple.ID) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(len(id.Node)))
 	b = append(b, id.Node...)
@@ -335,10 +343,14 @@ func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) erro
 	if len(body) < 4 {
 		return ErrShort
 	}
-	pn := int(binary.BigEndian.Uint32(body[:4]))
-	if pn < 0 || len(body) < 4+pn {
+	// Length fields are compared in 64-bit space: on 32-bit platforms a
+	// hostile 4-byte length would otherwise convert to a negative int or
+	// overflow the bounds arithmetic.
+	pn64 := int64(binary.BigEndian.Uint32(body[:4]))
+	if int64(len(body)) < 4+pn64 {
 		return ErrShort
 	}
+	pn := int(pn64)
 	m.Parent = tuple.NodeID(reg.Intern(body[4 : 4+pn]))
 	body = body[4+pn:]
 	switch m.Type {
@@ -356,10 +368,11 @@ func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) erro
 		if len(body) < 4 {
 			return ErrShort
 		}
-		n := int(binary.BigEndian.Uint32(body[:4]))
-		if n < 0 || len(body) < 4+n {
+		n64 := int64(binary.BigEndian.Uint32(body[:4]))
+		if int64(len(body)) < 4+n64 {
 			return ErrShort
 		}
+		n := int(n64)
 		id, err := tuple.ParseID(string(body[4 : 4+n]))
 		if err != nil {
 			return fmt.Errorf("wire: %w", err)
@@ -384,11 +397,14 @@ func decodeDigest(reg *tuple.Registry, body []byte, m *Message) error {
 	if len(body) < 4 {
 		return ErrShort
 	}
-	count := int(binary.BigEndian.Uint32(body[:4]))
+	// Bound the count while it is still unsigned: on 32-bit platforms
+	// int(uint32) can go negative and slip past a signed upper bound.
+	count32 := binary.BigEndian.Uint32(body[:4])
 	body = body[4:]
-	if count > MaxDigestEntries {
-		return fmt.Errorf("%w: %d digest entries", ErrTooLarge, count)
+	if count32 > MaxDigestEntries {
+		return fmt.Errorf("%w: %d digest entries", ErrTooLarge, count32)
 	}
+	count := int(count32)
 	// Minimal entry size bounds the claimed count before any append
 	// grows the scratch slice.
 	const minEntry = 1 + 2 + 8 + 4 + 2
@@ -435,11 +451,12 @@ func decodePull(reg *tuple.Registry, body []byte, m *Message) error {
 	if len(body) < 4 {
 		return ErrShort
 	}
-	count := int(binary.BigEndian.Uint32(body[:4]))
+	count32 := binary.BigEndian.Uint32(body[:4])
 	body = body[4:]
-	if count > MaxPullIDs {
-		return fmt.Errorf("%w: %d pull ids", ErrTooLarge, count)
+	if count32 > MaxPullIDs {
+		return fmt.Errorf("%w: %d pull ids", ErrTooLarge, count32)
 	}
+	count := int(count32)
 	const minID = 2 + 8
 	if count*minID > len(body) {
 		return ErrShort
@@ -459,14 +476,15 @@ func decodeBatch(reg *tuple.Registry, body []byte, m *Message) error {
 	if len(body) < 4 {
 		return ErrShort
 	}
-	count := int(binary.BigEndian.Uint32(body[:4]))
+	count32 := binary.BigEndian.Uint32(body[:4])
 	body = body[4:]
-	if count == 0 {
+	if count32 == 0 {
 		return errors.New("wire: empty batch")
 	}
-	if count > MaxBatchMessages {
-		return fmt.Errorf("%w: %d batched messages", ErrTooLarge, count)
+	if count32 > MaxBatchMessages {
+		return fmt.Errorf("%w: %d batched messages", ErrTooLarge, count32)
 	}
+	count := int(count32)
 	// A sub-message is at least a header plus a 4-byte body prefix.
 	const minMsg = 4 + headerSize + 4
 	if count*minMsg > len(body) {
@@ -476,10 +494,11 @@ func decodeBatch(reg *tuple.Registry, body []byte, m *Message) error {
 		if len(body) < 4 {
 			return ErrShort
 		}
-		n := int(binary.BigEndian.Uint32(body[:4]))
-		if n < 0 || len(body) < 4+n {
+		n64 := int64(binary.BigEndian.Uint32(body[:4]))
+		if int64(len(body)) < 4+n64 {
 			return ErrShort
 		}
+		n := int(n64)
 		// Reuse the scratch element (and its nested slice capacity) when
 		// the previous decode left one behind.
 		if i < cap(m.Batch) {

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"errors"
+	"math"
+	"strings"
 	"testing"
 
 	"tota/internal/tuple"
@@ -347,6 +349,46 @@ func TestDecodeRejectsOversizedCounts(t *testing.T) {
 	big := Message{Type: MsgDigest, Digest: make([]DigestEntry, MaxDigestEntries+1)}
 	if _, err := Encode(big); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("Encode oversized digest = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeRejectsOversizedIDs(t *testing.T) {
+	// Node and parent names are encoded behind uint16 length prefixes; a
+	// name that does not fit must error instead of silently truncating
+	// the prefix and corrupting the frame.
+	long := tuple.NodeID(strings.Repeat("n", math.MaxUint16+1))
+	id := tuple.ID{Node: long, Seq: 1}
+	if _, err := Encode(Message{Type: MsgPull, Want: []tuple.ID{id}}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode pull with oversized node = %v, want ErrTooLarge", err)
+	}
+	if _, err := Encode(Message{Type: MsgDigest, Digest: []DigestEntry{{ID: id}}}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode digest with oversized id = %v, want ErrTooLarge", err)
+	}
+	entry := DigestEntry{ID: tuple.ID{Node: "a", Seq: 1}, Maintained: true, Parent: long}
+	if _, err := Encode(Message{Type: MsgDigest, Digest: []DigestEntry{entry}}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode digest with oversized parent = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeRejectsHugeLengthPrefixes(t *testing.T) {
+	r := newWireRegistry(t)
+	// Length prefixes claiming ~4 GiB must decode as short frames on
+	// every platform: the bounds arithmetic must not wrap when int is
+	// 32 bits wide.
+	frames := map[string][]byte{
+		"parent":    {1, byte(MsgRetract), 0, 0, 0xff, 0xff, 0xff, 0xff},
+		"retractID": {1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+		"batchSub": {1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, // header, empty parent
+			0, 0, 0, 1, // count=1
+			0xff, 0xff, 0xff, 0xff, // sub-message length ~4 GiB
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // filler past the min-size precheck
+	}
+	for name, frame := range frames {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(r, frame); !errors.Is(err, ErrShort) {
+				t.Errorf("Decode = %v, want ErrShort", err)
+			}
+		})
 	}
 }
 
