@@ -88,6 +88,11 @@ func BenchmarkE12Gossip(b *testing.B) {
 	benchExperiment(b, experiment.RunE12, "coverage_grid 10x10_p0.500")
 }
 
+func BenchmarkE13Chaos(b *testing.B) {
+	benchExperiment(b, experiment.RunE13,
+		"overhead_per_heal_combined chaos", "repair_epochs_combined chaos")
+}
+
 func BenchmarkA1Ablations(b *testing.B) {
 	benchExperiment(b, experiment.RunA1,
 		"teardown_msgs_full engine", "teardown_msgs_no poisoned reverse")
@@ -280,6 +285,39 @@ func BenchmarkHandlePacket(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.HandlePacket(topology.NodeName(1), data)
+	}
+}
+
+// BenchmarkHandlePacketRobust prices the graceful-degradation features
+// (suspicion hysteresis, pull backoff, corrupt-source quarantine) on the
+// packet hot path. The allocs/op column must match BenchmarkHandlePacket
+// exactly: robustness bookkeeping lives in per-copy state and fixed-size
+// per-source tables, never in per-packet allocations (see DESIGN.md §9).
+func BenchmarkHandlePacketRobust(b *testing.B) {
+	n, data := newHandlePacketWorld(b,
+		core.WithSuspicion(2), core.WithPullBackoff(6), core.WithQuarantine(8, 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.HandlePacket(topology.NodeName(1), data)
+	}
+}
+
+// TestHandlePacketRobustAllocs is the robustness alloc-regression guard:
+// enabling suspicion, pull backoff and quarantine must add zero
+// allocations per packet over the plain engine.
+func TestHandlePacketRobustAllocs(t *testing.T) {
+	measure := func(opts ...core.Option) float64 {
+		n, data := newHandlePacketWorld(t, opts...)
+		return testing.AllocsPerRun(200, func() {
+			n.HandlePacket(topology.NodeName(1), data)
+		})
+	}
+	base := measure()
+	robust := measure(core.WithSuspicion(2), core.WithPullBackoff(6), core.WithQuarantine(8, 16))
+	if robust > base {
+		t.Errorf("robustness features cost %.1f allocs/packet over the %.1f baseline (budget: 0)",
+			robust-base, base)
 	}
 }
 

@@ -55,6 +55,7 @@ func run(args []string) error {
 		"E10": experiment.RunE10,
 		"E11": experiment.RunE11,
 		"E12": experiment.RunE12,
+		"E13": experiment.RunE13,
 		"A1":  experiment.RunA1,
 		"A2":  experiment.RunA2,
 	}

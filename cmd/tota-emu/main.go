@@ -17,6 +17,7 @@ import (
 	"tota/internal/core"
 	"tota/internal/emulator"
 	"tota/internal/experiment"
+	"tota/internal/fault"
 	"tota/internal/meeting"
 	"tota/internal/obs"
 	"tota/internal/pattern"
@@ -40,6 +41,8 @@ func run(args []string) error {
 	height := fs.Int("h", 8, "grid height")
 	rounds := fs.Int("rounds", 100, "coordination rounds (flock scenario)")
 	trace := fs.Bool("trace", false, "print engine trace events (gradient scenario)")
+	faultSpec := fs.String("fault", "", "seeded fault plan for the gradient scenario, e.g. 'loss@4-10:0.5;crash@6-12:n0030' (see internal/fault)")
+	ticks := fs.Int("ticks", 0, "emulator ticks to drive after injection (0 = fault plan length + repair margin)")
 	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json and /healthz while the scenario runs")
 	dash := fs.Int("dash", 0, "print a one-line telemetry dashboard every N radio rounds")
 	report := fs.String("report", "", "write the final aggregated JSON report to this file ('-' for stdout)")
@@ -50,7 +53,7 @@ func run(args []string) error {
 	var err error
 	switch *scenario {
 	case "gradient":
-		err = gradientScenario(*width, *height, *trace, env)
+		err = gradientScenario(*width, *height, *trace, *faultSpec, *ticks, env)
 	case "flock":
 		err = flockScenario(*rounds)
 	case "routing":
@@ -183,8 +186,18 @@ func meetingScenario(rounds int, env *obsEnv) error {
 }
 
 // gradientScenario injects a hop-count field at the grid center and
-// prints the resulting structure of space as digits.
-func gradientScenario(w, h int, trace bool, env *obsEnv) error {
+// prints the resulting structure of space as digits. With -fault it
+// then drives the emulator clock through the seeded fault plan —
+// suspicion, pull backoff and quarantine enabled — and renders the
+// repaired structure.
+func gradientScenario(w, h int, trace bool, faultSpec string, ticks int, env *obsEnv) error {
+	var plan fault.Plan
+	if faultSpec != "" {
+		var err error
+		if plan, err = fault.ParsePlan(faultSpec); err != nil {
+			return err
+		}
+	}
 	g := topology.Grid(w, h, 1)
 	var opts []core.Option
 	if trace {
@@ -192,7 +205,14 @@ func gradientScenario(w, h int, trace bool, env *obsEnv) error {
 			fmt.Println("  trace:", ev)
 		}))
 	}
-	world := emulator.New(emulator.Config{Graph: g, NodeOptions: opts})
+	cfg := emulator.Config{Graph: g, NodeOptions: opts}
+	if faultSpec != "" {
+		cfg.RefreshEvery = 2
+		cfg.Seed = 1
+		cfg.NodeOptions = append(cfg.NodeOptions,
+			core.WithSuspicion(2), core.WithPullBackoff(6), core.WithQuarantine(8, 16))
+	}
+	world := emulator.New(cfg)
 	if err := env.attach(world); err != nil {
 		return err
 	}
@@ -203,6 +223,20 @@ func gradientScenario(w, h int, trace bool, env *obsEnv) error {
 	rounds := env.settle(world, 100000)
 	fmt.Printf("gradient injected at %s; settled in %d rounds, %d radio sends\n\n",
 		src, rounds, world.Sim().Stats().Sent)
+	if faultSpec != "" {
+		fault.New(world, plan)
+		if ticks <= 0 {
+			ticks = plan.MaxTick() + 8
+		}
+		for i := 0; i < ticks; i++ {
+			world.Tick(1)
+			if env.dash > 0 && (i+1)%env.dash == 0 {
+				fmt.Println(world.Rollup().Dashboard())
+			}
+		}
+		world.Settle(100000)
+		fmt.Printf("fault plan complete after %d ticks: %s\n\n", ticks, world.Rollup().Dashboard())
+	}
 	fmt.Println(world.Render(4*w, 2*h, func(id tuple.NodeID) rune {
 		ts := world.Node(id).Read(pattern.ByName(pattern.KindGradient, "demo"))
 		if len(ts) == 0 {

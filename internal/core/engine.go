@@ -64,6 +64,23 @@ type tupleState struct {
 	// withdrawal without pulling full bytes again. Cleared on
 	// retraction.
 	exemplar tuple.Maintained
+	// suspectEpoch, when non-zero, marks the copy as suspect: support
+	// vanished at refresh epoch suspectEpoch-1 and the withdraw is
+	// deferred until Config.SuspicionEpochs epochs pass without support
+	// returning (the +1 keeps zero meaning "not suspect").
+	suspectEpoch uint64
+	// pullBack is the per-neighbor anti-entropy pull backoff state for
+	// this tuple (allocated only once a backoff-gated pull fires).
+	pullBack map[tuple.NodeID]pullBackoff
+}
+
+// pullBackoff is the capped exponential backoff state for one
+// (neighbor, tuple id) pull key: strikes counts pulls sent without a
+// consumed response, skip is how many further digest mentions to
+// ignore before the next pull.
+type pullBackoff struct {
+	strikes uint8
+	skip    uint16
 }
 
 // invalidateWire drops the cached announcement encoding. It must be
@@ -127,10 +144,29 @@ func (n *Node) ctxLocked(from tuple.NodeID, hop int) *tuple.Ctx {
 // HandlePacket implements transport.Handler.
 func (n *Node) HandlePacket(from tuple.NodeID, data []byte) {
 	n.mu.Lock()
+	if len(n.quarantined) != 0 {
+		if left, ok := n.quarantined[from]; ok {
+			if left > 1 {
+				n.quarantined[from] = left - 1
+			} else {
+				delete(n.quarantined, from)
+				delete(n.decodeStrikes, from)
+			}
+			n.stats.QuarantineDropped.Add(1)
+			n.mu.Unlock()
+			return
+		}
+	}
 	if err := wire.DecodeInto(n.cfg.Registry, data, &n.decodeScratch); err != nil {
+		quarantined := n.noteDecodeStrikeLocked(from)
 		n.mu.Unlock()
-		n.noteDecodeError(from, err)
+		n.noteDecodeError(from, err, quarantined)
 		return
+	}
+	if len(n.decodeStrikes) != 0 {
+		// A decodable packet clears the source's strike run: quarantine
+		// targets sustained corruption, not an isolated mangled frame.
+		delete(n.decodeStrikes, from)
 	}
 	msg := &n.decodeScratch
 	if msg.Type == wire.MsgBatch {
@@ -228,6 +264,11 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 			st.nbrVer = make(map[tuple.NodeID]uint32)
 		}
 		st.nbrVer[from] = msg.Ver
+	}
+	if len(st.pullBack) != 0 {
+		// Full content consumed from this neighbor (announcement or pull
+		// response): it is alive and answering, so its backoff resets.
+		delete(st.pullBack, from)
 	}
 	hop := int(msg.Hop) + 1
 
@@ -328,7 +369,9 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 		if !st.visited {
 			// The digest advertises a tuple that never propagated here —
 			// a lost broadcast or a fresh join. Pull the full bytes.
-			n.pullScratch = append(n.pullScratch, e.ID)
+			if n.allowPullLocked(st, from) {
+				n.pullScratch = append(n.pullScratch, e.ID)
+			}
 			continue
 		}
 		if last, heard := st.nbrVer[from]; !heard || last != e.Ver {
@@ -338,7 +381,9 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 			// response re-runs the propagation pipeline (supersede checks
 			// included) and records the version, so the pull repeats only
 			// until one round trip survives.
-			n.pullScratch = append(n.pullScratch, e.ID)
+			if n.allowPullLocked(st, from) {
+				n.pullScratch = append(n.pullScratch, e.ID)
+			}
 		}
 	}
 	n.sendPullsLocked(from)
@@ -373,7 +418,9 @@ func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st
 		// This node cannot adopt — or policy-check — from the compact
 		// entry alone: it needs the structure's full bytes once. No
 		// support is recorded until an announcement passes OpAccept.
-		n.pullScratch = append(n.pullScratch, e.ID)
+		if n.allowPullLocked(st, from) {
+			n.pullScratch = append(n.pullScratch, e.ID)
+		}
 		return
 	}
 	if st.nbrVals == nil {
@@ -384,7 +431,48 @@ func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st
 		st.nbrVer = make(map[tuple.NodeID]uint32)
 	}
 	st.nbrVer[from] = e.Ver
+	if len(st.pullBack) != 0 {
+		// The compact entry carried everything maintenance needs: the
+		// neighbor is alive and answering, so its pull backoff resets.
+		delete(st.pullBack, from)
+	}
 	n.maintainLocked(e.ID, ex, n.ctxLocked(from, int(e.Hop)+1))
+}
+
+// allowPullLocked gates one anti-entropy pull for (tuple, neighbor)
+// through the capped exponential backoff. Every allowed pull doubles
+// the number of subsequent digest mentions ignored before the next one
+// (1, 2, 4, … capped at Config.PullBackoffCap), so a neighbor that
+// never delivers a usable response — crashed mid-protocol, or behind a
+// one-way-lossy link — induces a decaying pull sequence instead of one
+// pull per refresh epoch. Consuming any full content (or a usable
+// maintained digest entry) from the neighbor resets its backoff.
+// No-op (always allow) when the backoff is disabled.
+func (n *Node) allowPullLocked(st *tupleState, from tuple.NodeID) bool {
+	maxGap := n.cfg.PullBackoffCap
+	if maxGap <= 0 {
+		return true
+	}
+	b := st.pullBack[from]
+	if b.skip > 0 {
+		b.skip--
+		st.pullBack[from] = b
+		n.stats.PullsSuppressed.Add(1)
+		return false
+	}
+	if b.strikes < 15 {
+		b.strikes++
+	}
+	gap := 1 << (b.strikes - 1)
+	if gap > maxGap {
+		gap = maxGap
+	}
+	b.skip = uint16(gap - 1)
+	if st.pullBack == nil {
+		st.pullBack = make(map[tuple.NodeID]pullBackoff)
+	}
+	st.pullBack[from] = b
+	return true
 }
 
 // sendPullsLocked unicasts the accumulated pull requests to the digest
@@ -484,9 +572,29 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 
 	if math.IsInf(best, 1) || desired > effMax {
 		if st.stored {
+			if grace := n.cfg.SuspicionEpochs; grace > 0 {
+				// Hysteresis: defer the withdraw for a grace window so a
+				// transient loss burst (a few missed refresh epochs) does
+				// not trigger a withdraw/re-propagation storm. The copy
+				// keeps being announced while suspect; support returning
+				// within the window cancels the suspicion silently.
+				if st.suspectEpoch == 0 {
+					st.suspectEpoch = n.epoch + 1
+					n.stats.Suspected.Add(1)
+					n.traceLocked(TraceEvent{Kind: TraceSuspect, ID: id})
+				}
+				if (n.epoch+1)-st.suspectEpoch < uint64(grace) {
+					return
+				}
+				st.suspectEpoch = 0
+			}
 			n.dropMaintainedLocked(id, st)
 		}
 		return
+	}
+	if st.suspectEpoch != 0 {
+		st.suspectEpoch = 0
+		n.stats.SuspectRecovered.Add(1)
 	}
 
 	if st.stored {
@@ -548,6 +656,7 @@ func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
 	st.local = nil
 	st.invalidateWire()
 	st.parent = ""
+	st.suspectEpoch = 0
 	n.stats.MaintDrop.Add(1)
 	n.traceLocked(TraceEvent{Kind: TraceWithdraw, ID: id})
 	if removed != nil {
@@ -599,6 +708,7 @@ func (n *Node) retractLocked(id tuple.ID) {
 	st.nbrVals = nil
 	st.nbrVer = nil
 	st.exemplar = nil
+	st.pullBack = nil
 	st.parent = ""
 	if st.stored {
 		st.stored = false
@@ -691,6 +801,9 @@ func (n *Node) handleNeighborRemovedLocked(peer tuple.NodeID) {
 	for id, st := range n.seen {
 		if st.nbrVer != nil {
 			delete(st.nbrVer, peer)
+		}
+		if st.pullBack != nil {
+			delete(st.pullBack, peer)
 		}
 		if st.nbrVals == nil {
 			continue
@@ -1095,12 +1208,41 @@ func (n *Node) noteSendError(op string, err error) {
 	}
 }
 
+// noteDecodeStrikeLocked advances the per-source corrupt-frame
+// accounting after a decode failure, quarantining the source once its
+// consecutive-error run reaches Config.QuarantineThreshold: its next
+// QuarantineCooldown packets are dropped unread, then it is re-admitted
+// with a clean slate. Returns whether the source was just quarantined.
+func (n *Node) noteDecodeStrikeLocked(from tuple.NodeID) bool {
+	if n.decodeStrikes == nil {
+		return false
+	}
+	s := n.decodeStrikes[from] + 1
+	if s < n.cfg.QuarantineThreshold {
+		n.decodeStrikes[from] = s
+		return false
+	}
+	delete(n.decodeStrikes, from)
+	n.quarantined[from] = n.cfg.QuarantineCooldown
+	n.stats.QuarantineEvents.Add(1)
+	return true
+}
+
 // noteDecodeError counts an undecodable packet, with the same
 // power-of-two log rate limiting as noteSendError. Called outside the
 // engine lock.
-func (n *Node) noteDecodeError(from tuple.NodeID, err error) {
+func (n *Node) noteDecodeError(from tuple.NodeID, err error, quarantined bool) {
 	c := n.stats.DecodeErrors.Add(1)
-	if n.cfg.Logger != nil && isPowerOfTwo(c) {
+	if n.cfg.Logger == nil {
+		return
+	}
+	if quarantined {
+		n.cfg.Logger.Warn("tota: source quarantined for repeated corrupt frames",
+			"node", string(n.id), "from", string(from), "err", err,
+			"cooldown_packets", n.cfg.QuarantineCooldown)
+		return
+	}
+	if isPowerOfTwo(c) {
 		n.cfg.Logger.Warn("tota: undecodable packet dropped",
 			"node", string(n.id), "from", string(from), "err", err, "count", c)
 	}

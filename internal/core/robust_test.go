@@ -1,0 +1,260 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+	"tota/internal/wire"
+)
+
+// lossBurstDrops runs a converged a-b-c chain through a burst of
+// fully-lossy refresh epochs on the b->c link, heals it, runs recovery
+// epochs, and reports the network's withdraw count plus c's final hold
+// of the gradient.
+func lossBurstDrops(t *testing.T, burstEpochs int, opts ...core.Option) (maintDrop int64, suspected, recovered int64, cHolds bool) {
+	t.Helper()
+	g := topology.Line(3)
+	tn := newTestNet(t, g, opts...)
+	a, c := topology.NodeName(0), topology.NodeName(2)
+	injectGradient(t, tn, a, "f", math.Inf(1))
+	refreshAll(tn) // converge announcement versions
+	tn.assertGradientMatchesBFS(a, "f", math.Inf(1))
+
+	b := topology.NodeName(1)
+	tn.sim.SetLinkLoss(b, c, 1)
+	for i := 0; i < burstEpochs; i++ {
+		refreshAll(tn)
+	}
+	tn.sim.SetLinkLoss(b, c, -1)
+	for i := 0; i < 3; i++ {
+		refreshAll(tn)
+	}
+	st := tn.totalStats()
+	_, cHolds = tn.gradVal(c, pattern.KindGradient, "f")
+	return st.MaintDrop, st.Suspected, st.SuspectRecovered, cHolds
+}
+
+// TestFaultSuspicionAbsorbsLossBurst is the hysteresis acceptance
+// criterion: a 3-epoch loss burst on one link must not produce any
+// withdraw/re-propagation cycle when suspicion is enabled, while the
+// baseline engine (grace disabled) does withdraw — proving the grace
+// window is what absorbs the burst.
+func TestFaultSuspicionAbsorbsLossBurst(t *testing.T) {
+	drops, _, _, holds := lossBurstDrops(t, 3)
+	if drops == 0 {
+		t.Fatal("baseline: 3-epoch loss burst caused no withdraw — the scenario is not stressing stale-support pruning")
+	}
+	if !holds {
+		t.Error("baseline: gradient did not recover after the heal")
+	}
+
+	drops, suspected, recovered, holds := lossBurstDrops(t, 3, core.WithSuspicion(2))
+	if drops != 0 {
+		t.Errorf("suspicion: burst caused %d withdrawals, want 0", drops)
+	}
+	if suspected == 0 {
+		t.Error("suspicion: no copy entered the grace window (burst not observed)")
+	}
+	if recovered == 0 {
+		t.Error("suspicion: no suspicion was cancelled by returning support")
+	}
+	if !holds {
+		t.Error("suspicion: gradient lost despite the grace window")
+	}
+}
+
+// TestFaultSuspicionStillWithdrawsWhenSupportIsGone: hysteresis defers
+// the withdraw, it must not suppress it — a burst longer than the
+// grace window still tears the orphan copy down.
+func TestFaultSuspicionStillWithdrawsWhenSupportIsGone(t *testing.T) {
+	drops, suspected, _, _ := lossBurstDrops(t, 8, core.WithSuspicion(2))
+	if suspected == 0 {
+		t.Fatal("no suspicion raised during an 8-epoch outage")
+	}
+	if drops == 0 {
+		t.Error("withdraw never fired despite the grace window elapsing")
+	}
+}
+
+// TestFaultPullBackoffBoundsPullStorm is the backoff acceptance
+// criterion: a neighbor that advertises a structure by digest but
+// whose pull channel is dead (the crashed-then-silent analogue — here
+// the b->a direction drops everything, so pulls vanish in flight)
+// must induce a bounded, decaying pull sequence instead of one pull
+// per refresh epoch.
+func TestFaultPullBackoffBoundsPullStorm(t *testing.T) {
+	const epochs = 16
+	run := func(opts ...core.Option) (pullsOut, suppressed int64) {
+		g := topology.New()
+		g.AddNode("a")
+		g.AddNode("b")
+		opts = append([]core.Option{core.WithoutCatchUp()}, opts...)
+		tn := newTestNet(t, g, opts...)
+		// Inject while isolated: the announcement broadcast reaches
+		// nobody, so b can only ever learn of the structure by digest.
+		injectGradient(t, tn, "a", "f", math.Inf(1))
+		tn.sim.SetLinkLoss("b", "a", 1) // pulls die in flight
+		tn.sim.AddEdge("a", "b")
+		for i := 0; i < epochs; i++ {
+			refreshAll(tn)
+		}
+		st := tn.node("b").Stats()
+		return st.PullsOut, st.PullsSuppressed
+	}
+
+	pulls, _ := run()
+	if pulls != epochs {
+		t.Fatalf("baseline: %d pulls over %d epochs, want one per epoch (scenario must provoke a pull storm)", pulls, epochs)
+	}
+
+	pulls, suppressed := run(core.WithPullBackoff(8))
+	// Decaying sequence with gaps 1,1,2,4,8,…: far fewer than one per
+	// epoch, and every suppressed mention is accounted for.
+	if pulls >= epochs/2 {
+		t.Errorf("backoff: %d pulls over %d epochs, want a decayed sequence (< %d)", pulls, epochs, epochs/2)
+	}
+	if pulls == 0 {
+		t.Error("backoff: no pulls at all — backoff must retry, not give up")
+	}
+	if suppressed != int64(epochs)-pulls {
+		t.Errorf("suppressed = %d, want %d (every digest mention either pulls or counts as suppressed)", suppressed, int64(epochs)-pulls)
+	}
+}
+
+// TestFaultPullBackoffResetsOnConsumedContent: once the neighbor
+// answers, the backoff state must clear so the next gap starts at 1.
+func TestFaultPullBackoffResetsOnConsumedContent(t *testing.T) {
+	g := topology.New()
+	g.AddNode("a")
+	g.AddNode("b")
+	tn := newTestNet(t, g, core.WithoutCatchUp(), core.WithPullBackoff(8))
+	injectGradient(t, tn, "a", "f", math.Inf(1))
+	tn.sim.SetLinkLoss("b", "a", 1)
+	tn.sim.AddEdge("a", "b")
+	for i := 0; i < 8; i++ {
+		refreshAll(tn)
+	}
+	if st := tn.node("b").Stats(); st.PullsSuppressed == 0 {
+		t.Fatal("no suppression before the heal — scenario broken")
+	}
+	// Heal the pull channel: the next allowed pull round-trips, b
+	// adopts, and the backoff entry for (a, f) is reset.
+	tn.sim.SetLinkLoss("b", "a", -1)
+	for i := 0; i < 10 && len(tn.node("b").Read(pattern.ByName(pattern.KindGradient, "f"))) == 0; i++ {
+		refreshAll(tn)
+	}
+	if len(tn.node("b").Read(pattern.ByName(pattern.KindGradient, "f"))) == 0 {
+		t.Fatal("b never adopted the gradient after the heal")
+	}
+	suppressedAtHeal := tn.node("b").Stats().PullsSuppressed
+	// Converged: digests now match recorded versions, so no further
+	// pulls happen and nothing more is suppressed.
+	for i := 0; i < 4; i++ {
+		refreshAll(tn)
+	}
+	if got := tn.node("b").Stats().PullsSuppressed; got != suppressedAtHeal {
+		t.Errorf("suppression kept counting after convergence: %d -> %d", suppressedAtHeal, got)
+	}
+}
+
+// TestFaultQuarantineIsolatesCorruptSource: repeated undecodable
+// frames from one source demote it for a packet-count cooldown, after
+// which it is re-admitted; an isolated bad frame costs nothing.
+func TestFaultQuarantineIsolatesCorruptSource(t *testing.T) {
+	g := topology.New()
+	g.AddEdge("a", "b")
+	tn := newTestNet(t, g, core.WithQuarantine(3, 4))
+	b := tn.node("b")
+
+	valid, err := wire.Encode(wire.Message{Type: wire.MsgPull, Want: []tuple.ID{{Node: "a", Seq: 1}}})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	// An isolated bad frame, then a good one: strike run resets, no
+	// quarantine.
+	b.HandlePacket("a", []byte{0xFF, 0xFF})
+	b.HandlePacket("a", valid)
+	b.HandlePacket("a", []byte{0xFF, 0xFF})
+	b.HandlePacket("a", valid)
+	if st := b.Stats(); st.QuarantineEvents != 0 {
+		t.Fatalf("isolated bad frames triggered quarantine (events=%d)", st.QuarantineEvents)
+	}
+
+	// Three consecutive bad frames: the source is quarantined.
+	for i := 0; i < 3; i++ {
+		b.HandlePacket("a", []byte{0xFF, 0xFF})
+	}
+	st := b.Stats()
+	if st.QuarantineEvents != 1 {
+		t.Fatalf("QuarantineEvents = %d, want 1", st.QuarantineEvents)
+	}
+
+	// The next 4 packets — even valid ones — are dropped unread.
+	inBefore := st.PacketsIn
+	for i := 0; i < 4; i++ {
+		b.HandlePacket("a", valid)
+	}
+	st = b.Stats()
+	if st.QuarantineDropped != 4 {
+		t.Errorf("QuarantineDropped = %d, want 4", st.QuarantineDropped)
+	}
+	if st.PacketsIn != inBefore {
+		t.Error("quarantined packets still reached the engine")
+	}
+
+	// Cooldown elapsed: the source is re-admitted with a clean slate.
+	b.HandlePacket("a", valid)
+	if got := b.Stats().PacketsIn; got != inBefore+1 {
+		t.Errorf("PacketsIn after cooldown = %d, want %d (source must be re-admitted)", got, inBefore+1)
+	}
+
+	// Other sources are unaffected throughout.
+	b.HandlePacket("c", valid)
+	if got := b.Stats().PacketsIn; got != inBefore+2 {
+		t.Error("unrelated source was affected by the quarantine")
+	}
+}
+
+// TestFaultExpiredTupleNotResurrectedByStaleDigest: a tombstoned
+// (lease-expired) copy must not come back when a stale neighbor digest
+// or a late pull response for it arrives after the sweep.
+func TestFaultExpiredTupleNotResurrectedByStaleDigest(t *testing.T) {
+	g := topology.New()
+	g.AddEdge("a", "b")
+	tn := newTestNet(t, g)
+
+	// A leased gradient from a reaches b; both hold it.
+	gr := pattern.NewGradient("tmp").Expires(5)
+	if _, err := tn.node("a").Inject(gr); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tn.quiesce()
+	refreshAll(tn) // settle announcement versions
+	if len(tn.node("b").Read(pattern.ByName(pattern.KindGradient, "tmp"))) != 1 {
+		t.Fatal("b never stored the leased gradient")
+	}
+
+	// b's lease elapses (a's clock is NOT advanced: it keeps the copy
+	// and keeps advertising it — the stale-digest source).
+	tn.node("b").SweepExpired(10)
+	if got := tn.node("b").Stats().Expired; got != 1 {
+		t.Fatalf("Expired = %d, want 1", got)
+	}
+
+	// a refreshes: its digest (and any pull response) reaches b.
+	for i := 0; i < 3; i++ {
+		tn.node("a").Refresh()
+		tn.quiesce()
+	}
+	if got := len(tn.node("b").Read(pattern.ByName(pattern.KindGradient, "tmp"))); got != 0 {
+		t.Errorf("expired tuple resurrected on b (%d copies) by a stale neighbor digest", got)
+	}
+	if got := tn.node("b").Stats().PullsOut; got != 0 {
+		t.Errorf("b pulled %d times for a tuple it tombstoned", got)
+	}
+}

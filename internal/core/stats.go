@@ -58,6 +58,21 @@ type Stats struct {
 	// RefreshSuppressed counts tuples refresh advertised by digest entry
 	// instead of full bytes — the anti-entropy suppression win.
 	RefreshSuppressed int64
+	// Suspected counts maintained copies that entered the suspicion
+	// grace window (support lost, withdraw deferred).
+	Suspected int64
+	// SuspectRecovered counts suspicions cancelled because support
+	// returned within the grace window — churn the hysteresis absorbed.
+	SuspectRecovered int64
+	// PullsSuppressed counts anti-entropy pulls skipped by the capped
+	// exponential backoff (per neighbor, per tuple id).
+	PullsSuppressed int64
+	// QuarantineEvents counts sources demoted for repeated undecodable
+	// packets.
+	QuarantineEvents int64
+	// QuarantineDropped counts packets dropped unread because their
+	// source was quarantined.
+	QuarantineDropped int64
 }
 
 // Add returns the field-wise sum of two stats snapshots.
@@ -87,6 +102,11 @@ func (s Stats) Add(o Stats) Stats {
 		PullsIn:           s.PullsIn + o.PullsIn,
 		RefreshAnnounced:  s.RefreshAnnounced + o.RefreshAnnounced,
 		RefreshSuppressed: s.RefreshSuppressed + o.RefreshSuppressed,
+		Suspected:         s.Suspected + o.Suspected,
+		SuspectRecovered:  s.SuspectRecovered + o.SuspectRecovered,
+		PullsSuppressed:   s.PullsSuppressed + o.PullsSuppressed,
+		QuarantineEvents:  s.QuarantineEvents + o.QuarantineEvents,
+		QuarantineDropped: s.QuarantineDropped + o.QuarantineDropped,
 	}
 }
 
@@ -120,6 +140,11 @@ type atomicStats struct {
 	PullsIn           atomic.Int64
 	RefreshAnnounced  atomic.Int64
 	RefreshSuppressed atomic.Int64
+	Suspected         atomic.Int64
+	SuspectRecovered  atomic.Int64
+	PullsSuppressed   atomic.Int64
+	QuarantineEvents  atomic.Int64
+	QuarantineDropped atomic.Int64
 }
 
 // Snapshot reads every counter atomically (field by field: the
@@ -151,5 +176,10 @@ func (a *atomicStats) Snapshot() Stats {
 		PullsIn:           a.PullsIn.Load(),
 		RefreshAnnounced:  a.RefreshAnnounced.Load(),
 		RefreshSuppressed: a.RefreshSuppressed.Load(),
+		Suspected:         a.Suspected.Load(),
+		SuspectRecovered:  a.SuspectRecovered.Load(),
+		PullsSuppressed:   a.PullsSuppressed.Load(),
+		QuarantineEvents:  a.QuarantineEvents.Load(),
+		QuarantineDropped: a.QuarantineDropped.Load(),
 	}
 }

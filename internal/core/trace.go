@@ -33,6 +33,9 @@ const (
 	TraceExpire
 	// TraceDeny: the access policy rejected an operation.
 	TraceDeny
+	// TraceSuspect: a maintained copy lost support but its withdraw was
+	// deferred by the suspicion grace window.
+	TraceSuspect
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +63,8 @@ func (k TraceKind) String() string {
 		return "expire"
 	case TraceDeny:
 		return "deny"
+	case TraceSuspect:
+		return "suspect"
 	default:
 		return "unknown-trace"
 	}

@@ -61,6 +61,13 @@ type World struct {
 	ticks int
 	time  float64
 
+	// faultHook, when set, runs every Tick after mobility and topology
+	// recomputation but before the refresh pass and radio round, so
+	// scripted faults applied at tick T shape tick T's traffic. It runs
+	// on the driving goroutine: it may mutate topology, sim fault state
+	// and nodes freely (the radio is between Steps).
+	faultHook func(tick int)
+
 	// Telemetry. Churn counters are atomics so scrapes read them
 	// lock-free; the cached rollup is what live gauges serve (the graph
 	// and node maps must not be walked concurrently with a Tick).
@@ -107,6 +114,14 @@ func (w *World) attach(id tuple.NodeID) *core.Node {
 
 // Node returns the middleware node with the given id (nil if absent).
 func (w *World) Node(id tuple.NodeID) *core.Node { return w.nodes[id] }
+
+// Config returns the configuration the world was built with (baseline
+// loss, radio range, … — fault injectors restore these on heal).
+func (w *World) Config() Config { return w.cfg }
+
+// SetFaultHook installs (or clears, with nil) the per-tick fault
+// driver. See the faultHook field for the execution point.
+func (w *World) SetFaultHook(fn func(tick int)) { w.faultHook = fn }
 
 // Nodes returns all node ids in deterministic order.
 func (w *World) Nodes() []tuple.NodeID { return w.graph.Nodes() }
@@ -199,6 +214,9 @@ func (w *World) Tick(dt float64) {
 	w.ticks++
 	w.time += dt
 	for _, id := range w.Nodes() {
+		if w.sim.Paused(id) {
+			continue // a paused node processes nothing, not even expiry
+		}
 		w.nodes[id].SweepExpired(w.time)
 	}
 	ids := make([]tuple.NodeID, 0, len(w.moves))
@@ -210,6 +228,9 @@ func (w *World) Tick(dt float64) {
 		w.graph.SetPosition(id, w.moves[id].Step(dt))
 	}
 	w.recompute()
+	if w.faultHook != nil {
+		w.faultHook(w.ticks)
+	}
 	if w.cfg.RefreshEvery > 0 && w.ticks%w.cfg.RefreshEvery == 0 {
 		w.RefreshAll()
 	}
@@ -219,11 +240,14 @@ func (w *World) Tick(dt float64) {
 	}
 }
 
-// RefreshAll runs the anti-entropy pass on every node (in
+// RefreshAll runs the anti-entropy pass on every non-paused node (in
 // deterministic order) and returns the number of announcements.
 func (w *World) RefreshAll() int {
 	total := 0
 	for _, id := range w.Nodes() {
+		if w.sim.Paused(id) {
+			continue
+		}
 		total += w.nodes[id].Refresh()
 	}
 	return total

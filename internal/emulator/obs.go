@@ -108,18 +108,28 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 	counter("tota_emu_refresh_suppressed_total", "Refresh announcements suppressed by digests, summed over nodes.", func(r Rollup) int64 { return r.Stats.RefreshSuppressed })
 	counter("tota_emu_radio_sent_total", "Radio transmissions.", func(r Rollup) int64 { return r.Net.Sent })
 	counter("tota_emu_radio_dropped_total", "Radio packets lost.", func(r Rollup) int64 { return r.Net.Dropped })
+	counter("tota_emu_suspected_total", "Maintained copies that entered the suspicion grace window, summed over nodes.", func(r Rollup) int64 { return r.Stats.Suspected })
+	counter("tota_emu_suspect_recovered_total", "Suspicions cancelled by returning support, summed over nodes.", func(r Rollup) int64 { return r.Stats.SuspectRecovered })
+	counter("tota_emu_pulls_suppressed_total", "Anti-entropy pulls skipped by backoff, summed over nodes.", func(r Rollup) int64 { return r.Stats.PullsSuppressed })
+	counter("tota_emu_quarantine_events_total", "Sources quarantined for repeated undecodable frames, summed over nodes.", func(r Rollup) int64 { return r.Stats.QuarantineEvents })
+	counter("tota_emu_quarantine_dropped_total", "Packets dropped unread while their source was quarantined, summed over nodes.", func(r Rollup) int64 { return r.Stats.QuarantineDropped })
+	counter("tota_emu_radio_corrupted_total", "Radio packets delivered with injected byte flips.", func(r Rollup) int64 { return r.Net.Corrupted })
+	counter("tota_emu_radio_blocked_total", "Radio packets discarded at a partition cut.", func(r Rollup) int64 { return r.Net.Blocked })
+	counter("tota_emu_radio_shed_total", "Radio packets shed by the bounded inbound queue.", func(r Rollup) int64 { return r.Net.Shed })
 }
 
 // Dashboard renders a rollup as one compact text line — the periodic
 // emulator dashboard (`tota-emu -dash N`).
 func (r Rollup) Dashboard() string {
 	return fmt.Sprintf(
-		"[tick %d t=%.1f] nodes=%d edges=%d inflight=%d churn=+%d/-%d stored=%d | in=%d dup=%d repair=%d withdraw=%d ttl=%d sendErr=%d | frames=%d digests=%d pulls=%d suppressed=%d | radio sent=%d dropped=%d",
+		"[tick %d t=%.1f] nodes=%d edges=%d inflight=%d churn=+%d/-%d stored=%d | in=%d dup=%d repair=%d withdraw=%d ttl=%d sendErr=%d | frames=%d digests=%d pulls=%d suppressed=%d | suspect=%d/%d pullBackoff=%d quarantine=%d/%d | radio sent=%d dropped=%d corrupt=%d blocked=%d shed=%d",
 		r.Tick, r.Time, r.Nodes, r.Edges, r.Inflight, r.ChurnAdds, r.ChurnRemoves, r.StoreSize,
 		r.Stats.PacketsIn, r.Stats.DupDropped, r.Stats.MaintAdopt, r.Stats.MaintDrop,
 		r.Stats.TTLDropped, r.Stats.SendErrors,
 		r.Stats.FramesOut, r.Stats.DigestsOut, r.Stats.PullsOut, r.Stats.RefreshSuppressed,
-		r.Net.Sent, r.Net.Dropped)
+		r.Stats.Suspected, r.Stats.SuspectRecovered, r.Stats.PullsSuppressed,
+		r.Stats.QuarantineEvents, r.Stats.QuarantineDropped,
+		r.Net.Sent, r.Net.Dropped, r.Net.Corrupted, r.Net.Blocked, r.Net.Shed)
 }
 
 // Report is the final aggregated JSON artifact a tota-emu run emits:

@@ -95,3 +95,26 @@ func TestA2AblationShapes(t *testing.T) {
 		t.Errorf("refresh coverage = %v\n%s", got, res.Table)
 	}
 }
+
+func TestE13ChaosShapes(t *testing.T) {
+	res := RunE13(Quick)
+	scenarios := []string{
+		"loss burst 50%", "partition corner", "crash x2",
+		"corruption 30%", "combined chaos",
+	}
+	for _, sc := range scenarios {
+		if got := res.Metrics["converged_"+sc]; got != 1 {
+			t.Errorf("%s did not reconverge to the BFS oracle\n%s", sc, res.Table)
+		}
+		// Repair after heals must stay a local affair: bounded by twice
+		// E2's single-perturbation repair cost per heal event.
+		if got := res.Metrics["overhead_per_heal_"+sc]; got > 2*e2RepairMsgsBaseline {
+			t.Errorf("%s repair overhead %v > %v per heal\n%s",
+				sc, got, 2*e2RepairMsgsBaseline, res.Table)
+		}
+	}
+	// The degradation features must actually engage under compound chaos.
+	if res.Metrics["suspected_combined chaos"] == 0 {
+		t.Errorf("combined chaos never triggered suspicion\n%s", res.Table)
+	}
+}

@@ -39,6 +39,11 @@ func RegisterNodeStats(r *Registry, source func() core.Stats, labels ...Label) {
 	bind("tota_pulls_in_total", "Pull requests received.", func(s core.Stats) int64 { return s.PullsIn })
 	bind("tota_refresh_announced_total", "Tuples re-sent in full by refresh (announcement changed).", func(s core.Stats) int64 { return s.RefreshAnnounced })
 	bind("tota_refresh_suppressed_total", "Tuples refresh advertised by digest instead of full bytes.", func(s core.Stats) int64 { return s.RefreshSuppressed })
+	bind("tota_suspected_total", "Maintained copies that entered the suspicion grace window.", func(s core.Stats) int64 { return s.Suspected })
+	bind("tota_suspect_recovered_total", "Suspicions cancelled by returning support.", func(s core.Stats) int64 { return s.SuspectRecovered })
+	bind("tota_pulls_suppressed_total", "Anti-entropy pulls skipped by backoff.", func(s core.Stats) int64 { return s.PullsSuppressed })
+	bind("tota_quarantine_events_total", "Sources quarantined for repeated undecodable frames.", func(s core.Stats) int64 { return s.QuarantineEvents })
+	bind("tota_quarantine_dropped_total", "Packets dropped unread from quarantined sources.", func(s core.Stats) int64 { return s.QuarantineDropped })
 }
 
 // RegisterStoreSize exposes the local tuple-space size.
@@ -57,6 +62,9 @@ func RegisterSimStats(r *Registry, s *transport.Sim, labels ...Label) {
 	bind("tota_radio_broadcasts_total", "Broadcast operations.", func(st transport.Stats) int64 { return st.Broadcasts })
 	bind("tota_radio_delivered_total", "Packets handed to handlers.", func(st transport.Stats) int64 { return st.Delivered })
 	bind("tota_radio_dropped_total", "Packets lost in flight.", func(st transport.Stats) int64 { return st.Dropped })
+	bind("tota_radio_corrupted_total", "Packets delivered with injected byte flips (fault injection).", func(st transport.Stats) int64 { return st.Corrupted })
+	bind("tota_radio_blocked_total", "Packets discarded at a partition cut (fault injection).", func(st transport.Stats) int64 { return st.Blocked })
+	bind("tota_radio_shed_total", "Packets shed by the bounded inbound queue.", func(st transport.Stats) int64 { return st.Shed })
 	r.GaugeFunc("tota_radio_inflight", "Packets currently in flight.",
 		func() float64 { return float64(s.Pending()) }, labels...)
 }
@@ -71,6 +79,7 @@ func RegisterUDPStats(r *Registry, t *udp.Transport, labels ...Label) {
 	bind("tota_udp_datagrams_received_total", "Datagrams read from the socket.", func(s udp.Stats) int64 { return s.Received })
 	bind("tota_udp_bad_frames_total", "Undecodable frames received.", func(s udp.Stats) int64 { return s.BadFrames })
 	bind("tota_udp_hellos_total", "Discovery beacons received.", func(s udp.Stats) int64 { return s.Hellos })
+	bind("tota_udp_shed_total", "Inbound packets shed by the bounded staging queue.", func(s udp.Stats) int64 { return s.Shed })
 	r.GaugeFunc("tota_udp_neighbors", "Neighbors currently up.",
 		func() float64 { return float64(len(t.Neighbors())) }, labels...)
 }

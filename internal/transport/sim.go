@@ -39,6 +39,25 @@ type SimConfig struct {
 	// GOMAXPROCS; one forces serial delivery. Whatever the value, a
 	// seeded run produces bit-identical results (see Step).
 	Workers int
+	// MaxInbound bounds how many packets may be queued toward one
+	// destination at once. When a send would exceed the bound, the
+	// OLDEST queued packet for that destination is shed (counted in
+	// Stats.Shed): under overload, fresher state wins. Zero disables
+	// the bound.
+	MaxInbound int
+}
+
+// linkKey identifies one direction of a link for per-link fault
+// overrides (loss and delay are asymmetric: a->b and b->a are distinct
+// keys).
+type linkKey struct {
+	from, to tuple.NodeID
+}
+
+// linkDelay is a per-link latency override: base rounds plus a uniform
+// random jitter of [0, jitter] extra rounds per packet.
+type linkDelay struct {
+	rounds, jitter int
 }
 
 // Sim is a deterministic simulated radio network. Nodes attach to it to
@@ -69,6 +88,22 @@ type Sim struct {
 	// them in (source, seq) order so loss/dup draws and in-flight order
 	// are identical whatever the worker scheduling.
 	staged map[tuple.NodeID][]stagedSend
+
+	// Fault-injection state, mutated only between Steps (same
+	// discipline as topology edits) and read under mu.
+	// linkLoss overrides cfg.Loss for one link direction.
+	linkLoss map[linkKey]float64
+	// linkDelays overrides cfg.LatencyRounds (+ jitter) per direction.
+	linkDelays map[linkKey]linkDelay
+	// corrupt is the per-packet probability of injected byte flips.
+	corrupt float64
+	// partition, when non-empty, severs the named node set from the
+	// rest: packets crossing the cut are discarded at delivery time
+	// with no neighbor events (the engines must notice on their own).
+	partition map[tuple.NodeID]struct{}
+	// paused nodes keep their links but process nothing: packets
+	// addressed to them are held in flight until Resume.
+	paused map[tuple.NodeID]struct{}
 }
 
 type simPacket struct {
@@ -108,6 +143,123 @@ func (s *Sim) SetLoss(p float64) {
 	s.cfg.Loss = p
 }
 
+// SetDup changes the per-packet duplication probability at runtime.
+func (s *Sim) SetDup(p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Dup = p
+}
+
+// SetDelay changes the base in-flight latency (in Step rounds, minimum
+// 1) at runtime. Already queued packets keep their original due round.
+func (s *Sim) SetDelay(rounds int) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.LatencyRounds = rounds
+}
+
+// SetLinkLoss overrides the drop probability for the from->to direction
+// of one link (asymmetric: set both directions for a symmetric fault).
+// A negative p removes the override, restoring the global loss.
+func (s *Sim) SetLinkLoss(from, to tuple.NodeID, p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p < 0 {
+		delete(s.linkLoss, linkKey{from, to})
+		return
+	}
+	if s.linkLoss == nil {
+		s.linkLoss = make(map[linkKey]float64)
+	}
+	s.linkLoss[linkKey{from, to}] = p
+}
+
+// SetLinkDelay overrides the latency for the from->to direction of one
+// link: rounds base latency plus a seeded uniform jitter of up to
+// jitter extra rounds per packet. rounds < 1 removes the override.
+func (s *Sim) SetLinkDelay(from, to tuple.NodeID, rounds, jitter int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rounds < 1 {
+		delete(s.linkDelays, linkKey{from, to})
+		return
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	if s.linkDelays == nil {
+		s.linkDelays = make(map[linkKey]linkDelay)
+	}
+	s.linkDelays[linkKey{from, to}] = linkDelay{rounds: rounds, jitter: jitter}
+}
+
+// SetCorrupt changes the probability that a queued packet gets random
+// byte flips injected (fed to the receiver through the real wire
+// decoder). The original payload bytes are never modified — corruption
+// copies first, because payloads are shared with sender-side caches.
+func (s *Sim) SetCorrupt(p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.corrupt = p
+}
+
+// SetPartition severs the given node set from the rest of the network:
+// packets crossing the cut (either direction) are discarded at
+// delivery time and counted in Stats.Blocked. Unlike RemoveEdge, no
+// neighbor events fire — engines on both sides must detect the
+// silence themselves, which is exactly what partition faults test.
+// An empty set heals the partition.
+func (s *Sim) SetPartition(nodes ...tuple.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(nodes) == 0 {
+		s.partition = nil
+		return
+	}
+	s.partition = make(map[tuple.NodeID]struct{}, len(nodes))
+	for _, id := range nodes {
+		s.partition[id] = struct{}{}
+	}
+}
+
+// Pause suspends a node's packet processing while keeping its links:
+// packets addressed to it are held in flight (not dropped) until
+// Resume. Models GC stalls, sleep states, or overloaded hosts.
+func (s *Sim) Pause(id tuple.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.paused == nil {
+		s.paused = make(map[tuple.NodeID]struct{})
+	}
+	s.paused[id] = struct{}{}
+}
+
+// Resume lifts a Pause; held packets deliver on the next Step.
+func (s *Sim) Resume(id tuple.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.paused, id)
+}
+
+// Paused reports whether a node is currently paused.
+func (s *Sim) Paused(id tuple.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.paused[id]
+	return ok
+}
+
+// SetMaxInbound changes the per-destination queue bound at runtime
+// (zero disables shedding).
+func (s *Sim) SetMaxInbound(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.MaxInbound = n
+}
+
 // Attach registers a node and returns its endpoint. The handler may be
 // nil initially and set later with Bind (the middleware node needs the
 // endpoint at construction time).
@@ -132,6 +284,7 @@ func (s *Sim) Detach(id tuple.NodeID) {
 	s.mu.Lock()
 	events := s.graph.RemoveNode(id)
 	delete(s.handlers, id)
+	delete(s.paused, id)
 	kept := s.inflight[:0]
 	for _, p := range s.inflight {
 		if p.from != id && p.to != id {
@@ -204,6 +357,20 @@ func (s *Sim) Step() int {
 	for _, p := range s.inflight {
 		p.dueRound--
 		if p.dueRound <= 0 {
+			if len(s.partition) != 0 && s.crossesPartitionLocked(p.from, p.to) {
+				// The cut severed this packet mid-flight: discard it
+				// silently (no neighbor event — partitions are exactly
+				// the fault where nobody tells you).
+				s.stats.Blocked++
+				continue
+			}
+			if _, held := s.paused[p.to]; held {
+				// Destination is paused: hold the packet until Resume
+				// by keeping it one round from due.
+				p.dueRound = 1
+				kept = append(kept, p)
+				continue
+			}
 			due = append(due, p)
 		} else {
 			kept = append(kept, p)
@@ -413,8 +580,29 @@ func (s *Sim) send(from, to tuple.NodeID, data []byte) {
 	s.commitSendLocked(from, to, data)
 }
 
+// crossesPartitionLocked reports whether a packet spans the current
+// partition cut (its endpoints sit on different sides).
+func (s *Sim) crossesPartitionLocked(from, to tuple.NodeID) bool {
+	_, fin := s.partition[from]
+	_, tin := s.partition[to]
+	return fin != tin
+}
+
+// commitSendLocked queues one transmission, applying the fault model in
+// a fixed order so seeded runs stay bit-identical: per-link (or global)
+// loss, duplication, per-link delay and jitter, corruption, and the
+// bounded-inbound shed policy. Every random decision draws from the
+// seeded rng under mu, and draws happen only for enabled features, so
+// disabling a fault leaves the rng sequence of the remaining ones
+// untouched.
 func (s *Sim) commitSendLocked(from, to tuple.NodeID, data []byte) {
-	if s.cfg.Loss > 0 && s.rng.Float64() < s.cfg.Loss {
+	loss := s.cfg.Loss
+	if len(s.linkLoss) != 0 {
+		if p, ok := s.linkLoss[linkKey{from: from, to: to}]; ok {
+			loss = p
+		}
+	}
+	if loss > 0 && s.rng.Float64() < loss {
 		s.stats.Dropped++
 		s.stats.Sent++
 		return
@@ -424,14 +612,71 @@ func (s *Sim) commitSendLocked(from, to tuple.NodeID, data []byte) {
 	if s.cfg.Dup > 0 && s.rng.Float64() < s.cfg.Dup {
 		copies = 2
 	}
+	delay, jitter := s.cfg.LatencyRounds, 0
+	if len(s.linkDelays) != 0 {
+		if d, ok := s.linkDelays[linkKey{from: from, to: to}]; ok {
+			delay, jitter = d.rounds, d.jitter
+		}
+	}
 	for i := 0; i < copies; i++ {
+		pdata := data
+		if s.corrupt > 0 && s.rng.Float64() < s.corrupt {
+			pdata = CorruptBytes(s.rng, data)
+			s.stats.Corrupted++
+		}
+		dueRound := delay
+		if jitter > 0 {
+			dueRound += s.rng.Intn(jitter + 1)
+		}
+		if s.cfg.MaxInbound > 0 {
+			s.shedOldestLocked(to)
+		}
 		s.inflight = append(s.inflight, simPacket{
 			from:     from,
 			to:       to,
-			data:     data,
-			dueRound: s.cfg.LatencyRounds,
+			data:     pdata,
+			dueRound: dueRound,
 		})
 	}
+}
+
+// shedOldestLocked enforces the per-destination inbound bound before a
+// new packet for dest is queued: when the destination already has
+// MaxInbound packets in flight, the oldest one is discarded (under
+// overload, fresher state wins — TOTA announcements are idempotent and
+// anti-entropy heals any gap).
+func (s *Sim) shedOldestLocked(dest tuple.NodeID) {
+	queued, oldest := 0, -1
+	for i := range s.inflight {
+		if s.inflight[i].to == dest {
+			queued++
+			if oldest < 0 {
+				oldest = i
+			}
+		}
+	}
+	if queued < s.cfg.MaxInbound || oldest < 0 {
+		return
+	}
+	s.inflight = append(s.inflight[:oldest], s.inflight[oldest+1:]...)
+	s.stats.Shed++
+}
+
+// CorruptBytes returns a copy of data with 1–3 random byte flips drawn
+// from rng, for feeding corrupted frames through real wire decoders.
+// The input slice is never modified (packet payloads are shared with
+// sender-side encoding caches).
+func CorruptBytes(rng *rand.Rand, data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if len(out) == 0 {
+		return out
+	}
+	flips := 1 + rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		out[rng.Intn(len(out))] ^= byte(1 + rng.Intn(255))
+	}
+	return out
 }
 
 // SimEndpoint is one node's attachment to a Sim network.

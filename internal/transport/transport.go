@@ -58,4 +58,13 @@ type Stats struct {
 	Delivered int64
 	// Dropped counts packets lost in flight.
 	Dropped int64
+	// Corrupted counts packets enqueued with injected byte flips
+	// (fault injection).
+	Corrupted int64
+	// Blocked counts packets discarded at a partition cut (fault
+	// injection; counted separately from Dropped).
+	Blocked int64
+	// Shed counts queued packets discarded by the bounded inbound
+	// queue's shed-oldest overload policy.
+	Shed int64
 }

@@ -1,0 +1,193 @@
+package udp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+// nbrRecorder is a transport.Handler recording neighbor transitions.
+type nbrRecorder struct {
+	mu     sync.Mutex
+	events []string // "+id" / "-id"
+}
+
+func (r *nbrRecorder) HandlePacket(tuple.NodeID, []byte) {}
+
+func (r *nbrRecorder) HandleNeighbor(peer tuple.NodeID, added bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := "-"
+	if added {
+		s = "+"
+	}
+	r.events = append(r.events, s+string(peer))
+}
+
+func (r *nbrRecorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+// newIdleTransport builds a transport without starting its loops, so
+// tests can drive expirePeers and handleHello deterministically.
+func newIdleTransport(t *testing.T, h *nbrRecorder) *Transport {
+	t.Helper()
+	tr, err := New(Config{
+		NodeID:        "self",
+		HelloInterval: testHello,
+		PeerTimeout:   testTimeout,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	tr.SetHandler(h)
+	return tr
+}
+
+// seedPeer installs an up peer as if discovery had completed.
+func seedPeer(tr *Transport, id tuple.NodeID) *peerState {
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	p := &peerState{addr: addr, id: id, lastSeen: time.Now(), up: true}
+	tr.mu.Lock()
+	tr.peers[addr.String()] = p
+	tr.byID[id] = p
+	tr.mu.Unlock()
+	return p
+}
+
+// TestFaultPeerFlapDamping: a single dropped (or delayed) beacon
+// interval must not cycle disconnect/connect events — the peer becomes
+// suspect silently and the next beacon clears the suspicion.
+func TestFaultPeerFlapDamping(t *testing.T) {
+	rec := &nbrRecorder{}
+	tr := newIdleTransport(t, rec)
+	p := seedPeer(tr, "peer")
+
+	// Silence just past PeerTimeout: stage one (suspect), no event.
+	tr.mu.Lock()
+	p.lastSeen = time.Now().Add(-testTimeout - time.Millisecond)
+	tr.mu.Unlock()
+	tr.expirePeers()
+	tr.expirePeers() // grace has not elapsed: still no event
+	if evs := rec.snapshot(); len(evs) != 0 {
+		t.Fatalf("suspicion emitted events: %v", evs)
+	}
+	tr.mu.Lock()
+	if p.suspectAt.IsZero() {
+		t.Error("peer not marked suspect after PeerTimeout silence")
+	}
+	tr.mu.Unlock()
+
+	// The delayed beacon arrives: suspicion clears, still no events —
+	// and crucially no down/up pair.
+	tr.handleHello("peer", p.addr)
+	tr.expirePeers()
+	if evs := rec.snapshot(); len(evs) != 0 {
+		t.Fatalf("beacon after suspicion emitted events: %v", evs)
+	}
+	tr.mu.Lock()
+	if !p.suspectAt.IsZero() || !p.up {
+		t.Error("beacon did not clear suspicion")
+	}
+	tr.mu.Unlock()
+
+	if len(tr.Neighbors()) != 1 {
+		t.Error("peer lost despite resumed beacons")
+	}
+}
+
+// TestFaultPeerDownAfterGrace: sustained silence through the grace
+// window does emit exactly one down event.
+func TestFaultPeerDownAfterGrace(t *testing.T) {
+	rec := &nbrRecorder{}
+	tr := newIdleTransport(t, rec)
+	p := seedPeer(tr, "peer")
+
+	tr.mu.Lock()
+	p.lastSeen = time.Now().Add(-testTimeout - time.Millisecond)
+	tr.mu.Unlock()
+	tr.expirePeers() // suspect
+	tr.mu.Lock()
+	p.suspectAt = time.Now().Add(-tr.cfg.PeerGrace) // grace elapsed
+	tr.mu.Unlock()
+	tr.expirePeers()
+	if evs := rec.snapshot(); len(evs) != 1 || evs[0] != "-peer" {
+		t.Fatalf("events = %v, want exactly [-peer]", evs)
+	}
+	tr.expirePeers() // already down: no repeat
+	if evs := rec.snapshot(); len(evs) != 1 {
+		t.Fatalf("down event repeated: %v", evs)
+	}
+	if len(tr.Neighbors()) != 0 {
+		t.Error("peer still listed after down")
+	}
+}
+
+// TestFaultInboundQueueShedsOldest: overrunning the bounded staging
+// queue discards the head (stalest packet), never the fresh tail.
+func TestFaultInboundQueueShedsOldest(t *testing.T) {
+	tr, err := New(Config{
+		NodeID:       "q",
+		InboundQueue: 4,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tr.Close()
+	// No dispatcher running (not started): staging 10 packets into a
+	// 4-slot queue must shed the 6 oldest.
+	for i := 0; i < 10; i++ {
+		tr.stageInbound(inPacket{from: "p", data: []byte{byte(i)}})
+	}
+	if got := tr.Stats().Shed; got != 6 {
+		t.Errorf("Shed = %d, want 6", got)
+	}
+	for want := 6; want < 10; want++ {
+		pkt := <-tr.inq
+		if int(pkt.data[0]) != want {
+			t.Errorf("queued packet = %d, want %d (oldest must be shed)", pkt.data[0], want)
+		}
+	}
+}
+
+// TestFaultInboundQueueEndToEnd: the dispatcher path carries real
+// middleware traffic (gradient over the staging queue).
+func TestFaultInboundQueueEndToEnd(t *testing.T) {
+	mk := func(id tuple.NodeID) (*Transport, *core.Node) {
+		tr, err := New(Config{
+			NodeID:        id,
+			HelloInterval: testHello,
+			PeerTimeout:   testTimeout,
+			InboundQueue:  64,
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", id, err)
+		}
+		t.Cleanup(func() { _ = tr.Close() })
+		n := core.New(tr)
+		tr.SetHandler(n)
+		return tr, n
+	}
+	ta, na := mk("a")
+	tb, nb := mk("b")
+	connect(t, ta, tb)
+	ta.Start()
+	tb.Start()
+	eventually(t, "discovery over staged path", func() bool {
+		return len(na.Neighbors()) == 1 && len(nb.Neighbors()) == 1
+	})
+	if _, err := na.Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	eventually(t, "gradient crosses the staged path", func() bool {
+		return len(nb.Read(pattern.ByName(pattern.KindGradient, "f"))) == 1
+	})
+}

@@ -50,9 +50,23 @@ type Config struct {
 	Peers []string
 	// HelloInterval is the beacon period (default 50ms).
 	HelloInterval time.Duration
-	// PeerTimeout is how long to wait for beacons before declaring a
-	// neighbor gone (default 4 × HelloInterval).
+	// PeerTimeout is how long to wait for beacons before suspecting a
+	// neighbor (default 4 × HelloInterval).
 	PeerTimeout time.Duration
+	// PeerGrace is the suspicion window: a peer whose beacons stop is
+	// first suspected (silently) at PeerTimeout and only declared gone
+	// PeerGrace later, so a single delayed beacon re-ups it without
+	// ever emitting a disconnect/connect event pair. The damping costs
+	// detection latency on real crashes, which the engine's own
+	// suspicion hysteresis already tolerates. Default 2 × HelloInterval.
+	PeerGrace time.Duration
+	// InboundQueue, when positive, bounds a staging queue between the
+	// socket read loop and the middleware handler: a dispatcher
+	// goroutine drains it, and when a burst overruns the bound the
+	// OLDEST queued packet is shed (counted in Stats.Shed) — under
+	// overload, fresher state wins and anti-entropy heals the gap.
+	// Zero keeps the synchronous path (handler runs on the read loop).
+	InboundQueue int
 	// MTU is the largest datagram the link should carry, in bytes
 	// (default DefaultMTU, capped at the 64KB UDP maximum). The
 	// transport advertises MTU minus its own frame header as the
@@ -77,6 +91,9 @@ type Stats struct {
 	BadFrames int64
 	// Hellos counts discovery beacons received.
 	Hellos int64
+	// Shed counts packets discarded by the bounded inbound queue's
+	// shed-oldest overload policy (zero when InboundQueue is disabled).
+	Shed int64
 }
 
 // udpStats is the live atomic counter set behind Stats.
@@ -86,6 +103,7 @@ type udpStats struct {
 	received   atomic.Int64
 	badFrames  atomic.Int64
 	hellos     atomic.Int64
+	shed       atomic.Int64
 }
 
 // Transport is a UDP-backed transport.Sender. Attach the middleware
@@ -105,6 +123,19 @@ type Transport struct {
 	stopHup  chan struct{}
 	doneHup  chan struct{}
 	doneRead chan struct{}
+
+	// inq is the bounded inbound staging queue (nil when
+	// Config.InboundQueue is zero): the read loop stages packets here
+	// and dispatchLoop drains them, decoupling socket reads from
+	// handler latency. Overruns shed the oldest queued packet.
+	inq      chan inPacket
+	doneDisp chan struct{}
+}
+
+// inPacket is one staged inbound data packet.
+type inPacket struct {
+	from tuple.NodeID
+	data []byte
 }
 
 type peerState struct {
@@ -112,6 +143,11 @@ type peerState struct {
 	id       tuple.NodeID // "" until first hello
 	lastSeen time.Time
 	up       bool
+	// suspectAt is when the peer's silence crossed PeerTimeout (zero =
+	// not suspect). The down event fires only once the silence also
+	// outlasts PeerGrace; any beacon in between clears it without
+	// emitting neighbor events.
+	suspectAt time.Time
 }
 
 var _ transport.Sender = (*Transport)(nil)
@@ -140,6 +176,9 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.PeerTimeout <= 0 {
 		cfg.PeerTimeout = 4 * cfg.HelloInterval
 	}
+	if cfg.PeerGrace <= 0 {
+		cfg.PeerGrace = 2 * cfg.HelloInterval
+	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
@@ -165,6 +204,10 @@ func New(cfg Config) (*Transport, error) {
 		stopHup:  make(chan struct{}),
 		doneHup:  make(chan struct{}),
 		doneRead: make(chan struct{}),
+		doneDisp: make(chan struct{}),
+	}
+	if cfg.InboundQueue > 0 {
+		t.inq = make(chan inPacket, cfg.InboundQueue)
 	}
 	for _, p := range cfg.Peers {
 		if err := t.AddPeer(p); err != nil {
@@ -201,13 +244,17 @@ func (t *Transport) AddPeer(addr string) error {
 	return nil
 }
 
-// Start launches the beacon and receive loops.
+// Start launches the beacon and receive loops (and the inbound
+// dispatcher when the staging queue is enabled).
 func (t *Transport) Start() {
 	t.mu.Lock()
 	t.started = true
 	t.mu.Unlock()
 	go t.helloLoop()
 	go t.readLoop()
+	if t.inq != nil {
+		go t.dispatchLoop()
+	}
 }
 
 // Close stops the loops and closes the socket, waiting for the
@@ -226,6 +273,12 @@ func (t *Transport) Close() error {
 	if started {
 		<-t.doneHup
 		<-t.doneRead
+		if t.inq != nil {
+			// The read loop has exited, so nothing sends on inq anymore:
+			// closing it drains the dispatcher cleanly.
+			close(t.inq)
+			<-t.doneDisp
+		}
 	}
 	return err
 }
@@ -256,6 +309,7 @@ func (t *Transport) Stats() Stats {
 		Received:   t.stats.received.Load(),
 		BadFrames:  t.stats.badFrames.Load(),
 		Hellos:     t.stats.hellos.Load(),
+		Shed:       t.stats.shed.Load(),
 	}
 }
 
@@ -379,13 +433,31 @@ func (t *Transport) helloLoop() {
 	}
 }
 
+// expirePeers runs the two-stage silence detector: a peer quiet past
+// PeerTimeout becomes suspect (no event), and only a peer additionally
+// quiet through the PeerGrace window is declared down. A beacon at any
+// point clears the suspicion silently, so one delayed or dropped
+// beacon interval never cycles disconnect/connect events through the
+// engine (which would trigger withdraw/catch-up storms).
 func (t *Transport) expirePeers() {
 	now := time.Now()
 	t.mu.Lock()
 	var gone []tuple.NodeID
 	for id, p := range t.byID {
-		if p.up && now.Sub(p.lastSeen) > t.cfg.PeerTimeout {
+		if !p.up {
+			continue
+		}
+		if now.Sub(p.lastSeen) <= t.cfg.PeerTimeout {
+			p.suspectAt = time.Time{}
+			continue
+		}
+		if p.suspectAt.IsZero() {
+			p.suspectAt = now
+			continue
+		}
+		if now.Sub(p.suspectAt) >= t.cfg.PeerGrace {
 			p.up = false
+			p.suspectAt = time.Time{}
 			gone = append(gone, id)
 		}
 	}
@@ -440,6 +512,7 @@ func (t *Transport) handleHello(id tuple.NodeID, raddr *net.UDPAddr) {
 	}
 	p.id = id
 	p.lastSeen = time.Now()
+	p.suspectAt = time.Time{}
 	wasUp := p.up
 	p.up = true
 	t.byID[id] = p
@@ -462,5 +535,43 @@ func (t *Transport) handleData(id tuple.NodeID, payload []byte) {
 	// Copy: the read buffer is reused.
 	data := make([]byte, len(payload))
 	copy(data, payload)
-	h.HandlePacket(id, data)
+	if t.inq == nil {
+		h.HandlePacket(id, data)
+		return
+	}
+	t.stageInbound(inPacket{from: id, data: data})
+}
+
+// stageInbound queues one packet for the dispatcher, applying the
+// shed-oldest overload policy when the queue is full: the head of the
+// queue (the stalest packet) is discarded to make room. TOTA traffic is
+// idempotent announcements plus anti-entropy, so dropping stale state
+// under overload is strictly better than dropping fresh state — and
+// far better than blocking the socket read loop.
+func (t *Transport) stageInbound(pkt inPacket) {
+	for {
+		select {
+		case t.inq <- pkt:
+			return
+		default:
+		}
+		select {
+		case <-t.inq: // shed the oldest staged packet
+			t.stats.shed.Add(1)
+		default:
+		}
+	}
+}
+
+// dispatchLoop drains the inbound staging queue into the handler.
+func (t *Transport) dispatchLoop() {
+	defer close(t.doneDisp)
+	for pkt := range t.inq {
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h.HandlePacket(pkt.from, pkt.data)
+		}
+	}
 }

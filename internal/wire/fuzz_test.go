@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"math/rand"
 	"testing"
 
+	"tota/internal/transport"
 	"tota/internal/tuple"
 )
 
@@ -49,6 +51,23 @@ func FuzzDecode(f *testing.F) {
 					byte(len(frame)>>24), byte(len(frame)>>16), byte(len(frame)>>8), byte(len(frame)))
 				f.Add(append(nested, frame...))
 			}
+		}
+	}
+	// Frames damaged exactly as the fault injector damages them: valid
+	// encodings with 1-3 random byte flips. The checksum trailer must
+	// reject these (or, when a flip lands in the trailer of a frame with
+	// a colliding CRC, the survivor must still re-encode).
+	rng := rand.New(rand.NewSource(1303))
+	if data, err := Encode(Message{Type: MsgTuple, Hop: 2, Parent: "p", Tuple: ft}); err == nil {
+		for i := 0; i < 8; i++ {
+			f.Add(transport.CorruptBytes(rng, data))
+		}
+	}
+	if data, err := Encode(Message{Type: MsgDigest, Digest: []DigestEntry{
+		{ID: tuple.ID{Node: "a", Seq: 1}, Ver: 3, Hop: 1, Maintained: true, Value: 2},
+	}}); err == nil {
+		for i := 0; i < 8; i++ {
+			f.Add(transport.CorruptBytes(rng, data))
 		}
 	}
 	// Oversized claimed counts with no bytes behind them.

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"tota/internal/tuple"
@@ -130,25 +131,45 @@ var (
 	ErrType        = errors.New("wire: unknown message type")
 	ErrTooLarge    = errors.New("wire: frame exceeds decode bounds")
 	ErrNestedBatch = errors.New("wire: nested batch frame")
+	ErrChecksum    = errors.New("wire: checksum mismatch")
 )
+
+// ChecksumSize is the length of the CRC trailer every encoded message
+// carries. The trailer makes frames tamper-evident: radio-level bit
+// flips are rejected at decode instead of being believed — without it,
+// a flipped bit in a maintained structure's value field can poison the
+// distance-vector maintenance into an unbounded count-to-infinity climb.
+const ChecksumSize = 4
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// seal appends the CRC trailer over everything encoded so far. Every
+// Encode return path (including batch sub-messages) seals its frame.
+func seal(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
 
 // Batch frame layout constants, exported so the engine can pack frames
 // against a transport's payload budget without trial encodes.
 const (
 	headerSize = 2 + 2 + 4 // version, type, hop, parent length (empty parent)
 	// BatchOverhead is the fixed cost of a batch frame: the shared
-	// header plus the sub-message count.
-	BatchOverhead = headerSize + 4
+	// header, the sub-message count, and the frame's checksum trailer.
+	BatchOverhead = headerSize + 4 + ChecksumSize
 	// BatchPerMessage is the additional cost of each coalesced message
-	// (its length prefix).
+	// (its length prefix). Sub-messages carry their own trailers, already
+	// counted in their encoded length.
 	BatchPerMessage = 4
 	// DigestOverhead is the fixed cost of a digest message with an empty
-	// parent (header plus entry count); per-entry costs come from
-	// DigestEntrySize.
-	DigestOverhead = headerSize + 4
+	// parent (header, entry count, checksum trailer); per-entry costs
+	// come from DigestEntrySize.
+	DigestOverhead = headerSize + 4 + ChecksumSize
 	// PullOverhead is the fixed cost of a pull message with an empty
-	// parent (header plus id count); per-id costs come from PullIDSize.
-	PullOverhead = headerSize + 4
+	// parent (header, id count, checksum trailer); per-id costs come
+	// from PullIDSize.
+	PullOverhead = headerSize + 4 + ChecksumSize
 )
 
 // PullIDSize returns the encoded size of one pull-request id, for
@@ -166,25 +187,25 @@ func Encode(m Message) ([]byte, error) {
 		if m.Tuple == nil {
 			return nil, errors.New("wire: MsgTuple without tuple")
 		}
-		b := make([]byte, 0, header+4+tuple.EncodedSize(m.Tuple))
+		b := make([]byte, 0, header+4+tuple.EncodedSize(m.Tuple)+ChecksumSize)
 		b = appendHeader(b, m)
 		b = binary.BigEndian.AppendUint32(b, m.Ver)
 		b, err := tuple.AppendEncode(b, m.Tuple)
 		if err != nil {
 			return nil, fmt.Errorf("wire: encode tuple: %w", err)
 		}
-		return b, nil
+		return seal(b), nil
 	case MsgRetract, MsgWithdraw:
 		id := m.ID.String()
-		b := make([]byte, 0, header+4+len(id))
+		b := make([]byte, 0, header+4+len(id)+ChecksumSize)
 		b = appendHeader(b, m)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
-		return append(b, id...), nil
+		return seal(append(b, id...)), nil
 	case MsgDigest:
 		if len(m.Digest) > MaxDigestEntries {
 			return nil, fmt.Errorf("%w: %d digest entries", ErrTooLarge, len(m.Digest))
 		}
-		size := header + 4
+		size := header + 4 + ChecksumSize
 		for i := range m.Digest {
 			e := &m.Digest[i]
 			if len(e.ID.Node) > math.MaxUint16 || len(e.Parent) > math.MaxUint16 {
@@ -198,12 +219,12 @@ func Encode(m Message) ([]byte, error) {
 		for i := range m.Digest {
 			b = appendDigestEntry(b, &m.Digest[i])
 		}
-		return b, nil
+		return seal(b), nil
 	case MsgPull:
 		if len(m.Want) > MaxPullIDs {
 			return nil, fmt.Errorf("%w: %d pull ids", ErrTooLarge, len(m.Want))
 		}
-		size := header + 4
+		size := header + 4 + ChecksumSize
 		for _, id := range m.Want {
 			if len(id.Node) > math.MaxUint16 {
 				return nil, fmt.Errorf("%w: pull id node over %d bytes", ErrTooLarge, math.MaxUint16)
@@ -216,7 +237,7 @@ func Encode(m Message) ([]byte, error) {
 		for _, id := range m.Want {
 			b = appendID(b, id)
 		}
-		return b, nil
+		return seal(b), nil
 	case MsgBatch:
 		subs := make([][]byte, 0, len(m.Batch))
 		for i := range m.Batch {
@@ -298,7 +319,7 @@ func EncodeBatch(msgs [][]byte) ([]byte, error) {
 		b = binary.BigEndian.AppendUint32(b, uint32(len(msg)))
 		b = append(b, msg...)
 	}
-	return b, nil
+	return seal(b), nil
 }
 
 func appendHeader(b []byte, m Message) []byte {
@@ -331,9 +352,17 @@ func DecodeInto(reg *tuple.Registry, data []byte, m *Message) error {
 func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) error {
 	digest, want, batch := m.Digest[:0], m.Want[:0], m.Batch[:0]
 	*m = Message{Digest: digest, Want: want, Batch: batch}
-	if len(data) < 4 {
+	// The CRC trailer is verified before any field is believed: a frame
+	// that does not authenticate is rejected wholesale, so radio bit
+	// flips surface as decode errors instead of poisoned protocol state.
+	if len(data) < 4+ChecksumSize {
 		return ErrShort
 	}
+	sealed, trailer := data[:len(data)-ChecksumSize], data[len(data)-ChecksumSize:]
+	if crc32.Checksum(sealed, castagnoli) != binary.BigEndian.Uint32(trailer) {
+		return ErrChecksum
+	}
+	data = sealed
 	if data[0] != wireVersion {
 		return fmt.Errorf("%w: %d", ErrVersion, data[0])
 	}
@@ -485,8 +514,9 @@ func decodeBatch(reg *tuple.Registry, body []byte, m *Message) error {
 		return fmt.Errorf("%w: %d batched messages", ErrTooLarge, count32)
 	}
 	count := int(count32)
-	// A sub-message is at least a header plus a 4-byte body prefix.
-	const minMsg = 4 + headerSize + 4
+	// A sub-message is at least a length prefix plus a header, a 4-byte
+	// body prefix and its own checksum trailer.
+	const minMsg = 4 + headerSize + 4 + ChecksumSize
 	if count*minMsg > len(body) {
 		return ErrShort
 	}

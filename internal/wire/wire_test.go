@@ -105,6 +105,11 @@ func TestDecodeErrors(t *testing.T) {
 		t.Fatalf("Encode: %v", err)
 	}
 
+	// Hand-built frames are sealed with a valid trailer so each case
+	// probes the decode bound it targets, not the checksum gate.
+	goodBody := good[:len(good)-ChecksumSize]
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
 	tests := []struct {
 		name string
 		give []byte
@@ -112,13 +117,14 @@ func TestDecodeErrors(t *testing.T) {
 	}{
 		{name: "empty", give: nil, want: ErrShort},
 		{name: "tiny", give: []byte{1, 1}, want: ErrShort},
-		{name: "bad version", give: append([]byte{9}, good[1:]...), want: ErrVersion},
+		{name: "bad version", give: seal(append([]byte{9}, goodBody[1:]...)), want: ErrVersion},
 		{name: "missing parent", give: []byte{1, 1, 0, 0}, want: ErrShort},
-		{name: "truncated parent", give: []byte{1, 1, 0, 0, 0, 0, 0, 5, 'x'}, want: ErrShort},
-		{name: "bad type", give: []byte{1, 99, 0, 0, 0, 0, 0, 0}, want: ErrType},
+		{name: "truncated parent", give: seal([]byte{1, 1, 0, 0, 0, 0, 0, 5, 'x'}), want: ErrShort},
+		{name: "bad type", give: seal([]byte{1, 99, 0, 0, 0, 0, 0, 0}), want: ErrType},
+		{name: "flipped byte", give: flipped, want: ErrChecksum},
 		{
 			name: "retract truncated",
-			give: []byte{1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0, 0, 0, 9},
+			give: seal([]byte{1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0, 0, 0, 9}),
 			want: ErrShort,
 		},
 	}
@@ -318,6 +324,7 @@ func TestBatchRejectsNestedAndEmpty(t *testing.T) {
 	b = append(b, 0, 0, 0, 1)                          // count=1
 	b = append(b, byte(len(nested)>>24), byte(len(nested)>>16), byte(len(nested)>>8), byte(len(nested)))
 	b = append(b, nested...)
+	b = seal(b)
 	if _, err := Decode(r, b); !errors.Is(err, ErrNestedBatch) {
 		t.Errorf("Decode nested = %v, want ErrNestedBatch", err)
 	}
@@ -328,9 +335,9 @@ func TestDecodeRejectsOversizedCounts(t *testing.T) {
 	// Each frame claims a huge element count with no bytes behind it;
 	// decode must fail fast without sizing an allocation from the claim.
 	frames := map[string][]byte{
-		"batch":  {1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
-		"digest": {1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
-		"pull":   {1, byte(MsgPull), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+		"batch":  seal([]byte{1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}),
+		"digest": seal([]byte{1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}),
+		"pull":   seal([]byte{1, byte(MsgPull), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}),
 	}
 	for name, frame := range frames {
 		t.Run(name, func(t *testing.T) {
@@ -341,7 +348,7 @@ func TestDecodeRejectsOversizedCounts(t *testing.T) {
 	}
 	// A plausible count (within bounds) but truncated body is short, not
 	// an allocation of count elements.
-	short := []byte{1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0, 0, 0, 200}
+	short := seal([]byte{1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0, 0, 0, 200})
 	if _, err := Decode(r, short); !errors.Is(err, ErrShort) {
 		t.Errorf("Decode = %v, want ErrShort", err)
 	}
@@ -376,12 +383,12 @@ func TestDecodeRejectsHugeLengthPrefixes(t *testing.T) {
 	// every platform: the bounds arithmetic must not wrap when int is
 	// 32 bits wide.
 	frames := map[string][]byte{
-		"parent":    {1, byte(MsgRetract), 0, 0, 0xff, 0xff, 0xff, 0xff},
-		"retractID": {1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
-		"batchSub": {1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, // header, empty parent
+		"parent":    seal([]byte{1, byte(MsgRetract), 0, 0, 0xff, 0xff, 0xff, 0xff}),
+		"retractID": seal([]byte{1, byte(MsgRetract), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}),
+		"batchSub": seal([]byte{1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, // header, empty parent
 			0, 0, 0, 1, // count=1
 			0xff, 0xff, 0xff, 0xff, // sub-message length ~4 GiB
-			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // filler past the min-size precheck
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}), // filler past the min-size precheck
 	}
 	for name, frame := range frames {
 		t.Run(name, func(t *testing.T) {

@@ -23,6 +23,11 @@ echo "wrote $json and $txt" >&2
 # allocs/op columns must stay identical (budget: +1; see DESIGN.md §7).
 grep 'BenchmarkObsOverhead' "$txt" >&2 || true
 
+# Headline robustness cost: BenchmarkHandlePacketRobust enables
+# suspicion, pull backoff and quarantine on the packet hot path; its
+# allocs/op must equal BenchmarkHandlePacket's (budget: +0; DESIGN.md §9).
+grep 'BenchmarkHandlePacket' "$txt" >&2 || true
+
 # Headline maintenance cost: the steady-state refresh benchmarks report
 # broadcasts/op and the digest suppression ratio (see DESIGN.md §8).
 grep 'BenchmarkRefreshSteadyState' "$txt" >&2 || true
