@@ -56,6 +56,7 @@ func run(args []string) error {
 		"E11": experiment.RunE11,
 		"E12": experiment.RunE12,
 		"E13": experiment.RunE13,
+		"E14": experiment.RunE14,
 		"A1":  experiment.RunA1,
 		"A2":  experiment.RunA2,
 	}

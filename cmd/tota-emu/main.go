@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tota-emu -scenario gradient|flock|routing [-w 12] [-h 8] [-rounds 100]
+//	tota-emu -scenario gradient|flock|routing|meeting|aggregate [-w 12] [-h 8] [-rounds 100]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 
+	"tota/internal/agg"
 	"tota/internal/core"
 	"tota/internal/emulator"
 	"tota/internal/experiment"
@@ -36,7 +37,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tota-emu", flag.ContinueOnError)
-	scenario := fs.String("scenario", "gradient", "scenario: gradient, flock, routing or meeting")
+	scenario := fs.String("scenario", "gradient", "scenario: gradient, flock, routing, meeting or aggregate")
 	width := fs.Int("w", 12, "grid width")
 	height := fs.Int("h", 8, "grid height")
 	rounds := fs.Int("rounds", 100, "coordination rounds (flock scenario)")
@@ -60,6 +61,8 @@ func run(args []string) error {
 		err = routingScenario(*width, *height, env)
 	case "meeting":
 		err = meetingScenario(*rounds, env)
+	case "aggregate":
+		err = aggregateScenario(*width, *height, *ticks, env)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -250,6 +253,71 @@ func gradientScenario(w, h int, trace bool, faultSpec string, ticks int, env *ob
 	}))
 	meanAbs, missing, extra := world.GradientError(pattern.KindGradient, "demo", src, math.Inf(1))
 	fmt.Printf("structure error vs BFS oracle: mean=%.3f missing=%d extra=%d\n", meanAbs, missing, extra)
+	return nil
+}
+
+// aggregateScenario stores one numeric reading per node, injects SUM /
+// AVG / COUNT convergecast queries at the corner and drives refresh
+// epochs until the pipelined results reach the exact oracle, printing
+// the source's view after each epoch.
+func aggregateScenario(w, h int, epochs int, env *obsEnv) error {
+	g := topology.Grid(w, h, 1)
+	world := emulator.New(emulator.Config{Graph: g, RefreshEvery: 1, Seed: 1})
+	if err := env.attach(world); err != nil {
+		return err
+	}
+	reading := func(i int) float64 { return float64(i%9 + 1) }
+	oracle := 0.0
+	for i := 0; i < w*h; i++ {
+		if _, err := world.Node(topology.NodeName(i)).Inject(pattern.NewLocal("reading", tuple.F("v", reading(i)))); err != nil {
+			return err
+		}
+		oracle += reading(i)
+	}
+	sel := tuple.Selector{Kind: pattern.KindLocal, Name: "reading", Field: "v"}
+	src := topology.NodeName(0)
+	ids := map[string]tuple.ID{}
+	for _, op := range []agg.Op{agg.Sum, agg.Avg, agg.Count} {
+		id, err := world.Node(src).Inject(agg.NewQuery("demo-"+op.String(), op, sel))
+		if err != nil {
+			return err
+		}
+		ids[op.String()] = id
+	}
+	rounds := env.settle(world, 100000)
+	fmt.Printf("%d readings stored; queries injected at %s; field settled in %d rounds\n\n",
+		w*h, src, rounds)
+	if epochs <= 0 {
+		epochs = w + h + 4
+	}
+	for e := 1; e <= epochs; e++ {
+		world.RefreshAll()
+		env.settle(world, 100000)
+		line := fmt.Sprintf("epoch %2d:", e)
+		for _, op := range []string{"sum", "avg", "count"} {
+			if r, ok := world.Node(src).AggResult(ids[op]); ok {
+				line += fmt.Sprintf("  %s=%g", op, r.Value())
+			} else {
+				line += fmt.Sprintf("  %s=?", op)
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println(world.Render(4*w, 2*h, func(id tuple.NodeID) rune {
+		ts := world.Node(id).Read(pattern.ByName(pattern.KindLocal, "reading"))
+		if len(ts) == 0 {
+			return '?'
+		}
+		if v, ok := sel.Sample(ts[0]); ok {
+			return rune('0' + int(v))
+		}
+		return '?'
+	}))
+	final, _ := world.Node(src).AggResult(ids["sum"])
+	st := world.TotalStats()
+	fmt.Printf("final sum=%g (oracle %g) after %d epochs; partials sent=%d combined=%d\n",
+		final.Value(), oracle, epochs, st.PartialsOut, st.PartialsCombined)
 	return nil
 }
 

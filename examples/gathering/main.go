@@ -1,7 +1,9 @@
 // Gathering example (§5.2): sensors advertise description fields; a
 // user device discovers them from its local tuple space, walks a field
-// back to its source, and runs a scoped query answered over the query's
-// own structure.
+// back to its source, and then aggregates every sensor's reading with
+// an in-network convergecast query (internal/agg) — each node folds its
+// children's partials into one compact message per epoch instead of
+// relaying every reading to the user.
 package main
 
 import (
@@ -9,8 +11,10 @@ import (
 	"log"
 	"math"
 
+	"tota/internal/agg"
 	"tota/internal/emulator"
 	"tota/internal/gather"
+	"tota/internal/pattern"
 	"tota/internal/topology"
 	"tota/internal/tuple"
 )
@@ -22,7 +26,7 @@ func main() {
 }
 
 func run() error {
-	world := emulator.New(emulator.Config{Graph: topology.Grid(7, 7, 1)})
+	world := emulator.New(emulator.Config{Graph: topology.Grid(7, 7, 1), RefreshEvery: 1, Seed: 7})
 	printer := topology.NodeName(0)
 	thermo := topology.NodeName(48)
 	user := topology.NodeName(24) // center
@@ -69,18 +73,43 @@ func run() error {
 		fmt.Println("arrived at the printer without any global knowledge")
 	}
 
-	// Pull model: a scoped query answered over its own structure.
-	resp := gather.NewResponder(world.Node(thermo), "temperature", func(q gather.Query) (tuple.Content, bool) {
-		return tuple.Content{tuple.F("celsius", 21.5)}, true
-	})
-	defer resp.Close()
-	if _, err := gather.Ask(world.Node(user), "temperature", "q1", math.Inf(1)); err != nil {
+	// Pull model, in-network: every node stores a temperature reading as
+	// a node-local tuple; the user injects one query tuple per aggregate.
+	// The query's own gradient field becomes the spanning structure, and
+	// each refresh epoch runs a convergecast — every node sends exactly
+	// one combined partial up its parent link, so the user's cost stays
+	// O(1) per node per epoch no matter how many readings exist.
+	for i, id := range world.Nodes() {
+		celsius := 18 + float64(i%8) // deterministic spread of readings
+		if _, err := world.Node(id).Inject(pattern.NewLocal("temperature", tuple.F("celsius", celsius))); err != nil {
+			return err
+		}
+	}
+	sel := tuple.Selector{Kind: pattern.KindLocal, Name: "temperature", Field: "celsius"}
+	avgID, err := world.Node(user).Inject(agg.NewQuery("room-avg", agg.Avg, sel))
+	if err != nil {
+		return err
+	}
+	countID, err := world.Node(user).Inject(agg.NewQuery("room-count", agg.Count, sel))
+	if err != nil {
 		return err
 	}
 	world.Settle(100000)
-	for _, a := range gather.Answers(world.Node(user)) {
-		fmt.Printf("answer to %s/%s: %v\n", a.Topic, a.QID, a.Fields)
+
+	fmt.Println("convergecast over the temperature readings (one partial per node per epoch):")
+	for epoch := 1; epoch <= 16; epoch++ {
+		world.RefreshAll()
+		world.Settle(100000)
+		avgRes, ok := world.Node(user).AggResult(avgID)
+		if !ok {
+			continue
+		}
+		countRes, _ := world.Node(user).AggResult(countID)
+		fmt.Printf("  epoch %2d: avg=%.3f over %g sensors\n", epoch, avgRes.Value(), countRes.Value())
 	}
+	st := world.TotalStats()
+	fmt.Printf("aggregation traffic: %d partials sent, %d folded in-network\n",
+		st.PartialsOut, st.PartialsCombined)
 	return nil
 }
 

@@ -1,0 +1,206 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"tota/internal/tuple"
+)
+
+func TestPartialIdentityAndObserve(t *testing.T) {
+	p := NewPartial()
+	if p.Count != 0 || !math.IsInf(p.Min, 1) || !math.IsInf(p.Max, -1) {
+		t.Fatalf("bad identity partial: %+v", p)
+	}
+	for _, v := range []float64{3, -1, 7, 3} {
+		p.Observe(Sum, v)
+	}
+	if p.Count != 4 || p.Sum != 12 || p.Min != -1 || p.Max != 7 {
+		t.Fatalf("bad moments: %+v", p)
+	}
+	if got := p.Value(Avg); got != 3 {
+		t.Fatalf("avg = %v, want 3", got)
+	}
+	if got := p.Value(Count); got != 4 {
+		t.Fatalf("count = %v, want 4", got)
+	}
+}
+
+func TestCombineIsAssociativeAndIdentityPreserving(t *testing.T) {
+	mk := func(vals ...float64) Partial {
+		p := NewPartial()
+		for _, v := range vals {
+			p.Observe(Min, v)
+		}
+		return p
+	}
+	a, b, c := mk(1, 2), mk(-5), mk(9, 0)
+
+	left := a
+	left.Combine(b)
+	left.Combine(c)
+	right := b
+	right.Combine(c)
+	ab := a
+	ab.Combine(right)
+	if left != ab {
+		t.Fatalf("combine not associative: %+v vs %+v", left, ab)
+	}
+
+	id := NewPartial()
+	id.Combine(a)
+	if id != a {
+		t.Fatalf("identity combine changed partial: %+v vs %+v", id, a)
+	}
+}
+
+func TestSketchDuplicateInsensitive(t *testing.T) {
+	var a, b Sketch
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i))
+	}
+	// b sees the same values, many times, in another order.
+	for pass := 0; pass < 3; pass++ {
+		for i := 49; i >= 0; i-- {
+			b.Add(float64(i))
+		}
+	}
+	if a != b {
+		t.Fatal("sketch depends on order or multiplicity")
+	}
+	merged := a
+	merged.Merge(b)
+	if merged != a {
+		t.Fatal("self-merge changed sketch")
+	}
+	est := a.Estimate()
+	if est < 40 || est > 60 {
+		t.Fatalf("estimate %v far from 50", est)
+	}
+}
+
+func TestCountDistinctPartialCollapsesDuplicates(t *testing.T) {
+	// Two replicas observe the same three values; a third observes two
+	// of them again. The combined estimate must track 3, not 8.
+	parts := make([]Partial, 3)
+	for i := range parts {
+		parts[i] = NewPartial()
+	}
+	for _, v := range []float64{1, 2, 3} {
+		parts[0].Observe(CountDistinct, v)
+		parts[1].Observe(CountDistinct, v)
+	}
+	parts[2].Observe(CountDistinct, 2)
+	parts[2].Observe(CountDistinct, 3)
+
+	total := NewPartial()
+	for _, p := range parts {
+		total.Combine(p)
+	}
+	if total.Count != 8 {
+		t.Fatalf("raw count = %d, want 8", total.Count)
+	}
+	if est := total.Value(CountDistinct); math.Abs(est-3) > 0.5 {
+		t.Fatalf("distinct estimate %v, want ~3", est)
+	}
+}
+
+func TestSelectorSampleAndMatch(t *testing.T) {
+	g := &fakeTuple{kind: "sensor", c: tuple.Content{
+		tuple.S("name", "temp"),
+		tuple.F("v", 21.5),
+		tuple.I("n", 3),
+	}}
+	sel := tuple.Selector{Kind: "sensor", Name: "temp", Field: "v"}
+	if !sel.Matches(g) {
+		t.Fatal("selector missed matching tuple")
+	}
+	if v, ok := sel.Sample(g); !ok || v != 21.5 {
+		t.Fatalf("sample = %v, %v", v, ok)
+	}
+	if v, ok := (tuple.Selector{Kind: "sensor", Name: "temp", Field: "n"}).Sample(g); !ok || v != 3 {
+		t.Fatalf("int sample = %v, %v", v, ok)
+	}
+	if _, ok := (tuple.Selector{Kind: "sensor", Name: "temp", Field: "missing"}).Sample(g); ok {
+		t.Fatal("sampled a missing field")
+	}
+	if (tuple.Selector{Kind: "sensor", Name: "other"}).Matches(g) {
+		t.Fatal("name mismatch matched")
+	}
+	if v, ok := (tuple.Selector{Kind: "sensor"}).Sample(g); !ok || v != 0 {
+		t.Fatalf("existence sample = %v, %v", v, ok)
+	}
+}
+
+func TestQueryContentRoundTrip(t *testing.T) {
+	q := NewQuery("load", Avg, tuple.Selector{Kind: "sensor", Name: "cpu", Field: "pct"}).
+		Bounded(12).Expires(30)
+	q.StepSize = 2
+	q.Collect = true
+	q.SetID(tuple.ID{Node: "n1", Seq: 7})
+	evolved := q.WithValue(4).(*Query)
+
+	got, err := decodeQuery(evolved.ID(), evolved.Content())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := got.(*Query)
+	if *dq != *evolved {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dq, evolved)
+	}
+	if dq.Kind() != KindQuery || !ByName("load").Matches(dq) {
+		t.Fatal("decoded query fails its own template")
+	}
+}
+
+func TestQueryGradientBehavior(t *testing.T) {
+	q := NewQuery("q", Count, tuple.Selector{})
+	if !q.ShouldStore(nil) || !q.ShouldPropagate(nil) {
+		t.Fatal("unbounded query must store and propagate")
+	}
+	b := NewQuery("q", Count, tuple.Selector{}).Bounded(2)
+	edge := b.WithValue(2).(*Query)
+	if !edge.ShouldStore(nil) || edge.ShouldPropagate(nil) {
+		t.Fatal("boundary copy must store but not propagate")
+	}
+	if !edge.Supersedes(b.WithValue(3).(*Query)) || edge.Supersedes(b.WithValue(1).(*Query)) {
+		t.Fatal("supersede order wrong")
+	}
+	if ev := b.Evolve(nil).(*Query); ev.Val != 1 {
+		t.Fatalf("evolve step = %v, want 1", ev.Val)
+	}
+}
+
+func TestDecodeQueryRejectsUnknownOp(t *testing.T) {
+	q := NewQuery("q", Count, tuple.Selector{})
+	c := q.Content()
+	for i, f := range c {
+		if f.Name == "_op" {
+			c[i] = tuple.I("_op", 99)
+		}
+	}
+	if _, err := decodeQuery(tuple.ID{Node: "n", Seq: 1}, c); err == nil {
+		t.Fatal("unknown op decoded")
+	}
+}
+
+func TestOpStringParseRoundTrip(t *testing.T) {
+	for _, o := range []Op{Count, Sum, Min, Max, Avg, CountDistinct} {
+		got, ok := ParseOp(o.String())
+		if !ok || got != o {
+			t.Fatalf("ParseOp(%q) = %v, %v", o.String(), got, ok)
+		}
+	}
+	if _, ok := ParseOp("median"); ok {
+		t.Fatal("parsed unsupported op")
+	}
+}
+
+type fakeTuple struct {
+	tuple.Base
+	kind string
+	c    tuple.Content
+}
+
+func (f *fakeTuple) Kind() string           { return f.kind }
+func (f *fakeTuple) Content() tuple.Content { return f.c }

@@ -1,0 +1,84 @@
+package agg
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SketchWords is the fixed sketch size in 64-bit words: 1024 bits,
+// giving linear-counting estimates within a few percent up to several
+// hundred distinct values — plenty for per-field cardinalities in the
+// network sizes the emulator runs — at 128 bytes on the wire.
+const SketchWords = 16
+
+const sketchBits = SketchWords * 64
+
+// Sketch is a duplicate-insensitive distinct-value summary: a fixed
+// 1024-bit linear-counting bitmap (Whang et al.). Adding a value sets
+// one deterministically hashed bit, merging is bitwise OR, so the same
+// value observed at many nodes — or the same partial delivered twice by
+// the fault layer's duplication — lands on the same bit and counts
+// once. Everything is integer state with a deterministic hash, so
+// estimates are bit-identical across runs and worker counts.
+type Sketch struct {
+	// W is the bitmap, least-significant bit of W[0] first.
+	W [SketchWords]uint64
+}
+
+// Add marks the value's bit.
+func (s *Sketch) Add(v float64) {
+	h := mix64(math.Float64bits(v))
+	bit := h % sketchBits
+	s.W[bit/64] |= 1 << (bit % 64)
+}
+
+// Merge ORs another sketch into s.
+func (s *Sketch) Merge(o Sketch) {
+	for i := range s.W {
+		s.W[i] |= o.W[i]
+	}
+}
+
+// Ones returns the number of set bits.
+func (s Sketch) Ones() int {
+	n := 0
+	for _, w := range s.W {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Estimate returns the linear-counting cardinality estimate
+// m·ln(m/zeros). A saturated sketch (no zero bits) estimates m.
+func (s Sketch) Estimate() float64 {
+	zeros := sketchBits - s.Ones()
+	if zeros <= 0 {
+		return sketchBits
+	}
+	if zeros == sketchBits {
+		return 0
+	}
+	return sketchBits * math.Log(float64(sketchBits)/float64(zeros))
+}
+
+// IsZero reports whether no bit is set.
+func (s Sketch) IsZero() bool {
+	for _, w := range s.W {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mix64 is the splitmix64 finalizer: a fixed, platform-independent
+// 64-bit mixer, so sketch bit positions never depend on map order,
+// scheduling, or architecture.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

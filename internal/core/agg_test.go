@@ -1,0 +1,314 @@
+package core_test
+
+import (
+	"testing"
+
+	"tota/internal/agg"
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+	"tota/internal/wire"
+)
+
+// injectReading stores one node-local numeric reading at a node.
+func injectReading(t *testing.T, tn *testNet, at tuple.NodeID, v float64) tuple.ID {
+	t.Helper()
+	id, err := tn.node(at).Inject(pattern.NewLocal("reading", tuple.F("v", v)))
+	if err != nil {
+		t.Fatalf("Inject reading: %v", err)
+	}
+	return id
+}
+
+var readingSel = tuple.Selector{Kind: pattern.KindLocal, Name: "reading", Field: "v"}
+
+// injectQuery injects an aggregation query at src and quiesces the
+// structure build.
+func injectQuery(t *testing.T, tn *testNet, src tuple.NodeID, q *agg.Query) tuple.ID {
+	t.Helper()
+	id, err := tn.node(src).Inject(q)
+	if err != nil {
+		t.Fatalf("Inject query: %v", err)
+	}
+	tn.quiesce()
+	return id
+}
+
+func TestAggConvergecastComputesExactAggregates(t *testing.T) {
+	g := topology.Line(5)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	vals := []float64{3, -2, 8, 8, 5}
+	for i, v := range vals {
+		injectReading(t, tn, topology.NodeName(i), v)
+	}
+
+	ids := map[agg.Op]tuple.ID{}
+	for _, op := range []agg.Op{agg.Count, agg.Sum, agg.Min, agg.Max, agg.Avg} {
+		ids[op] = injectQuery(t, tn, src, agg.NewQuery("q-"+op.String(), op, readingSel))
+	}
+
+	// One epoch per tree level plus slack: partials pipeline one hop per
+	// refresh.
+	for i := 0; i < len(vals)+2; i++ {
+		refreshAll(tn)
+	}
+
+	want := map[agg.Op]float64{agg.Count: 5, agg.Sum: 22, agg.Min: -2, agg.Max: 8, agg.Avg: 22.0 / 5}
+	for op, id := range ids {
+		res, ok := tn.node(src).AggResult(id)
+		if !ok {
+			t.Fatalf("%s: no result", op)
+		}
+		if res.Value() != want[op] {
+			t.Errorf("%s = %v, want %v", op, res.Value(), want[op])
+		}
+		if res.Partial.Count != 5 {
+			t.Errorf("%s: count = %d, want 5", op, res.Partial.Count)
+		}
+	}
+
+	// The answer keeps tracking the network: a new reading shows up
+	// within a few epochs.
+	injectReading(t, tn, topology.NodeName(4), 100)
+	for i := 0; i < len(vals)+2; i++ {
+		refreshAll(tn)
+	}
+	res, _ := tn.node(src).AggResult(ids[agg.Sum])
+	if res.Value() != 122 {
+		t.Errorf("sum after new reading = %v, want 122", res.Value())
+	}
+}
+
+func TestAggCountDistinctSurvivesReplication(t *testing.T) {
+	// Every node reports one of only three distinct values; the sketch
+	// estimate at the source must track 3, not the node count.
+	g := topology.Grid(4, 4, 1)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	for i := 0; i < 16; i++ {
+		injectReading(t, tn, topology.NodeName(i), float64(i%3))
+	}
+	id := injectQuery(t, tn, src, agg.NewQuery("distinct", agg.CountDistinct, readingSel))
+	for i := 0; i < 10; i++ {
+		refreshAll(tn)
+	}
+	res, ok := tn.node(src).AggResult(id)
+	if !ok {
+		t.Fatal("no result")
+	}
+	if res.Partial.Count != 16 {
+		t.Errorf("raw count = %d, want 16", res.Partial.Count)
+	}
+	if v := res.Value(); v < 2.5 || v > 3.5 {
+		t.Errorf("distinct estimate = %v, want ~3", v)
+	}
+}
+
+func TestAggPartialRedeliveryIsIdempotent(t *testing.T) {
+	// Duplicate frames must overwrite their staging slot, not add to it:
+	// the duplicate-insensitivity argument for the exact aggregates.
+	g := topology.Line(2)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectReading(t, tn, topology.NodeName(0), 10)
+	injectReading(t, tn, topology.NodeName(1), 20)
+	id := injectQuery(t, tn, src, agg.NewQuery("sum", agg.Sum, readingSel))
+	for i := 0; i < 4; i++ {
+		refreshAll(tn)
+	}
+	res, ok := tn.node(src).AggResult(id)
+	if !ok || res.Value() != 30 {
+		t.Fatalf("baseline sum = %+v, %v (want 30)", res, ok)
+	}
+
+	// A fabricated child reports count=1 sum=100 — delivered three
+	// times. The fold must absorb exactly one copy.
+	p := agg.NewPartial()
+	p.Observe(agg.Sum, 100)
+	frame, err := wire.Encode(wire.Message{
+		Type: wire.MsgPartial, ID: id, Epoch: res.Epoch, Partial: p,
+	})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		tn.node(src).HandlePacket("phantom", frame)
+	}
+	refreshAll(tn)
+	res, _ = tn.node(src).AggResult(id)
+	if res.Value() != 130 {
+		t.Errorf("sum after triple redelivery = %v, want 130", res.Value())
+	}
+	if res.Partial.Count != 3 {
+		t.Errorf("count after triple redelivery = %d, want 3", res.Partial.Count)
+	}
+}
+
+func TestAggCrashedChildTimesOutOfFold(t *testing.T) {
+	// When a subtree goes silent its last partial must age out of the
+	// parent's fold (staleness horizon = anti-entropy staleness plus the
+	// suspicion window) instead of freezing into the result forever.
+	g := topology.Line(3)
+	tn := newTestNet(t, g, core.WithSuspicion(2))
+	src := topology.NodeName(0)
+	vals := []float64{1, 2, 4}
+	for i, v := range vals {
+		injectReading(t, tn, topology.NodeName(i), v)
+	}
+	id := injectQuery(t, tn, src, agg.NewQuery("sum", agg.Sum, readingSel))
+	for i := 0; i < 5; i++ {
+		refreshAll(tn)
+	}
+	if res, _ := tn.node(src).AggResult(id); res.Value() != 7 {
+		t.Fatalf("pre-crash sum = %v, want 7", res.Value())
+	}
+
+	// Silence the far node both ways: its partials stop flowing but no
+	// neighbor event fires — the pure timeout path.
+	far, mid := topology.NodeName(2), topology.NodeName(1)
+	tn.sim.SetLinkLoss(far, mid, 1)
+	tn.sim.SetLinkLoss(mid, far, 1)
+	for i := 0; i < 8; i++ {
+		refreshAll(tn)
+	}
+	res, ok := tn.node(src).AggResult(id)
+	if !ok {
+		t.Fatal("result vanished")
+	}
+	if res.Value() != 3 {
+		t.Errorf("post-crash sum = %v, want 3 (crashed child still counted)", res.Value())
+	}
+	if res.Partial.Count != 2 {
+		t.Errorf("post-crash count = %d, want 2", res.Partial.Count)
+	}
+}
+
+func TestAggCollectModeMatchesCombiningButCostsMore(t *testing.T) {
+	build := func(collect bool) (sum float64, count int64, partials int64) {
+		g := topology.Line(4)
+		tn := newTestNet(t, g)
+		src := topology.NodeName(0)
+		for i := 0; i < 4; i++ {
+			injectReading(t, tn, topology.NodeName(i), float64(i+1))
+		}
+		q := agg.NewQuery("sum", agg.Sum, readingSel)
+		if collect {
+			q = q.CollectAll()
+		}
+		id := injectQuery(t, tn, src, q)
+		for i := 0; i < 7; i++ {
+			refreshAll(tn)
+		}
+		res, ok := tn.node(src).AggResult(id)
+		if !ok {
+			t.Fatal("no result")
+		}
+		return res.Value(), res.Partial.Count, tn.totalStats().PartialsOut
+	}
+	cSum, cCount, combinePartials := build(false)
+	aSum, aCount, collectPartials := build(true)
+	if cSum != 10 || aSum != 10 || cCount != 4 || aCount != 4 {
+		t.Errorf("results differ from oracle: combine (%v,%d) collect (%v,%d)", cSum, cCount, aSum, aCount)
+	}
+	if collectPartials <= combinePartials {
+		t.Errorf("collect-all sent %d partials, combining %d: expected strictly more",
+			collectPartials, combinePartials)
+	}
+}
+
+func TestAggRetractDropsQueryState(t *testing.T) {
+	g := topology.Line(3)
+	tn := newTestNet(t, g)
+	src := topology.NodeName(0)
+	injectReading(t, tn, topology.NodeName(1), 5)
+	id := injectQuery(t, tn, src, agg.NewQuery("sum", agg.Sum, readingSel))
+	for i := 0; i < 4; i++ {
+		refreshAll(tn)
+	}
+	if _, ok := tn.node(src).AggResult(id); !ok {
+		t.Fatal("no result before retract")
+	}
+	tn.node(src).Retract(id)
+	tn.quiesce()
+	refreshAll(tn)
+	if _, ok := tn.node(src).AggResult(id); ok {
+		t.Error("result survived retraction")
+	}
+	for _, nid := range tn.graph.Nodes() {
+		if got := tn.node(nid).Read(agg.ByName("sum")); len(got) != 0 {
+			t.Errorf("node %s still stores retracted query", nid)
+		}
+	}
+}
+
+// TestFaultQuarantineCooldownResetsPullBackoff is the regression test
+// for the pull-backoff × quarantine interaction: strikes accumulated
+// against a neighbor while it was corrupt (its pull responses never
+// decoded) must be cleared when the quarantine cooldown re-admits it,
+// so the healed neighbor's first digests trigger an immediate pull
+// instead of being suppressed for the residual backoff gap.
+func TestFaultQuarantineCooldownResetsPullBackoff(t *testing.T) {
+	g := topology.Line(2)
+	a, b := topology.NodeName(0), topology.NodeName(1)
+	tn := newTestNet(t, g,
+		core.WithoutCatchUp(),
+		core.WithPullBackoff(8),
+		core.WithQuarantine(3, 4),
+	)
+
+	// Phase 1: build backoff at b against a. The inject broadcast and
+	// the one full refresh announcement die on a lossy a→b link; after
+	// that a advertises only digests. Then the loss flips to b→a so the
+	// digests arrive but b's pulls die in flight, and with catch-up
+	// disabled the backoff is b's only path — it climbs toward its cap.
+	tn.sim.SetLinkLoss(a, b, 1)
+	injectGradient(t, tn, a, "f", 1e9)
+	refreshAll(tn)
+	tn.sim.SetLinkLoss(a, b, -1)
+	tn.sim.SetLinkLoss(b, a, 1)
+	for i := 0; i < 16; i++ {
+		refreshAll(tn)
+	}
+	if _, have := tn.gradVal(b, pattern.KindGradient, "f"); have {
+		t.Fatal("b adopted the gradient through a fully lossy pull path")
+	}
+	suppressed := tn.node(b).Stats().PullsSuppressed
+	if suppressed == 0 {
+		t.Fatal("backoff never engaged; the regression scenario needs accumulated strikes")
+	}
+
+	// Phase 2: a turns corrupt — three garbage frames quarantine it.
+	for i := 0; i < 3; i++ {
+		tn.node(b).HandlePacket(a, []byte{0xFF, 0xFF})
+	}
+	if tn.node(b).Stats().QuarantineEvents != 1 {
+		t.Fatalf("quarantine events = %d, want 1", tn.node(b).Stats().QuarantineEvents)
+	}
+
+	// Phase 3: drain the cooldown with valid but inert frames (dropped
+	// unread), then one more to re-admit the source.
+	inert, err := wire.Encode(wire.Message{Type: wire.MsgPull, Want: []tuple.ID{{Node: "z", Seq: 1}}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		tn.node(b).HandlePacket(a, inert)
+	}
+
+	// Phase 4: heal the pull path. Without the backoff reset, b's next
+	// digest mentions stay suppressed for the residual gap (up to 7
+	// epochs at cap 8); with it, the first post-heal digest pulls and b
+	// adopts within two epochs.
+	tn.sim.SetLinkLoss(b, a, -1)
+	before := tn.node(b).Stats().PullsOut
+	refreshAll(tn)
+	refreshAll(tn)
+	if _, have := tn.gradVal(b, pattern.KindGradient, "f"); !have {
+		t.Error("b did not adopt the gradient after quarantine cooldown: backoff state leaked across re-admission")
+	}
+	if tn.node(b).Stats().PullsOut == before {
+		t.Error("no pull went out after re-admission")
+	}
+}

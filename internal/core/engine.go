@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"tota/internal/agg"
 	"tota/internal/tuple"
 	"tota/internal/wire"
 )
@@ -151,6 +152,11 @@ func (n *Node) HandlePacket(from tuple.NodeID, data []byte) {
 			} else {
 				delete(n.quarantined, from)
 				delete(n.decodeStrikes, from)
+				// Re-admission starts the source from a clean slate: the
+				// pull backoff it accumulated while emitting garbage would
+				// otherwise suppress its first healed digests for up to the
+				// full backoff gap.
+				n.resetPullBackoffLocked(from)
 			}
 			n.stats.QuarantineDropped.Add(1)
 			n.mu.Unlock()
@@ -199,6 +205,10 @@ func (n *Node) handleMsgLocked(from tuple.NodeID, msg *wire.Message) {
 		n.handleDigestLocked(from, msg)
 	case wire.MsgPull:
 		n.handlePullLocked(from, msg)
+	case wire.MsgQuery:
+		n.handleQueryLocked(from, msg)
+	case wire.MsgPartial:
+		n.handlePartialLocked(from, msg)
 	}
 }
 
@@ -710,6 +720,7 @@ func (n *Node) retractLocked(id tuple.ID) {
 	st.exemplar = nil
 	st.pullBack = nil
 	st.parent = ""
+	n.dropQueryStateLocked(id)
 	if st.stored {
 		st.stored = false
 		if removed, ok := n.store.remove(id); ok {
@@ -794,6 +805,7 @@ func (n *Node) handleNeighborRemovedLocked(peer tuple.NodeID) {
 		return
 	}
 	delete(n.nbrs, peer)
+	n.aggForgetChildLocked(peer)
 	// Re-check every maintained structure that counted the lost peer,
 	// and forget what the peer last heard: if it returns, the digest
 	// protocol restarts from scratch for it.
@@ -861,6 +873,7 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 		st.parent = ""
 		st.retracted = true // local tombstone: expired copies stay dead
 		st.exemplar = nil
+		n.dropQueryStateLocked(id)
 		n.stats.Expired.Add(1)
 		n.traceLocked(TraceEvent{Kind: TraceExpire, ID: id, TupleKind: t.Kind()})
 		n.emitTupleLocked(TupleRemoved, t)
@@ -885,6 +898,7 @@ func (n *Node) refreshLocked() int {
 	count := 0
 	n.idScratch = n.store.appendIDs(n.idScratch)
 	n.digestScratch = n.digestScratch[:0]
+	n.aggScratch = n.aggScratch[:0]
 	for _, id := range n.idScratch {
 		st := n.seen[id]
 		t, ok := n.store.get(id)
@@ -903,6 +917,9 @@ func (n *Node) refreshLocked() int {
 					continue
 				}
 			}
+			if _, isQuery := st.local.(*agg.Query); isQuery {
+				n.aggScratch = append(n.aggScratch, id)
+			}
 			count += n.stageRefreshLocked(st)
 			continue
 		}
@@ -912,7 +929,11 @@ func (n *Node) refreshLocked() int {
 		count += n.stageRefreshLocked(st)
 	}
 	n.stageDigestsLocked()
+	// Source queries ride the epoch's broadcast flush with their wave;
+	// convergecast partials go out afterwards as parent-link unicasts.
+	n.aggStageWavesLocked()
 	n.flushStagedLocked("")
+	n.aggFlushPartialsLocked()
 	return count
 }
 

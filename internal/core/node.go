@@ -233,6 +233,11 @@ type Node struct {
 	// drop per quarantined source.
 	decodeStrikes map[tuple.NodeID]int
 	quarantined   map[tuple.NodeID]int
+	// queries is the per-query convergecast state (allocated lazily on
+	// the first aggregation query seen; see aggregate.go).
+	queries map[tuple.ID]*queryState
+	// aggScratch accumulates the refresh epoch's stored query ids.
+	aggScratch []tuple.ID
 }
 
 var _ transport.Handler = (*Node)(nil)

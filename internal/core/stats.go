@@ -73,6 +73,20 @@ type Stats struct {
 	// QuarantineDropped counts packets dropped unread because their
 	// source was quarantined.
 	QuarantineDropped int64
+	// QueryEpochs counts convergecast epoch waves started at query
+	// sources (one per stored source query per refresh).
+	QueryEpochs int64
+	// QueriesIn counts epoch-wave messages received.
+	QueriesIn int64
+	// PartialsOut counts partial aggregates sent up a parent link.
+	PartialsOut int64
+	// PartialsIn counts partial aggregates received from children.
+	PartialsIn int64
+	// PartialsCombined counts child partials folded into a local
+	// partial — the in-network combining work.
+	PartialsCombined int64
+	// AggResults counts query results computed at sources.
+	AggResults int64
 }
 
 // Add returns the field-wise sum of two stats snapshots.
@@ -107,6 +121,12 @@ func (s Stats) Add(o Stats) Stats {
 		PullsSuppressed:   s.PullsSuppressed + o.PullsSuppressed,
 		QuarantineEvents:  s.QuarantineEvents + o.QuarantineEvents,
 		QuarantineDropped: s.QuarantineDropped + o.QuarantineDropped,
+		QueryEpochs:       s.QueryEpochs + o.QueryEpochs,
+		QueriesIn:         s.QueriesIn + o.QueriesIn,
+		PartialsOut:       s.PartialsOut + o.PartialsOut,
+		PartialsIn:        s.PartialsIn + o.PartialsIn,
+		PartialsCombined:  s.PartialsCombined + o.PartialsCombined,
+		AggResults:        s.AggResults + o.AggResults,
 	}
 }
 
@@ -145,6 +165,12 @@ type atomicStats struct {
 	PullsSuppressed   atomic.Int64
 	QuarantineEvents  atomic.Int64
 	QuarantineDropped atomic.Int64
+	QueryEpochs       atomic.Int64
+	QueriesIn         atomic.Int64
+	PartialsOut       atomic.Int64
+	PartialsIn        atomic.Int64
+	PartialsCombined  atomic.Int64
+	AggResults        atomic.Int64
 }
 
 // Snapshot reads every counter atomically (field by field: the
@@ -181,5 +207,11 @@ func (a *atomicStats) Snapshot() Stats {
 		PullsSuppressed:   a.PullsSuppressed.Load(),
 		QuarantineEvents:  a.QuarantineEvents.Load(),
 		QuarantineDropped: a.QuarantineDropped.Load(),
+		QueryEpochs:       a.QueryEpochs.Load(),
+		QueriesIn:         a.QueriesIn.Load(),
+		PartialsOut:       a.PartialsOut.Load(),
+		PartialsIn:        a.PartialsIn.Load(),
+		PartialsCombined:  a.PartialsCombined.Load(),
+		AggResults:        a.AggResults.Load(),
 	}
 }

@@ -36,6 +36,9 @@ const (
 	// TraceSuspect: a maintained copy lost support but its withdraw was
 	// deferred by the suspicion grace window.
 	TraceSuspect
+	// TraceAggResult: a query source computed a convergecast result
+	// (Value carries the scalar, Hop the epoch).
+	TraceAggResult
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +68,8 @@ func (k TraceKind) String() string {
 		return "deny"
 	case TraceSuspect:
 		return "suspect"
+	case TraceAggResult:
+		return "agg-result"
 	default:
 		return "unknown-trace"
 	}

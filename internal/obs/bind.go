@@ -44,6 +44,12 @@ func RegisterNodeStats(r *Registry, source func() core.Stats, labels ...Label) {
 	bind("tota_pulls_suppressed_total", "Anti-entropy pulls skipped by backoff.", func(s core.Stats) int64 { return s.PullsSuppressed })
 	bind("tota_quarantine_events_total", "Sources quarantined for repeated undecodable frames.", func(s core.Stats) int64 { return s.QuarantineEvents })
 	bind("tota_quarantine_dropped_total", "Packets dropped unread from quarantined sources.", func(s core.Stats) int64 { return s.QuarantineDropped })
+	bind("tota_query_epochs_total", "Convergecast epochs started by locally sourced queries.", func(s core.Stats) int64 { return s.QueryEpochs })
+	bind("tota_queries_in_total", "Query epoch-wave messages received.", func(s core.Stats) int64 { return s.QueriesIn })
+	bind("tota_partials_out_total", "Partial aggregates sent up parent links.", func(s core.Stats) int64 { return s.PartialsOut })
+	bind("tota_partials_in_total", "Partial aggregates received from children.", func(s core.Stats) int64 { return s.PartialsIn })
+	bind("tota_partials_combined_total", "Child partials folded into local aggregates.", func(s core.Stats) int64 { return s.PartialsCombined })
+	bind("tota_agg_results_total", "Convergecast results computed at query sources.", func(s core.Stats) int64 { return s.AggResults })
 }
 
 // RegisterStoreSize exposes the local tuple-space size.

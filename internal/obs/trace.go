@@ -180,6 +180,9 @@ const maxTrackedIDs = 4096
 //     either a withdrawal of a specific structure (per-id) or an
 //     external topology-churn mark (MarkChurn, sampled once by the
 //     first adoption that follows).
+//   - QueryResult: query inject → the source's first convergecast
+//     result for that query (how long a fresh aggregation query takes
+//     to produce its first answer).
 //
 // All methods are safe for concurrent use from parallel delivery
 // workers; the tracker takes one small mutex per traced event, which is
@@ -190,6 +193,7 @@ type Latencies struct {
 	mu        sync.Mutex
 	injected  map[tuple.ID]float64
 	disturbed map[tuple.ID]float64
+	resulted  map[tuple.ID]bool
 	churnAt   float64
 	churnSet  bool
 
@@ -197,6 +201,9 @@ type Latencies struct {
 	Propagation *Histogram
 	// Repair is the disturbance→adopt latency histogram.
 	Repair *Histogram
+	// QueryResult is the inject→first-result latency histogram for
+	// aggregation queries.
+	QueryResult *Histogram
 	// Untracked counts injections beyond the tracking cap.
 	Untracked *Counter
 }
@@ -212,14 +219,17 @@ func NewLatencies(reg *Registry, clock func() float64, buckets []float64) *Laten
 		clock:     clock,
 		injected:  make(map[tuple.ID]float64),
 		disturbed: make(map[tuple.ID]float64),
+		resulted:  make(map[tuple.ID]bool),
 	}
 	if reg != nil {
 		l.Propagation = reg.Histogram("tota_propagation_latency", "Inject-to-store latency per (tuple, node), in clock units.", buckets)
 		l.Repair = reg.Histogram("tota_repair_latency", "Disturbance-to-adoption latency, in clock units.", buckets)
+		l.QueryResult = reg.Histogram("tota_query_result_latency", "Query inject-to-first-result latency, in clock units.", buckets)
 		l.Untracked = reg.Counter("tota_latency_untracked_total", "Injections not tracked because the id table was full.")
 	} else {
 		l.Propagation = NewHistogram(buckets)
 		l.Repair = NewHistogram(buckets)
+		l.QueryResult = NewHistogram(buckets)
 		l.Untracked = &Counter{}
 	}
 	return l
@@ -233,6 +243,7 @@ func (l *Latencies) Reset() {
 	l.mu.Lock()
 	clear(l.injected)
 	clear(l.disturbed)
+	clear(l.resulted)
 	l.churnSet = false
 	l.mu.Unlock()
 }
@@ -299,10 +310,27 @@ func (l *Latencies) Tracer() core.Tracer {
 				l.disturbed[ev.ID] = now
 			}
 			l.mu.Unlock()
+		case core.TraceAggResult:
+			now := l.clock()
+			l.mu.Lock()
+			t0, ok := l.injected[ev.ID]
+			first := ok && !l.resulted[ev.ID]
+			if first {
+				l.resulted[ev.ID] = true
+			}
+			l.mu.Unlock()
+			// Only the first result samples the histogram: later epochs
+			// re-report continuously and would swamp it with zeros. The
+			// injected entry stays live so propagation tracking of the
+			// query tuple itself is unaffected.
+			if first {
+				l.QueryResult.Observe(now - t0)
+			}
 		case core.TraceRetract, core.TraceExpire:
 			l.mu.Lock()
 			delete(l.injected, ev.ID)
 			delete(l.disturbed, ev.ID)
+			delete(l.resulted, ev.ID)
 			l.mu.Unlock()
 		}
 	}

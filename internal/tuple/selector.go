@@ -1,0 +1,58 @@
+package tuple
+
+// Selector identifies the set of tuples an aggregate query ranges over
+// and the numeric field it samples from each one. It is the query-side
+// counterpart of Template: a Template answers "does this tuple match?",
+// a Selector additionally answers "what value does it contribute?".
+//
+// The zero Field selects existence only: every matching tuple
+// contributes the sample 0, which is what COUNT-style aggregates want.
+type Selector struct {
+	// Kind restricts matches to one tuple kind ("" matches any kind).
+	Kind string
+	// Name, when non-empty, requires a leading string field
+	// ("name", Name) — the convention application tuples use to tag
+	// their content.
+	Name string
+	// Field names the numeric (float or int) field sampled from each
+	// matching tuple. When empty, tuples are counted without sampling.
+	Field string
+}
+
+// Template returns the structural part of the selector as a Template.
+func (s Selector) Template() Template {
+	if s.Name == "" {
+		return Match(s.Kind)
+	}
+	return Match(s.Kind, Eq(S("name", s.Name)))
+}
+
+// Sample extracts the selected value from t. The second result is false
+// when t does not carry the selected field as a numeric value, in which
+// case the tuple contributes nothing to the aggregate.
+func (s Selector) Sample(t Tuple) (float64, bool) {
+	if s.Field == "" {
+		return 0, true
+	}
+	f, ok := t.Content().Get(s.Field)
+	if !ok {
+		return 0, false
+	}
+	switch v := f.Value.(type) {
+	case float64:
+		return v, true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Matches reports whether t is in the selector's range: it must match
+// the structural template and carry the sampled field.
+func (s Selector) Matches(t Tuple) bool {
+	if !s.Template().Matches(t) {
+		return false
+	}
+	_, ok := s.Sample(t)
+	return ok
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"tota/internal/agg"
 	"tota/internal/transport"
 	"tota/internal/tuple"
 )
@@ -70,10 +71,53 @@ func FuzzDecode(f *testing.F) {
 			f.Add(transport.CorruptBytes(rng, data))
 		}
 	}
+	// Aggregation frames: an epoch wave and partials with and without
+	// the distinct sketch, plus injector-corrupted variants of each.
+	if data, err := Encode(Message{Type: MsgQuery, Hop: 3, ID: tuple.ID{Node: "root", Seq: 4}, Epoch: 17}); err == nil {
+		f.Add(data)
+		for i := 0; i < 8; i++ {
+			f.Add(transport.CorruptBytes(rng, data))
+		}
+	}
+	plain := agg.NewPartial()
+	plain.Observe(agg.Sum, 2.5)
+	if data, err := Encode(Message{Type: MsgPartial, ID: tuple.ID{Node: "root", Seq: 4}, Epoch: 17, Partial: plain}); err == nil {
+		f.Add(data)
+		for i := 0; i < 8; i++ {
+			f.Add(transport.CorruptBytes(rng, data))
+		}
+	}
+	sketched := agg.NewPartial()
+	sketched.Observe(agg.CountDistinct, 1)
+	sketched.Observe(agg.CountDistinct, 2)
+	if data, err := Encode(Message{
+		Type: MsgPartial, ID: tuple.ID{Node: "root", Seq: 4}, Epoch: 18,
+		Origin: tuple.ID{Node: "leaf", Seq: 2}, Partial: sketched,
+	}); err == nil {
+		f.Add(data)
+		for i := 0; i < 8; i++ {
+			f.Add(transport.CorruptBytes(rng, data))
+		}
+	}
+
 	// Oversized claimed counts with no bytes behind them.
 	f.Add([]byte{1, byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{1, byte(MsgDigest), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{1, byte(MsgPull), 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	// A partial whose sketch claims 0xffff words behind a valid moment
+	// block: the word-count bound must reject it before sizing any walk.
+	f.Add([]byte{
+		1, byte(MsgPartial), 0, 0, 0, 0, 0, 0, // header, empty parent
+		0, 1, 'n', 0, 0, 0, 0, 0, 0, 0, 1, // id
+		0, 0, 0, 1, // epoch
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // zero origin
+		1,                      // flags: sketch present
+		0, 0, 0, 0, 0, 0, 0, 0, // count
+		0, 0, 0, 0, 0, 0, 0, 0, // sum
+		0, 0, 0, 0, 0, 0, 0, 0, // min
+		0, 0, 0, 0, 0, 0, 0, 0, // max
+		0xff, 0xff, // claimed sketch words
+	})
 	f.Add([]byte{})
 	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})
 

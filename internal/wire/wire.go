@@ -12,6 +12,7 @@ import (
 	"hash/crc32"
 	"math"
 
+	"tota/internal/agg"
 	"tota/internal/tuple"
 )
 
@@ -43,6 +44,16 @@ const (
 	// MsgBatch is a container frame: N independently encoded messages
 	// coalesced into one transport packet. Batches must not nest.
 	MsgBatch
+	// MsgQuery is an aggregation epoch wave: the query source floods
+	// (query id, epoch) down the query's gradient structure each refresh
+	// epoch, and every node that stores the structure re-broadcasts it
+	// once per epoch. Hop carries the wave's travel distance.
+	MsgQuery
+	// MsgPartial carries one convergecast partial aggregate up a query
+	// structure's parent link. In combining mode Origin is zero and the
+	// partial summarizes the sender's whole subtree; in collect-all mode
+	// one frame travels per original record, keyed by Origin.
+	MsgPartial
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +71,10 @@ func (t MsgType) String() string {
 		return "pull"
 	case MsgBatch:
 		return "batch"
+	case MsgQuery:
+		return "query"
+	case MsgPartial:
+		return "partial"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -109,6 +124,13 @@ type Message struct {
 	Want []tuple.ID
 	// Batch holds the decoded sub-messages of a batch frame (MsgBatch).
 	Batch []Message
+	// Epoch is the convergecast epoch (MsgQuery and MsgPartial).
+	Epoch uint32
+	// Origin identifies the source record a collect-all partial reports
+	// (MsgPartial); zero in combining mode.
+	Origin tuple.ID
+	// Partial is the carried partial aggregate (MsgPartial).
+	Partial agg.Partial
 }
 
 const wireVersion = 1
@@ -122,6 +144,11 @@ const (
 	MaxDigestEntries = 8192
 	// MaxPullIDs bounds the ids in one pull request.
 	MaxPullIDs = 8192
+	// MaxSketchWords bounds the claimed distinct-sketch length in a
+	// partial message. The codec only accepts agg.SketchWords exactly,
+	// but the claimed count is bounds-checked up here first so a hostile
+	// length can never size an allocation or a slice walk.
+	MaxSketchWords = 1024
 )
 
 // Wire errors.
@@ -132,6 +159,7 @@ var (
 	ErrTooLarge    = errors.New("wire: frame exceeds decode bounds")
 	ErrNestedBatch = errors.New("wire: nested batch frame")
 	ErrChecksum    = errors.New("wire: checksum mismatch")
+	ErrSketchSize  = errors.New("wire: unsupported sketch size")
 )
 
 // ChecksumSize is the length of the CRC trailer every encoded message
@@ -236,6 +264,44 @@ func Encode(m Message) ([]byte, error) {
 		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Want)))
 		for _, id := range m.Want {
 			b = appendID(b, id)
+		}
+		return seal(b), nil
+	case MsgQuery:
+		if len(m.ID.Node) > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: query id node over %d bytes", ErrTooLarge, math.MaxUint16)
+		}
+		b := make([]byte, 0, header+2+len(m.ID.Node)+8+4+ChecksumSize)
+		b = appendHeader(b, m)
+		b = appendID(b, m.ID)
+		b = binary.BigEndian.AppendUint32(b, m.Epoch)
+		return seal(b), nil
+	case MsgPartial:
+		if len(m.ID.Node) > math.MaxUint16 || len(m.Origin.Node) > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: partial id node over %d bytes", ErrTooLarge, math.MaxUint16)
+		}
+		size := header + 2 + len(m.ID.Node) + 8 + 4 + 2 + len(m.Origin.Node) + 8 + 1 + 8 + 3*8 + ChecksumSize
+		if m.Partial.HasSketch {
+			size += 2 + agg.SketchWords*8
+		}
+		b := make([]byte, 0, size)
+		b = appendHeader(b, m)
+		b = appendID(b, m.ID)
+		b = binary.BigEndian.AppendUint32(b, m.Epoch)
+		b = appendID(b, m.Origin)
+		flags := byte(0)
+		if m.Partial.HasSketch {
+			flags |= 1
+		}
+		b = append(b, flags)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Partial.Count))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Partial.Sum))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Partial.Min))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Partial.Max))
+		if m.Partial.HasSketch {
+			b = binary.BigEndian.AppendUint16(b, agg.SketchWords)
+			for _, w := range m.Partial.Sketch.W {
+				b = binary.BigEndian.AppendUint64(b, w)
+			}
 		}
 		return seal(b), nil
 	case MsgBatch:
@@ -411,6 +477,17 @@ func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) erro
 		return decodeDigest(reg, body, m)
 	case MsgPull:
 		return decodePull(reg, body, m)
+	case MsgQuery:
+		var err error
+		if m.ID, body, err = takeID(reg, body); err != nil {
+			return err
+		}
+		if len(body) < 4 {
+			return ErrShort
+		}
+		m.Epoch = binary.BigEndian.Uint32(body[:4])
+	case MsgPartial:
+		return decodePartial(reg, body, m)
 	case MsgBatch:
 		if inBatch {
 			return ErrNestedBatch
@@ -497,6 +574,53 @@ func decodePull(reg *tuple.Registry, body []byte, m *Message) error {
 		}
 		body = rest
 		m.Want = append(m.Want, id)
+	}
+	return nil
+}
+
+func decodePartial(reg *tuple.Registry, body []byte, m *Message) error {
+	var err error
+	if m.ID, body, err = takeID(reg, body); err != nil {
+		return err
+	}
+	if len(body) < 4 {
+		return ErrShort
+	}
+	m.Epoch = binary.BigEndian.Uint32(body[:4])
+	body = body[4:]
+	if m.Origin, body, err = takeID(reg, body); err != nil {
+		return err
+	}
+	if len(body) < 1+8+3*8 {
+		return ErrShort
+	}
+	flags := body[0]
+	m.Partial.Count = int64(binary.BigEndian.Uint64(body[1:9]))
+	m.Partial.Sum = math.Float64frombits(binary.BigEndian.Uint64(body[9:17]))
+	m.Partial.Min = math.Float64frombits(binary.BigEndian.Uint64(body[17:25]))
+	m.Partial.Max = math.Float64frombits(binary.BigEndian.Uint64(body[25:33]))
+	body = body[33:]
+	if flags&1 != 0 {
+		m.Partial.HasSketch = true
+		if len(body) < 2 {
+			return ErrShort
+		}
+		// Bound the claimed word count before any arithmetic or slice
+		// walk is sized from it, mirroring MaxDigestEntries.
+		words := binary.BigEndian.Uint16(body[:2])
+		if words > MaxSketchWords {
+			return fmt.Errorf("%w: %d sketch words", ErrTooLarge, words)
+		}
+		if words != agg.SketchWords {
+			return fmt.Errorf("%w: %d words", ErrSketchSize, words)
+		}
+		body = body[2:]
+		if len(body) < agg.SketchWords*8 {
+			return ErrShort
+		}
+		for i := range m.Partial.Sketch.W {
+			m.Partial.Sketch.W[i] = binary.BigEndian.Uint64(body[i*8 : i*8+8])
+		}
 	}
 	return nil
 }

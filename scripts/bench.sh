@@ -18,6 +18,42 @@ go test -run '^$' -bench . -benchmem -json "$@" ./... | tee "$json" |
 
 echo "wrote $json and $txt" >&2
 
+# Cumulative trajectory: every run appends one normalized entry to
+# BENCH_TRAJECTORY.json (a JSON array, one object per run with ns/op,
+# B/op and allocs/op per benchmark, CPU-count suffix stripped), so
+# performance history survives beyond the two most recent runs.
+traj="BENCH_TRAJECTORY.json"
+stamp="$(date +%Y-%m-%dT%H:%M:%S)"
+entry="$(awk -v date="$date" -v stamp="$stamp" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = ""; by = ""; al = ""
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "B/op") by = $(i - 1)
+			if ($i == "allocs/op") al = $(i - 1)
+		}
+		if (ns == "") next
+		b = sprintf("\"%s\":{\"ns_op\":%s", name, ns)
+		if (by != "") b = b ",\"bytes_op\":" by
+		if (al != "") b = b ",\"allocs_op\":" al
+		b = b "}"
+		benches = benches (benches == "" ? "" : ",") b
+	}
+	END {
+		printf "{\"date\":\"%s\",\"stamp\":\"%s\",\"benchmarks\":{%s}}", date, stamp, benches
+	}' "$txt")"
+if [ -s "$traj" ]; then
+	# Drop the closing bracket, append the new entry, close the array.
+	sed '$d' "$traj" >"$traj.tmp"
+	printf ',\n%s\n]\n' "$entry" >>"$traj.tmp"
+	mv "$traj.tmp" "$traj"
+else
+	printf '[\n%s\n]\n' "$entry" >"$traj"
+fi
+echo "appended run to $traj" >&2
+
 # Headline telemetry cost: BenchmarkObsOverhead compares the packet hot
 # path baseline against metrics/latency-tracker/JSONL-export modes; the
 # allocs/op columns must stay identical (budget: +1; see DESIGN.md §7).
