@@ -224,6 +224,35 @@ func BenchmarkSettleParallel(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
+// BenchmarkSettleSharded is the ISSUE 6 region-sharding workload: a
+// 2.5k-node jittered world (above the shard threshold) runs refresh
+// epochs — each a sharded sweep + refresh + drain cycle. The serial
+// sub-benchmark forces Shards=1; the sharded one uses the
+// GOMAXPROCS-bounded default. Both produce bit-identical worlds.
+func BenchmarkSettleSharded(b *testing.B) {
+	run := func(b *testing.B, shards int) {
+		w := experiment.NewScaleWorld(2_500, shards)
+		if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("f")); err != nil {
+			b.Fatal(err)
+		}
+		w.Settle(1000000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.RefreshAll()
+			w.Settle(1000000)
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkE15Scale runs the Quick (1k-node) scale experiment.
+func BenchmarkE15Scale(b *testing.B) {
+	benchExperiment(b, experiment.RunE15,
+		"rounds_n1024", "rounds_per_sec_n1024", "peak_rss_mb")
+}
+
 // BenchmarkRefreshSteadyState measures the anti-entropy pass on a
 // settled 10x10 gradient world. With digest suppression a converged
 // epoch sends one compact digest per node instead of re-broadcasting

@@ -57,6 +57,7 @@ func run(args []string) error {
 		"E12": experiment.RunE12,
 		"E13": experiment.RunE13,
 		"E14": experiment.RunE14,
+		"E15": experiment.RunE15,
 		"A1":  experiment.RunA1,
 		"A2":  experiment.RunA2,
 	}

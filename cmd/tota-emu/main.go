@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	tota-emu -scenario gradient|flock|routing|meeting|aggregate [-w 12] [-h 8] [-rounds 100]
+//	tota-emu -scenario gradient|flock|routing|meeting|aggregate|scale [-w 12] [-h 8] [-rounds 100]
+//
+// The scale scenario drives the spatially sharded stepper:
+//
+//	tota-emu -scenario scale -nodes 100489 -shards 0
 package main
 
 import (
@@ -37,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tota-emu", flag.ContinueOnError)
-	scenario := fs.String("scenario", "gradient", "scenario: gradient, flock, routing, meeting or aggregate")
+	scenario := fs.String("scenario", "gradient", "scenario: gradient, flock, routing, meeting, aggregate or scale")
 	width := fs.Int("w", 12, "grid width")
 	height := fs.Int("h", 8, "grid height")
 	rounds := fs.Int("rounds", 100, "coordination rounds (flock scenario)")
@@ -47,6 +51,8 @@ func run(args []string) error {
 	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json and /healthz while the scenario runs")
 	dash := fs.Int("dash", 0, "print a one-line telemetry dashboard every N radio rounds")
 	report := fs.String("report", "", "write the final aggregated JSON report to this file ('-' for stdout)")
+	nodes := fs.Int("nodes", 10000, "network size for the scale scenario")
+	shards := fs.Int("shards", 0, "tick-phase shard workers for the scale scenario (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +69,8 @@ func run(args []string) error {
 		err = meetingScenario(*rounds, env)
 	case "aggregate":
 		err = aggregateScenario(*width, *height, *ticks, env)
+	case "scale":
+		err = scaleScenario(*nodes, *shards, *ticks)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -318,6 +326,33 @@ func aggregateScenario(w, h int, epochs int, env *obsEnv) error {
 	st := world.TotalStats()
 	fmt.Printf("final sum=%g (oracle %g) after %d epochs; partials sent=%d combined=%d\n",
 		final.Value(), oracle, epochs, st.PartialsOut, st.PartialsCombined)
+	return nil
+}
+
+// scaleScenario is the headline 100k-node run from the CLI: a gradient
+// settled over a jittered grid with the spatially sharded stepper, then
+// a few mobility ticks — the same deterministic pipeline as experiment
+// E15, so the published numbers are reproducible with one command.
+func scaleScenario(nodes, shards, ticks int) error {
+	if nodes < 2 {
+		return fmt.Errorf("-nodes must be at least 2, got %d", nodes)
+	}
+	if ticks <= 0 {
+		ticks = 3
+	}
+	fmt.Printf("settling one gradient over %d nodes (shards=%d)...\n", nodes, shards)
+	r := experiment.RunE15N(nodes, shards, ticks)
+	fmt.Printf("built %d nodes / %d edges in %.2fs\n", r.Nodes, r.Edges, r.BuildSec)
+	fmt.Printf("settled in %d rounds / %.2fs (%.1f rounds/s), %d radio sends\n",
+		r.Rounds, r.SettleSec, r.RoundsPerSec, r.Msgs)
+	fmt.Printf("gradient vs BFS oracle: mean=%.3f missing=%d extra=%d\n",
+		r.GradErr, r.Missing, r.Extra)
+	fmt.Printf("mobility: %.1f ms/tick over %d ticks (1%% of nodes mobile)\n",
+		r.TickSec*1000, ticks)
+	fmt.Printf("peak RSS: %.1f MiB\n", r.PeakRSSMB)
+	if r.GradErr != 0 || r.Missing != 0 || r.Extra != 0 {
+		return fmt.Errorf("gradient did not settle to the oracle")
+	}
 	return nil
 }
 

@@ -1,20 +1,28 @@
 // Package emulator is the programmatic counterpart of the paper's
-// graphic TOTA emulator: it runs hundreds of middleware nodes over the
-// simulated radio, moves them with mobility models, rearranges the
-// topology (the drag-and-drop of Fig. 3), and measures the distributed
-// tuple structures against analytical oracles.
+// graphic TOTA emulator: it runs hundreds of thousands of middleware
+// nodes over the simulated radio, moves them with mobility models,
+// rearranges the topology (the drag-and-drop of Fig. 3), and measures
+// the distributed tuple structures against analytical oracles.
 //
 // Time advances in ticks: each Tick moves every mover, recomputes the
 // unit-disk topology from the new positions, delivers one radio round,
 // and optionally drains the network to quiescence. Everything is driven
 // by seeded randomness, so runs are reproducible.
+//
+// Per-node hot state (middleware node, mover) lives in dense slices
+// indexed by the topology's compact node handles, and the per-node
+// phases of a Tick (expiry sweep, anti-entropy refresh) fan out over
+// shard regions of the plane on large worlds — with all sends staged
+// and merged in (source, sequence) order, so a seeded run is
+// bit-identical at every shard count.
 package emulator
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"tota/internal/core"
@@ -47,6 +55,13 @@ type Config struct {
 	// transport.SimConfig.Workers). Zero means GOMAXPROCS; one forces
 	// serial delivery. Seeded runs are bit-identical at any setting.
 	Workers int
+	// Shards bounds the worker pool for the per-node phases of a Tick
+	// (expiry sweep, refresh): the plane is cut into shard regions
+	// stepped concurrently, with sends staged and merged
+	// deterministically. Zero means GOMAXPROCS; one forces serial
+	// sweeps. Seeded runs are bit-identical at any setting. Worlds
+	// below a small node-count threshold always run serial.
+	Shards int
 	// NodeOptions are extra middleware options applied to every node.
 	NodeOptions []core.Option
 }
@@ -56,8 +71,17 @@ type World struct {
 	cfg   Config
 	sim   *transport.Sim
 	graph *topology.Graph
-	nodes map[tuple.NodeID]*core.Node
-	moves map[tuple.NodeID]mobility.Mover
+
+	// Dense per-node hot state, indexed by topology handle. A nil entry
+	// means the handle is dead or has no node/mover. Grown on attach,
+	// nilled on removal (handles are recycled by the graph).
+	nodes  []*core.Node
+	movers []mobility.Mover
+
+	// Reusable scratch for the tick phases (driving goroutine only).
+	order     []topology.Handle
+	shardBufs [][]topology.Handle
+
 	ticks int
 	time  float64
 
@@ -70,7 +94,7 @@ type World struct {
 
 	// Telemetry. Churn counters are atomics so scrapes read them
 	// lock-free; the cached rollup is what live gauges serve (the graph
-	// and node maps must not be walked concurrently with a Tick).
+	// and node slices must not be walked concurrently with a Tick).
 	churnAdds    atomic.Int64
 	churnRemoves atomic.Int64
 	obsOn        atomic.Bool
@@ -90,13 +114,21 @@ func New(cfg Config) *World {
 			Seed:    cfg.Seed,
 			Workers: cfg.Workers,
 		}),
-		nodes: make(map[tuple.NodeID]*core.Node),
-		moves: make(map[tuple.NodeID]mobility.Mover),
 	}
 	for _, id := range cfg.Graph.Nodes() {
 		w.attach(id)
 	}
 	return w
+}
+
+// grow extends the dense per-handle slices to cover handle h.
+func (w *World) grow(h topology.Handle) {
+	for len(w.nodes) <= int(h) {
+		w.nodes = append(w.nodes, nil)
+	}
+	for len(w.movers) <= int(h) {
+		w.movers = append(w.movers, nil)
+	}
 }
 
 func (w *World) attach(id tuple.NodeID) *core.Node {
@@ -108,12 +140,28 @@ func (w *World) attach(id tuple.NodeID) *core.Node {
 	}, w.cfg.NodeOptions...)
 	n := core.New(ep, opts...)
 	w.sim.Bind(id, n)
-	w.nodes[id] = n
+	h, _ := w.graph.Handle(id) // Attach added the node to the graph
+	w.grow(h)
+	w.nodes[h] = n
 	return n
 }
 
+// nodeAt returns the middleware node at handle h (nil if none).
+func (w *World) nodeAt(h topology.Handle) *core.Node {
+	if h < 0 || int(h) >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[h]
+}
+
 // Node returns the middleware node with the given id (nil if absent).
-func (w *World) Node(id tuple.NodeID) *core.Node { return w.nodes[id] }
+func (w *World) Node(id tuple.NodeID) *core.Node {
+	h, ok := w.graph.Handle(id)
+	if !ok {
+		return nil
+	}
+	return w.nodeAt(h)
+}
 
 // Config returns the configuration the world was built with (baseline
 // loss, radio range, … — fault injectors restore these on heal).
@@ -150,9 +198,12 @@ func (w *World) AddNode(id tuple.NodeID, pos space.Point) *core.Node {
 // disappears.
 func (w *World) RemoveNode(id tuple.NodeID) {
 	w.churnRemoves.Add(int64(len(w.graph.Neighbors(id))))
+	h, ok := w.graph.Handle(id) // capture before Detach frees the handle
 	w.sim.Detach(id)
-	delete(w.nodes, id)
-	delete(w.moves, id)
+	if ok && int(h) < len(w.nodes) {
+		w.nodes[h] = nil
+		w.movers[h] = nil
+	}
 }
 
 // AddEdge manually links two nodes (wired scenario / scripted edits).
@@ -171,16 +222,23 @@ func (w *World) RemoveEdge(a, b tuple.NodeID) {
 	w.sim.RemoveEdge(a, b)
 }
 
-// SetMover assigns a mobility model to a node. The mover's position
-// becomes authoritative for the node from the next Tick.
+// SetMover assigns a mobility model to a node (added to the topology if
+// missing). The mover's position becomes authoritative for the node
+// from the next Tick.
 func (w *World) SetMover(id tuple.NodeID, m mobility.Mover) {
-	w.moves[id] = m
+	w.graph.AddNode(id)
+	h, _ := w.graph.Handle(id)
+	w.grow(h)
+	w.movers[h] = m
 }
 
 // Mover returns the mover assigned to id, if any.
 func (w *World) Mover(id tuple.NodeID) (mobility.Mover, bool) {
-	m, ok := w.moves[id]
-	return m, ok
+	h, ok := w.graph.Handle(id)
+	if !ok || int(h) >= len(w.movers) || w.movers[h] == nil {
+		return nil, false
+	}
+	return w.movers[h], true
 }
 
 // MoveNode teleports a node (the emulator's drag-and-drop) and rewires
@@ -208,24 +266,100 @@ func (w *World) recompute() {
 	w.sim.ApplyEdgeEvents(events)
 }
 
+// shardMinNodes is the world size below which the per-node phases stay
+// serial: goroutine fan-out costs more than it saves on small worlds,
+// and serial order is the reference the staged merge reproduces anyway.
+const shardMinNodes = 256
+
+func (w *World) shardCount(n int) int {
+	if n < shardMinNodes {
+		return 1
+	}
+	s := w.cfg.Shards
+	if s == 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// forEachNodeSharded runs fn once per live, non-paused node. On small
+// worlds (or Shards=1) nodes are visited serially in ascending id
+// order. On large worlds the plane is cut into shard regions (grid-cell
+// columns one radio range wide) visited by one worker each, with every
+// send staged and committed afterwards in (source, sequence) order —
+// the same order the serial sweep commits in, which is what keeps
+// seeded runs bit-identical across shard counts.
+func (w *World) forEachNodeSharded(fn func(n *core.Node)) {
+	paused := w.sim.PausedSnapshot()
+	shards := w.shardCount(w.graph.Len())
+	if shards <= 1 {
+		w.order = w.graph.AppendSortedHandles(w.order[:0])
+		for _, h := range w.order {
+			n := w.nodeAt(h)
+			if n == nil {
+				continue
+			}
+			if paused != nil {
+				if _, held := paused[w.graph.IDAt(h)]; held {
+					continue
+				}
+			}
+			fn(n)
+		}
+		return
+	}
+	w.shardBufs = w.graph.ShardHandles(shards, w.shardBufs)
+	w.sim.StageSends(func() {
+		var wg sync.WaitGroup
+		for _, bucket := range w.shardBufs {
+			if len(bucket) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(bucket []topology.Handle) {
+				defer wg.Done()
+				for _, h := range bucket {
+					n := w.nodeAt(h)
+					if n == nil {
+						continue
+					}
+					if paused != nil {
+						if _, held := paused[w.graph.IDAt(h)]; held {
+							continue
+						}
+					}
+					fn(n)
+				}
+			}(bucket)
+		}
+		wg.Wait()
+	})
+}
+
 // Tick advances time: movers step by dt, the topology follows the new
 // positions, and one radio round is delivered.
 func (w *World) Tick(dt float64) {
 	w.ticks++
 	w.time += dt
-	for _, id := range w.Nodes() {
-		if w.sim.Paused(id) {
-			continue // a paused node processes nothing, not even expiry
+	now := w.time
+	// Expired-tuple sweep: per-node, sharded. A paused node processes
+	// nothing, not even expiry.
+	w.forEachNodeSharded(func(n *core.Node) {
+		n.SweepExpired(now)
+	})
+	// Mobility stays serial in ascending id order: movers routinely
+	// share one scenario rng, so their step order is part of the seed.
+	w.order = w.graph.AppendSortedHandles(w.order[:0])
+	for _, h := range w.order {
+		if int(h) < len(w.movers) && w.movers[h] != nil {
+			w.graph.SetPositionAt(h, w.movers[h].Step(dt))
 		}
-		w.nodes[id].SweepExpired(w.time)
-	}
-	ids := make([]tuple.NodeID, 0, len(w.moves))
-	for id := range w.moves {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		w.graph.SetPosition(id, w.moves[id].Step(dt))
 	}
 	w.recompute()
 	if w.faultHook != nil {
@@ -241,16 +375,14 @@ func (w *World) Tick(dt float64) {
 }
 
 // RefreshAll runs the anti-entropy pass on every non-paused node (in
-// deterministic order) and returns the number of announcements.
+// deterministic merge order, sharded on large worlds) and returns the
+// number of announcements.
 func (w *World) RefreshAll() int {
-	total := 0
-	for _, id := range w.Nodes() {
-		if w.sim.Paused(id) {
-			continue
-		}
-		total += w.nodes[id].Refresh()
-	}
-	return total
+	var total atomic.Int64
+	w.forEachNodeSharded(func(n *core.Node) {
+		total.Add(int64(n.Refresh()))
+	})
+	return int(total.Load())
 }
 
 // Settle drains the radio to quiescence without moving anything,
@@ -269,8 +401,12 @@ func (w *World) GradientError(kind, name string, src tuple.NodeID, scope float64
 	dist := w.graph.BFSDistances(src)
 	var sum float64
 	var n int
-	for _, id := range w.Nodes() {
-		node := w.nodes[id]
+	for _, h := range w.graph.AppendSortedHandles(nil) {
+		node := w.nodeAt(h)
+		if node == nil {
+			continue
+		}
+		id := w.graph.IDAt(h)
 		ts := node.Read(pattern.ByName(kind, name))
 		var have bool
 		var val float64
@@ -298,11 +434,15 @@ func (w *World) GradientError(kind, name string, src tuple.NodeID, scope float64
 	return meanAbs, missing, extra
 }
 
-// TotalStats sums the middleware counters across all nodes.
+// TotalStats sums the middleware counters across all nodes. It may run
+// concurrently with a Tick (the telemetry contract): it walks its own
+// handle snapshot and the engines' atomic counters only.
 func (w *World) TotalStats() core.Stats {
 	var total core.Stats
-	for _, id := range w.Nodes() {
-		total = total.Add(w.nodes[id].Stats())
+	for _, h := range w.graph.AppendSortedHandles(nil) {
+		if n := w.nodeAt(h); n != nil {
+			total = total.Add(n.Stats())
+		}
 	}
 	return total
 }

@@ -49,8 +49,11 @@ func (w *World) Rollup() Rollup {
 		ChurnRemoves: w.churnRemoves.Load(),
 		Net:          w.sim.Stats(),
 	}
-	for _, id := range w.Nodes() {
-		n := w.nodes[id]
+	for _, h := range w.graph.AppendSortedHandles(nil) {
+		n := w.nodeAt(h)
+		if n == nil {
+			continue
+		}
 		r.Stats = r.Stats.Add(n.Stats())
 		r.StoreSize += n.StoreSize()
 	}

@@ -1,0 +1,118 @@
+package emulator
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/mobility"
+	"tota/internal/pattern"
+	"tota/internal/space"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// runShardScenario executes a lossy mobile scenario big enough to cross
+// the sharding threshold (300 nodes) with every staged-send producer
+// active: mover-driven churn, periodic refresh, a gradient settling,
+// and a leased flood whose mid-run expiry makes the sharded sweep phase
+// emit withdrawals. Both the tick-phase shard count and the radio
+// worker pool are varied by the caller.
+func runShardScenario(seed int64, shards, workers int) parallelRun {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.ConnectedRandomGeometric(300, 20, 2.5, rng, 100)
+	if g == nil {
+		panic("no connected 300-node layout")
+	}
+
+	var traceMu sync.Mutex
+	traces := make(map[tuple.NodeID][]string)
+	tracer := func(ev core.TraceEvent) {
+		traceMu.Lock()
+		traces[ev.Node] = append(traces[ev.Node], ev.String())
+		traceMu.Unlock()
+	}
+
+	w := New(Config{
+		Graph:        g,
+		RadioRange:   2.5,
+		Loss:         0.15,
+		RefreshEvery: 4,
+		Seed:         seed,
+		Workers:      workers,
+		Shards:       shards,
+		NodeOptions:  []core.Option{core.WithTracer(tracer)},
+	})
+	bounds := space.Rect{Max: space.Point{X: 20, Y: 20}}
+	for i, id := range g.Nodes() {
+		if i%5 == 0 {
+			p, _ := g.Position(id)
+			w.SetMover(id, mobility.NewRandomWaypoint(p, bounds, 0.5, 1, 0, rng))
+		}
+	}
+	src := topology.NodeName(0)
+	if _, err := w.Node(src).Inject(pattern.NewGradient("f")); err != nil {
+		panic(err)
+	}
+	// Lease expires at t=8 (tick 16 of 30): the expiry sweep — a sharded
+	// phase — must withdraw copies through the staged-send path.
+	if _, err := w.Node(topology.NodeName(7)).Inject(pattern.NewFlood("news").Expires(8)); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 30; i++ {
+		w.Tick(0.5)
+	}
+	w.Settle(100000)
+	meanAbs, missing, extra := w.GradientError(pattern.KindGradient, "f", src, 1e18)
+	return parallelRun{
+		fingerprint: fingerprint(w),
+		nodeStats:   w.TotalStats(),
+		simStats:    w.Sim().Stats(),
+		gradErr:     meanAbs,
+		missing:     missing,
+		extra:       extra,
+		traces:      traces,
+	}
+}
+
+// TestShardedSteppingIsDeterministic is the region-sharding guarantee:
+// a seeded run produces bit-identical distributed state, middleware and
+// radio counters, gradient readings, and per-node traces at every
+// combination of tick-phase shard count and radio worker count. The
+// serial single-worker run is the reference.
+func TestShardedSteppingIsDeterministic(t *testing.T) {
+	serial := runShardScenario(42, 1, 1)
+	if serial.simStats.Delivered == 0 {
+		t.Fatal("scenario delivered nothing; not a meaningful determinism check")
+	}
+	if serial.nodeStats.TTLDropped == 0 && serial.nodeStats.MaintDrop == 0 {
+		t.Fatal("lease never expired; sweep phase untested")
+	}
+	combos := []struct{ shards, workers int }{
+		{0, 0}, // both GOMAXPROCS-bounded
+		{2, 1},
+		{4, 4},
+		{8, 2},
+		{1, 8},
+		{16, 1},
+	}
+	for _, c := range combos {
+		run := runShardScenario(42, c.shards, c.workers)
+		diffRuns(t, fmt.Sprintf("shards=1/workers=1 vs shards=%d/workers=%d", c.shards, c.workers), serial, run)
+	}
+}
+
+// TestShardedSteppingAcrossGOMAXPROCS re-runs the default configuration
+// (Shards=0, Workers=0: both GOMAXPROCS-bounded) under different
+// GOMAXPROCS settings — the cross-machine reproducibility claim.
+func TestShardedSteppingAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	one := runShardScenario(42, 0, 0)
+	runtime.GOMAXPROCS(8)
+	eight := runShardScenario(42, 0, 0)
+	runtime.GOMAXPROCS(prev)
+	diffRuns(t, "GOMAXPROCS=1 vs GOMAXPROCS=8", one, eight)
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestE15QuickSettlesExactly runs the scale pipeline at Quick size
+// (1k nodes): on a lossless radio the settled gradient must match the
+// BFS oracle exactly — zero error, zero missing, zero extra.
+func TestE15QuickSettlesExactly(t *testing.T) {
+	r := RunE15N(1_024, 0, 3)
+	if r.Rounds <= 0 || r.Rounds >= settleBudget {
+		t.Fatalf("settle took %d rounds", r.Rounds)
+	}
+	if r.GradErr != 0 || r.Missing != 0 || r.Extra != 0 {
+		t.Errorf("gradient vs oracle: err=%v missing=%d extra=%d", r.GradErr, r.Missing, r.Extra)
+	}
+	if r.Edges == 0 || r.Msgs == 0 {
+		t.Errorf("degenerate world: edges=%d msgs=%d", r.Edges, r.Msgs)
+	}
+	if r.PeakRSSMB <= 0 {
+		t.Errorf("peak RSS not measured: %v", r.PeakRSSMB)
+	}
+}
+
+// TestE15DeterministicAcrossShards pins the scale scenario itself to
+// the bit-identical-across-shards guarantee: same seed, different shard
+// counts, same rounds, messages and oracle readings.
+func TestE15DeterministicAcrossShards(t *testing.T) {
+	base := RunE15N(1_024, 1, 2)
+	for _, shards := range []int{0, 3, 8} {
+		r := RunE15N(1_024, shards, 2)
+		if r.Rounds != base.Rounds || r.Msgs != base.Msgs ||
+			r.GradErr != base.GradErr || r.Missing != base.Missing || r.Extra != base.Extra ||
+			r.Edges != base.Edges {
+			t.Errorf("shards=%d diverged: %+v vs %+v", shards, r, base)
+		}
+	}
+}
+
+// TestE15QuickTable exercises the table-producing wrapper.
+func TestE15QuickTable(t *testing.T) {
+	res := RunE15(Quick)
+	if res.Table.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	if res.Metrics["grad_err_n1024"] != 0 {
+		t.Errorf("grad_err_n1024 = %v", res.Metrics["grad_err_n1024"])
+	}
+	if res.Metrics["rounds_n1024"] <= 0 {
+		t.Errorf("rounds_n1024 = %v", res.Metrics["rounds_n1024"])
+	}
+}
+
+// TestE15RaceCapped is the CI -race variant: a capped (1k-node) E15
+// with the shard pool forced wide, so the sharded sweep/refresh phases
+// are race-checked on every run even on few-core machines.
+func TestE15RaceCapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	shards := runtime.GOMAXPROCS(0) * 2
+	if shards < 4 {
+		shards = 4
+	}
+	r := RunE15N(1_024, shards, 2)
+	if r.GradErr != 0 || r.Missing != 0 || r.Extra != 0 {
+		t.Errorf("gradient vs oracle under sharding: err=%v missing=%d extra=%d", r.GradErr, r.Missing, r.Extra)
+	}
+}

@@ -82,6 +82,10 @@ type Sim struct {
 	rng        *rand.Rand
 	stats      Stats
 	delivering bool
+	// staging mirrors delivering for caller-managed parallel phases
+	// (see StageSends): while set, sends are staged instead of
+	// committed so the rng is untouched until the deterministic merge.
+	staging bool
 	// staged collects sends produced inside handler callbacks during a
 	// Step's delivery phase, keyed by source node; slice order is the
 	// per-source send sequence. The merge at the end of the step replays
@@ -531,6 +535,45 @@ func (s *Sim) mergeStagedLocked() {
 	}
 }
 
+// StageSends runs fn with send-staging enabled: every transmission
+// produced while fn executes — typically by node phases running on
+// several shard workers at once — is parked in the staged map instead
+// of drawing from the seeded rng, and is committed afterwards in
+// (source node, send sequence) order by the same deterministic merge
+// Step uses for handler callbacks. Because the merge order is sorted
+// by source id, the committed rng sequence is identical to what a
+// serial sweep of the nodes in id order would have produced — which is
+// exactly why sharded and serial emulator ticks stay bit-identical.
+//
+// fn must not call Step, Detach or other whole-Sim operations; sends
+// (Broadcast/Send) are the only Sim interaction expected inside.
+func (s *Sim) StageSends(fn func()) {
+	s.mu.Lock()
+	s.staging = true
+	s.mu.Unlock()
+	fn()
+	s.mu.Lock()
+	s.staging = false
+	s.mergeStagedLocked()
+	s.mu.Unlock()
+}
+
+// PausedSnapshot returns a copy of the paused node set (nil when no
+// node is paused), letting a driver test pause state once per phase
+// instead of once per node under the Sim lock.
+func (s *Sim) PausedSnapshot() map[tuple.NodeID]struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.paused) == 0 {
+		return nil
+	}
+	out := make(map[tuple.NodeID]struct{}, len(s.paused))
+	for id := range s.paused {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
 // RunUntilQuiet steps until no packets remain in flight or maxSteps is
 // reached, returning the number of steps taken. Handlers typically send
 // more packets while handling, so this runs a whole propagation wave to
@@ -573,7 +616,7 @@ func (s *Sim) ResetStats() {
 // send is staged (rng untouched) for the deterministic merge; otherwise
 // it commits immediately.
 func (s *Sim) send(from, to tuple.NodeID, data []byte) {
-	if s.delivering {
+	if s.delivering || s.staging {
 		s.staged[from] = append(s.staged[from], stagedSend{to: to, data: data})
 		return
 	}

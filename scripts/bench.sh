@@ -1,22 +1,21 @@
 #!/usr/bin/env sh
-# Runs the full benchmark suite with allocation stats and records the
-# raw output as BENCH_<date>.json (test2json stream, one JSON event per
-# line) next to a plain-text copy for quick diffing between runs.
+# Runs the full benchmark suite with allocation stats and records a
+# plain-text summary as BENCH_<date>.txt (benchstat input) plus one
+# normalized entry in the cumulative BENCH_TRAJECTORY.json. The raw
+# `go test -json` event stream is no longer written: it was multi-MB
+# per run and carried nothing the .txt + trajectory don't (old
+# BENCH_<date>.json artifacts are gitignored).
 #
 # Usage: scripts/bench.sh [extra go test args...]
 set -eu
 
 cd "$(dirname "$0")/.."
 date="$(date +%Y%m%d)"
-json="BENCH_${date}.json"
 txt="BENCH_${date}.txt"
 
-go test -run '^$' -bench . -benchmem -json "$@" ./... | tee "$json" |
-	grep -o '"Output":".*"' |
-	sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' \
-		>"$txt"
+go test -run '^$' -bench . -benchmem "$@" ./... | tee "$txt"
 
-echo "wrote $json and $txt" >&2
+echo "wrote $txt" >&2
 
 # Cumulative trajectory: every run appends one normalized entry to
 # BENCH_TRAJECTORY.json (a JSON array, one object per run with ns/op,
@@ -67,6 +66,10 @@ grep 'BenchmarkHandlePacket' "$txt" >&2 || true
 # Headline maintenance cost: the steady-state refresh benchmarks report
 # broadcasts/op and the digest suppression ratio (see DESIGN.md §8).
 grep 'BenchmarkRefreshSteadyState' "$txt" >&2 || true
+
+# Headline scale cost: grid-indexed recompute vs the O(n²) reference and
+# the sharded refresh cycle (see DESIGN.md §11).
+grep 'BenchmarkRecompute10k\|BenchmarkSettleSharded\|BenchmarkE15Scale' "$txt" >&2 || true
 
 # Delta against the most recent prior run. The .txt files are benchstat
 # input; use benchstat when installed, otherwise fall back to an awk
