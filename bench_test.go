@@ -409,21 +409,62 @@ func BenchmarkObsOverhead(b *testing.B) {
 // TestHandlePacketTelemetryAllocs is the PR's alloc-regression guard:
 // with the metrics registry bound and the latency tracker tracing,
 // the packet path may cost at most one extra allocation per packet
-// over the uninstrumented engine.
+// over the uninstrumented engine. It also covers the trace-context
+// path: with sampling off the hot path must not move at all, and
+// decoding a version-2 traced announcement must cost zero extra
+// allocations (the 16-byte context parses into scratch fields).
 func TestHandlePacketTelemetryAllocs(t *testing.T) {
-	measure := func(opts ...core.Option) float64 {
+	measure := func(frame []byte, opts ...core.Option) float64 {
 		n, data := newHandlePacketWorld(t, opts...)
+		if frame != nil {
+			data = frame
+		}
 		reg := obs.NewRegistry()
 		obs.RegisterNodeStats(reg, n.Stats)
 		return testing.AllocsPerRun(200, func() {
 			n.HandlePacket(topology.NodeName(1), data)
 		})
 	}
-	base := measure()
+	base := measure(nil)
+	if base != 7 {
+		t.Errorf("uninstrumented HandlePacket = %.1f allocs/op, want 7", base)
+	}
 	lat := obs.NewLatencies(nil, nil, obs.RoundBuckets)
-	instrumented := measure(core.WithTracer(lat.Tracer()))
+	instrumented := measure(nil, core.WithTracer(lat.Tracer()))
 	if instrumented > base+1 {
 		t.Errorf("telemetry costs %.1f allocs/packet over the %.1f baseline (budget: 1)",
 			instrumented-base, base)
+	}
+
+	// Sampling off is the shipped default: the knob being present (with
+	// a tracer attached) must not add a single allocation.
+	lat2 := obs.NewLatencies(nil, nil, obs.RoundBuckets)
+	samplingOff := measure(nil, core.WithTracer(lat2.Tracer()), core.WithTraceSampling(0))
+	if samplingOff > base+1 {
+		t.Errorf("sampling-off path costs %.1f allocs/packet over the %.1f baseline (budget: 1)",
+			samplingOff-base, base)
+	}
+
+	// A version-2 frame carrying a trace context: the 16 extra bytes
+	// decode into value fields, so handling stays at the baseline even
+	// though every event now carries span identity.
+	g := pattern.NewGradient("f")
+	g.SetID(tuple.ID{Node: "other", Seq: 1})
+	g.Val = 1
+	tracedFrame, err := wire.Encode(wire.Message{Type: wire.MsgTuple, Hop: 1, Tuple: g,
+		Trace: wire.TraceCtx{TraceID: 0xabc, Span: 0xdef}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := measure(tracedFrame)
+	if traced > base {
+		t.Errorf("traced packet costs %.1f allocs/packet over the %.1f baseline (budget: 0)",
+			traced-base, base)
+	}
+	lat3 := obs.NewLatencies(nil, nil, obs.RoundBuckets)
+	tracedInstrumented := measure(tracedFrame, core.WithTracer(lat3.Tracer()), core.WithTraceSampling(1))
+	if tracedInstrumented > base+1 {
+		t.Errorf("traced+instrumented packet costs %.1f allocs/packet over the %.1f baseline (budget: 1)",
+			tracedInstrumented-base, base)
 	}
 }

@@ -53,10 +53,22 @@ func run(args []string) error {
 	report := fs.String("report", "", "write the final aggregated JSON report to this file ('-' for stdout)")
 	nodes := fs.Int("nodes", 10000, "network size for the scale scenario")
 	shards := fs.Int("shards", 0, "tick-phase shard workers for the scale scenario (0 = GOMAXPROCS, 1 = serial)")
+	traceFile := fs.String("trace.jsonl", "", "export engine trace events as JSONL to this file ('-' for stderr); feed the file to tota-trace")
+	flightSize := fs.Int("trace.flight", 0, "keep the last N trace events in an in-memory flight recorder (served at /debug/flight, dumped to stderr on crash)")
+	sample := fs.Float64("trace.sample", 1, "fraction of injected tuples carrying a wire-level trace context when tracing is on")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env := &obsEnv{scenario: *scenario, addr: *obsAddr, dash: *dash, report: *report}
+	env := &obsEnv{
+		scenario: *scenario, addr: *obsAddr, dash: *dash, report: *report,
+		traceFile: *traceFile, flightSize: *flightSize, sample: *sample,
+	}
+	if err := env.initTrace(); err != nil {
+		return err
+	}
+	if env.flight != nil {
+		defer env.flight.DumpOnCrash(os.Stderr)()
+	}
 	var err error
 	switch *scenario {
 	case "gradient":
@@ -84,14 +96,79 @@ func run(args []string) error {
 // world on -obs.addr, prints a dashboard line every -dash rounds while
 // the radio settles, and emits the -report JSON artifact at the end.
 type obsEnv struct {
-	scenario string
-	addr     string
-	dash     int
-	report   string
+	scenario   string
+	addr       string
+	dash       int
+	report     string
+	traceFile  string
+	flightSize int
+	sample     float64
 
-	srv     *obs.Server
-	world   *emulator.World
-	rollups []emulator.Rollup
+	srv      *obs.Server
+	world    *emulator.World
+	rollups  []emulator.Rollup
+	reg      *obs.Registry
+	sink     *obs.JSONLSink
+	sinkFile *os.File
+	flight   *obs.FlightRecorder
+}
+
+// initTrace builds the trace pipeline before any world exists (node
+// options need the tracers at construction time). The sink clock is
+// the radio round counter, read lazily once the scenario attaches its
+// world — wall-clock-free, so traced runs stay reproducible. The sink
+// registers its written/dropped counters (tota_trace_events_total,
+// tota_trace_dropped_total) on the exposition registry when -obs.addr
+// is also set, so shedding is visible on /metrics.
+func (e *obsEnv) initTrace() error {
+	if e.traceFile == "" && e.flightSize <= 0 {
+		return nil
+	}
+	clock := func() float64 {
+		if w := e.world; w != nil {
+			return float64(w.Sim().Rounds())
+		}
+		return 0
+	}
+	if e.addr != "" {
+		e.reg = obs.NewRegistry()
+	}
+	if e.traceFile != "" {
+		w := io.Writer(os.Stderr)
+		if e.traceFile != "-" {
+			f, err := os.Create(e.traceFile)
+			if err != nil {
+				return err
+			}
+			e.sinkFile = f
+			w = f
+		}
+		e.sink = obs.NewJSONLSink(w, e.reg, clock, 1<<16)
+	}
+	if e.flightSize > 0 {
+		e.flight = obs.NewFlightRecorder(clock, e.flightSize)
+	}
+	return nil
+}
+
+// applyTrace appends the trace pipeline (plus any scenario-local
+// tracers) and the sampling rate to a world's node options. Call it
+// before emulator.New.
+func (e *obsEnv) applyTrace(cfg *emulator.Config, extra ...core.Tracer) {
+	tracers := make([]core.Tracer, 0, 2+len(extra))
+	if e.sink != nil {
+		tracers = append(tracers, e.sink.Tracer())
+	}
+	if e.flight != nil {
+		tracers = append(tracers, e.flight.Tracer())
+	}
+	tracers = append(tracers, extra...)
+	if tr := obs.MultiTracer(tracers...); tr != nil {
+		cfg.NodeOptions = append(cfg.NodeOptions, core.WithTracer(tr))
+	}
+	if e.sink != nil || e.flight != nil {
+		cfg.NodeOptions = append(cfg.NodeOptions, core.WithTraceSampling(e.sample))
+	}
 }
 
 // attach hooks the scenario's world up to the requested telemetry.
@@ -102,10 +179,18 @@ func (e *obsEnv) attach(w *emulator.World) error {
 	if e.addr == "" {
 		return nil
 	}
-	reg := obs.NewRegistry()
-	w.RegisterMetrics(reg)
-	obs.RegisterRuntime(reg)
-	srv, err := obs.Serve(e.addr, reg)
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	w.RegisterMetrics(e.reg)
+	obs.RegisterRuntime(e.reg)
+	var srv *obs.Server
+	var err error
+	if e.flight != nil {
+		srv, err = obs.Serve(e.addr, e.reg, e.flight)
+	} else {
+		srv, err = obs.Serve(e.addr, e.reg)
+	}
 	if err != nil {
 		return err
 	}
@@ -134,13 +219,26 @@ func (e *obsEnv) settle(w *emulator.World, maxRounds int) int {
 	return rounds
 }
 
-// finish emits the report and shuts the exposition server down.
+// finish drains the trace sink, emits the report and shuts the
+// exposition server down.
 func (e *obsEnv) finish() error {
 	defer func() {
 		if e.srv != nil {
 			_ = e.srv.Close()
 		}
 	}()
+	if e.sink != nil {
+		err := e.sink.Close()
+		fmt.Printf("trace: %d events exported, %d dropped\n", e.sink.Written(), e.sink.Dropped())
+		if e.sinkFile != nil {
+			if cerr := e.sinkFile.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
 	if e.report == "" {
 		return nil
 	}
@@ -170,7 +268,9 @@ func meetingScenario(rounds int, env *obsEnv) error {
 		g.SetPosition(id, starts[i])
 	}
 	g.Recompute(1.2)
-	world := emulator.New(emulator.Config{Graph: g, RadioRange: 1.2})
+	cfg := emulator.Config{Graph: g, RadioRange: 1.2}
+	env.applyTrace(&cfg)
+	world := emulator.New(cfg)
 	if err := env.attach(world); err != nil {
 		return err
 	}
@@ -210,13 +310,14 @@ func gradientScenario(w, h int, trace bool, faultSpec string, ticks int, env *ob
 		}
 	}
 	g := topology.Grid(w, h, 1)
-	var opts []core.Option
+	cfg := emulator.Config{Graph: g}
+	var printTracers []core.Tracer
 	if trace {
-		opts = append(opts, core.WithTracer(func(ev core.TraceEvent) {
+		printTracers = append(printTracers, func(ev core.TraceEvent) {
 			fmt.Println("  trace:", ev)
-		}))
+		})
 	}
-	cfg := emulator.Config{Graph: g, NodeOptions: opts}
+	env.applyTrace(&cfg, printTracers...)
 	if faultSpec != "" {
 		cfg.RefreshEvery = 2
 		cfg.Seed = 1
@@ -270,7 +371,9 @@ func gradientScenario(w, h int, trace bool, faultSpec string, ticks int, env *ob
 // the source's view after each epoch.
 func aggregateScenario(w, h int, epochs int, env *obsEnv) error {
 	g := topology.Grid(w, h, 1)
-	world := emulator.New(emulator.Config{Graph: g, RefreshEvery: 1, Seed: 1})
+	cfg := emulator.Config{Graph: g, RefreshEvery: 1, Seed: 1}
+	env.applyTrace(&cfg)
+	world := emulator.New(cfg)
 	if err := env.attach(world); err != nil {
 		return err
 	}
@@ -374,7 +477,9 @@ func flockScenario(rounds int) error {
 // showing which nodes relayed.
 func routingScenario(w, h int, env *obsEnv) error {
 	g := topology.Grid(w, h, 1)
-	world := emulator.New(emulator.Config{Graph: g})
+	cfg := emulator.Config{Graph: g}
+	env.applyTrace(&cfg)
+	world := emulator.New(cfg)
 	if err := env.attach(world); err != nil {
 		return err
 	}

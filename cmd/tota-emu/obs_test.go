@@ -2,11 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tota/internal/emulator"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/traceanalyze"
 )
 
 func TestEmuReportAndDashboard(t *testing.T) {
@@ -52,5 +58,88 @@ func TestEmuReportUnsupportedScenario(t *testing.T) {
 	// rather than emit an empty artifact.
 	if err := run([]string{"-scenario", "flock", "-rounds", "2", "-report", "-"}); err == nil {
 		t.Error("flock -report should error")
+	}
+}
+
+// TestEmuTraceFlagsEndToEnd: the -trace.jsonl flag exports a stream
+// the analyzer reconstructs the full propagation from — the quick-start
+// pipeline (tota-emu -trace.jsonl → tota-trace) in one test.
+func TestEmuTraceFlagsEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{"-scenario", "gradient", "-w", "4", "-h", "3", "-trace.jsonl", path, "-trace.flight", "256"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	recs, err := traceanalyze.ReadFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := traceanalyze.Analyze(recs)
+	if len(a.Flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(a.Flows))
+	}
+	fl := a.Flows[0]
+	if fl.Arrivals != 12 {
+		t.Errorf("arrivals = %d, want all 12 nodes", fl.Arrivals)
+	}
+	if fl.Root == nil || len(fl.Orphans) != 0 {
+		t.Errorf("tree incomplete: root=%v orphans=%d", fl.Root, len(fl.Orphans))
+	}
+	if len(fl.CriticalPath()) == 0 {
+		t.Error("no critical path")
+	}
+}
+
+// TestEmuTraceMetricsScrapeable: with both -obs.addr and tracing on,
+// the sink's export counters (tota_trace_events_total,
+// tota_trace_dropped_total) appear on /metrics and the flight recorder
+// serves /debug/flight.
+func TestEmuTraceMetricsScrapeable(t *testing.T) {
+	env := &obsEnv{
+		scenario: "gradient", addr: "127.0.0.1:0",
+		traceFile: filepath.Join(t.TempDir(), "t.jsonl"), flightSize: 64, sample: 1,
+	}
+	if err := env.initTrace(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := emulator.Config{Graph: topology.Grid(3, 3, 1)}
+	env.applyTrace(&cfg)
+	w := emulator.New(cfg)
+	if err := env.attach(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Node(topology.NodeName(0)).Inject(pattern.NewGradient("m")); err != nil {
+		t.Fatal(err)
+	}
+	w.Settle(10000)
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + env.srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "tota_trace_dropped_total 0") {
+		t.Errorf("/metrics missing tota_trace_dropped_total:\n%.400s", metrics)
+	}
+	if !strings.Contains(metrics, "tota_trace_events_total") {
+		t.Error("/metrics missing tota_trace_events_total")
+	}
+	flight := get("/debug/flight")
+	if !strings.Contains(flight, `"kind":"inject"`) {
+		t.Errorf("/debug/flight missing events:\n%.200s", flight)
+	}
+	if err := env.finish(); err != nil {
+		t.Fatal(err)
 	}
 }

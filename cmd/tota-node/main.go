@@ -45,6 +45,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	peers := fs.String("peers", "", "comma-separated candidate peer addresses")
 	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json, /healthz and pprof on this address")
 	traceOut := fs.String("trace.jsonl", "", "append engine trace events as JSON lines to this file ('-' for stderr)")
+	flightSize := fs.Int("trace.flight", 0, "keep the last N trace events in an in-memory flight recorder (served at /debug/flight, dumped to stderr on crash)")
+	sample := fs.Float64("trace.sample", 0, "fraction of injected tuples carrying a wire-level trace context (0 = off; received contexts always propagate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,10 +89,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if sink != nil {
 		sinkTracer = sink.Tracer()
 	}
+	var flight *obs.FlightRecorder
+	var flightTracer core.Tracer
+	if *flightSize > 0 {
+		// The flight ring is the black box a live node keeps regardless
+		// of export: scrape it at /debug/flight, and dump it on a crash.
+		flight = obs.NewFlightRecorder(clock, *flightSize)
+		flightTracer = flight.Tracer()
+		defer flight.DumpOnCrash(os.Stderr)()
+	}
 
 	node := core.New(tr,
 		core.WithLogger(logger),
-		core.WithTracer(obs.MultiTracer(lat.Tracer(), sinkTracer)))
+		core.WithTracer(obs.MultiTracer(lat.Tracer(), sinkTracer, flightTracer)),
+		core.WithTraceSampling(*sample))
 	tr.SetHandler(node)
 	tr.Start()
 	fmt.Fprintf(out, "node %s listening on %s\n", *id, tr.Addr())
@@ -100,7 +112,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	obs.RegisterUDPStats(reg, tr)
 	obs.RegisterRuntime(reg)
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg)
+		var srv *obs.Server
+		var err error
+		if flight != nil {
+			srv, err = obs.Serve(*obsAddr, reg, flight)
+		} else {
+			srv, err = obs.Serve(*obsAddr, reg)
+		}
 		if err != nil {
 			return err
 		}

@@ -26,6 +26,8 @@ func TestRunObsEndpoint(t *testing.T) {
 			"-id", "obs-test",
 			"-obs.addr", "127.0.0.1:0",
 			"-trace.jsonl", traceFile,
+			"-trace.flight", "128",
+			"-trace.sample", "1",
 		}, inR, outW)
 		_ = outW.Close()
 		errc <- err
@@ -87,6 +89,24 @@ func TestRunObsEndpoint(t *testing.T) {
 	}
 	if len(snaps) == 0 {
 		t.Error("/metrics.json empty")
+	}
+
+	// The flight recorder saw the same injection and serves it at
+	// /debug/flight in the shared JSONL schema.
+	resp, err = http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(flight), `"kind":"inject"`) {
+		t.Errorf("/debug/flight missing inject event: %q", flight)
+	}
+	if !strings.Contains(string(flight), `"trace":`) {
+		t.Errorf("/debug/flight record lacks trace context despite -trace.sample 1: %q", flight)
 	}
 
 	if _, err := io.WriteString(inW, "quit\n"); err != nil {

@@ -1,0 +1,67 @@
+// Command tota-trace analyzes the middleware's JSONL trace streams —
+// obs.JSONLSink files (tota-emu -trace.jsonl) and flight-recorder
+// dumps (/debug/flight, crash dumps) share one schema — and
+// reconstructs per-tuple propagation trees from the sampled wire-level
+// trace context.
+//
+//	tota-trace -mode tree  run.jsonl               propagation tree per tuple
+//	tota-trace -mode crit  run.jsonl               critical-path latency breakdown
+//	tota-trace -mode dot   run.jsonl > g.dot       Graphviz export
+//	tota-trace -mode lossy run.jsonl flight.jsonl  rank links by anti-entropy pulls
+//
+// Multiple files are merged before analysis (streams may overlap; span
+// identities stitch them). With no files, stdin is read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tota/internal/obs"
+	"tota/internal/traceanalyze"
+)
+
+func main() {
+	mode := flag.String("mode", "tree", "output: tree, crit, dot, or lossy")
+	flag.Parse()
+
+	all, err := readInputs(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tota-trace:", err)
+		os.Exit(1)
+	}
+	a := traceanalyze.Analyze(all)
+	if len(a.Flows) == 0 && *mode != "lossy" {
+		fmt.Fprintf(os.Stderr, "tota-trace: no traced events in %d records (was sampling on? see -trace.sample)\n", len(all))
+		os.Exit(1)
+	}
+
+	out := os.Stdout
+	switch *mode {
+	case "tree":
+		for _, fl := range a.Flows {
+			fl.WriteTree(out)
+		}
+	case "crit":
+		for _, fl := range a.Flows {
+			fl.WriteCriticalPath(out)
+		}
+	case "dot":
+		for _, fl := range a.Flows {
+			fl.WriteDOT(out)
+		}
+	case "lossy":
+		a.WriteLossyLinks(out)
+	default:
+		fmt.Fprintf(os.Stderr, "tota-trace: unknown mode %q (want tree, crit, dot, or lossy)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func readInputs(paths []string) ([]obs.TraceRecord, error) {
+	if len(paths) == 0 {
+		return traceanalyze.ReadJSONL(os.Stdin)
+	}
+	return traceanalyze.ReadFiles(paths...)
+}

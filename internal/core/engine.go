@@ -73,6 +73,18 @@ type tupleState struct {
 	// pullBack is the per-neighbor anti-entropy pull backoff state for
 	// this tuple (allocated only once a backoff-gated pull fires).
 	pullBack map[tuple.NodeID]pullBackoff
+	// traceID is the tuple's sampled trace identity (zero = unsampled,
+	// the fast path: no span bookkeeping, version-1 wire bytes). Set at
+	// inject when sampling elects the tuple, or adopted from an
+	// arriving traced announcement.
+	traceID uint64
+	// span is the current copy incarnation's span id and spanSeq the
+	// incarnation counter behind it; parentSpan references the upstream
+	// hop's span that caused the current copy. Spans only change
+	// together with the announcement version, so a neighbor holding the
+	// current ver also holds the current span.
+	span, parentSpan uint64
+	spanSeq          uint32
 }
 
 // pullBackoff is the capped exponential backoff state for one
@@ -91,6 +103,13 @@ func (st *tupleState) invalidateWire() {
 	st.encCache = nil
 }
 
+// traceCtx is the wire trace context of the current copy incarnation:
+// zero for unsampled tuples, so untraced announcements stay version-1
+// bytes.
+func (st *tupleState) traceCtx() wire.TraceCtx {
+	return wire.TraceCtx{TraceID: st.traceID, Span: st.span}
+}
+
 type nbrVal struct {
 	val    float64
 	parent tuple.NodeID
@@ -98,6 +117,12 @@ type nbrVal struct {
 	// heard; entries not re-heard within staleEpochs refresh cycles are
 	// pruned, so lost withdrawals cannot sustain phantom support.
 	epoch uint64
+	// span is the neighbor's copy span from its last full traced
+	// announcement (zero for unsampled tuples). Digest refreshes keep
+	// the remembered span: a digest entry implies the neighbor's ver —
+	// and therefore its span — is unchanged. Used as the causal parent
+	// when maintenance adopts this neighbor.
+	span uint64
 }
 
 // staleEpochs is how many full refresh cycles an announcement stays
@@ -232,7 +257,14 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 	st := n.stateFor(t.ID())
 	st.source = true
 	st.visited = true
-	n.traceLocked(TraceEvent{Kind: TraceInject, ID: t.ID(), TupleKind: t.Kind()})
+	if tid, ok := sampleTrace(t.ID(), n.cfg.TraceSampleRate); ok {
+		// Sampling elects the tuple at its entry point; the decision
+		// then travels with every announcement, so downstream nodes
+		// trace it regardless of their own rate.
+		st.traceID = tid
+	}
+	n.traceLocked(TraceEvent{Kind: TraceInject, ID: t.ID(), TupleKind: t.Kind(),
+		TraceID: st.traceID, Span: n.bumpSpanLocked(t.ID(), st)})
 	t.OnArrive(ctx)
 	if t.ShouldStore(ctx) {
 		st.stored = true
@@ -252,7 +284,7 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 			// mismatch triggers the anti-entropy pull).
 			n.announceLocked(st)
 		} else {
-			n.broadcastTupleLocked(t, 0, "")
+			n.broadcastTupleLocked(t, 0, "", st.traceCtx())
 		}
 	}
 }
@@ -280,6 +312,13 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		// response): it is alive and answering, so its backoff resets.
 		delete(st.pullBack, from)
 	}
+	if msg.Trace.TraceID != 0 {
+		// The sender sampled this tuple: adopt its trace identity and
+		// remember the upstream span so local decisions link causally
+		// to the exact hop that delivered the content.
+		st.traceID = msg.Trace.TraceID
+		st.parentSpan = msg.Trace.Span
+	}
 	hop := int(msg.Hop) + 1
 
 	if m, ok := t.(tuple.Maintained); ok {
@@ -291,14 +330,15 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		if st.nbrVals == nil {
 			st.nbrVals = make(map[tuple.NodeID]nbrVal)
 		}
-		st.nbrVals[from] = nbrVal{val: m.Value(), parent: msg.Parent, epoch: n.epoch}
+		st.nbrVals[from] = nbrVal{val: m.Value(), parent: msg.Parent, epoch: n.epoch, span: msg.Trace.Span}
 		n.maintainLocked(t.ID(), m, n.ctxLocked(from, hop))
 		return
 	}
 
 	if hop > n.cfg.MaxHops {
 		n.stats.TTLDropped.Add(1)
-		n.traceLocked(TraceEvent{Kind: TraceTTL, ID: t.ID(), TupleKind: t.Kind(), From: from, Hop: hop})
+		n.traceLocked(TraceEvent{Kind: TraceTTL, ID: t.ID(), TupleKind: t.Kind(), From: from, Hop: hop,
+			TraceID: st.traceID, ParentSpan: msg.Trace.Span})
 		return
 	}
 	ctx := n.ctxLocked(from, hop)
@@ -314,16 +354,20 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 			st.storedAt = n.now
 			n.store.put(local)
 			n.stats.Superseded.Add(1)
-			n.traceLocked(TraceEvent{Kind: TraceSupersede, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
+			span := n.bumpSpanLocked(local.ID(), st)
+			n.traceLocked(TraceEvent{Kind: TraceSupersede, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop,
+				TraceID: st.traceID, Span: span, ParentSpan: msg.Trace.Span})
 			n.emitTupleLocked(TupleArrived, local)
 			if local.ShouldPropagate(ctx) {
 				n.announceLocked(st)
-				n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
+				n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop,
+					TraceID: st.traceID, Span: span, ParentSpan: msg.Trace.Span})
 			}
 			return
 		}
 		n.stats.DupDropped.Add(1)
-		n.traceLocked(TraceEvent{Kind: TraceDup, ID: t.ID(), TupleKind: t.Kind(), From: from})
+		n.traceLocked(TraceEvent{Kind: TraceDup, ID: t.ID(), TupleKind: t.Kind(), From: from,
+			TraceID: st.traceID, Span: st.span, ParentSpan: msg.Trace.Span})
 		return
 	}
 	st.visited = true
@@ -336,7 +380,8 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		st.storedAt = n.now
 		n.store.put(local)
 		n.stats.Stored.Add(1)
-		n.traceLocked(TraceEvent{Kind: TraceStore, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop})
+		n.traceLocked(TraceEvent{Kind: TraceStore, ID: local.ID(), TupleKind: local.Kind(), From: from, Hop: hop,
+			TraceID: st.traceID, Span: n.bumpSpanLocked(local.ID(), st), ParentSpan: msg.Trace.Span})
 		n.emitTupleLocked(TupleArrived, local)
 	}
 	if local.ShouldPropagate(ctx) {
@@ -344,9 +389,14 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		if st.stored {
 			n.announceLocked(st)
 		} else {
-			n.broadcastTupleLocked(local, hop, "")
+			// A pure relay still gets its own span incarnation: the
+			// downstream hop's parent link must name this node, not the
+			// hop before it.
+			n.bumpSpanLocked(local.ID(), st)
+			n.broadcastTupleLocked(local, hop, "", st.traceCtx())
 		}
-		n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop})
+		n.traceLocked(TraceEvent{Kind: TraceForward, ID: local.ID(), TupleKind: local.Kind(), Hop: hop,
+			TraceID: st.traceID, Span: st.span, ParentSpan: msg.Trace.Span})
 	}
 }
 
@@ -381,6 +431,7 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 			// a lost broadcast or a fresh join. Pull the full bytes.
 			if n.allowPullLocked(st, from) {
 				n.pullScratch = append(n.pullScratch, e.ID)
+				n.tracePullLocked(e.ID, from, st)
 			}
 			continue
 		}
@@ -393,6 +444,7 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 			// until one round trip survives.
 			if n.allowPullLocked(st, from) {
 				n.pullScratch = append(n.pullScratch, e.ID)
+				n.tracePullLocked(e.ID, from, st)
 			}
 		}
 	}
@@ -430,13 +482,19 @@ func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st
 		// support is recorded until an announcement passes OpAccept.
 		if n.allowPullLocked(st, from) {
 			n.pullScratch = append(n.pullScratch, e.ID)
+			n.tracePullLocked(e.ID, from, st)
 		}
 		return
 	}
 	if st.nbrVals == nil {
 		st.nbrVals = make(map[tuple.NodeID]nbrVal)
 	}
-	st.nbrVals[from] = nbrVal{val: e.Value, parent: e.Parent, epoch: n.epoch}
+	// Digest entries carry no span; keep the one remembered from the
+	// neighbor's last full announcement. When the entry's version
+	// matches, that span is exactly current; when it does not (the full
+	// broadcast was lost), the remembered span still names the right
+	// node — an earlier incarnation — so causal links stay node-correct.
+	st.nbrVals[from] = nbrVal{val: e.Value, parent: e.Parent, epoch: n.epoch, span: st.nbrVals[from].span}
 	if st.nbrVer == nil {
 		st.nbrVer = make(map[tuple.NodeID]uint32)
 	}
@@ -539,6 +597,12 @@ func (n *Node) handlePullLocked(from tuple.NodeID, msg *wire.Message) {
 			continue
 		}
 		n.stats.Unicasts.Add(1)
+		if st.traceID != 0 {
+			// Pull-repair response: the requester's next store/supersede
+			// links to this span, closing the repair loop in the trace.
+			n.traceLocked(TraceEvent{Kind: TraceSend, ID: id, TupleKind: st.local.Kind(), From: from, Hop: st.hop,
+				TraceID: st.traceID, Span: st.span})
+		}
 		n.stageMsgs = append(n.stageMsgs, data)
 	}
 	n.flushStagedLocked(from)
@@ -566,6 +630,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 
 	best := math.Inf(1)
 	var bestNbr tuple.NodeID
+	var bestSpan uint64
 	for nbr, nv := range st.nbrVals {
 		if _, linked := n.nbrs[nbr]; !linked {
 			continue
@@ -576,6 +641,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		if nv.val < best || (nv.val == best && (bestNbr == "" || nbr < bestNbr)) {
 			best = nv.val
 			bestNbr = nbr
+			bestSpan = nv.span
 		}
 	}
 	desired := best + step
@@ -627,7 +693,11 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		st.storedAt = n.now
 		n.store.put(nl)
 		n.stats.MaintAdopt.Add(1)
-		n.traceLocked(TraceEvent{Kind: TraceAdopt, ID: id, TupleKind: nl.Kind(), From: bestNbr, Value: desired})
+		if st.traceID != 0 {
+			st.parentSpan = bestSpan
+		}
+		n.traceLocked(TraceEvent{Kind: TraceAdopt, ID: id, TupleKind: nl.Kind(), From: bestNbr, Value: desired,
+			TraceID: st.traceID, Span: n.bumpSpanLocked(id, st), ParentSpan: bestSpan})
 		n.emitTupleLocked(TupleArrived, nl)
 		if nl.ShouldPropagate(ctx) {
 			n.announceLocked(st)
@@ -652,7 +722,11 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 	st.storedAt = n.now
 	n.store.put(nl)
 	n.stats.Stored.Add(1)
-	n.traceLocked(TraceEvent{Kind: TraceStore, ID: id, TupleKind: nl.Kind(), From: bestNbr, Hop: st.hop, Value: desired})
+	if st.traceID != 0 {
+		st.parentSpan = bestSpan
+	}
+	n.traceLocked(TraceEvent{Kind: TraceStore, ID: id, TupleKind: nl.Kind(), From: bestNbr, Hop: st.hop, Value: desired,
+		TraceID: st.traceID, Span: n.bumpSpanLocked(id, st), ParentSpan: bestSpan})
 	n.emitTupleLocked(TupleArrived, nl)
 	if nl.ShouldPropagate(ctx) {
 		st.propagated = true
@@ -668,7 +742,7 @@ func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
 	st.parent = ""
 	st.suspectEpoch = 0
 	n.stats.MaintDrop.Add(1)
-	n.traceLocked(TraceEvent{Kind: TraceWithdraw, ID: id})
+	n.traceLocked(TraceEvent{Kind: TraceWithdraw, ID: id, TraceID: st.traceID, Span: st.span})
 	if removed != nil {
 		n.emitTupleLocked(TupleRemoved, removed)
 	}
@@ -951,6 +1025,10 @@ func (n *Node) stageRefreshLocked(st *tupleState) int {
 	if st.refreshedVer != st.ver {
 		st.refreshedVer = st.ver
 		n.stats.RefreshAnnounced.Add(1)
+		if st.traceID != 0 {
+			n.traceLocked(TraceEvent{Kind: TraceSend, ID: st.local.ID(), TupleKind: st.local.Kind(), Hop: st.hop,
+				TraceID: st.traceID, Span: st.span})
+		}
 		n.stageMsgs = append(n.stageMsgs, data)
 		return 1
 	}
@@ -1075,6 +1153,7 @@ func (n *Node) storedWireLocked(st *tupleState) ([]byte, bool) {
 		Parent: st.parent,
 		Ver:    st.ver,
 		Tuple:  st.local,
+		Trace:  st.traceCtx(),
 	})
 	if err != nil {
 		n.noteSendError("announce encode", err)
@@ -1095,17 +1174,22 @@ func (n *Node) announceLocked(st *tupleState) {
 	// refreshes can advertise this version by digest.
 	st.refreshedVer = st.ver
 	n.stats.Broadcasts.Add(1)
+	if st.traceID != 0 {
+		n.traceLocked(TraceEvent{Kind: TraceSend, ID: st.local.ID(), TupleKind: st.local.Kind(), Hop: st.hop,
+			TraceID: st.traceID, Span: st.span})
+	}
 	if err := n.tr.Broadcast(data); err != nil {
 		n.noteSendError("announce broadcast", err)
 	}
 }
 
-func (n *Node) broadcastTupleLocked(t tuple.Tuple, hop int, parent tuple.NodeID) {
+func (n *Node) broadcastTupleLocked(t tuple.Tuple, hop int, parent tuple.NodeID, tc wire.TraceCtx) {
 	n.sendMsgLocked("", wire.Message{
 		Type:   wire.MsgTuple,
 		Hop:    clampHop(hop),
 		Parent: parent,
 		Tuple:  t,
+		Trace:  tc,
 	})
 }
 

@@ -87,6 +87,11 @@ type Config struct {
 	MaxFrameBytes int
 	// Tracer, when set, receives every engine decision (see TraceEvent).
 	Tracer Tracer
+	// TraceSampleRate is the fraction of locally injected tuples that
+	// carry a causal trace context on the wire (see WithTraceSampling).
+	// 0 disables sampling: announcements stay byte-identical to the
+	// untraced protocol and the hot path does no trace work.
+	TraceSampleRate float64
 	// Logger, when set, receives rate-limited structured logs for
 	// swallowed errors (transport send failures, undecodable packets).
 	// Each error class logs at occurrence counts 1, 2, 4, 8, … so a

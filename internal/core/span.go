@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+
+	"tota/internal/tuple"
+)
+
+// Span identity. Trace and span ids are derived by hashing, never drawn
+// from randomness or clocks, so a seeded emulation traces identically
+// on every run and every holder of a tuple agrees on its trace id
+// without coordination:
+//
+//   - the trace id is a hash of the tuple's network-wide id;
+//   - a span id is a hash of (holder node, tuple id, incarnation
+//     counter), where the counter bumps on every announcement-identity
+//     change of the local copy (store, adopt, supersede, relay).
+//
+// Every span change coincides with an announcement version bump, so a
+// neighbor that has seen a sender's version has also seen its current
+// span — which is what lets digest-suppressed refreshes keep their
+// causal links without carrying spans in digest entries.
+
+// FNV-1a 64-bit, inlined so hashing allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (v >> shift & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// traceIDFor derives the deterministic trace identity of a tuple from
+// its network-wide id. Never returns zero (zero means "unsampled" on
+// the wire).
+func traceIDFor(id tuple.ID) uint64 {
+	h := fnvString(fnvOffset64, string(id.Node))
+	h = fnvUint64(h, id.Seq)
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// spanID derives the span identity of one copy incarnation: the
+// (holder, tuple, incarnation) triple hashed to 64 bits.
+func spanID(node tuple.NodeID, id tuple.ID, seq uint32) uint64 {
+	h := fnvString(fnvOffset64, string(node))
+	h = fnvString(h, string(id.Node))
+	h = fnvUint64(h, id.Seq)
+	h = fnvUint64(h, uint64(seq))
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// sampleTrace decides at inject time whether a tuple is traced: a
+// deterministic threshold test of its trace id against the configured
+// rate, so the same tuple is sampled (or not) in every run and at
+// every node that re-derives the decision.
+func sampleTrace(id tuple.ID, rate float64) (uint64, bool) {
+	if rate <= 0 {
+		return 0, false
+	}
+	tid := traceIDFor(id)
+	if rate >= 1 || float64(tid) <= rate*math.MaxUint64 {
+		return tid, true
+	}
+	return 0, false
+}
+
+// bumpSpanLocked advances the tuple's span incarnation after a local
+// copy change and records the new span id on the state. No-op (and
+// zero) for unsampled tuples, so the untraced hot path never hashes.
+func (n *Node) bumpSpanLocked(id tuple.ID, st *tupleState) uint64 {
+	if st.traceID == 0 {
+		return 0
+	}
+	st.spanSeq++
+	st.span = spanID(n.id, id, st.spanSeq)
+	return st.span
+}

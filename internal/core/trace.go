@@ -39,6 +39,16 @@ const (
 	// TraceAggResult: a query source computed a convergecast result
 	// (Value carries the scalar, Hop the epoch).
 	TraceAggResult
+	// TraceSend: a sampled local copy was announced to the air (From
+	// names the unicast destination; empty for broadcasts). Emitted
+	// only for traced tuples — paired with the receivers' store/adopt
+	// spans it localizes which link swallowed an announcement.
+	TraceSend
+	// TracePull: this node requested full bytes for a sampled tuple it
+	// could not reconstruct from a digest (From is the neighbor being
+	// pulled from). Pull bursts concentrated on one link localize
+	// asymmetric loss.
+	TracePull
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +80,10 @@ func (k TraceKind) String() string {
 		return "suspect"
 	case TraceAggResult:
 		return "agg-result"
+	case TraceSend:
+		return "send"
+	case TracePull:
+		return "pull"
 	default:
 		return "unknown-trace"
 	}
@@ -90,6 +104,15 @@ type TraceEvent struct {
 	Hop int
 	// Value is the maintained structure value, when meaningful.
 	Value float64
+	// TraceID is the tuple's sampled trace identity; zero when the
+	// tuple is not sampled (the common case — sampling is off unless
+	// WithTraceSampling enables it).
+	TraceID uint64
+	// Span identifies this node's copy incarnation at the time of the
+	// event; ParentSpan references the upstream hop's span that caused
+	// it, when known. Together they stitch per-node events into a
+	// cross-node propagation tree.
+	Span, ParentSpan uint64
 }
 
 // String implements fmt.Stringer.
@@ -117,6 +140,16 @@ func WithTracer(tr Tracer) Option {
 	return optionFunc(func(c *Config) { c.Tracer = tr })
 }
 
+// WithTraceSampling sets the fraction of locally injected tuples that
+// carry a causal trace context (0 disables tracing, 1 traces every
+// tuple). The decision is a deterministic hash threshold on the tuple
+// id, so a given tuple is sampled identically across runs. Tuples
+// arriving off the air keep whatever sampling decision their source
+// made regardless of the local rate.
+func WithTraceSampling(rate float64) Option {
+	return optionFunc(func(c *Config) { c.TraceSampleRate = rate })
+}
+
 // traceLocked queues a trace event for post-unlock delivery. No-op
 // without a tracer.
 func (n *Node) traceLocked(ev TraceEvent) {
@@ -125,6 +158,18 @@ func (n *Node) traceLocked(ev TraceEvent) {
 	}
 	ev.Node = n.id
 	n.pendingTraces = append(n.pendingTraces, ev)
+}
+
+// tracePullLocked records an anti-entropy pull for a sampled tuple:
+// the node is asking From for content it should have heard on the air.
+// Pull bursts concentrated on one directed link are the trace-level
+// signature of asymmetric loss. No-op for unsampled tuples.
+func (n *Node) tracePullLocked(id tuple.ID, from tuple.NodeID, st *tupleState) {
+	if st.traceID == 0 {
+		return
+	}
+	n.traceLocked(TraceEvent{Kind: TracePull, ID: id, From: from,
+		TraceID: st.traceID, Span: st.span})
 }
 
 func (n *Node) takeTracesLocked() []TraceEvent {

@@ -24,9 +24,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tota/internal/core"
 	"tota/internal/mobility"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/space"
 	"tota/internal/topology"
@@ -99,6 +101,19 @@ type World struct {
 	churnRemoves atomic.Int64
 	obsOn        atomic.Bool
 	lastRollup   atomic.Pointer[Rollup]
+	// tickSeconds, when set by RegisterMetrics, times each Tick on the
+	// wall clock. The wall clock feeds telemetry only — it never
+	// influences emulation behavior, which stays purely tick-driven.
+	tickSeconds atomic.Pointer[obs.Histogram]
+	// lastRate is the previous (rounds, wall time) sample the
+	// rounds-per-second gauge differentiates against, scrape to scrape.
+	lastRate atomic.Pointer[rateSample]
+}
+
+// rateSample is one throughput observation point.
+type rateSample struct {
+	rounds int64
+	at     time.Time
 }
 
 // New builds a world with one middleware node per graph node.
@@ -345,6 +360,10 @@ func (w *World) forEachNodeSharded(fn func(n *core.Node)) {
 // Tick advances time: movers step by dt, the topology follows the new
 // positions, and one radio round is delivered.
 func (w *World) Tick(dt float64) {
+	if h := w.tickSeconds.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Seconds()) }()
+	}
 	w.ticks++
 	w.time += dt
 	now := w.time

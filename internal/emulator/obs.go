@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"tota/internal/core"
 	"tota/internal/obs"
@@ -123,6 +124,26 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 	counter("tota_emu_radio_corrupted_total", "Radio packets delivered with injected byte flips.", func(r Rollup) int64 { return r.Net.Corrupted })
 	counter("tota_emu_radio_blocked_total", "Radio packets discarded at a partition cut.", func(r Rollup) int64 { return r.Net.Blocked })
 	counter("tota_emu_radio_shed_total", "Radio packets shed by the bounded inbound queue.", func(r Rollup) int64 { return r.Net.Shed })
+	reg.CounterFunc("tota_emu_radio_rounds_total", "Radio rounds stepped (includes Settle drains).", func() float64 {
+		return float64(w.sim.Rounds())
+	})
+	// Wall-clock throughput series. These are the only metrics that read
+	// the wall clock, and only at observation points — emulation
+	// behavior itself never consults it, so seeded runs stay
+	// bit-identical whether or not metrics are registered.
+	w.tickSeconds.Store(reg.Histogram("tota_emu_tick_seconds", "Wall-clock duration of one emulation tick.", obs.ExpBuckets(1e-5, 2, 22)))
+	reg.GaugeFunc("tota_emu_rounds_per_s", "Radio rounds per wall-clock second, differentiated scrape to scrape (0 on the first scrape).", func() float64 {
+		cur := &rateSample{rounds: w.sim.Rounds(), at: time.Now()}
+		prev := w.lastRate.Swap(cur)
+		if prev == nil {
+			return 0
+		}
+		dt := cur.at.Sub(prev.at).Seconds()
+		if dt <= 0 {
+			return 0
+		}
+		return float64(cur.rounds-prev.rounds) / dt
+	})
 }
 
 // Dashboard renders a rollup as one compact text line — the periodic

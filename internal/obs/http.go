@@ -14,7 +14,12 @@ import (
 //	/metrics.json  JSON snapshot (histograms include quantiles)
 //	/healthz       liveness probe ("ok")
 //	/debug/pprof/  the standard net/http/pprof handlers
-func Handler(r *Registry) http.Handler {
+//	/debug/flight  flight-recorder dump (with recorders attached)
+//
+// Flight recorders, when passed, are served at /debug/flight as
+// concatenated JSONL, oldest events first per recorder — the same
+// schema the JSONL sink writes, so tota-trace ingests scrapes directly.
+func Handler(r *Registry, flights ...*FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,6 +33,17 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if len(flights) > 0 {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			for _, f := range flights {
+				if f == nil {
+					continue
+				}
+				_ = f.WriteJSONL(w)
+			}
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -43,14 +59,15 @@ type Server struct {
 }
 
 // Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the
-// observability mux in a background goroutine. Close to stop.
-func Serve(addr string, r *Registry) (*Server, error) {
+// observability mux in a background goroutine (flight recorders, when
+// passed, are exposed at /debug/flight). Close to stop.
+func Serve(addr string, r *Registry, flights ...*FlightRecorder) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(r),
+		Handler:           Handler(r, flights...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 
 	"tota/internal/core"
@@ -53,6 +54,43 @@ type TraceRecord struct {
 	Hop int `json:"hop,omitempty"`
 	// Val is the maintained structure value, when meaningful.
 	Val float64 `json:"val,omitempty"`
+	// Trace, Span and PSpan carry the causal trace context of sampled
+	// tuples as lowercase hex (absent for unsampled events): the
+	// tuple's trace id, the span of this node's copy incarnation, and
+	// the upstream hop's span that caused it. Hex strings keep uint64
+	// identities exact through JSON (float64 numbers would round) and
+	// greppable in dumps.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+	PSpan string `json:"pspan,omitempty"`
+}
+
+// NewTraceRecord converts one engine event into the JSONL schema,
+// stamped with t. Shared by the JSONL sink and the flight recorder so
+// both emit identical records for the same event.
+func NewTraceRecord(t float64, ev core.TraceEvent) TraceRecord {
+	return TraceRecord{
+		T:     t,
+		Kind:  ev.Kind.String(),
+		Node:  string(ev.Node),
+		ID:    ev.ID.String(),
+		Tuple: ev.TupleKind,
+		From:  string(ev.From),
+		Hop:   ev.Hop,
+		Val:   ev.Value,
+		Trace: hexID(ev.TraceID),
+		Span:  hexID(ev.Span),
+		PSpan: hexID(ev.ParentSpan),
+	}
+}
+
+// hexID formats a span or trace identity; zero (unsampled) renders as
+// the empty string so the JSON field is omitted.
+func hexID(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatUint(v, 16)
 }
 
 type stampedEvent struct {
@@ -110,16 +148,7 @@ func (s *JSONLSink) writeLoop(w io.Writer) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for se := range s.ch {
-		rec := TraceRecord{
-			T:     se.t,
-			Kind:  se.ev.Kind.String(),
-			Node:  string(se.ev.Node),
-			ID:    se.ev.ID.String(),
-			Tuple: se.ev.TupleKind,
-			From:  string(se.ev.From),
-			Hop:   se.ev.Hop,
-			Val:   se.ev.Value,
-		}
+		rec := NewTraceRecord(se.t, se.ev)
 		if err := enc.Encode(rec); err != nil {
 			if s.werr == nil {
 				s.werr = err

@@ -150,3 +150,124 @@ func TestLatenciesPropagationAndRepair(t *testing.T) {
 		}
 	}
 }
+
+// TestLatenciesOutOfOrderStore: a store observed before its inject
+// (trace streams from different nodes merge in arbitrary order) must
+// not sample propagation; once the inject lands, later stores do.
+func TestLatenciesOutOfOrderStore(t *testing.T) {
+	now := 0.0
+	l := NewLatencies(nil, func() float64 { return now }, RoundBuckets)
+	tr := l.Tracer()
+
+	tr(ev(core.TraceStore, "b", "a", 1))
+	if got := l.Propagation.Count(); got != 0 {
+		t.Fatalf("propagation samples before inject = %d, want 0", got)
+	}
+	now = 1
+	tr(ev(core.TraceInject, "a", "a", 1))
+	now = 4
+	tr(ev(core.TraceStore, "c", "a", 1))
+	if got := l.Propagation.Count(); got != 1 {
+		t.Fatalf("propagation samples = %d, want 1", got)
+	}
+	if got := l.Propagation.Sum(); got != 3 {
+		t.Errorf("propagation latency = %v, want 3", got)
+	}
+}
+
+// TestLatenciesDuplicateStores pins the per-event sampling contract:
+// every store of a tracked tuple at a non-source node samples, so a
+// node re-storing (lease renewal, supersede re-store) contributes one
+// sample per store event rather than deduplicating per (tuple, node).
+func TestLatenciesDuplicateStores(t *testing.T) {
+	now := 0.0
+	l := NewLatencies(nil, func() float64 { return now }, RoundBuckets)
+	tr := l.Tracer()
+
+	tr(ev(core.TraceInject, "a", "a", 1))
+	now = 2
+	tr(ev(core.TraceStore, "b", "a", 1))
+	now = 6
+	tr(ev(core.TraceStore, "b", "a", 1))
+	if got := l.Propagation.Count(); got != 2 {
+		t.Fatalf("propagation samples = %d, want 2 (one per store event)", got)
+	}
+	if got := l.Propagation.Sum(); got != 8 {
+		t.Errorf("propagation latency sum = %v, want 2+6", got)
+	}
+}
+
+// TestLatenciesChurnReAdopt: re-marking churn re-arms repair sampling
+// (each mark is consumed by exactly one adoption), the latest mark
+// wins, and a per-id disturbance takes priority over — and consumes —
+// a pending churn mark without double-sampling.
+func TestLatenciesChurnReAdopt(t *testing.T) {
+	now := 0.0
+	l := NewLatencies(nil, func() float64 { return now }, RoundBuckets)
+	tr := l.Tracer()
+
+	// Mark, re-mark: the adoption samples against the latest mark.
+	l.MarkChurn()
+	now = 5
+	l.MarkChurn()
+	now = 8
+	tr(ev(core.TraceAdopt, "b", "a", 1))
+	if got, want := l.Repair.Count(), int64(1); got != want {
+		t.Fatalf("repair samples = %d, want %d", got, want)
+	}
+	if got := l.Repair.Sum(); got != 3 {
+		t.Errorf("repair latency = %v, want 3 (latest mark wins)", got)
+	}
+	// The mark is consumed: a second adoption does not sample.
+	now = 9
+	tr(ev(core.TraceAdopt, "c", "a", 1))
+	if got := l.Repair.Count(); got != 1 {
+		t.Fatalf("consumed churn mark re-sampled: count = %d", got)
+	}
+	// Re-adopt after a fresh mark samples again.
+	now = 10
+	l.MarkChurn()
+	now = 12
+	tr(ev(core.TraceAdopt, "b", "a", 1))
+	if got := l.Repair.Count(); got != 2 {
+		t.Fatalf("repair samples after re-mark = %d, want 2", got)
+	}
+
+	// A per-id withdrawal outranks a pending churn mark: the adoption
+	// samples the withdrawal once and consumes the mark alongside it.
+	now = 20
+	tr(ev(core.TraceWithdraw, "b", "a", 1))
+	now = 21
+	l.MarkChurn()
+	now = 24
+	tr(ev(core.TraceAdopt, "b", "a", 1))
+	if got := l.Repair.Count(); got != 3 {
+		t.Fatalf("repair samples = %d, want 3 (no double sample)", got)
+	}
+	if got := l.Repair.Sum(); got != 3+2+4 {
+		t.Errorf("repair latency sum = %v, want 9", got)
+	}
+	now = 25
+	tr(ev(core.TraceAdopt, "c", "a", 1))
+	if got := l.Repair.Count(); got != 3 {
+		t.Errorf("consumed state re-sampled: count = %d", got)
+	}
+}
+
+// TestLatenciesRetractClearsTracking: teardown and expiry drop the
+// tuple's tracking state, so later stores of a revived id do not
+// sample against the stale inject time.
+func TestLatenciesRetractClearsTracking(t *testing.T) {
+	now := 0.0
+	l := NewLatencies(nil, func() float64 { return now }, RoundBuckets)
+	tr := l.Tracer()
+
+	tr(ev(core.TraceInject, "a", "a", 1))
+	now = 3
+	tr(ev(core.TraceRetract, "a", "a", 1))
+	now = 50
+	tr(ev(core.TraceStore, "b", "a", 1))
+	if got := l.Propagation.Count(); got != 0 {
+		t.Errorf("store after retract sampled: count = %d", got)
+	}
+}

@@ -1,0 +1,325 @@
+// Package traceanalyze reconstructs per-tuple propagation trees from
+// the middleware's JSONL trace streams (obs.JSONLSink files and
+// flight-recorder dumps share one schema, so both ingest directly).
+//
+// The causal material is the sampled trace context PRs carry on the
+// wire: every copy incarnation of a sampled tuple owns a span (a
+// deterministic hash of node, tuple and a local sequence), and every
+// arrival event names the upstream hop's span as its parent. Stitching
+// span → owning node across all nodes' streams yields the propagation
+// tree the paper draws by hand: who infected whom, when, and over
+// which link — plus where anti-entropy had to pull, which is exactly
+// where broadcasts are being lost.
+package traceanalyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tota/internal/obs"
+)
+
+// arrivalKinds are the event kinds that mark a node joining a tuple's
+// propagation (a copy incarnation with its own span). Sends, pulls and
+// duplicate drops reference spans but do not create them.
+var arrivalKinds = map[string]bool{
+	"inject":    true,
+	"store":     true,
+	"adopt":     true,
+	"supersede": true,
+	"forward":   true,
+}
+
+// ReadJSONL parses one JSONL trace stream. Blank lines are skipped;
+// a malformed line aborts with its line number (truncated tail lines
+// from a crash dump are the expected culprit).
+func ReadJSONL(r io.Reader) ([]obs.TraceRecord, error) {
+	var recs []obs.TraceRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rec obs.TraceRecord
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return nil, fmt.Errorf("traceanalyze: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceanalyze: %w", err)
+	}
+	return recs, nil
+}
+
+// ReadFiles reads and concatenates several JSONL files in argument
+// order (e.g. one sink file plus a few flight dumps).
+func ReadFiles(paths ...string) ([]obs.TraceRecord, error) {
+	var all []obs.TraceRecord
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, recs...)
+	}
+	return all, nil
+}
+
+// Link is one directed network link, in data-flow direction.
+type Link struct {
+	From, To string
+}
+
+func (l Link) String() string { return l.From + "->" + l.To }
+
+// LinkCount ranks a link by an event count.
+type LinkCount struct {
+	Link  Link
+	Count int
+}
+
+// TreeNode is one node's place in a tuple's propagation tree.
+type TreeNode struct {
+	// Node is the network node id.
+	Node string
+	// T is the first-arrival time (sink clock units, typically radio
+	// rounds).
+	T float64
+	// Kind is the arrival event kind (inject, store, adopt, supersede,
+	// forward).
+	Kind string
+	// Hop is the copy's hop count at arrival.
+	Hop int
+	// Parent is the upstream node (empty at the root and on orphans).
+	Parent string
+	// Children are downstream arrivals, sorted by (T, Node).
+	Children []*TreeNode
+}
+
+// Flow is everything the traces say about one sampled tuple.
+type Flow struct {
+	// Trace is the tuple's trace id (lowercase hex).
+	Trace string
+	// ID is the tuple id (NODE#SEQ).
+	ID string
+	// Tuple is the tuple kind, when any record carried it.
+	Tuple string
+	// Root is the propagation tree root (the injection), nil when the
+	// injection event is missing from the ingested streams.
+	Root *TreeNode
+	// Orphans are arrivals whose causal parent could not be resolved
+	// (parent span unseen and no From hint), sorted by (T, Node).
+	Orphans []*TreeNode
+	// Arrivals counts distinct nodes reached.
+	Arrivals int
+	// Repairs counts re-arrivals after the first (repair/supersede
+	// churn at already-visited nodes).
+	Repairs int
+	// Sends counts announcement/pull-response transmissions.
+	Sends int
+	// Pulls counts anti-entropy pulls, per directed link (data-flow
+	// direction: the puller asked Link.From for bytes it never got).
+	Pulls map[Link]int
+	// Events is the total record count for this flow.
+	Events int
+
+	byNode map[string]*TreeNode
+	parent map[string]string
+}
+
+// Analysis is the result of stitching a set of trace records.
+type Analysis struct {
+	// Flows are the per-tuple propagation flows, sorted by (ID, Trace).
+	Flows []*Flow
+	// Untraced counts ingested records without trace context (events of
+	// unsampled tuples).
+	Untraced int
+}
+
+// Analyze stitches records (any order, any number of merged streams)
+// into per-tuple flows.
+func Analyze(recs []obs.TraceRecord) *Analysis {
+	a := &Analysis{}
+	flows := make(map[string]*Flow)
+	// Span ownership is global: a span is minted by exactly one node.
+	spanOwner := make(map[string]string)
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Trace == "" {
+			a.Untraced++
+			continue
+		}
+		fl, ok := flows[rec.Trace]
+		if !ok {
+			fl = &Flow{
+				Trace:  rec.Trace,
+				ID:     rec.ID,
+				Pulls:  make(map[Link]int),
+				byNode: make(map[string]*TreeNode),
+				parent: make(map[string]string),
+			}
+			flows[rec.Trace] = fl
+		}
+		fl.Events++
+		if fl.Tuple == "" && rec.Tuple != "" {
+			fl.Tuple = rec.Tuple
+		}
+		if rec.Span != "" {
+			if _, seen := spanOwner[rec.Span]; !seen {
+				spanOwner[rec.Span] = rec.Node
+			}
+		}
+		switch rec.Kind {
+		case "send":
+			fl.Sends++
+		case "pull":
+			fl.Pulls[Link{From: rec.From, To: rec.Node}]++
+		}
+	}
+	// Second pass: resolve arrivals now that every span has an owner,
+	// regardless of stream merge order.
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Trace == "" || !arrivalKinds[rec.Kind] {
+			continue
+		}
+		fl := flows[rec.Trace]
+		if prev, seen := fl.byNode[rec.Node]; seen {
+			// Keep the earliest arrival; later ones are repair churn.
+			fl.Repairs++
+			if rec.T >= prev.T {
+				continue
+			}
+		}
+		parent := ""
+		if rec.PSpan != "" {
+			parent = spanOwner[rec.PSpan]
+		}
+		if parent == "" {
+			// The upstream span was never exported (partial dump): fall
+			// back to the wire-level previous hop.
+			parent = rec.From
+		}
+		tn := &TreeNode{Node: rec.Node, T: rec.T, Kind: rec.Kind, Hop: rec.Hop, Parent: parent}
+		if rec.Kind == "inject" {
+			tn.Parent = ""
+		}
+		fl.byNode[rec.Node] = tn
+		fl.parent[rec.Node] = tn.Parent
+	}
+	for _, fl := range flows {
+		fl.link()
+		a.Flows = append(a.Flows, fl)
+	}
+	sort.Slice(a.Flows, func(i, j int) bool {
+		if a.Flows[i].ID != a.Flows[j].ID {
+			return a.Flows[i].ID < a.Flows[j].ID
+		}
+		return a.Flows[i].Trace < a.Flows[j].Trace
+	})
+	return a
+}
+
+// link assembles the parent pointers into a tree, separating orphans.
+func (fl *Flow) link() {
+	fl.Arrivals = len(fl.byNode)
+	for _, tn := range fl.byNode {
+		if tn.Kind == "inject" && fl.Root == nil {
+			fl.Root = tn
+			continue
+		}
+		p := fl.byNode[tn.Parent]
+		// Self-parenting and unknown parents orphan the node; a cycle
+		// through unknown spans degrades the same way instead of looping.
+		if p == nil || p == tn {
+			fl.Orphans = append(fl.Orphans, tn)
+			continue
+		}
+		p.Children = append(p.Children, tn)
+	}
+	var order func(ns []*TreeNode)
+	order = func(ns []*TreeNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].T != ns[j].T {
+				return ns[i].T < ns[j].T
+			}
+			return ns[i].Node < ns[j].Node
+		})
+	}
+	for _, tn := range fl.byNode {
+		order(tn.Children)
+	}
+	order(fl.Orphans)
+}
+
+// CriticalPath returns the root-to-leaf chain ending at the latest
+// arrival reachable from the root (ties broken by node id), i.e. the
+// propagation's limiting branch. Empty when the flow has no root.
+func (fl *Flow) CriticalPath() []*TreeNode {
+	if fl.Root == nil {
+		return nil
+	}
+	var worst *TreeNode
+	var walk func(tn *TreeNode)
+	walk = func(tn *TreeNode) {
+		if worst == nil || tn.T > worst.T || (tn.T == worst.T && tn.Node < worst.Node) {
+			worst = tn
+		}
+		for _, c := range tn.Children {
+			walk(c)
+		}
+	}
+	walk(fl.Root)
+	var path []*TreeNode
+	for tn := worst; tn != nil; tn = fl.byNode[tn.Parent] {
+		path = append(path, tn)
+		if tn == fl.Root {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// LossyLinks ranks directed links by pull count across all flows —
+// sustained pulls on one link mean that link keeps eating broadcasts
+// (the anti-entropy layer is detecting the loss; this localizes it).
+func (a *Analysis) LossyLinks() []LinkCount {
+	total := make(map[Link]int)
+	for _, fl := range a.Flows {
+		for l, n := range fl.Pulls {
+			total[l] += n
+		}
+	}
+	out := make([]LinkCount, 0, len(total))
+	for l, n := range total {
+		out = append(out, LinkCount{Link: l, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Link.From != out[j].Link.From {
+			return out[i].Link.From < out[j].Link.From
+		}
+		return out[i].Link.To < out[j].Link.To
+	})
+	return out
+}

@@ -1,0 +1,159 @@
+package traceanalyze
+
+import (
+	"strings"
+	"testing"
+
+	"tota/internal/obs"
+)
+
+// rec builds a trace record tersely for hand-written causal graphs.
+func rec(t float64, kind, node, id, trace, span, pspan string) obs.TraceRecord {
+	return obs.TraceRecord{T: t, Kind: kind, Node: node, ID: id, Trace: trace, Span: span, PSpan: pspan}
+}
+
+// handChain is a 4-node line a→b→c→d plus noise: an untraced event, a
+// repair re-store at c, pulls on b→c, and an orphan e whose parent span
+// never appears.
+func handChain() []obs.TraceRecord {
+	return []obs.TraceRecord{
+		rec(0, "inject", "a", "a#1", "t1", "sa", ""),
+		rec(1, "store", "b", "a#1", "t1", "sb", "sa"),
+		rec(2, "store", "c", "a#1", "t1", "sc", "sb"),
+		rec(4, "store", "d", "a#1", "t1", "sd", "sc"),
+		rec(5, "store", "c", "a#1", "t1", "sc2", "sb"), // repair churn
+		rec(3, "send", "b", "a#1", "t1", "sb", ""),
+		rec(6, "pull", "c", "a#1", "t1", "sc", ""),
+		rec(7, "pull", "c", "a#1", "t1", "sc", ""),
+		rec(9, "store", "e", "a#1", "t1", "se", "zz"), // parent span unseen, no From
+		{T: 2, Kind: "store", Node: "x", ID: "q#1"},   // untraced
+	}
+}
+
+func pullFrom(recs []obs.TraceRecord, from string) []obs.TraceRecord {
+	out := make([]obs.TraceRecord, len(recs))
+	copy(out, recs)
+	for i := range out {
+		if out[i].Kind == "pull" {
+			out[i].From = from
+		}
+	}
+	return out
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	a := Analyze(pullFrom(handChain(), "b"))
+	if a.Untraced != 1 {
+		t.Errorf("untraced = %d, want 1", a.Untraced)
+	}
+	if len(a.Flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(a.Flows))
+	}
+	fl := a.Flows[0]
+	if fl.Trace != "t1" || fl.ID != "a#1" {
+		t.Errorf("flow identity = %s/%s", fl.Trace, fl.ID)
+	}
+	if fl.Arrivals != 5 || fl.Repairs != 1 || fl.Sends != 1 {
+		t.Errorf("arrivals/repairs/sends = %d/%d/%d, want 5/1/1", fl.Arrivals, fl.Repairs, fl.Sends)
+	}
+	if fl.Root == nil || fl.Root.Node != "a" {
+		t.Fatalf("root = %+v, want a", fl.Root)
+	}
+	// a → b → c → d resolves through span ownership.
+	if len(fl.Root.Children) != 1 || fl.Root.Children[0].Node != "b" {
+		t.Fatalf("a's children = %+v", fl.Root.Children)
+	}
+	b := fl.Root.Children[0]
+	if len(b.Children) != 1 || b.Children[0].Node != "c" {
+		t.Fatalf("b's children = %+v", b.Children)
+	}
+	if len(fl.Orphans) != 1 || fl.Orphans[0].Node != "e" {
+		t.Errorf("orphans = %+v, want [e]", fl.Orphans)
+	}
+	if n := fl.Pulls[Link{From: "b", To: "c"}]; n != 2 {
+		t.Errorf("pulls b->c = %d, want 2", n)
+	}
+
+	path := fl.CriticalPath()
+	want := []string{"a", "b", "c", "d"}
+	if len(path) != len(want) {
+		t.Fatalf("critical path length = %d, want %d", len(path), len(want))
+	}
+	for i, n := range want {
+		if path[i].Node != n {
+			t.Errorf("path[%d] = %s, want %s", i, path[i].Node, n)
+		}
+	}
+
+	lossy := a.LossyLinks()
+	if len(lossy) != 1 || lossy[0].Link != (Link{From: "b", To: "c"}) || lossy[0].Count != 2 {
+		t.Errorf("lossy = %+v", lossy)
+	}
+}
+
+// TestAnalyzeOrderIndependent: analysis is a function of the record
+// set, not the stream merge order (flight dumps arrive per node).
+func TestAnalyzeOrderIndependent(t *testing.T) {
+	recs := pullFrom(handChain(), "b")
+	rev := make([]obs.TraceRecord, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	var fwd, bwd strings.Builder
+	for _, fl := range Analyze(recs).Flows {
+		fl.WriteTree(&fwd)
+	}
+	for _, fl := range Analyze(rev).Flows {
+		fl.WriteTree(&bwd)
+	}
+	if fwd.String() != bwd.String() {
+		t.Errorf("order-dependent analysis:\nfwd:\n%s\nbwd:\n%s", fwd.String(), bwd.String())
+	}
+}
+
+// TestAnalyzeFromFallback: when the parent span was never exported
+// (partial dump), the wire-level From field still places the node.
+func TestAnalyzeFromFallback(t *testing.T) {
+	recs := []obs.TraceRecord{
+		rec(0, "inject", "a", "a#1", "t1", "sa", ""),
+		{T: 1, Kind: "store", Node: "b", ID: "a#1", Trace: "t1", Span: "sb", PSpan: "gone", From: "a"},
+	}
+	fl := Analyze(recs).Flows[0]
+	if len(fl.Root.Children) != 1 || fl.Root.Children[0].Node != "b" {
+		t.Errorf("From fallback failed: children = %+v, orphans = %+v", fl.Root.Children, fl.Orphans)
+	}
+}
+
+// TestAnalyzeNoRoot: a flow whose injection never reached the streams
+// degrades to orphans instead of inventing a root.
+func TestAnalyzeNoRoot(t *testing.T) {
+	recs := []obs.TraceRecord{
+		rec(1, "store", "b", "a#1", "t1", "sb", "sa"),
+	}
+	fl := Analyze(recs).Flows[0]
+	if fl.Root != nil {
+		t.Errorf("root = %+v, want nil", fl.Root)
+	}
+	if len(fl.Orphans) != 1 {
+		t.Errorf("orphans = %+v", fl.Orphans)
+	}
+	if fl.CriticalPath() != nil {
+		t.Error("critical path without root")
+	}
+	var b strings.Builder
+	fl.WriteCriticalPath(&b)
+	if !strings.Contains(b.String(), "no root") {
+		t.Errorf("crit output = %q", b.String())
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"t\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse error", err)
+	}
+	recs, err := ReadJSONL(strings.NewReader("\n{\"t\":1,\"kind\":\"store\",\"node\":\"a\",\"id\":\"a#1\"}\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("recs = %v, err = %v", recs, err)
+	}
+}

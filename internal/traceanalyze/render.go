@@ -1,0 +1,134 @@
+package traceanalyze
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ftime renders a sink timestamp compactly (round counts print as
+// integers, wall-clock seconds keep their precision).
+func ftime(t float64) string {
+	return strconv.FormatFloat(t, 'g', -1, 64)
+}
+
+// WriteTree renders a flow's propagation tree as an indented listing.
+func (fl *Flow) WriteTree(w io.Writer) {
+	fmt.Fprintf(w, "trace %s id %s", fl.Trace, fl.ID)
+	if fl.Tuple != "" {
+		fmt.Fprintf(w, " (%s)", fl.Tuple)
+	}
+	pulls := 0
+	for _, n := range fl.Pulls {
+		pulls += n
+	}
+	fmt.Fprintf(w, ": %d nodes, %d repairs, %d sends, %d pulls, %d events\n",
+		fl.Arrivals, fl.Repairs, fl.Sends, pulls, fl.Events)
+	var walk func(tn *TreeNode, depth int)
+	walk = func(tn *TreeNode, depth int) {
+		for i := 0; i < depth; i++ {
+			io.WriteString(w, "  ")
+		}
+		fmt.Fprintf(w, "%s t=%s %s", tn.Node, ftime(tn.T), tn.Kind)
+		if tn.Hop > 0 {
+			fmt.Fprintf(w, " hop=%d", tn.Hop)
+		}
+		if parent := fl.byNode[tn.Parent]; parent != nil && tn.T >= parent.T {
+			fmt.Fprintf(w, " (+%s)", ftime(tn.T-parent.T))
+		}
+		io.WriteString(w, "\n")
+		for _, c := range tn.Children {
+			walk(c, depth+1)
+		}
+	}
+	if fl.Root != nil {
+		walk(fl.Root, 1)
+	} else {
+		io.WriteString(w, "  (no injection event in the ingested streams)\n")
+	}
+	for _, o := range fl.Orphans {
+		fmt.Fprintf(w, "  orphan %s t=%s %s (parent %q not in streams)\n",
+			o.Node, ftime(o.T), o.Kind, o.Parent)
+	}
+}
+
+// WriteCriticalPath renders the limiting propagation branch with the
+// per-hop latency breakdown.
+func (fl *Flow) WriteCriticalPath(w io.Writer) {
+	path := fl.CriticalPath()
+	if len(path) == 0 {
+		fmt.Fprintf(w, "trace %s id %s: no root\n", fl.Trace, fl.ID)
+		return
+	}
+	total := path[len(path)-1].T - path[0].T
+	fmt.Fprintf(w, "trace %s id %s: critical path %d hops, latency %s\n",
+		fl.Trace, fl.ID, len(path)-1, ftime(total))
+	for i, tn := range path {
+		delta := ""
+		if i > 0 {
+			delta = " +" + ftime(tn.T-path[i-1].T)
+		}
+		fmt.Fprintf(w, "  %-12s t=%-8s %s%s\n", tn.Node, ftime(tn.T), tn.Kind, delta)
+	}
+}
+
+// WriteDOT renders the flow as a Graphviz digraph: tree edges labeled
+// with the per-hop latency, orphans dashed, pull-heavy links in red.
+func (fl *Flow) WriteDOT(w io.Writer) {
+	fmt.Fprintf(w, "digraph \"trace_%s\" {\n", fl.Trace)
+	fmt.Fprintf(w, "  label=%q;\n", fl.ID)
+	fmt.Fprintln(w, "  node [shape=box];")
+	var walk func(tn *TreeNode)
+	walk = func(tn *TreeNode) {
+		for _, c := range tn.Children {
+			fmt.Fprintf(w, "  %q -> %q [label=\"+%s\"];\n", tn.Node, c.Node, ftime(c.T-tn.T))
+			walk(c)
+		}
+	}
+	if fl.Root != nil {
+		fmt.Fprintf(w, "  %q [style=bold];\n", fl.Root.Node)
+		walk(fl.Root)
+	}
+	for _, o := range fl.Orphans {
+		fmt.Fprintf(w, "  %q [style=dashed];\n", o.Node)
+	}
+	// Pull edges expose where anti-entropy worked: sustained pulls mark
+	// lossy links.
+	links := make([]LinkCount, 0, len(fl.Pulls))
+	for l, n := range fl.Pulls {
+		links = append(links, LinkCount{Link: l, Count: n})
+	}
+	sortLinks(links)
+	for _, lc := range links {
+		fmt.Fprintf(w, "  %q -> %q [color=red, style=dotted, label=\"%d pulls\"];\n",
+			lc.Link.From, lc.Link.To, lc.Count)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func sortLinks(links []LinkCount) {
+	// Same ordering contract as Analysis.LossyLinks.
+	for i := 1; i < len(links); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &links[j-1], &links[j]
+			if a.Count > b.Count ||
+				(a.Count == b.Count && (a.Link.From < b.Link.From ||
+					(a.Link.From == b.Link.From && a.Link.To <= b.Link.To))) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}
+
+// WriteLossyLinks renders the aggregate pull ranking.
+func (a *Analysis) WriteLossyLinks(w io.Writer) {
+	links := a.LossyLinks()
+	if len(links) == 0 {
+		fmt.Fprintln(w, "no pulls recorded (no loss detected by anti-entropy)")
+		return
+	}
+	for _, lc := range links {
+		fmt.Fprintf(w, "%-24s %d pulls\n", lc.Link.String(), lc.Count)
+	}
+}

@@ -75,6 +75,10 @@ type linkDelay struct {
 type Sim struct {
 	cfg SimConfig
 
+	// rounds counts Step calls (atomic: scraped lock-free as the trace
+	// clock and the rounds-per-second throughput metric).
+	rounds atomic.Int64
+
 	mu         sync.Mutex
 	graph      *topology.Graph
 	handlers   map[tuple.NodeID]Handler
@@ -353,6 +357,7 @@ type destGroup struct {
 // (source node, send sequence) order after all workers finish, so a
 // seeded run is bit-identical at any worker count or GOMAXPROCS.
 func (s *Sim) Step() int {
+	s.rounds.Add(1)
 	s.mu.Lock()
 	// Age packets in place: surviving packets keep the inflight backing
 	// array (no per-round reallocation), due ones are copied out.
@@ -590,6 +595,12 @@ func (s *Sim) RunUntilQuiet(maxSteps int) int {
 	}
 	return maxSteps
 }
+
+// Rounds returns how many Step calls have run. It is safe to read
+// concurrently with stepping; emulation drivers use it as a
+// monotonic logical clock for trace sinks (unlike World.Time it also
+// advances during Settle drains, where no simulated time passes).
+func (s *Sim) Rounds() int64 { return s.rounds.Load() }
 
 // Pending returns the number of packets currently in flight.
 func (s *Sim) Pending() int {

@@ -25,6 +25,12 @@ func FuzzDecode(f *testing.F) {
 	if data, err := Encode(Message{Type: MsgTuple, Hop: 2, Parent: "p", Tuple: ft}); err == nil {
 		f.Add(data)
 	}
+	// A traced (version-2) announcement: the 16-byte trace context sits
+	// between the announcement version and the tuple bytes.
+	if data, err := Encode(Message{Type: MsgTuple, Hop: 2, Parent: "p", Tuple: ft,
+		Trace: TraceCtx{TraceID: 0xfeed, Span: 0xbeef}}); err == nil {
+		f.Add(data)
+	}
 	if data, err := Encode(Message{Type: MsgRetract, ID: tuple.ID{Node: "n", Seq: 9}}); err == nil {
 		f.Add(data)
 	}

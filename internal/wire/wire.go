@@ -96,6 +96,23 @@ type DigestEntry struct {
 	Parent     tuple.NodeID
 }
 
+// TraceCtx is the optional causal trace context piggybacked on MsgTuple
+// announcements. TraceID identifies the sampled tuple's end-to-end trace
+// (zero means the tuple is not sampled and the context is absent from
+// the wire); Span identifies the sender's current copy incarnation, so
+// the receiver can link its own store/adopt decision to the exact
+// upstream hop that caused it. The context is 16 bytes, fixed-size, and
+// only present on traced frames — untraced frames are byte-identical to
+// the version-1 encoding.
+type TraceCtx struct {
+	TraceID uint64
+	Span    uint64
+}
+
+// TraceCtxSize is the encoded size of a trace context on a traced
+// MsgTuple frame.
+const TraceCtxSize = 16
+
 // Message is one engine packet.
 type Message struct {
 	Type MsgType
@@ -131,9 +148,21 @@ type Message struct {
 	Origin tuple.ID
 	// Partial is the carried partial aggregate (MsgPartial).
 	Partial agg.Partial
+	// Trace is the causal trace context of a sampled tuple (MsgTuple
+	// only). A zero TraceID means unsampled: the frame encodes as
+	// version 1 with no trace bytes.
+	Trace TraceCtx
 }
 
-const wireVersion = 1
+// Frame versions. Version 1 is the untraced baseline; version 2 frames
+// carry a 16-byte TraceCtx between the announcement version and the
+// tuple bytes of a MsgTuple body. Encoders emit version 2 only when a
+// trace context is present, so disabling sampling reproduces version-1
+// bytes exactly; decoders accept both.
+const (
+	wireVersion       = 1
+	wireVersionTraced = 2
+)
 
 // Hard decode bounds: a frame claiming more than these is rejected
 // before any allocation is sized from attacker-controlled counts.
@@ -215,9 +244,20 @@ func Encode(m Message) ([]byte, error) {
 		if m.Tuple == nil {
 			return nil, errors.New("wire: MsgTuple without tuple")
 		}
-		b := make([]byte, 0, header+4+tuple.EncodedSize(m.Tuple)+ChecksumSize)
-		b = appendHeader(b, m)
+		traced := m.Trace.TraceID != 0
+		size := header + 4 + tuple.EncodedSize(m.Tuple) + ChecksumSize
+		ver := byte(wireVersion)
+		if traced {
+			size += TraceCtxSize
+			ver = wireVersionTraced
+		}
+		b := make([]byte, 0, size)
+		b = appendHeader(b, ver, m)
 		b = binary.BigEndian.AppendUint32(b, m.Ver)
+		if traced {
+			b = binary.BigEndian.AppendUint64(b, m.Trace.TraceID)
+			b = binary.BigEndian.AppendUint64(b, m.Trace.Span)
+		}
 		b, err := tuple.AppendEncode(b, m.Tuple)
 		if err != nil {
 			return nil, fmt.Errorf("wire: encode tuple: %w", err)
@@ -226,7 +266,7 @@ func Encode(m Message) ([]byte, error) {
 	case MsgRetract, MsgWithdraw:
 		id := m.ID.String()
 		b := make([]byte, 0, header+4+len(id)+ChecksumSize)
-		b = appendHeader(b, m)
+		b = appendHeader(b, wireVersion, m)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(id)))
 		return seal(append(b, id...)), nil
 	case MsgDigest:
@@ -242,7 +282,7 @@ func Encode(m Message) ([]byte, error) {
 			size += digestEntrySize(e)
 		}
 		b := make([]byte, 0, size)
-		b = appendHeader(b, m)
+		b = appendHeader(b, wireVersion, m)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Digest)))
 		for i := range m.Digest {
 			b = appendDigestEntry(b, &m.Digest[i])
@@ -260,7 +300,7 @@ func Encode(m Message) ([]byte, error) {
 			size += 2 + len(id.Node) + 8
 		}
 		b := make([]byte, 0, size)
-		b = appendHeader(b, m)
+		b = appendHeader(b, wireVersion, m)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Want)))
 		for _, id := range m.Want {
 			b = appendID(b, id)
@@ -271,7 +311,7 @@ func Encode(m Message) ([]byte, error) {
 			return nil, fmt.Errorf("%w: query id node over %d bytes", ErrTooLarge, math.MaxUint16)
 		}
 		b := make([]byte, 0, header+2+len(m.ID.Node)+8+4+ChecksumSize)
-		b = appendHeader(b, m)
+		b = appendHeader(b, wireVersion, m)
 		b = appendID(b, m.ID)
 		b = binary.BigEndian.AppendUint32(b, m.Epoch)
 		return seal(b), nil
@@ -284,7 +324,7 @@ func Encode(m Message) ([]byte, error) {
 			size += 2 + agg.SketchWords*8
 		}
 		b := make([]byte, 0, size)
-		b = appendHeader(b, m)
+		b = appendHeader(b, wireVersion, m)
 		b = appendID(b, m.ID)
 		b = binary.BigEndian.AppendUint32(b, m.Epoch)
 		b = appendID(b, m.Origin)
@@ -379,7 +419,7 @@ func EncodeBatch(msgs [][]byte) ([]byte, error) {
 		size += BatchPerMessage + len(msg)
 	}
 	b := make([]byte, 0, size)
-	b = appendHeader(b, Message{Type: MsgBatch})
+	b = appendHeader(b, wireVersion, Message{Type: MsgBatch})
 	b = binary.BigEndian.AppendUint32(b, uint32(len(msgs)))
 	for _, msg := range msgs {
 		b = binary.BigEndian.AppendUint32(b, uint32(len(msg)))
@@ -388,8 +428,8 @@ func EncodeBatch(msgs [][]byte) ([]byte, error) {
 	return seal(b), nil
 }
 
-func appendHeader(b []byte, m Message) []byte {
-	b = append(b, wireVersion, byte(m.Type))
+func appendHeader(b []byte, ver byte, m Message) []byte {
+	b = append(b, ver, byte(m.Type))
 	b = binary.BigEndian.AppendUint16(b, m.Hop)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Parent)))
 	return append(b, m.Parent...)
@@ -429,8 +469,9 @@ func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) erro
 		return ErrChecksum
 	}
 	data = sealed
-	if data[0] != wireVersion {
-		return fmt.Errorf("%w: %d", ErrVersion, data[0])
+	ver := data[0]
+	if ver != wireVersion && ver != wireVersionTraced {
+		return fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
 	m.Type = MsgType(data[1])
 	m.Hop = binary.BigEndian.Uint16(data[2:4])
@@ -454,7 +495,16 @@ func decodeInto(reg *tuple.Registry, data []byte, m *Message, inBatch bool) erro
 			return ErrShort
 		}
 		m.Ver = binary.BigEndian.Uint32(body[:4])
-		t, err := tuple.Decode(reg, body[4:])
+		body = body[4:]
+		if ver == wireVersionTraced {
+			if len(body) < TraceCtxSize {
+				return ErrShort
+			}
+			m.Trace.TraceID = binary.BigEndian.Uint64(body[:8])
+			m.Trace.Span = binary.BigEndian.Uint64(body[8:16])
+			body = body[TraceCtxSize:]
+		}
+		t, err := tuple.Decode(reg, body)
 		if err != nil {
 			return fmt.Errorf("wire: decode tuple: %w", err)
 		}

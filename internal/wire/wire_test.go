@@ -427,3 +427,146 @@ func TestDecodeIntoReusesScratch(t *testing.T) {
 		t.Errorf("decoded digest = %+v", m.Digest)
 	}
 }
+
+// TestTraceContextRoundTrip covers the version-2 traced MsgTuple frame:
+// the 16-byte TraceCtx rides between the announcement version and the
+// tuple bytes and survives a round trip.
+func TestTraceContextRoundTrip(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	ft.SetID(tuple.ID{Node: "src", Seq: 4})
+
+	tc := TraceCtx{TraceID: 0xdeadbeefcafe0001, Span: 0x1122334455667788}
+	data, err := Encode(Message{Type: MsgTuple, Hop: 3, Parent: "p", Ver: 9, Tuple: ft, Trace: tc})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if data[0] != wireVersionTraced {
+		t.Errorf("version byte = %d, want %d", data[0], wireVersionTraced)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Trace != tc {
+		t.Errorf("Trace = %+v, want %+v", got.Trace, tc)
+	}
+	if got.Hop != 3 || got.Parent != "p" || got.Ver != 9 {
+		t.Errorf("envelope = %+v", got)
+	}
+	if got.Tuple.ID() != ft.ID() || !got.Tuple.Content().Equal(ft.Content()) {
+		t.Errorf("tuple mismatch: %v", got.Tuple)
+	}
+
+	// The traced frame costs exactly TraceCtxSize bytes over the
+	// untraced encoding of the same message.
+	plain, err := Encode(Message{Type: MsgTuple, Hop: 3, Parent: "p", Ver: 9, Tuple: ft})
+	if err != nil {
+		t.Fatalf("Encode untraced: %v", err)
+	}
+	if len(data) != len(plain)+TraceCtxSize {
+		t.Errorf("traced frame = %d bytes, untraced = %d, want +%d", len(data), len(plain), TraceCtxSize)
+	}
+}
+
+// TestTraceContextOffIsVersion1 pins the sampling-off guarantee: a zero
+// TraceCtx encodes the exact version-1 bytes, so untraced deployments
+// are wire-identical to pre-trace builds.
+func TestTraceContextOffIsVersion1(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	ft.SetID(tuple.ID{Node: "src", Seq: 4})
+
+	data, err := Encode(Message{Type: MsgTuple, Hop: 1, Ver: 2, Tuple: ft})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if data[0] != wireVersion {
+		t.Errorf("version byte = %d, want %d", data[0], wireVersion)
+	}
+	got, err := Decode(r, data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Trace != (TraceCtx{}) {
+		t.Errorf("Trace = %+v, want zero", got.Trace)
+	}
+}
+
+// TestTraceContextInBatch mixes traced and untraced sub-messages in one
+// batch frame; each sub-message carries its own version byte.
+func TestTraceContextInBatch(t *testing.T) {
+	r := newWireRegistry(t)
+	ft := &flatTuple{c: tuple.Content{tuple.S("k", "v")}}
+	ft.SetID(tuple.ID{Node: "src", Seq: 4})
+
+	tc := TraceCtx{TraceID: 7, Span: 9}
+	traced, err := Encode(Message{Type: MsgTuple, Hop: 1, Ver: 1, Tuple: ft, Trace: tc})
+	if err != nil {
+		t.Fatalf("Encode traced: %v", err)
+	}
+	plain, err := Encode(Message{Type: MsgWithdraw, ID: tuple.ID{Node: "n", Seq: 2}})
+	if err != nil {
+		t.Fatalf("Encode withdraw: %v", err)
+	}
+	frame, err := EncodeBatch([][]byte{traced, plain})
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	got, err := Decode(r, frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Batch) != 2 {
+		t.Fatalf("batch size = %d", len(got.Batch))
+	}
+	if got.Batch[0].Trace != tc {
+		t.Errorf("batched Trace = %+v, want %+v", got.Batch[0].Trace, tc)
+	}
+	if got.Batch[1].Trace != (TraceCtx{}) {
+		t.Errorf("untraced sub-message Trace = %+v, want zero", got.Batch[1].Trace)
+	}
+}
+
+// TestTraceContextShortFrame rejects a version-2 tuple frame whose body
+// ends inside the trace context.
+func TestTraceContextShortFrame(t *testing.T) {
+	r := newWireRegistry(t)
+	b := []byte{wireVersionTraced, byte(MsgTuple), 0, 0, 0, 0, 0, 0} // header, empty parent
+	b = append(b, 0, 0, 0, 1)                                       // announcement version
+	b = append(b, 1, 2, 3, 4, 5, 6, 7, 8)                           // half a trace context
+	if _, err := Decode(r, seal(b)); !errors.Is(err, ErrShort) {
+		t.Errorf("Decode = %v, want ErrShort", err)
+	}
+}
+
+// TestTraceContextVersion2NonTuple: non-tuple frames never carry a
+// trace context, but a version-2 header on them is tolerated (the
+// layout is identical to version 1), keeping the decoder permissive
+// toward future senders that stamp one version everywhere.
+func TestTraceContextVersion2NonTuple(t *testing.T) {
+	r := newWireRegistry(t)
+	data, err := Encode(Message{Type: MsgWithdraw, ID: tuple.ID{Node: "n", Seq: 3}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw := append([]byte(nil), data[:len(data)-ChecksumSize]...)
+	raw[0] = wireVersionTraced
+	got, err := Decode(r, seal(raw))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != MsgWithdraw || got.ID.Seq != 3 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+// TestTraceContextUnknownVersionRejected pins the version gate: bytes
+// above the traced version are still rejected.
+func TestTraceContextUnknownVersionRejected(t *testing.T) {
+	r := newWireRegistry(t)
+	b := []byte{3, byte(MsgWithdraw), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := Decode(r, seal(b)); !errors.Is(err, ErrVersion) {
+		t.Errorf("Decode = %v, want ErrVersion", err)
+	}
+}
