@@ -253,6 +253,42 @@ func BenchmarkE15Scale(b *testing.B) {
 		"rounds_n1024", "rounds_per_sec_n1024", "peak_rss_mb")
 }
 
+// BenchmarkE16Mem runs the Quick (1k-node) memory experiment: live
+// heap per node for a settled gradient world.
+func BenchmarkE16Mem(b *testing.B) {
+	benchExperiment(b, experiment.RunE16,
+		"heap_per_node_n1024", "peak_rss_mb")
+}
+
+// BenchmarkE16Scale250k is the CI scale smoke for the columnar engine
+// state (run with -benchtime 1x): one gradient settled over 250k nodes
+// must match the BFS oracle exactly and stay inside the
+// bytes-per-node budget. The peak_rss_bytes and bytes_per_node metrics
+// feed the BENCH_TRAJECTORY.json footprint history via
+// scripts/bench.sh; note VmHWM is process-wide, so the figure is only
+// a per-run isolate when the benchmark runs in a fresh process.
+func BenchmarkE16Scale250k(b *testing.B) {
+	// budget is bytes/node of peak RSS. Measured: 4864 B/node at 250k
+	// inside the test binary (the 100k tota-emu point runs ~4550 — a
+	// test process carries more resident baseline, and the 1.2× GC
+	// ceiling amplifies it). 5 KiB leaves ~5% headroom while still
+	// failing on any regression toward the pre-columnar ~9 KiB/node.
+	const budget = 5_120
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunE16N(250_000, 0)
+		if r.GradErr != 0 || r.Missing != 0 || r.Extra != 0 {
+			b.Fatalf("oracle mismatch at 250k nodes: err=%v missing=%d extra=%d",
+				r.GradErr, r.Missing, r.Extra)
+		}
+		if r.RSSPerNode > budget {
+			b.Fatalf("peak RSS = %.0f bytes/node, budget %d", r.RSSPerNode, budget)
+		}
+		b.ReportMetric(r.PeakRSSMB*(1<<20), "peak_rss_bytes")
+		b.ReportMetric(r.RSSPerNode, "bytes_per_node")
+		b.ReportMetric(r.HeapPerNode, "heap_bytes_per_node")
+	}
+}
+
 // BenchmarkRefreshSteadyState measures the anti-entropy pass on a
 // settled 10x10 gradient world. With digest suppression a converged
 // epoch sends one compact digest per node instead of re-broadcasting
@@ -302,6 +338,47 @@ func BenchmarkRefreshSteadyState100(b *testing.B) {
 	b.ReportMetric(float64(after.Broadcasts-before.Broadcasts)/n, "broadcasts/op")
 	ann := after.RefreshAnnounced - before.RefreshAnnounced
 	supp := after.RefreshSuppressed - before.RefreshSuppressed
+	if total := ann + supp; total > 0 {
+		b.ReportMetric(float64(supp)/float64(total), "suppressed_ratio")
+	}
+}
+
+// BenchmarkRefreshSteadyState100x1k is the heavy-store variant of the
+// sub-linearity probe: 100 nodes each holding 1,000 converged
+// gradients. Steady-state epochs still suppress every re-announcement,
+// but each node's digest now lists 1k (id, ver) entries across several
+// frames; the reported digest_bytes/op is the per-epoch wire cost of
+// that census — the baseline the ROADMAP's set-reconciliation item
+// must beat.
+func BenchmarkRefreshSteadyState100x1k(b *testing.B) {
+	w := emulator.New(emulator.Config{Graph: topology.Grid(10, 10, 1)})
+	for i := 0; i < 1_000; i++ {
+		g := pattern.NewGradient(fmt.Sprintf("f%d", i))
+		if _, err := w.Node(topology.NodeName(i % 100)).Inject(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Settle(10_000_000)
+	// Warm-up epoch: first refresh may full-announce tuples whose bytes
+	// were never refresh-broadcast; afterwards digests take over.
+	w.RefreshAll()
+	w.Settle(10_000_000)
+	before := w.Sim().Stats()
+	beforeStats := w.TotalStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RefreshAll()
+		w.Settle(10_000_000)
+	}
+	b.StopTimer()
+	after := w.Sim().Stats()
+	afterStats := w.TotalStats()
+	n := float64(b.N)
+	b.ReportMetric(float64(after.PayloadBytes-before.PayloadBytes)/n, "digest_bytes/op")
+	b.ReportMetric(float64(after.Broadcasts-before.Broadcasts)/n, "broadcasts/op")
+	ann := afterStats.RefreshAnnounced - beforeStats.RefreshAnnounced
+	supp := afterStats.RefreshSuppressed - beforeStats.RefreshSuppressed
 	if total := ann + supp; total > 0 {
 		b.ReportMetric(float64(supp)/float64(total), "suppressed_ratio")
 	}

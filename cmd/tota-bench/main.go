@@ -58,6 +58,7 @@ func run(args []string) error {
 		"E13": experiment.RunE13,
 		"E14": experiment.RunE14,
 		"E15": experiment.RunE15,
+		"E16": experiment.RunE16,
 		"A1":  experiment.RunA1,
 		"A2":  experiment.RunA2,
 	}

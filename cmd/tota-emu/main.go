@@ -184,6 +184,7 @@ func (e *obsEnv) attach(w *emulator.World) error {
 	}
 	w.RegisterMetrics(e.reg)
 	obs.RegisterRuntime(e.reg)
+	obs.RegisterMemMetrics(e.reg)
 	var srv *obs.Server
 	var err error
 	if e.flight != nil {
@@ -452,7 +453,8 @@ func scaleScenario(nodes, shards, ticks int) error {
 		r.GradErr, r.Missing, r.Extra)
 	fmt.Printf("mobility: %.1f ms/tick over %d ticks (1%% of nodes mobile)\n",
 		r.TickSec*1000, ticks)
-	fmt.Printf("peak RSS: %.1f MiB\n", r.PeakRSSMB)
+	fmt.Printf("peak RSS: %.1f MiB (%.0f bytes/node)\n",
+		r.PeakRSSMB, r.PeakRSSMB*(1<<20)/float64(r.Nodes))
 	if r.GradErr != 0 || r.Missing != 0 || r.Extra != 0 {
 		return fmt.Errorf("gradient did not settle to the oracle")
 	}

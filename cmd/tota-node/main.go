@@ -111,6 +111,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	obs.RegisterStoreSize(reg, node.StoreSize)
 	obs.RegisterUDPStats(reg, tr)
 	obs.RegisterRuntime(reg)
+	obs.RegisterMemMetrics(reg)
 	if *obsAddr != "" {
 		var srv *obs.Server
 		var err error

@@ -110,8 +110,8 @@ func aggQueryOf(st *tupleState) (*agg.Query, bool) {
 // query structure.
 func (n *Node) handleQueryLocked(from tuple.NodeID, msg *wire.Message) {
 	n.stats.QueriesIn.Add(1)
-	st, ok := n.seen[msg.ID]
-	if !ok || st.retracted {
+	st := n.states.lookup(msg.ID)
+	if st == nil || st.has(stRetracted) {
 		return
 	}
 	if _, isQ := aggQueryOf(st); !isQ {
@@ -122,7 +122,7 @@ func (n *Node) handleQueryLocked(from tuple.NodeID, msg *wire.Message) {
 		return
 	}
 	qs.epoch = msg.Epoch
-	if !st.stored || st.source {
+	if !st.has(stStored) || st.has(stSource) {
 		return
 	}
 	hop := int(msg.Hop) + 1
@@ -140,8 +140,8 @@ func (n *Node) handleQueryLocked(from tuple.NodeID, msg *wire.Message) {
 // the slot its original already occupies.
 func (n *Node) handlePartialLocked(from tuple.NodeID, msg *wire.Message) {
 	n.stats.PartialsIn.Add(1)
-	st, ok := n.seen[msg.ID]
-	if !ok || st.retracted {
+	st := n.states.lookup(msg.ID)
+	if st == nil || st.has(stRetracted) {
 		return
 	}
 	if _, isQ := aggQueryOf(st); !isQ {
@@ -177,8 +177,8 @@ func (n *Node) aggStageWavesLocked() {
 	}
 	sortTupleIDs(n.aggScratch)
 	for _, id := range n.aggScratch {
-		st := n.seen[id]
-		if st == nil || !st.stored || !st.source {
+		st := n.states.lookup(id)
+		if st == nil || !st.has(stStored) || !st.has(stSource) {
 			continue
 		}
 		q, ok := st.local.(*agg.Query)
@@ -211,8 +211,8 @@ func (n *Node) aggStageWavesLocked() {
 // record per origin in collect-all mode.
 func (n *Node) aggFlushPartialsLocked() {
 	for _, id := range n.aggScratch {
-		st := n.seen[id]
-		if st == nil || !st.stored || st.source || st.parent == "" {
+		st := n.states.lookup(id)
+		if st == nil || !st.has(stStored) || st.has(stSource) || st.parent == "" {
 			continue
 		}
 		q, ok := st.local.(*agg.Query)
@@ -366,11 +366,11 @@ func (n *Node) aggForgetChildLocked(peer tuple.NodeID) {
 // this node deaf to the healed neighbor's digests for up to the full
 // backoff gap.
 func (n *Node) resetPullBackoffLocked(from tuple.NodeID) {
-	for _, st := range n.seen {
-		if st.pullBack != nil {
-			delete(st.pullBack, from)
+	n.states.forEach(func(_ tuple.ID, st *tupleState) {
+		if p := st.peer(from); p != nil {
+			p.resetBackoff()
 		}
-	}
+	})
 }
 
 func sortTupleIDs(ids []tuple.ID) {

@@ -9,70 +9,74 @@ import (
 	"tota/internal/wire"
 )
 
+// tupleState flag bits (see tupleState.flags). The booleans of the
+// pre-columnar layout, packed so the state packs into the slab.
+const (
+	// stStored: the tuple is currently in the local space.
+	stStored uint8 = 1 << iota
+	// stVisited: OnArrive already ran at this node.
+	stVisited
+	// stPropagated: the stored copy was re-broadcast, so newcomers get
+	// it too.
+	stPropagated
+	// stSource: this node injected the tuple.
+	stSource
+	// stRetracted: the tombstone set by structure teardown.
+	stRetracted
+	// stSupportTab: a maintenance support table was ever recorded for
+	// the structure (the old "nbrVals map is non-nil"), gating the
+	// withdraw pipeline for ids that never carried support.
+	stSupportTab
+	// stEncShared: encCache's bytes were handed to the transport or the
+	// staging queue, so they may sit in an in-flight packet of a
+	// zero-copy transport and must not be recycled unless the transport
+	// releases payloads (see Node.recycleWire).
+	stEncShared
+	// stParentFlap: a parent-only re-announcement (value unchanged) was
+	// already broadcast this refresh epoch. Further parent changes
+	// within the epoch stay local until the next refresh carries them:
+	// when neighbors hold stale parent views (packet loss, quarantine
+	// drops), symmetric support ties can flip a node's parent on every
+	// incoming announcement, and since the value never moves, the scope
+	// bound that terminates count-to-scope climbs never engages — the
+	// flip-flop broadcast loop would run forever. Edge-triggering the
+	// announcement per epoch bounds it. Cleared by refreshLocked.
+	stParentFlap
+)
+
 // tupleState is the engine's per-tuple-id bookkeeping, tracking dedup,
-// maintenance support tables and retraction tombstones.
+// maintenance support tables and retraction tombstones. States live by
+// value in the stateTable slab, packed: flag booleans share one
+// bitmask, integers are right-sized, and the per-neighbor maps of the
+// pre-columnar layout are one sorted peer slice (see tuplePeer), so the
+// refresh/digest loops walk contiguous rows.
 type tupleState struct {
 	// local is the stored copy (nil when not stored).
 	local tuple.Tuple
-	// stored reports whether the tuple is currently in the local space.
-	stored bool
-	// visited reports whether OnArrive already ran at this node.
-	visited bool
-	// propagated reports whether the stored copy was re-broadcast, so
-	// newcomers get it too.
-	propagated bool
-	// source reports whether this node injected the tuple.
-	source bool
-	// retracted is the tombstone set by structure teardown.
-	retracted bool
-	// hop is the hop count of the accepted copy.
-	hop int
-	// parent is the neighbor the maintained value was adopted from.
-	parent tuple.NodeID
-	// nbrVals is the maintenance support table: the last value (and
-	// parent) each neighbor announced for this structure.
-	nbrVals map[tuple.NodeID]nbrVal
-	// storedAt is the node's logical time when the copy was last
-	// (re)stored, for lease expiry.
-	storedAt float64
-	// encCache holds the wire encoding of the stored copy's last
-	// announcement, with the hop and parent it was built for. Refresh
-	// and announce re-broadcast unchanged structures every epoch; the
-	// cache makes those re-sends zero-encode and zero-copy (transports
-	// treat packet payloads as read-only, so the bytes are shared).
-	// Invalidated whenever the stored copy changes (see invalidateWire).
-	encCache  []byte
-	encHop    uint16
-	encParent tuple.NodeID
-	// ver is this node's announcement version for the tuple: bumped
-	// whenever the announcement bytes change (stored copy, hop, or
-	// parent), never reset, so equal versions imply identical
-	// announcements. Carried on full announcements and digest entries;
-	// 0 means "never announced" and is never put on the wire.
-	ver uint32
-	// refreshedVer is the last ver whose full bytes were broadcast to
-	// the whole neighborhood. Refresh re-sends full bytes only when it
-	// differs from ver, and advertises a digest entry otherwise.
-	refreshedVer uint32
-	// nbrVer records, per neighbor, the last announcement version whose
-	// content this node consumed (full bytes, or a digest entry that
-	// carried everything maintenance needs). A digest entry matching
-	// the recorded version proves nothing changed, suppressing the
-	// anti-entropy pull.
-	nbrVer map[tuple.NodeID]uint32
 	// exemplar retains the last maintained tuple heard in full, so
 	// digest-driven maintenance can re-adopt a structure after a
 	// withdrawal without pulling full bytes again. Cleared on
 	// retraction.
 	exemplar tuple.Maintained
-	// suspectEpoch, when non-zero, marks the copy as suspect: support
-	// vanished at refresh epoch suspectEpoch-1 and the withdraw is
-	// deferred until Config.SuspicionEpochs epochs pass without support
-	// returning (the +1 keeps zero meaning "not suspect").
-	suspectEpoch uint64
-	// pullBack is the per-neighbor anti-entropy pull backoff state for
-	// this tuple (allocated only once a backoff-gated pull fires).
-	pullBack map[tuple.NodeID]pullBackoff
+	// encCache holds the wire encoding of the stored copy's last
+	// announcement, with the hop and parent it was built for. Refresh
+	// and announce re-broadcast unchanged structures every epoch; the
+	// cache makes those re-sends zero-encode and zero-copy (transports
+	// treat packet payloads as read-only, so the bytes are shared).
+	// Invalidated whenever the stored copy changes (see
+	// Node.invalidateWireLocked, which recycles the buffer when safe).
+	encCache []byte
+	// peers is the per-neighbor row set, sorted by neighbor id: the
+	// maintenance support table, the consumed-announcement versions and
+	// the anti-entropy pull backoff that used to live in three separate
+	// maps. Sorted order makes every scan deterministic by construction.
+	peers []tuplePeer
+	// parent is the neighbor the maintained value was adopted from.
+	parent    tuple.NodeID
+	encParent tuple.NodeID
+	// storedAt is the node's logical time when the copy was last
+	// (re)stored, for lease expiry.
+	storedAt float64
 	// traceID is the tuple's sampled trace identity (zero = unsampled,
 	// the fast path: no span bookkeeping, version-1 wire bytes). Set at
 	// inject when sampling elects the tuple, or adopted from an
@@ -84,24 +88,125 @@ type tupleState struct {
 	// together with the announcement version, so a neighbor holding the
 	// current ver also holds the current span.
 	span, parentSpan uint64
-	spanSeq          uint32
+	// ver is this node's announcement version for the tuple: bumped
+	// whenever the announcement bytes change (stored copy, hop, or
+	// parent), never reset, so equal versions imply identical
+	// announcements. Carried on full announcements and digest entries;
+	// 0 means "never announced" and is never put on the wire.
+	ver uint32
+	// refreshedVer is the last ver whose full bytes were broadcast to
+	// the whole neighborhood. Refresh re-sends full bytes only when it
+	// differs from ver, and advertises a digest entry otherwise.
+	refreshedVer uint32
+	// suspectEpoch, when non-zero, marks the copy as suspect: support
+	// vanished at refresh epoch suspectEpoch-1 and the withdraw is
+	// deferred until Config.SuspicionEpochs epochs pass without support
+	// returning (the +1 keeps zero meaning "not suspect"). Truncated to
+	// 32 bits; comparisons use wrap-safe subtraction and the grace
+	// window is tiny, so the width never shows.
+	suspectEpoch uint32
+	spanSeq      uint32
+	// hop is the hop count of the accepted copy.
+	hop    int32
+	encHop uint16
+	flags  uint8
 }
 
-// pullBackoff is the capped exponential backoff state for one
-// (neighbor, tuple id) pull key: strikes counts pulls sent without a
-// consumed response, skip is how many further digest mentions to
-// ignore before the next pull.
-type pullBackoff struct {
+func (st *tupleState) has(f uint8) bool { return st.flags&f != 0 }
+func (st *tupleState) mark(f uint8)     { st.flags |= f }
+func (st *tupleState) unmark(f uint8)   { st.flags &^= f }
+
+// tuplePeer flag bits.
+const (
+	// peerSupport: val/parent/epoch form a live maintenance support
+	// entry (the old nbrVals membership).
+	peerSupport uint8 = 1 << iota
+	// peerVer: ver records the last announcement version whose content
+	// this node consumed from the peer (the old nbrVer membership).
+	peerVer
+)
+
+// tuplePeer is one neighbor's row of a tuple's per-neighbor state:
+// the last value (and parent) the neighbor announced for the structure,
+// the refresh epoch it was heard at (entries not re-heard within
+// staleEpochs cycles lose support, so lost withdrawals cannot sustain
+// phantom support), the neighbor's copy span from its last full traced
+// announcement (kept across digest refreshes: a matching digest entry
+// implies the span is unchanged), the last consumed announcement
+// version (a digest entry matching it proves nothing changed,
+// suppressing the anti-entropy pull), and the capped exponential pull
+// backoff (strikes counts pulls sent without a consumed response, skip
+// how many further digest mentions to ignore before the next one).
+type tuplePeer struct {
+	id      tuple.NodeID
+	span    uint64
+	val     float64
+	parent  tuple.NodeID
+	epoch   uint32
+	ver     uint32
+	flags   uint8
 	strikes uint8
 	skip    uint16
 }
 
-// invalidateWire drops the cached announcement encoding. It must be
-// called on every assignment or clearing of st.local: the cache is only
-// consulted for the currently stored copy.
-func (st *tupleState) invalidateWire() {
-	st.encCache = nil
+// peerIdx binary-searches the sorted peer rows for id, returning the
+// insertion slot and whether the row exists.
+func (st *tupleState) peerIdx(id tuple.NodeID) (int, bool) {
+	lo, hi := 0, len(st.peers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.peers[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(st.peers) && st.peers[lo].id == id
 }
+
+// peer returns id's row, or nil. The pointer is invalidated by the next
+// peerFor/dropPeer on the same state.
+func (st *tupleState) peer(id tuple.NodeID) *tuplePeer {
+	if i, ok := st.peerIdx(id); ok {
+		return &st.peers[i]
+	}
+	return nil
+}
+
+// peerFor returns id's row, inserting a zero row in sorted position on
+// first sight. The pointer is invalidated by the next peerFor/dropPeer
+// on the same state. hint sizes the first allocation: rows track the
+// node's neighbors, so reserving degree slots up front keeps append
+// from rounding a 5-neighbor table up to an 8-row backing array —
+// at 64 B a row that overshoot dominated per-node state at scale.
+func (st *tupleState) peerFor(id tuple.NodeID, hint int) *tuplePeer {
+	i, ok := st.peerIdx(id)
+	if !ok {
+		if st.peers == nil && hint > 1 {
+			st.peers = make([]tuplePeer, 0, hint)
+		}
+		st.peers = append(st.peers, tuplePeer{})
+		copy(st.peers[i+1:], st.peers[i:])
+		st.peers[i] = tuplePeer{id: id}
+	}
+	return &st.peers[i]
+}
+
+// dropPeer removes id's row entirely (neighbor departure), reporting
+// whether the removed row held live support.
+func (st *tupleState) dropPeer(id tuple.NodeID) (hadSupport, had bool) {
+	i, ok := st.peerIdx(id)
+	if !ok {
+		return false, false
+	}
+	hadSupport = st.peers[i].flags&peerSupport != 0
+	st.peers = append(st.peers[:i], st.peers[i+1:]...)
+	return hadSupport, true
+}
+
+// resetBackoff clears a row's pull backoff: the peer delivered usable
+// content, so it is alive and answering.
+func (p *tuplePeer) resetBackoff() { p.strikes, p.skip = 0, 0 }
 
 // traceCtx is the wire trace context of the current copy incarnation:
 // zero for unsampled tuples, so untraced announcements stay version-1
@@ -110,32 +215,12 @@ func (st *tupleState) traceCtx() wire.TraceCtx {
 	return wire.TraceCtx{TraceID: st.traceID, Span: st.span}
 }
 
-type nbrVal struct {
-	val    float64
-	parent tuple.NodeID
-	// epoch is the node's refresh epoch when this announcement was
-	// heard; entries not re-heard within staleEpochs refresh cycles are
-	// pruned, so lost withdrawals cannot sustain phantom support.
-	epoch uint64
-	// span is the neighbor's copy span from its last full traced
-	// announcement (zero for unsampled tuples). Digest refreshes keep
-	// the remembered span: a digest entry implies the neighbor's ver —
-	// and therefore its span — is unchanged. Used as the causal parent
-	// when maintenance adopts this neighbor.
-	span uint64
-}
-
 // staleEpochs is how many full refresh cycles an announcement stays
 // valid without being re-heard.
 const staleEpochs = 2
 
 func (n *Node) stateFor(id tuple.ID) *tupleState {
-	st, ok := n.seen[id]
-	if !ok {
-		st = &tupleState{}
-		n.seen[id] = st
-	}
-	return st
+	return n.states.intern(id)
 }
 
 // lockedStore exposes the local space to propagation hooks running
@@ -155,7 +240,7 @@ func (s lockedStore) Delete(tpl tuple.Template) []tuple.Tuple {
 }
 
 func (n *Node) ctxLocked(from tuple.NodeID, hop int) *tuple.Ctx {
-	pos, ok := n.cfg.Localizer.Position()
+	pos, ok := n.localizer.Position()
 	n.ctxScratch = tuple.Ctx{
 		Self:   n.id,
 		From:   from,
@@ -255,8 +340,7 @@ func (n *Node) HandleNeighbor(peer tuple.NodeID, added bool) {
 // injectLocked runs the arrival pipeline at the injecting node.
 func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 	st := n.stateFor(t.ID())
-	st.source = true
-	st.visited = true
+	st.mark(stSource | stVisited)
 	if tid, ok := sampleTrace(t.ID(), n.cfg.TraceSampleRate); ok {
 		// Sampling elects the tuple at its entry point; the decision
 		// then travels with every announcement, so downstream nodes
@@ -267,9 +351,9 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 		TraceID: st.traceID, Span: n.bumpSpanLocked(t.ID(), st)})
 	t.OnArrive(ctx)
 	if t.ShouldStore(ctx) {
-		st.stored = true
+		st.mark(stStored)
 		st.local = t
-		st.invalidateWire()
+		n.invalidateWireLocked(st)
 		st.hop = 0
 		st.storedAt = n.now
 		n.store.put(t)
@@ -277,8 +361,8 @@ func (n *Node) injectLocked(t tuple.Tuple, ctx *tuple.Ctx) {
 		n.emitTupleLocked(TupleArrived, t)
 	}
 	if t.ShouldPropagate(ctx) {
-		st.propagated = true
-		if st.stored {
+		st.mark(stPropagated)
+		if st.has(stStored) {
 			// Versioned announcement: receivers record the version, so
 			// later digest entries can prove nothing changed (and a
 			// mismatch triggers the anti-entropy pull).
@@ -295,22 +379,21 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		return
 	}
 	st := n.stateFor(t.ID())
-	if st.retracted {
+	if st.has(stRetracted) {
 		n.stats.DupDropped.Add(1)
 		return
 	}
 	if msg.Ver != 0 {
 		// A stored-state announcement: remember the sender's version so
-		// later digest entries matching it prove nothing changed.
-		if st.nbrVer == nil {
-			st.nbrVer = make(map[tuple.NodeID]uint32)
-		}
-		st.nbrVer[from] = msg.Ver
-	}
-	if len(st.pullBack) != 0 {
-		// Full content consumed from this neighbor (announcement or pull
-		// response): it is alive and answering, so its backoff resets.
-		delete(st.pullBack, from)
+		// later digest entries matching it prove nothing changed. Full
+		// content consumed from this neighbor also resets its pull
+		// backoff: it is alive and answering.
+		p := st.peerFor(from, len(n.nbrs))
+		p.ver = msg.Ver
+		p.flags |= peerVer
+		p.resetBackoff()
+	} else if p := st.peer(from); p != nil {
+		p.resetBackoff()
 	}
 	if msg.Trace.TraceID != 0 {
 		// The sender sampled this tuple: adopt its trace identity and
@@ -327,10 +410,10 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		// announcement updates the support table and triggers the
 		// maintenance check, which performs adoption, improvement and
 		// withdrawal uniformly.
-		if st.nbrVals == nil {
-			st.nbrVals = make(map[tuple.NodeID]nbrVal)
-		}
-		st.nbrVals[from] = nbrVal{val: m.Value(), parent: msg.Parent, epoch: n.epoch, span: msg.Trace.Span}
+		st.mark(stSupportTab)
+		p := st.peerFor(from, len(n.nbrs))
+		p.val, p.parent, p.epoch, p.span = m.Value(), msg.Parent, uint32(n.epoch), msg.Trace.Span
+		p.flags |= peerSupport
 		n.maintainLocked(t.ID(), m, n.ctxLocked(from, hop))
 		return
 	}
@@ -346,11 +429,11 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 	if local == nil {
 		local = t
 	}
-	if st.visited {
-		if st.stored && local.Supersedes(st.local) {
+	if st.has(stVisited) {
+		if st.has(stStored) && local.Supersedes(st.local) {
 			st.local = local
-			st.invalidateWire()
-			st.hop = hop
+			n.invalidateWireLocked(st)
+			st.hop = int32(hop)
 			st.storedAt = n.now
 			n.store.put(local)
 			n.stats.Superseded.Add(1)
@@ -370,13 +453,13 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 			TraceID: st.traceID, Span: st.span, ParentSpan: msg.Trace.Span})
 		return
 	}
-	st.visited = true
-	st.hop = hop
+	st.mark(stVisited)
+	st.hop = int32(hop)
 	local.OnArrive(ctx)
 	if local.ShouldStore(ctx) {
-		st.stored = true
+		st.mark(stStored)
 		st.local = local
-		st.invalidateWire()
+		n.invalidateWireLocked(st)
 		st.storedAt = n.now
 		n.store.put(local)
 		n.stats.Stored.Add(1)
@@ -385,8 +468,8 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 		n.emitTupleLocked(TupleArrived, local)
 	}
 	if local.ShouldPropagate(ctx) {
-		st.propagated = true
-		if st.stored {
+		st.mark(stPropagated)
+		if st.has(stStored) {
 			n.announceLocked(st)
 		} else {
 			// A pure relay still gets its own span incarnation: the
@@ -411,7 +494,7 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 	for i := range msg.Digest {
 		e := &msg.Digest[i]
 		st := n.stateFor(e.ID)
-		if st.retracted {
+		if st.has(stRetracted) {
 			continue
 		}
 		// The digest path must honor the same acceptance policy as the
@@ -426,7 +509,7 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 			n.digestMaintainedLocked(from, e, st)
 			continue
 		}
-		if !st.visited {
+		if !st.has(stVisited) {
 			// The digest advertises a tuple that never propagated here —
 			// a lost broadcast or a fresh join. Pull the full bytes.
 			if n.allowPullLocked(st, from) {
@@ -435,7 +518,7 @@ func (n *Node) handleDigestLocked(from tuple.NodeID, msg *wire.Message) {
 			}
 			continue
 		}
-		if last, heard := st.nbrVer[from]; !heard || last != e.Ver {
+		if p := st.peer(from); p == nil || p.flags&peerVer == 0 || p.ver != e.Ver {
 			// This node never consumed the sender's current announcement:
 			// its versioned broadcast was lost, or the stored copy changed
 			// since (superseded, re-evolved). Fetch the full bytes — the
@@ -486,24 +569,19 @@ func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st
 		}
 		return
 	}
-	if st.nbrVals == nil {
-		st.nbrVals = make(map[tuple.NodeID]nbrVal)
-	}
 	// Digest entries carry no span; keep the one remembered from the
 	// neighbor's last full announcement. When the entry's version
 	// matches, that span is exactly current; when it does not (the full
 	// broadcast was lost), the remembered span still names the right
 	// node — an earlier incarnation — so causal links stay node-correct.
-	st.nbrVals[from] = nbrVal{val: e.Value, parent: e.Parent, epoch: n.epoch, span: st.nbrVals[from].span}
-	if st.nbrVer == nil {
-		st.nbrVer = make(map[tuple.NodeID]uint32)
-	}
-	st.nbrVer[from] = e.Ver
-	if len(st.pullBack) != 0 {
-		// The compact entry carried everything maintenance needs: the
-		// neighbor is alive and answering, so its pull backoff resets.
-		delete(st.pullBack, from)
-	}
+	// The compact entry carried everything maintenance needs, so the
+	// neighbor is alive and answering and its pull backoff resets.
+	st.mark(stSupportTab)
+	p := st.peerFor(from, len(n.nbrs))
+	p.val, p.parent, p.epoch = e.Value, e.Parent, uint32(n.epoch)
+	p.ver = e.Ver
+	p.flags |= peerSupport | peerVer
+	p.resetBackoff()
 	n.maintainLocked(e.ID, ex, n.ctxLocked(from, int(e.Hop)+1))
 }
 
@@ -521,25 +599,20 @@ func (n *Node) allowPullLocked(st *tupleState, from tuple.NodeID) bool {
 	if maxGap <= 0 {
 		return true
 	}
-	b := st.pullBack[from]
-	if b.skip > 0 {
-		b.skip--
-		st.pullBack[from] = b
+	p := st.peerFor(from, len(n.nbrs))
+	if p.skip > 0 {
+		p.skip--
 		n.stats.PullsSuppressed.Add(1)
 		return false
 	}
-	if b.strikes < 15 {
-		b.strikes++
+	if p.strikes < 15 {
+		p.strikes++
 	}
-	gap := 1 << (b.strikes - 1)
+	gap := 1 << (p.strikes - 1)
 	if gap > maxGap {
 		gap = maxGap
 	}
-	b.skip = uint16(gap - 1)
-	if st.pullBack == nil {
-		st.pullBack = make(map[tuple.NodeID]pullBackoff)
-	}
-	st.pullBack[from] = b
+	p.skip = uint16(gap - 1)
 	return true
 }
 
@@ -582,11 +655,11 @@ func (n *Node) sendPullMsgLocked(to tuple.NodeID, ids []tuple.ID) {
 func (n *Node) handlePullLocked(from tuple.NodeID, msg *wire.Message) {
 	n.stats.PullsIn.Add(1)
 	for _, id := range msg.Want {
-		st, ok := n.seen[id]
-		if !ok {
+		st := n.states.lookup(id)
+		if st == nil {
 			continue
 		}
-		if st.retracted {
+		if st.has(stRetracted) {
 			if data, err := wire.Encode(wire.Message{Type: wire.MsgRetract, ID: id}); err == nil {
 				n.stageMsgs = append(n.stageMsgs, data)
 			}
@@ -600,7 +673,7 @@ func (n *Node) handlePullLocked(from tuple.NodeID, msg *wire.Message) {
 		if st.traceID != 0 {
 			// Pull-repair response: the requester's next store/supersede
 			// links to this span, closing the repair loop in the trace.
-			n.traceLocked(TraceEvent{Kind: TraceSend, ID: id, TupleKind: st.local.Kind(), From: from, Hop: st.hop,
+			n.traceLocked(TraceEvent{Kind: TraceSend, ID: id, TupleKind: st.local.Kind(), From: from, Hop: int(st.hop),
 				TraceID: st.traceID, Span: st.span})
 		}
 		n.stageMsgs = append(n.stageMsgs, data)
@@ -617,7 +690,7 @@ func (n *Node) handlePullLocked(from tuple.NodeID, msg *wire.Message) {
 // cycles are bounded by the scope and by MaxHops.
 func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple.Ctx) {
 	st := n.stateFor(id)
-	if st.source {
+	if st.has(stSource) {
 		return
 	}
 	step := exemplar.Step()
@@ -631,23 +704,26 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 	best := math.Inf(1)
 	var bestNbr tuple.NodeID
 	var bestSpan uint64
-	for nbr, nv := range st.nbrVals {
-		if _, linked := n.nbrs[nbr]; !linked {
+	for i := range st.peers {
+		pe := &st.peers[i]
+		if pe.flags&peerSupport == 0 || !n.linkedLocked(pe.id) {
 			continue
 		}
-		if nv.parent == n.id && !n.cfg.DisablePoisonedReverse {
+		if pe.parent == n.id && !n.cfg.DisablePoisonedReverse {
 			continue
 		}
-		if nv.val < best || (nv.val == best && (bestNbr == "" || nbr < bestNbr)) {
-			best = nv.val
-			bestNbr = nbr
-			bestSpan = nv.span
+		// Rows are sorted by neighbor id, so the first minimum wins the
+		// tie-break exactly like the explicit (val, nbr) comparison did.
+		if pe.val < best || (pe.val == best && (bestNbr == "" || pe.id < bestNbr)) {
+			best = pe.val
+			bestNbr = pe.id
+			bestSpan = pe.span
 		}
 	}
 	desired := best + step
 
 	if math.IsInf(best, 1) || desired > effMax {
-		if st.stored {
+		if st.has(stStored) {
 			if grace := n.cfg.SuspicionEpochs; grace > 0 {
 				// Hysteresis: defer the withdraw for a grace window so a
 				// transient loss burst (a few missed refresh epochs) does
@@ -655,11 +731,11 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 				// keeps being announced while suspect; support returning
 				// within the window cancels the suspicion silently.
 				if st.suspectEpoch == 0 {
-					st.suspectEpoch = n.epoch + 1
+					st.suspectEpoch = uint32(n.epoch) + 1
 					n.stats.Suspected.Add(1)
 					n.traceLocked(TraceEvent{Kind: TraceSuspect, ID: id})
 				}
-				if (n.epoch+1)-st.suspectEpoch < uint64(grace) {
+				if (uint32(n.epoch)+1)-st.suspectEpoch < uint32(grace) {
 					return
 				}
 				st.suspectEpoch = 0
@@ -673,7 +749,7 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		n.stats.SuspectRecovered.Add(1)
 	}
 
-	if st.stored {
+	if st.has(stStored) {
 		cur, ok := st.local.(tuple.Maintained)
 		if !ok {
 			return
@@ -681,15 +757,22 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		if cur.Value() == desired {
 			if st.parent != bestNbr {
 				st.parent = bestNbr
-				n.announceLocked(st)
+				// One parent-only re-announcement per refresh epoch (see
+				// stParentFlap); a suppressed flip still reaches the
+				// neighborhood at the next refresh, whose re-encode sees
+				// encParent != parent and sends full bytes.
+				if !st.has(stParentFlap) {
+					st.mark(stParentFlap)
+					n.announceLocked(st)
+				}
 			}
 			return
 		}
 		nl := cur.WithValue(desired)
 		st.local = nl
-		st.invalidateWire()
+		n.invalidateWireLocked(st)
 		st.parent = bestNbr
-		st.hop = hopFromVal(desired, step, st.hop)
+		st.hop = int32(hopFromVal(desired, step, int(st.hop)))
 		st.storedAt = n.now
 		n.store.put(nl)
 		n.stats.MaintAdopt.Add(1)
@@ -707,38 +790,38 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 
 	// Not stored: first contact or re-adoption after a withdrawal.
 	nl := exemplar.WithValue(desired)
-	if !st.visited {
-		st.visited = true
+	if !st.has(stVisited) {
+		st.mark(stVisited)
 		nl.OnArrive(ctx)
 	}
 	if !nl.ShouldStore(ctx) {
 		return
 	}
-	st.stored = true
+	st.mark(stStored)
 	st.local = nl
-	st.invalidateWire()
+	n.invalidateWireLocked(st)
 	st.parent = bestNbr
-	st.hop = hopFromVal(desired, step, ctx.Hop)
+	st.hop = int32(hopFromVal(desired, step, ctx.Hop))
 	st.storedAt = n.now
 	n.store.put(nl)
 	n.stats.Stored.Add(1)
 	if st.traceID != 0 {
 		st.parentSpan = bestSpan
 	}
-	n.traceLocked(TraceEvent{Kind: TraceStore, ID: id, TupleKind: nl.Kind(), From: bestNbr, Hop: st.hop, Value: desired,
+	n.traceLocked(TraceEvent{Kind: TraceStore, ID: id, TupleKind: nl.Kind(), From: bestNbr, Hop: int(st.hop), Value: desired,
 		TraceID: st.traceID, Span: n.bumpSpanLocked(id, st), ParentSpan: bestSpan})
 	n.emitTupleLocked(TupleArrived, nl)
 	if nl.ShouldPropagate(ctx) {
-		st.propagated = true
+		st.mark(stPropagated)
 		n.announceLocked(st)
 	}
 }
 
 func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
 	removed, _ := n.store.remove(id)
-	st.stored = false
+	st.unmark(stStored)
 	st.local = nil
-	st.invalidateWire()
+	n.invalidateWireLocked(st)
 	st.parent = ""
 	st.suspectEpoch = 0
 	n.stats.MaintDrop.Add(1)
@@ -750,34 +833,36 @@ func (n *Node) dropMaintainedLocked(id tuple.ID, st *tupleState) {
 }
 
 func (n *Node) handleWithdrawLocked(from tuple.NodeID, id tuple.ID) {
-	st, ok := n.seen[id]
-	if !ok || st.nbrVals == nil {
+	st := n.states.lookup(id)
+	if st == nil || !st.has(stSupportTab) {
 		return
 	}
-	delete(st.nbrVals, from)
-	if st.stored && !st.source {
+	if p := st.peer(from); p != nil {
+		p.flags &^= peerSupport
+	}
+	if st.has(stStored) && !st.has(stSource) {
 		if m, ok := st.local.(tuple.Maintained); ok {
-			n.maintainLocked(id, m, n.ctxLocked(from, st.hop))
+			n.maintainLocked(id, m, n.ctxLocked(from, int(st.hop)))
 		}
 	}
 	// If this node still holds a copy after the check, re-announce it:
 	// the withdrawing neighbor (and anything downstream of it) can then
 	// re-adopt, healing local deletions.
-	if st.stored {
+	if st.has(stStored) {
 		n.announceLocked(st)
 	}
 }
 
 func (n *Node) handleRetractLocked(id tuple.ID) {
-	st, ok := n.seen[id]
-	if ok && st.retracted {
+	st := n.states.lookup(id)
+	if st != nil && st.has(stRetracted) {
 		return
 	}
-	if !ok {
+	if st == nil {
 		// Tombstone only: the structure never passed through here, so
 		// no downstream copies were fed by this node.
 		st = n.stateFor(id)
-		st.retracted = true
+		st.mark(stRetracted)
 		return
 	}
 	n.retractLocked(id)
@@ -785,23 +870,22 @@ func (n *Node) handleRetractLocked(id tuple.ID) {
 
 func (n *Node) retractLocked(id tuple.ID) {
 	st := n.stateFor(id)
-	if st.retracted {
+	if st.has(stRetracted) {
 		return
 	}
-	st.retracted = true
-	st.nbrVals = nil
-	st.nbrVer = nil
+	st.mark(stRetracted)
+	st.unmark(stSupportTab)
+	st.peers = nil
 	st.exemplar = nil
-	st.pullBack = nil
 	st.parent = ""
 	n.dropQueryStateLocked(id)
-	if st.stored {
-		st.stored = false
+	if st.has(stStored) {
+		st.unmark(stStored)
 		if removed, ok := n.store.remove(id); ok {
 			n.emitTupleLocked(TupleRemoved, removed)
 		}
 		st.local = nil
-		st.invalidateWire()
+		n.invalidateWireLocked(st)
 	}
 	n.stats.Retracted.Add(1)
 	n.traceLocked(TraceEvent{Kind: TraceRetract, ID: id})
@@ -822,9 +906,9 @@ func (n *Node) deleteLocked(tpl tuple.Template) []tuple.Tuple {
 		if removed, ok := n.store.remove(id); ok {
 			out = append(out, removed)
 			st := n.stateFor(id)
-			st.stored = false
+			st.unmark(stStored)
 			st.local = nil
-			st.invalidateWire()
+			n.invalidateWireLocked(st)
 			st.parent = ""
 			n.emitTupleLocked(TupleRemoved, removed)
 			if _, isM := removed.(tuple.Maintained); isM {
@@ -839,10 +923,9 @@ func (n *Node) deleteLocked(tpl tuple.Template) []tuple.Tuple {
 }
 
 func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
-	if _, ok := n.nbrs[peer]; ok {
+	if !n.addNbrLocked(peer) {
 		return
 	}
-	n.nbrs[peer] = struct{}{}
 	if n.cfg.DisableCatchUp {
 		n.emitNeighborLocked(NeighborAdded, peer)
 		return
@@ -854,13 +937,13 @@ func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
 	// the cached announcement bytes when the copy is unchanged.
 	n.idScratch = n.store.appendIDs(n.idScratch)
 	for _, id := range n.idScratch {
-		st := n.seen[id]
+		st := n.states.lookup(id)
 		t, ok := n.store.get(id)
 		if !ok || st == nil {
 			continue
 		}
 		_, isMaintained := t.(tuple.Maintained)
-		if !st.propagated && !isMaintained {
+		if !st.has(stPropagated) && !isMaintained {
 			continue
 		}
 		data, ok := n.storedWireLocked(st)
@@ -875,32 +958,23 @@ func (n *Node) handleNeighborAddedLocked(peer tuple.NodeID) {
 }
 
 func (n *Node) handleNeighborRemovedLocked(peer tuple.NodeID) {
-	if _, ok := n.nbrs[peer]; !ok {
+	if !n.removeNbrLocked(peer) {
 		return
 	}
-	delete(n.nbrs, peer)
 	n.aggForgetChildLocked(peer)
 	// Re-check every maintained structure that counted the lost peer,
 	// and forget what the peer last heard: if it returns, the digest
-	// protocol restarts from scratch for it.
+	// protocol restarts from scratch for it. The slab walk visits states
+	// in handle order; the wire-affecting maintenance pass below runs in
+	// sorted id order regardless.
 	var affected []tuple.ID
-	for id, st := range n.seen {
-		if st.nbrVer != nil {
-			delete(st.nbrVer, peer)
-		}
-		if st.pullBack != nil {
-			delete(st.pullBack, peer)
-		}
-		if st.nbrVals == nil {
-			continue
-		}
-		if _, had := st.nbrVals[peer]; had {
-			delete(st.nbrVals, peer)
-			if st.stored && !st.source {
+	n.states.forEach(func(id tuple.ID, st *tupleState) {
+		if hadSupport, _ := st.dropPeer(peer); hadSupport {
+			if st.has(stStored) && !st.has(stSource) {
 				affected = append(affected, id)
 			}
 		}
-	}
+	})
 	sort.Slice(affected, func(i, j int) bool {
 		if affected[i].Node != affected[j].Node {
 			return affected[i].Node < affected[j].Node
@@ -908,12 +982,12 @@ func (n *Node) handleNeighborRemovedLocked(peer tuple.NodeID) {
 		return affected[i].Seq < affected[j].Seq
 	})
 	for _, id := range affected {
-		st := n.seen[id]
-		if st == nil || !st.stored {
+		st := n.states.lookup(id)
+		if st == nil || !st.has(stStored) {
 			continue
 		}
 		if m, ok := st.local.(tuple.Maintained); ok {
-			n.maintainLocked(id, m, n.ctxLocked(n.id, st.hop))
+			n.maintainLocked(id, m, n.ctxLocked(n.id, int(st.hop)))
 		}
 	}
 	n.emitNeighborLocked(NeighborRemoved, peer)
@@ -936,16 +1010,16 @@ func (n *Node) sweepExpiredLocked(now float64) int {
 		if !ok || e.Lease() <= 0 {
 			continue
 		}
-		st := n.seen[id]
+		st := n.states.lookup(id)
 		if st == nil || n.now-st.storedAt < e.Lease() {
 			continue
 		}
 		n.store.remove(id)
-		st.stored = false
+		st.unmark(stStored)
 		st.local = nil
-		st.invalidateWire()
+		n.invalidateWireLocked(st)
 		st.parent = ""
-		st.retracted = true // local tombstone: expired copies stay dead
+		st.mark(stRetracted) // local tombstone: expired copies stay dead
 		st.exemplar = nil
 		n.dropQueryStateLocked(id)
 		n.stats.Expired.Add(1)
@@ -974,20 +1048,29 @@ func (n *Node) refreshLocked() int {
 	n.digestScratch = n.digestScratch[:0]
 	n.aggScratch = n.aggScratch[:0]
 	for _, id := range n.idScratch {
-		st := n.seen[id]
+		st := n.states.lookup(id)
 		t, ok := n.store.get(id)
 		if !ok || st == nil {
 			continue
 		}
 		if m, isMaintained := t.(tuple.Maintained); isMaintained {
-			if !st.source {
-				for nbr, nv := range st.nbrVals {
-					if nv.epoch+staleEpochs < n.epoch {
-						delete(st.nbrVals, nbr)
+			if !st.has(stSource) {
+				// A new epoch re-arms the parent-only re-announcement
+				// budget (see stParentFlap).
+				st.unmark(stParentFlap)
+				for i := range st.peers {
+					pe := &st.peers[i]
+					if pe.flags&peerSupport != 0 && pe.epoch+staleEpochs < uint32(n.epoch) {
+						// Stale support is dropped but the row survives: its
+						// consumed-version record outlives support exactly as
+						// the old separate nbrVer map did. The remembered span
+						// goes with the support entry.
+						pe.flags &^= peerSupport
+						pe.span = 0
 					}
 				}
-				n.maintainLocked(id, m, n.ctxLocked(n.id, st.hop))
-				if !st.stored {
+				n.maintainLocked(id, m, n.ctxLocked(n.id, int(st.hop)))
+				if !st.has(stStored) {
 					continue
 				}
 			}
@@ -997,7 +1080,7 @@ func (n *Node) refreshLocked() int {
 			count += n.stageRefreshLocked(st)
 			continue
 		}
-		if !st.propagated {
+		if !st.has(stPropagated) {
 			continue
 		}
 		count += n.stageRefreshLocked(st)
@@ -1026,14 +1109,14 @@ func (n *Node) stageRefreshLocked(st *tupleState) int {
 		st.refreshedVer = st.ver
 		n.stats.RefreshAnnounced.Add(1)
 		if st.traceID != 0 {
-			n.traceLocked(TraceEvent{Kind: TraceSend, ID: st.local.ID(), TupleKind: st.local.Kind(), Hop: st.hop,
+			n.traceLocked(TraceEvent{Kind: TraceSend, ID: st.local.ID(), TupleKind: st.local.Kind(), Hop: int(st.hop),
 				TraceID: st.traceID, Span: st.span})
 		}
 		n.stageMsgs = append(n.stageMsgs, data)
 		return 1
 	}
 	n.stats.RefreshSuppressed.Add(1)
-	e := wire.DigestEntry{ID: st.local.ID(), Ver: st.ver, Hop: clampHop(st.hop)}
+	e := wire.DigestEntry{ID: st.local.ID(), Ver: st.ver, Hop: clampHop(int(st.hop))}
 	if m, ok := st.local.(tuple.Maintained); ok {
 		e.Maintained = true
 		e.Value = m.Value()
@@ -1137,17 +1220,18 @@ func (n *Node) sendFrameLocked(to tuple.NodeID, msgs [][]byte) {
 // shared with the transport and every queued packet; it is never
 // mutated.
 func (n *Node) storedWireLocked(st *tupleState) ([]byte, bool) {
-	if !st.stored || st.local == nil {
+	if !st.has(stStored) || st.local == nil {
 		return nil, false
 	}
-	hop := clampHop(st.hop)
+	hop := clampHop(int(st.hop))
 	if st.encCache != nil && st.encHop == hop && st.encParent == st.parent {
+		st.mark(stEncShared)
 		return st.encCache, true
 	}
 	// The announcement bytes are about to change: bump the version so
 	// digests distinguish this announcement from every earlier one.
 	st.ver++
-	data, err := wire.Encode(wire.Message{
+	data, err := wire.AppendEncode(n.takeWireBufLocked(st), wire.Message{
 		Type:   wire.MsgTuple,
 		Hop:    hop,
 		Parent: st.parent,
@@ -1160,7 +1244,47 @@ func (n *Node) storedWireLocked(st *tupleState) ([]byte, bool) {
 		return nil, false
 	}
 	st.encCache, st.encHop, st.encParent = data, hop, st.parent
+	// Every caller hands the bytes to the transport or the staging
+	// queue, so the cache counts as published from here on.
+	st.mark(stEncShared)
 	return data, true
+}
+
+// takeWireBufLocked returns a zero-length buffer for re-encoding a
+// state's announcement: the state's own previous encoding when the
+// transport allows reuse (released payloads, or bytes that were never
+// handed out), a pooled buffer otherwise. Under a zero-copy transport
+// (the deterministic sim retains published payloads in its in-flight
+// queue) published bytes are never reused and the encoder allocates
+// fresh, exactly like the pre-arena layout.
+func (n *Node) takeWireBufLocked(st *tupleState) []byte {
+	if buf := st.encCache; buf != nil {
+		st.encCache = nil
+		if n.recycleWire || !st.has(stEncShared) {
+			return buf[:0]
+		}
+	}
+	if n.wirePool == nil {
+		return nil
+	}
+	return n.wirePool.get()
+}
+
+// invalidateWireLocked drops the cached announcement encoding,
+// recycling the buffer into the node's wire arena when the transport
+// permits. It must be called on every assignment or clearing of
+// st.local: the cache is only consulted for the currently stored copy.
+func (n *Node) invalidateWireLocked(st *tupleState) {
+	if buf := st.encCache; buf != nil {
+		st.encCache = nil
+		if n.recycleWire || !st.has(stEncShared) {
+			if n.wirePool == nil {
+				n.wirePool = new(wirePool)
+			}
+			n.wirePool.put(buf)
+		}
+	}
+	st.unmark(stEncShared)
 }
 
 // announceLocked broadcasts the node's stored copy of a structure with
@@ -1175,7 +1299,7 @@ func (n *Node) announceLocked(st *tupleState) {
 	st.refreshedVer = st.ver
 	n.stats.Broadcasts.Add(1)
 	if st.traceID != 0 {
-		n.traceLocked(TraceEvent{Kind: TraceSend, ID: st.local.ID(), TupleKind: st.local.Kind(), Hop: st.hop,
+		n.traceLocked(TraceEvent{Kind: TraceSend, ID: st.local.ID(), TupleKind: st.local.Kind(), Hop: int(st.hop),
 			TraceID: st.traceID, Span: st.span})
 	}
 	if err := n.tr.Broadcast(data); err != nil {
@@ -1319,15 +1443,21 @@ func (n *Node) noteSendError(op string, err error) {
 // QuarantineCooldown packets are dropped unread, then it is re-admitted
 // with a clean slate. Returns whether the source was just quarantined.
 func (n *Node) noteDecodeStrikeLocked(from tuple.NodeID) bool {
-	if n.decodeStrikes == nil {
+	if n.cfg.QuarantineThreshold <= 0 {
 		return false
 	}
 	s := n.decodeStrikes[from] + 1
 	if s < n.cfg.QuarantineThreshold {
+		if n.decodeStrikes == nil {
+			n.decodeStrikes = make(map[tuple.NodeID]int)
+		}
 		n.decodeStrikes[from] = s
 		return false
 	}
 	delete(n.decodeStrikes, from)
+	if n.quarantined == nil {
+		n.quarantined = make(map[tuple.NodeID]int)
+	}
 	n.quarantined[from] = n.cfg.QuarantineCooldown
 	n.stats.QuarantineEvents.Add(1)
 	return true

@@ -205,8 +205,8 @@ func TestRetractUnknownIDTombstones(t *testing.T) {
 	n := New(failingSender{})
 	id := tuple.ID{Node: "elsewhere", Seq: 3}
 	n.handleRetractLockedPublic(id)
-	st, ok := n.seen[id]
-	if !ok || !st.retracted {
+	st := n.states.lookup(id)
+	if st == nil || !st.has(stRetracted) {
 		t.Error("unknown retract did not tombstone")
 	}
 	// A second retract for the same id is a no-op.

@@ -188,17 +188,41 @@ func WithMaxFrameBytes(n int) Option {
 
 // Node is one TOTA middleware instance.
 type Node struct {
-	cfg Config
+	// cfg is the resolved configuration, shared (never copied, never
+	// mutated after construction) so a million identically-configured
+	// emulated nodes store it once. See NewConfig/NewShared.
+	cfg *Config
 	tr  transport.Sender
 	id  tuple.NodeID
+	// localizer is the node's own position source. It starts as
+	// cfg.Localizer but lives outside the shared Config because it is
+	// the one per-node piece of configuration: an emulated node's
+	// position closure differs node to node (see SetLocalizer).
+	localizer space.Localizer
 
 	mu    sync.Mutex
 	seq   uint64
 	epoch uint64
 	now   float64
-	store *store
-	seen  map[tuple.ID]*tupleState
-	nbrs  map[tuple.NodeID]struct{}
+	// store is the local tuple space, embedded by value: its indexes
+	// allocate lazily (see store.go), so an idle node pays nothing.
+	store store
+	// states is the per-tuple bookkeeping slab (see statetab.go): dense
+	// tupleState values behind int32 handles, replacing the old
+	// map[tuple.ID]*tupleState and its per-entry allocations.
+	states stateTable
+	// nbrs is the one-hop neighborhood, kept sorted: neighborhoods are
+	// small (a radio's degree), so a sorted slice beats a map on both
+	// memory and scan cost, and gives deterministic iteration for free.
+	nbrs []tuple.NodeID
+	// wirePool recycles announcement encodings (see wirepool.go),
+	// allocated on the first recycled buffer — under a zero-copy
+	// transport it stays nil and costs one pointer. recycleWire reports
+	// that the transport releases payload bytes before Send/Broadcast
+	// returns (transport.PayloadReleaser), making it safe to reuse
+	// buffers that were already put on the wire.
+	wirePool    *wirePool
+	recycleWire bool
 	// subs is kept sorted by subscription id (ids are assigned
 	// monotonically, so appends preserve the order) and dispatch relies
 	// on that to fire reactions in registration order without sorting.
@@ -251,13 +275,22 @@ var _ transport.Handler = (*Node)(nil)
 // The caller must subsequently route the transport's packets and
 // neighbor events into the node (it implements transport.Handler).
 func New(tr transport.Sender, opts ...Option) *Node {
-	cfg := Config{
+	return NewShared(tr, NewConfig(opts...))
+}
+
+// NewConfig resolves opts into a complete Config with every default
+// applied. The result is what New builds internally; it exists so that
+// emulations creating many identically-configured nodes can resolve
+// the options once and share the frozen Config across nodes via
+// NewShared (at 100k+ nodes the per-node Config copy is measurable).
+func NewConfig(opts ...Option) *Config {
+	cfg := &Config{
 		Registry:  tuple.DefaultRegistry,
 		Localizer: space.NoLocalizer{},
 		MaxHops:   DefaultMaxHops,
 	}
 	for _, o := range opts {
-		o.apply(&cfg)
+		o.apply(cfg)
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = tuple.DefaultRegistry
@@ -268,6 +301,17 @@ func New(tr transport.Sender, opts ...Option) *Node {
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = DefaultMaxHops
 	}
+	if cfg.QuarantineThreshold > 0 && cfg.QuarantineCooldown <= 0 {
+		cfg.QuarantineCooldown = DefaultQuarantineCooldown
+	}
+	return cfg
+}
+
+// NewShared creates a node borrowing an already-resolved configuration
+// (see NewConfig). The node keeps the pointer: the caller must not
+// mutate cfg afterwards. Nodes of one emulation all share one Config
+// this way instead of carrying a private copy each.
+func NewShared(tr transport.Sender, cfg *Config) *Node {
 	frameLimit := cfg.MaxFrameBytes
 	if frameLimit <= 0 {
 		if fl, ok := tr.(transport.FrameLimiter); ok {
@@ -277,26 +321,67 @@ func New(tr transport.Sender, opts ...Option) *Node {
 	if frameLimit <= 0 {
 		frameLimit = DefaultFrameBytes
 	}
-	if cfg.QuarantineThreshold > 0 && cfg.QuarantineCooldown <= 0 {
-		cfg.QuarantineCooldown = DefaultQuarantineCooldown
-	}
 	n := &Node{
 		cfg:        cfg,
 		tr:         tr,
 		id:         tr.Self(),
-		store:      newStore(cfg.Registry),
-		seen:       make(map[tuple.ID]*tupleState),
-		nbrs:       make(map[tuple.NodeID]struct{}),
+		localizer:  cfg.Localizer,
 		frameLimit: frameLimit,
 	}
-	if cfg.QuarantineThreshold > 0 {
-		n.decodeStrikes = make(map[tuple.NodeID]int)
-		n.quarantined = make(map[tuple.NodeID]int)
+	if n.localizer == nil {
+		n.localizer = space.NoLocalizer{}
+	}
+	n.store.init(cfg.Registry)
+	if pr, ok := tr.(transport.PayloadReleaser); ok {
+		n.recycleWire = pr.ReleasesPayloads()
 	}
 	for _, nb := range tr.Neighbors() {
-		n.nbrs[nb] = struct{}{}
+		n.addNbrLocked(nb)
 	}
 	return n
+}
+
+// linkedLocked reports whether peer is currently a one-hop neighbor.
+func (n *Node) linkedLocked(peer tuple.NodeID) bool {
+	_, ok := n.nbrIdxLocked(peer)
+	return ok
+}
+
+func (n *Node) nbrIdxLocked(peer tuple.NodeID) (int, bool) {
+	lo, hi := 0, len(n.nbrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.nbrs[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.nbrs) && n.nbrs[lo] == peer
+}
+
+// addNbrLocked inserts peer into the sorted neighborhood, reporting
+// whether it was new.
+func (n *Node) addNbrLocked(peer tuple.NodeID) bool {
+	i, ok := n.nbrIdxLocked(peer)
+	if ok {
+		return false
+	}
+	n.nbrs = append(n.nbrs, "")
+	copy(n.nbrs[i+1:], n.nbrs[i:])
+	n.nbrs[i] = peer
+	return true
+}
+
+// removeNbrLocked deletes peer from the neighborhood, reporting whether
+// it was present.
+func (n *Node) removeNbrLocked(peer tuple.NodeID) bool {
+	i, ok := n.nbrIdxLocked(peer)
+	if !ok {
+		return false
+	}
+	n.nbrs = append(n.nbrs[:i], n.nbrs[i+1:]...)
+	return true
 }
 
 // Self returns the node's identity.
@@ -305,18 +390,28 @@ func (n *Node) Self() tuple.NodeID { return n.id }
 // Position returns the node's physical position, if a localization
 // device is present.
 func (n *Node) Position() (space.Point, bool) {
-	return n.cfg.Localizer.Position()
+	return n.localizer.Position()
+}
+
+// SetLocalizer replaces the node's position source. It exists for
+// callers sharing one Config across many nodes (see NewShared), where
+// the localizer is the only per-node piece of configuration. Call it
+// right after construction, before the node handles any traffic.
+func (n *Node) SetLocalizer(l space.Localizer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l == nil {
+		l = space.NoLocalizer{}
+	}
+	n.localizer = l
 }
 
 // Neighbors returns the node's view of its one-hop neighborhood.
 func (n *Node) Neighbors() []tuple.NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]tuple.NodeID, 0, len(n.nbrs))
-	for nb := range n.nbrs {
-		out = append(out, nb)
-	}
-	sortNodeIDs(out)
+	out := make([]tuple.NodeID, len(n.nbrs))
+	copy(out, n.nbrs)
 	return out
 }
 
@@ -416,7 +511,7 @@ func (n *Node) Delete(tpl tuple.Template) []tuple.Tuple {
 func (n *Node) Retract(id tuple.ID) {
 	n.mu.Lock()
 	var local tuple.Tuple
-	if st, ok := n.seen[id]; ok {
+	if st := n.states.lookup(id); st != nil {
 		local = st.local
 	}
 	if !n.allow(OpRetract, n.id, local) {

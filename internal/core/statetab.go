@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/bits"
+
+	"tota/internal/tuple"
+)
+
+// stateTable is the engine's per-tuple bookkeeping arena: a slab of
+// tupleState values indexed by a dense int32 handle, with the id→handle
+// map kept only at the boundary. Compared to the map[ID]*tupleState it
+// replaced, the slab stores states by value in contiguous chunks, so
+// the refresh and digest loops walk packed memory instead of chasing
+// one heap pointer per tuple, and a node tracking N tuples costs one
+// map entry plus N/chunk slab headers instead of N separate allocations.
+//
+// Chunks grow geometrically (chunk k holds 1<<k states, so the first
+// tuple costs exactly one state and a 1k-tuple node needs 10 chunks),
+// and handles, and therefore *tupleState pointers handed out by lookup
+// and intern, stay valid for the lifetime of the table: growing appends
+// a new chunk and never moves existing states. Handles released back to
+// the free list are recycled by the next intern.
+//
+// Like the tuple space (see store.go), the boundary map is lazy: tables
+// of at most stateSmallMax entries resolve ids by scanning the dense
+// ids column — at emulation scale almost every node tracks a handful of
+// tuples and never allocates the map at all.
+type stateTable struct {
+	byID   map[tuple.ID]int32 // nil in small mode
+	chunks [][]tupleState
+	// ids maps handle → id, so slab-order walks recover the key without
+	// touching the map. Freed slots hold the zero id (never a real
+	// tuple id: inject and decode both require a node component).
+	ids  []tuple.ID
+	free []int32
+	live int
+}
+
+// stateSmallMax is the largest table kept without the id→handle map;
+// beyond it lookups promote to hashed access. The threshold depends
+// only on the table's content, so promotion is deterministic.
+const stateSmallMax = 16
+
+// stateChunkFor locates handle h: the chunk index and the slot within
+// it. Chunk k spans handles [2^k-1, 2^(k+1)-1).
+func stateChunkFor(h int32) (chunk, slot int32) {
+	k := int32(bits.Len32(uint32(h)+1)) - 1
+	return k, h + 1 - 1<<k
+}
+
+func (tab *stateTable) len() int { return tab.live }
+
+// handleOf resolves an id to its live handle: a hash lookup in big
+// mode, a linear scan over the dense ids column in small mode.
+func (tab *stateTable) handleOf(id tuple.ID) (int32, bool) {
+	if tab.byID != nil {
+		h, ok := tab.byID[id]
+		return h, ok
+	}
+	for h := range tab.ids {
+		if tab.ids[h] == id {
+			return int32(h), true
+		}
+	}
+	return 0, false
+}
+
+// lookup returns the state tracked for id, or nil. The pointer stays
+// valid until the entry is released.
+func (tab *stateTable) lookup(id tuple.ID) *tupleState {
+	h, ok := tab.handleOf(id)
+	if !ok {
+		return nil
+	}
+	return tab.at(h)
+}
+
+// at returns the state behind a live handle.
+func (tab *stateTable) at(h int32) *tupleState {
+	c, s := stateChunkFor(h)
+	return &tab.chunks[c][s]
+}
+
+// intern returns the state tracked for id, allocating a zero state on
+// first sight — recycling a freed slot when one exists, extending the
+// slab otherwise.
+func (tab *stateTable) intern(id tuple.ID) *tupleState {
+	if h, ok := tab.handleOf(id); ok {
+		return tab.at(h)
+	}
+	var h int32
+	if n := len(tab.free); n > 0 {
+		h = tab.free[n-1]
+		tab.free = tab.free[:n-1]
+	} else {
+		h = int32(len(tab.ids))
+		if c, _ := stateChunkFor(h); int(c) == len(tab.chunks) {
+			tab.chunks = append(tab.chunks, make([]tupleState, 1<<c))
+		}
+		tab.ids = append(tab.ids, tuple.ID{})
+	}
+	tab.ids[h] = id
+	tab.live++
+	if tab.byID == nil && len(tab.ids) > stateSmallMax {
+		// Promote: hash every live slot, including the new one.
+		tab.byID = make(map[tuple.ID]int32, len(tab.ids)*2)
+		for i := range tab.ids {
+			if !tab.ids[i].IsZero() {
+				tab.byID[tab.ids[i]] = int32(i)
+			}
+		}
+	} else if tab.byID != nil {
+		tab.byID[id] = h
+	}
+	return tab.at(h)
+}
+
+// release forgets id's state, zeroing the slot and recycling its handle.
+// The engine retains retraction tombstones and dedup markers for the
+// life of the node, so today only teardown paths and tests call this;
+// the free list keeps the slab dense for workloads that do recycle.
+func (tab *stateTable) release(id tuple.ID) {
+	h, ok := tab.handleOf(id)
+	if !ok {
+		return
+	}
+	if tab.byID != nil {
+		delete(tab.byID, id)
+	}
+	*tab.at(h) = tupleState{}
+	tab.ids[h] = tuple.ID{}
+	tab.free = append(tab.free, h)
+	tab.live--
+}
+
+// forEach visits every live entry in slab (handle) order — insertion
+// order when no handle was ever recycled. The order is deterministic
+// for a deterministic call sequence, unlike a map range; callers that
+// feed wire output still sort explicitly, keeping determinism
+// independent of release patterns.
+func (tab *stateTable) forEach(fn func(id tuple.ID, st *tupleState)) {
+	for h := range tab.ids {
+		if tab.ids[h].IsZero() {
+			continue
+		}
+		c, s := stateChunkFor(int32(h))
+		fn(tab.ids[h], &tab.chunks[c][s])
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tota/internal/tuple"
+)
+
+func stID(i int) tuple.ID { return tuple.ID{Node: "n", Seq: uint64(i + 1)} }
+
+// TestStateChunkFor pins the slab geometry: chunk k holds 1<<k states
+// and handles map to (chunk, slot) without gaps or overlaps.
+func TestStateChunkFor(t *testing.T) {
+	var h int32
+	for k := int32(0); k < 6; k++ {
+		for s := int32(0); s < 1<<k; s++ {
+			gc, gs := stateChunkFor(h)
+			if gc != k || gs != s {
+				t.Fatalf("stateChunkFor(%d) = (%d, %d), want (%d, %d)", h, gc, gs, k, s)
+			}
+			h++
+		}
+	}
+}
+
+// TestStateTablePointerStability checks the core slab contract: a
+// *tupleState returned by intern stays valid (same address, same
+// contents) across arbitrary growth, because chunks append and never
+// move.
+func TestStateTablePointerStability(t *testing.T) {
+	var tab stateTable
+	first := tab.intern(stID(0))
+	first.hop = 42
+	for i := 1; i < 200; i++ {
+		tab.intern(stID(i)).hop = int32(i)
+	}
+	if again := tab.lookup(stID(0)); again != first || again.hop != 42 {
+		t.Fatalf("state 0 moved or lost: %p vs %p, hop=%d", again, first, first.hop)
+	}
+	for i := 1; i < 200; i++ {
+		if st := tab.lookup(stID(i)); st == nil || st.hop != int32(i) {
+			t.Fatalf("state %d lost after growth", i)
+		}
+	}
+	if tab.len() != 200 {
+		t.Errorf("len = %d", tab.len())
+	}
+}
+
+// TestStateTableSmallModePromotion checks the lazy boundary map: small
+// tables never allocate it, crossing stateSmallMax promotes exactly
+// once, and lookups agree before and after.
+func TestStateTableSmallModePromotion(t *testing.T) {
+	var tab stateTable
+	for i := 0; i < stateSmallMax; i++ {
+		tab.intern(stID(i))
+	}
+	if tab.byID != nil {
+		t.Fatalf("map allocated for %d entries (small max %d)", tab.len(), stateSmallMax)
+	}
+	tab.intern(stID(stateSmallMax))
+	if tab.byID == nil {
+		t.Fatal("map not built past the small threshold")
+	}
+	if len(tab.byID) != stateSmallMax+1 {
+		t.Errorf("promoted map has %d entries, want %d", len(tab.byID), stateSmallMax+1)
+	}
+	for i := 0; i <= stateSmallMax; i++ {
+		if tab.lookup(stID(i)) == nil {
+			t.Fatalf("id %d lost across promotion", i)
+		}
+	}
+	if tab.lookup(tuple.ID{Node: "x", Seq: 1}) != nil {
+		t.Error("lookup invented a state")
+	}
+}
+
+// TestStateTableReleaseRecycles checks the free list: released handles
+// are reused by later interns, forEach skips freed slots, and a
+// release/intern churn never grows the slab.
+func TestStateTableReleaseRecycles(t *testing.T) {
+	var tab stateTable
+	for i := 0; i < 24; i++ {
+		tab.intern(stID(i))
+	}
+	slots := len(tab.ids)
+	for i := 0; i < 24; i += 2 {
+		tab.release(stID(i))
+	}
+	if tab.len() != 12 {
+		t.Fatalf("len after release = %d", tab.len())
+	}
+	seen := make(map[tuple.ID]bool)
+	tab.forEach(func(id tuple.ID, st *tupleState) { seen[id] = true })
+	if len(seen) != 12 {
+		t.Fatalf("forEach visited %d entries, want 12", len(seen))
+	}
+	for i := 0; i < 24; i += 2 {
+		if seen[stID(i)] {
+			t.Fatalf("forEach visited released id %d", i)
+		}
+	}
+	for i := 100; i < 112; i++ {
+		tab.intern(stID(i))
+	}
+	if len(tab.ids) != slots {
+		t.Errorf("slab grew to %d slots despite %d free handles", len(tab.ids), 12)
+	}
+	// Releasing an unknown id is a no-op.
+	tab.release(tuple.ID{Node: "x", Seq: 9})
+	if tab.len() != 24 {
+		t.Errorf("len = %d after no-op release", tab.len())
+	}
+}
+
+// TestStateTableSmallScanMatchesMap cross-checks small-mode linear
+// resolution against big-mode hashing over the same operation sequence.
+func TestStateTableSmallScanMatchesMap(t *testing.T) {
+	var small, big stateTable
+	for i := 0; i < stateSmallMax*4; i++ {
+		big.intern(stID(i))
+	}
+	for i := 0; i < stateSmallMax/2; i++ {
+		small.intern(stID(i))
+	}
+	for i := 0; i < stateSmallMax; i++ {
+		wantSmall := i < stateSmallMax/2
+		if got := small.lookup(stID(i)) != nil; got != wantSmall {
+			t.Errorf("small lookup(%d) = %v, want %v", i, got, wantSmall)
+		}
+		if big.lookup(stID(i)) == nil {
+			t.Errorf("big lookup(%d) = nil", i)
+		}
+	}
+}
+
+func BenchmarkStateTableIntern(b *testing.B) {
+	ids := make([]tuple.ID, 64)
+	for i := range ids {
+		ids[i] = tuple.ID{Node: tuple.NodeID(fmt.Sprintf("n%03d", i)), Seq: uint64(i)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var tab stateTable
+		for _, id := range ids {
+			tab.intern(id)
+		}
+	}
+}

@@ -92,19 +92,19 @@ type Stats struct {
 // Add returns the field-wise sum of two stats snapshots.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Injected:     s.Injected + o.Injected,
-		PacketsIn:    s.PacketsIn + o.PacketsIn,
-		Stored:       s.Stored + o.Stored,
-		Superseded:   s.Superseded + o.Superseded,
-		DupDropped:   s.DupDropped + o.DupDropped,
-		TTLDropped:   s.TTLDropped + o.TTLDropped,
-		Retracted:    s.Retracted + o.Retracted,
-		MaintAdopt:   s.MaintAdopt + o.MaintAdopt,
-		MaintDrop:    s.MaintDrop + o.MaintDrop,
-		Broadcasts:   s.Broadcasts + o.Broadcasts,
-		Unicasts:     s.Unicasts + o.Unicasts,
-		SendErrors:   s.SendErrors + o.SendErrors,
-		DecodeErrors: s.DecodeErrors + o.DecodeErrors,
+		Injected:          s.Injected + o.Injected,
+		PacketsIn:         s.PacketsIn + o.PacketsIn,
+		Stored:            s.Stored + o.Stored,
+		Superseded:        s.Superseded + o.Superseded,
+		DupDropped:        s.DupDropped + o.DupDropped,
+		TTLDropped:        s.TTLDropped + o.TTLDropped,
+		Retracted:         s.Retracted + o.Retracted,
+		MaintAdopt:        s.MaintAdopt + o.MaintAdopt,
+		MaintDrop:         s.MaintDrop + o.MaintDrop,
+		Broadcasts:        s.Broadcasts + o.Broadcasts,
+		Unicasts:          s.Unicasts + o.Unicasts,
+		SendErrors:        s.SendErrors + o.SendErrors,
+		DecodeErrors:      s.DecodeErrors + o.DecodeErrors,
 		Events:            s.Events + o.Events,
 		Denied:            s.Denied + o.Denied,
 		Expired:           s.Expired + o.Expired,
@@ -136,19 +136,19 @@ func (s Stats) Add(o Stats) Stats {
 // while parallel delivery workers are driving other nodes — without
 // taking any engine lock.
 type atomicStats struct {
-	Injected     atomic.Int64
-	PacketsIn    atomic.Int64
-	Stored       atomic.Int64
-	Superseded   atomic.Int64
-	DupDropped   atomic.Int64
-	TTLDropped   atomic.Int64
-	Retracted    atomic.Int64
-	MaintAdopt   atomic.Int64
-	MaintDrop    atomic.Int64
-	Broadcasts   atomic.Int64
-	Unicasts     atomic.Int64
-	SendErrors   atomic.Int64
-	DecodeErrors atomic.Int64
+	Injected          atomic.Int64
+	PacketsIn         atomic.Int64
+	Stored            atomic.Int64
+	Superseded        atomic.Int64
+	DupDropped        atomic.Int64
+	TTLDropped        atomic.Int64
+	Retracted         atomic.Int64
+	MaintAdopt        atomic.Int64
+	MaintDrop         atomic.Int64
+	Broadcasts        atomic.Int64
+	Unicasts          atomic.Int64
+	SendErrors        atomic.Int64
+	DecodeErrors      atomic.Int64
 	Events            atomic.Int64
 	Denied            atomic.Int64
 	Expired           atomic.Int64
@@ -178,19 +178,19 @@ type atomicStats struct {
 // counters).
 func (a *atomicStats) Snapshot() Stats {
 	return Stats{
-		Injected:     a.Injected.Load(),
-		PacketsIn:    a.PacketsIn.Load(),
-		Stored:       a.Stored.Load(),
-		Superseded:   a.Superseded.Load(),
-		DupDropped:   a.DupDropped.Load(),
-		TTLDropped:   a.TTLDropped.Load(),
-		Retracted:    a.Retracted.Load(),
-		MaintAdopt:   a.MaintAdopt.Load(),
-		MaintDrop:    a.MaintDrop.Load(),
-		Broadcasts:   a.Broadcasts.Load(),
-		Unicasts:     a.Unicasts.Load(),
-		SendErrors:   a.SendErrors.Load(),
-		DecodeErrors: a.DecodeErrors.Load(),
+		Injected:          a.Injected.Load(),
+		PacketsIn:         a.PacketsIn.Load(),
+		Stored:            a.Stored.Load(),
+		Superseded:        a.Superseded.Load(),
+		DupDropped:        a.DupDropped.Load(),
+		TTLDropped:        a.TTLDropped.Load(),
+		Retracted:         a.Retracted.Load(),
+		MaintAdopt:        a.MaintAdopt.Load(),
+		MaintDrop:         a.MaintDrop.Load(),
+		Broadcasts:        a.Broadcasts.Load(),
+		Unicasts:          a.Unicasts.Load(),
+		SendErrors:        a.SendErrors.Load(),
+		DecodeErrors:      a.DecodeErrors.Load(),
 		Events:            a.Events.Load(),
 		Denied:            a.Denied.Load(),
 		Expired:           a.Expired.Load(),

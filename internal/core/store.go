@@ -50,32 +50,59 @@ func (l *idList) compact() {
 	l.dead = 0
 }
 
-// store is a node's local tuple space: the set of tuple copies currently
-// stored at the node, in arrival order. Copies are indexed by kind and
-// by (kind, name) — the shapes every propagation hook and application
-// query uses — so selective reads do not scan the whole space. It
-// performs no locking; the Node serializes access.
+// storeEnt is one small-mode entry: the stored copy with its id pulled
+// out so the linear scans compare ids without an interface call.
+type storeEnt struct {
+	id tuple.ID
+	t  tuple.Tuple
+}
+
+// storeSmallMax is the largest space kept in small mode. At a typical
+// deployment a node stores a handful of structures, so almost every
+// node stays in the flat representation forever; the threshold depends
+// only on the space's content, so promotion is deterministic.
+const storeSmallMax = 16
+
+// storeIndex is the big-mode machinery: hash lookup plus per-kind and
+// per-(kind, name) arrival-ordered id lists — the shapes every
+// propagation hook and application query uses — so selective reads do
+// not scan the whole space.
 //
-// Iteration over the id lists may encounter tombstones (zero ids, or ids
-// removed from byID but not yet compacted out of a list); consumers skip
-// any id without a byID entry.
-type store struct {
-	reg   *tuple.Registry
-	byID  map[tuple.ID]tuple.Tuple
-	order idList
-	// byKind and byKindName list ids in arrival order per index key.
+// Iteration over the id lists may encounter tombstones (zero ids, or
+// ids removed from byID but not yet compacted out of a list); consumers
+// skip any id without a byID entry.
+type storeIndex struct {
+	byID       map[tuple.ID]tuple.Tuple
+	order      idList
 	byKind     map[string]*idList
 	byKindName map[string]*idList
 }
 
-func newStore(reg *tuple.Registry) *store {
-	return &store{
-		reg:        reg,
-		byID:       make(map[tuple.ID]tuple.Tuple),
-		byKind:     make(map[string]*idList),
-		byKindName: make(map[string]*idList),
-	}
+// store is a node's local tuple space: the set of tuple copies currently
+// stored at the node, in arrival order. It performs no locking; the
+// Node serializes access.
+//
+// The space starts in small mode — a flat arrival-ordered slice scanned
+// linearly — and promotes to the indexed representation once it exceeds
+// storeSmallMax entries. Small mode costs ~48 bytes per tuple and zero
+// map buckets, which at emulation scale (hundreds of thousands of nodes
+// each storing a few tuples) is the difference between fitting in RAM
+// and not; big mode keeps large spaces' selective reads sublinear. A
+// promoted space never demotes, so pointers and iteration semantics
+// stay simple.
+type store struct {
+	reg  *tuple.Registry
+	flat []storeEnt
+	big  *storeIndex
 }
+
+func newStore(reg *tuple.Registry) *store {
+	s := &store{}
+	s.init(reg)
+	return s
+}
+
+func (s *store) init(reg *tuple.Registry) { s.reg = reg }
 
 func kindNameKey(kind, name string) string {
 	return kind + "\x00" + name
@@ -84,6 +111,28 @@ func kindNameKey(kind, name string) string {
 func indexKeys(t tuple.Tuple) (kind, kindName string) {
 	kind = t.Kind()
 	return kind, kindNameKey(kind, t.Content().GetString("name"))
+}
+
+// promote moves a small-mode space onto the indexed representation.
+func (s *store) promote() {
+	big := &storeIndex{
+		byID:       make(map[tuple.ID]tuple.Tuple, len(s.flat)*2),
+		byKind:     make(map[string]*idList),
+		byKindName: make(map[string]*idList),
+	}
+	s.big = big
+	for _, e := range s.flat {
+		s.indexPut(e.id, e.t)
+	}
+	s.flat = nil
+}
+
+func (s *store) indexPut(id tuple.ID, t tuple.Tuple) {
+	s.big.order.add(id)
+	s.big.byID[id] = t
+	kind, kn := indexKeys(t)
+	s.indexAdd(s.big.byKind, kind, id)
+	s.indexAdd(s.big.byKindName, kn, id)
 }
 
 func (s *store) indexAdd(m map[string]*idList, key string, id tuple.ID) {
@@ -104,64 +153,92 @@ func (s *store) indexRemove(m map[string]*idList, key string, id tuple.ID) {
 // put inserts or replaces the copy for t.ID().
 func (s *store) put(t tuple.Tuple) {
 	id := t.ID()
-	if old, ok := s.byID[id]; ok {
+	if s.big == nil {
+		for i := range s.flat {
+			if s.flat[i].id == id {
+				s.flat[i].t = t
+				return
+			}
+		}
+		if len(s.flat) < storeSmallMax {
+			s.flat = append(s.flat, storeEnt{id: id, t: t})
+			return
+		}
+		s.promote()
+	}
+	if old, ok := s.big.byID[id]; ok {
 		// Replacement: refresh the indexes if the keys changed (the
 		// name field could in principle evolve).
 		oldKind, oldKN := indexKeys(old)
 		newKind, newKN := indexKeys(t)
 		if oldKind != newKind {
-			s.indexRemove(s.byKind, oldKind, id)
-			s.indexAdd(s.byKind, newKind, id)
+			s.indexRemove(s.big.byKind, oldKind, id)
+			s.indexAdd(s.big.byKind, newKind, id)
 		}
 		if oldKN != newKN {
-			s.indexRemove(s.byKindName, oldKN, id)
-			s.indexAdd(s.byKindName, newKN, id)
+			s.indexRemove(s.big.byKindName, oldKN, id)
+			s.indexAdd(s.big.byKindName, newKN, id)
 		}
-		s.byID[id] = t
+		s.big.byID[id] = t
 		return
 	}
-	s.order.add(id)
-	s.byID[id] = t
-	kind, kn := indexKeys(t)
-	s.indexAdd(s.byKind, kind, id)
-	s.indexAdd(s.byKindName, kn, id)
+	s.indexPut(id, t)
 }
 
 // get returns the stored copy for id.
 func (s *store) get(id tuple.ID) (tuple.Tuple, bool) {
-	t, ok := s.byID[id]
+	if s.big == nil {
+		for i := range s.flat {
+			if s.flat[i].id == id {
+				return s.flat[i].t, true
+			}
+		}
+		return nil, false
+	}
+	t, ok := s.big.byID[id]
 	return t, ok
 }
 
 // remove deletes the copy for id and returns it.
 func (s *store) remove(id tuple.ID) (tuple.Tuple, bool) {
-	t, ok := s.byID[id]
+	if s.big == nil {
+		for i := range s.flat {
+			if s.flat[i].id == id {
+				t := s.flat[i].t
+				s.flat = append(s.flat[:i], s.flat[i+1:]...)
+				return t, true
+			}
+		}
+		return nil, false
+	}
+	t, ok := s.big.byID[id]
 	if !ok {
 		return nil, false
 	}
-	delete(s.byID, id)
-	s.order.remove(id)
+	delete(s.big.byID, id)
+	s.big.order.remove(id)
 	kind, kn := indexKeys(t)
-	s.indexRemove(s.byKind, kind, id)
-	s.indexRemove(s.byKindName, kn, id)
+	s.indexRemove(s.big.byKind, kind, id)
+	s.indexRemove(s.big.byKindName, kn, id)
 	return t, true
 }
 
 // candidates returns the id list a template needs to inspect, using the
 // narrowest applicable index: (kind, name) when the template pins both,
-// kind when it pins the kind, the full space otherwise. The returned
-// slice may contain tombstones; callers skip ids missing from byID.
+// kind when it pins the kind, the full space otherwise. Big mode only;
+// small mode scans the flat slice directly. The returned slice may
+// contain tombstones; callers skip ids missing from byID.
 func (s *store) candidates(tpl tuple.Template) []tuple.ID {
 	if tpl.Kind == "" || strings.HasSuffix(tpl.Kind, "*") {
-		return s.order.ids
+		return s.big.order.ids
 	}
 	if name, ok := pinnedName(tpl); ok {
-		if l := s.byKindName[kindNameKey(tpl.Kind, name)]; l != nil {
+		if l := s.big.byKindName[kindNameKey(tpl.Kind, name)]; l != nil {
 			return l.ids
 		}
 		return nil
 	}
-	if l := s.byKind[tpl.Kind]; l != nil {
+	if l := s.big.byKind[tpl.Kind]; l != nil {
 		return l.ids
 	}
 	return nil
@@ -180,16 +257,31 @@ func pinnedName(tpl tuple.Template) (string, bool) {
 	return "", false
 }
 
+// forMatching visits the stored tuples matching tpl in arrival order.
+func (s *store) forMatching(tpl tuple.Template, fn func(t tuple.Tuple) bool) {
+	if s.big == nil {
+		for i := range s.flat {
+			if tpl.Matches(s.flat[i].t) && !fn(s.flat[i].t) {
+				return
+			}
+		}
+		return
+	}
+	for _, id := range s.candidates(tpl) {
+		if t, ok := s.big.byID[id]; ok && tpl.Matches(t) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
 // read returns clones of the stored tuples matching tpl, in arrival
 // order. Clones keep callers from mutating the space through shared
 // content slices.
 func (s *store) read(tpl tuple.Template) []tuple.Tuple {
 	var out []tuple.Tuple
-	for _, id := range s.candidates(tpl) {
-		t, ok := s.byID[id]
-		if !ok || !tpl.Matches(t) {
-			continue
-		}
+	s.forMatching(tpl, func(t tuple.Tuple) bool {
 		c, err := s.reg.Clone(t)
 		if err != nil {
 			// The kind is unregistered (locally-constructed tuple);
@@ -197,35 +289,36 @@ func (s *store) read(tpl tuple.Template) []tuple.Tuple {
 			c = t
 		}
 		out = append(out, c)
-	}
+		return true
+	})
 	return out
 }
 
 // readOne returns a clone of the first stored tuple matching tpl.
 func (s *store) readOne(tpl tuple.Template) (tuple.Tuple, bool) {
-	for _, id := range s.candidates(tpl) {
-		t, ok := s.byID[id]
-		if !ok || !tpl.Matches(t) {
-			continue
-		}
-		c, err := s.reg.Clone(t)
-		if err != nil {
-			c = t
-		}
-		return c, true
+	var got tuple.Tuple
+	s.forMatching(tpl, func(t tuple.Tuple) bool {
+		got = t
+		return false
+	})
+	if got == nil {
+		return nil, false
 	}
-	return nil, false
+	c, err := s.reg.Clone(got)
+	if err != nil {
+		c = got
+	}
+	return c, true
 }
 
 // readRaw returns the stored instances matching tpl without cloning,
 // for engine-internal use.
 func (s *store) readRaw(tpl tuple.Template) []tuple.Tuple {
 	var out []tuple.Tuple
-	for _, id := range s.candidates(tpl) {
-		if t, ok := s.byID[id]; ok && tpl.Matches(t) {
-			out = append(out, t)
-		}
-	}
+	s.forMatching(tpl, func(t tuple.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
 }
 
@@ -240,7 +333,13 @@ func (s *store) ids() []tuple.ID {
 // snapshot: callers may remove tuples while iterating it.
 func (s *store) appendIDs(buf []tuple.ID) []tuple.ID {
 	buf = buf[:0]
-	for _, id := range s.order.ids {
+	if s.big == nil {
+		for i := range s.flat {
+			buf = append(buf, s.flat[i].id)
+		}
+		return buf
+	}
+	for _, id := range s.big.order.ids {
 		if !id.IsZero() {
 			buf = append(buf, id)
 		}
@@ -249,4 +348,9 @@ func (s *store) appendIDs(buf []tuple.ID) []tuple.ID {
 }
 
 // size returns the number of stored tuples.
-func (s *store) size() int { return len(s.byID) }
+func (s *store) size() int {
+	if s.big == nil {
+		return len(s.flat)
+	}
+	return len(s.big.byID)
+}

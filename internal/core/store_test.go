@@ -80,7 +80,7 @@ func TestStoreIndexedReadsMatchFullScan(t *testing.T) {
 		indexed := s.readRaw(tpl)
 		var scanned []tuple.Tuple
 		for _, id := range s.ids() {
-			if tt := s.byID[id]; tpl.Matches(tt) {
+			if tt, ok := s.get(id); ok && tpl.Matches(tt) {
 				scanned = append(scanned, tt)
 			}
 		}

@@ -1,0 +1,74 @@
+package core
+
+import "math/bits"
+
+// wirePool is a size-classed arena for announcement encodings. The
+// engine re-encodes a tuple's announcement whenever its stored copy,
+// hop, or parent changes; on transports that release payload bytes
+// before Send/Broadcast returns (transport.PayloadReleaser, e.g. UDP,
+// which copies into the socket), the superseded buffer is recycled here
+// instead of left to the garbage collector, so a churning structure
+// reuses a handful of buffers instead of allocating one per version.
+//
+// Under the deterministic sim — which retains published payloads
+// zero-copy in its in-flight queue — published buffers never reach the
+// pool (see Node.invalidateWireLocked); only never-shared buffers do,
+// so the pool is correct on every transport and profitable on copying
+// ones.
+//
+// Classes are powers of two from wirePoolMin to wirePoolMax bytes;
+// buffers outside that range are not pooled. Each class keeps at most
+// wirePoolDepth buffers, bounding retained memory per node to a few
+// KiB.
+type wirePool struct {
+	classes [wirePoolClasses][][]byte
+}
+
+const (
+	wirePoolMin     = 64   // class 0 capacity
+	wirePoolMax     = 4096 // largest pooled capacity
+	wirePoolClasses = 7    // 64, 128, 256, 512, 1024, 2048, 4096
+	wirePoolDepth   = 8
+)
+
+// wireClass maps a buffer capacity to its size class: the largest class
+// not exceeding c for put (so a get never receives less capacity than
+// the class promises), or -1 when c is below the smallest class.
+func wireClass(c int) int {
+	if c < wirePoolMin {
+		return -1
+	}
+	k := bits.Len(uint(c)/wirePoolMin) - 1
+	if k >= wirePoolClasses {
+		k = wirePoolClasses - 1
+	}
+	return k
+}
+
+// get returns a zero-length recycled buffer, preferring the largest
+// non-empty class so re-encodes rarely grow, or nil when the pool is
+// empty (the encoder then allocates exactly as before pooling).
+func (p *wirePool) get() []byte {
+	for k := wirePoolClasses - 1; k >= 0; k-- {
+		if n := len(p.classes[k]); n > 0 {
+			b := p.classes[k][n-1]
+			p.classes[k][n-1] = nil
+			p.classes[k] = p.classes[k][:n-1]
+			return b[:0]
+		}
+	}
+	return nil
+}
+
+// put recycles a buffer the caller proved safe to reuse. Undersized and
+// oversized buffers are dropped to the garbage collector.
+func (p *wirePool) put(b []byte) {
+	k := wireClass(cap(b))
+	if k < 0 || cap(b) > wirePoolMax {
+		return
+	}
+	if len(p.classes[k]) >= wirePoolDepth {
+		return
+	}
+	p.classes[k] = append(p.classes[k], b)
+}

@@ -33,6 +33,15 @@ type Rollup struct {
 	Stats core.Stats `json:"stats"`
 	// Net is the radio's traffic counters.
 	Net transport.Stats `json:"net"`
+	// MemRSSBytes and MemPeakRSSBytes are the emulating process's
+	// resident set and its high-water mark (VmRSS / VmHWM; zero on
+	// platforms without /proc). BytesPerNode divides the current RSS
+	// by the node count — the scale experiments' headline footprint
+	// figure. Reading them never influences emulation, so seeded runs
+	// stay bit-identical with or without observation.
+	MemRSSBytes     uint64  `json:"mem_rss_bytes,omitempty"`
+	MemPeakRSSBytes uint64  `json:"mem_peak_rss_bytes,omitempty"`
+	BytesPerNode    float64 `json:"bytes_per_node,omitempty"`
 }
 
 // Rollup computes a fresh emulation-wide snapshot. It walks the node
@@ -57,6 +66,10 @@ func (w *World) Rollup() Rollup {
 		}
 		r.Stats = r.Stats.Add(n.Stats())
 		r.StoreSize += n.StoreSize()
+	}
+	r.MemRSSBytes, r.MemPeakRSSBytes = obs.ReadProcRSS()
+	if r.Nodes > 0 {
+		r.BytesPerNode = float64(r.MemRSSBytes) / float64(r.Nodes)
 	}
 	return r
 }
@@ -124,6 +137,10 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 	counter("tota_emu_radio_corrupted_total", "Radio packets delivered with injected byte flips.", func(r Rollup) int64 { return r.Net.Corrupted })
 	counter("tota_emu_radio_blocked_total", "Radio packets discarded at a partition cut.", func(r Rollup) int64 { return r.Net.Blocked })
 	counter("tota_emu_radio_shed_total", "Radio packets shed by the bounded inbound queue.", func(r Rollup) int64 { return r.Net.Shed })
+	counter("tota_emu_radio_payload_bytes_total", "Radio payload bytes transmitted.", func(r Rollup) int64 { return r.Net.PayloadBytes })
+	gauge("tota_emu_mem_rss_bytes", "Process resident set at the published rollup (VmRSS).", func(r Rollup) float64 { return float64(r.MemRSSBytes) })
+	gauge("tota_emu_mem_peak_rss_bytes", "Process peak resident set (VmHWM).", func(r Rollup) float64 { return float64(r.MemPeakRSSBytes) })
+	gauge("tota_emu_bytes_per_node", "Resident bytes per emulated node.", func(r Rollup) float64 { return r.BytesPerNode })
 	reg.CounterFunc("tota_emu_radio_rounds_total", "Radio rounds stepped (includes Settle drains).", func() float64 {
 		return float64(w.sim.Rounds())
 	})
@@ -149,7 +166,7 @@ func (w *World) RegisterMetrics(reg *obs.Registry) {
 // Dashboard renders a rollup as one compact text line — the periodic
 // emulator dashboard (`tota-emu -dash N`).
 func (r Rollup) Dashboard() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"[tick %d t=%.1f] nodes=%d edges=%d inflight=%d churn=+%d/-%d stored=%d | in=%d dup=%d repair=%d withdraw=%d ttl=%d sendErr=%d | frames=%d digests=%d pulls=%d suppressed=%d | suspect=%d/%d pullBackoff=%d quarantine=%d/%d | agg epochs=%d partials=%d results=%d | radio sent=%d dropped=%d corrupt=%d blocked=%d shed=%d",
 		r.Tick, r.Time, r.Nodes, r.Edges, r.Inflight, r.ChurnAdds, r.ChurnRemoves, r.StoreSize,
 		r.Stats.PacketsIn, r.Stats.DupDropped, r.Stats.MaintAdopt, r.Stats.MaintDrop,
@@ -159,6 +176,11 @@ func (r Rollup) Dashboard() string {
 		r.Stats.QuarantineEvents, r.Stats.QuarantineDropped,
 		r.Stats.QueryEpochs, r.Stats.PartialsOut, r.Stats.AggResults,
 		r.Net.Sent, r.Net.Dropped, r.Net.Corrupted, r.Net.Blocked, r.Net.Shed)
+	if r.MemRSSBytes > 0 {
+		line += fmt.Sprintf(" | mem rss=%.1fMiB peak=%.1fMiB b/node=%.0f",
+			float64(r.MemRSSBytes)/(1<<20), float64(r.MemPeakRSSBytes)/(1<<20), r.BytesPerNode)
+	}
+	return line
 }
 
 // Report is the final aggregated JSON artifact a tota-emu run emits:

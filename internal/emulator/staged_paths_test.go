@@ -1,0 +1,149 @@
+package emulator
+
+import (
+	"fmt"
+	"testing"
+
+	"tota/internal/agg"
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/topology"
+	"tota/internal/tuple"
+)
+
+// stagedPathsRun captures everything a staged-send scenario puts on the
+// wire, directly or summarized: final distributed state, the two
+// convergecast answers, and the middleware/radio counters.
+type stagedPathsRun struct {
+	fingerprint  string
+	sumA, sumB   float64
+	okA, okB     bool
+	nodeStats    core.Stats
+	simDelivered int64
+	simSent      int64
+}
+
+// runStagedPathsScenario drives the two staged-send paths that live
+// beside the refresh loop — convergecast partials (per-query staged
+// contribution maps) and the corrupt-source quarantine (per-source
+// strike/cooldown maps) — under a given shard/worker combination.
+// Two queries with different origins overlap, so partial staging,
+// folding and flushing interleave; a corruption window quarantines
+// sources mid-run and the cooldown re-admits them before the end.
+func runStagedPathsScenario(seed int64, shards, workers int) stagedPathsRun {
+	const side = 6
+	w := New(Config{
+		Graph:        topology.Grid(side, side, 1),
+		RefreshEvery: 2,
+		Seed:         seed,
+		Shards:       shards,
+		Workers:      workers,
+		// The E13 resilience trio: quarantine needs suspicion hysteresis
+		// beside it — with immediate withdrawal (SuspicionEpochs=0) the
+		// support-table desync that quarantine drops induce can lock two
+		// neighbors into a perpetual withdraw/re-adopt announce storm.
+		NodeOptions: []core.Option{
+			core.WithSuspicion(2),
+			core.WithPullBackoff(6),
+			core.WithQuarantine(2, 10),
+		},
+	})
+	n := side * side
+	for i := 0; i < n; i++ {
+		if _, err := w.Node(topology.NodeName(i)).Inject(
+			pattern.NewLocal("reading", tuple.F("v", float64(i%7+1)))); err != nil {
+			panic(err)
+		}
+	}
+	w.Settle(100000)
+
+	// Two overlapping queries from different origins: their staged
+	// partials coexist in every interior node's per-query maps.
+	srcA, srcB := topology.NodeName(0), topology.NodeName(n-1)
+	sel := tuple.Selector{Kind: pattern.KindLocal, Name: "reading", Field: "v"}
+	idA, err := w.Node(srcA).Inject(agg.NewQuery("spA", agg.Sum, sel))
+	if err != nil {
+		panic(err)
+	}
+	idB, err := w.Node(srcB).Inject(agg.NewQuery("spB", agg.Max, sel))
+	if err != nil {
+		panic(err)
+	}
+	w.Settle(100000)
+
+	// Corruption window: heavy byte-flipping for a few epochs drives
+	// sources over the 2-strike threshold into quarantine; the refresh
+	// traffic that follows burns down the 10-packet cooldowns and
+	// re-admits them, all through the per-source staged maps.
+	w.Sim().SetCorrupt(0.5)
+	for i := 0; i < 4; i++ {
+		w.RefreshAll()
+		w.Settle(100000)
+	}
+	w.Sim().SetCorrupt(0)
+	// Healing needs one epoch per aggregation-tree level plus the
+	// suspicion/backoff recovery tail (E14 sizes epochs the same way).
+	for i := 0; i < 2*side+6; i++ {
+		w.RefreshAll()
+		w.Settle(100000)
+	}
+
+	out := stagedPathsRun{fingerprint: fingerprint(w)}
+	var ra, rb agg.Result
+	ra, out.okA = w.Node(srcA).AggResult(idA)
+	rb, out.okB = w.Node(srcB).AggResult(idB)
+	out.sumA, out.sumB = ra.Value(), rb.Value()
+	out.nodeStats = w.TotalStats()
+	st := w.Sim().Stats()
+	out.simDelivered, out.simSent = st.Delivered, st.Sent
+	return out
+}
+
+// TestStagedSendPathsDeterministic pins the determinism of the two
+// auxiliary staged-send paths: aggregation partials and quarantine
+// cooldown. Their per-node state lives in maps, so any map-order
+// iteration feeding the wire would show up here as a fingerprint or
+// counter mismatch between shard/worker combinations.
+func TestStagedSendPathsDeterministic(t *testing.T) {
+	serial := runStagedPathsScenario(77, 1, 1)
+	if serial.nodeStats.QuarantineEvents == 0 {
+		t.Fatal("no source was ever quarantined; cooldown path untested")
+	}
+	if serial.nodeStats.PartialsOut == 0 {
+		t.Fatal("no partials sent; aggregation staging untested")
+	}
+	if !serial.okA || !serial.okB {
+		t.Fatalf("missing aggregation results: okA=%v okB=%v", serial.okA, serial.okB)
+	}
+	// The oracle values: sum and max of i%7+1 over the 36 readings.
+	wantSum, wantMax := 0.0, 0.0
+	for i := 0; i < 36; i++ {
+		v := float64(i%7 + 1)
+		wantSum += v
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	if serial.sumA != wantSum || serial.sumB != wantMax {
+		t.Errorf("aggregation drifted after quarantine churn: sum=%v (want %v) max=%v (want %v)",
+			serial.sumA, wantSum, serial.sumB, wantMax)
+	}
+	for _, c := range []struct{ shards, workers int }{{0, 0}, {4, 1}, {2, 4}, {8, 2}} {
+		run := runStagedPathsScenario(77, c.shards, c.workers)
+		label := fmt.Sprintf("shards=%d/workers=%d", c.shards, c.workers)
+		if run.fingerprint != serial.fingerprint {
+			t.Errorf("%s: distributed state fingerprint diverged from serial run", label)
+		}
+		if run.sumA != serial.sumA || run.sumB != serial.sumB || run.okA != serial.okA || run.okB != serial.okB {
+			t.Errorf("%s: aggregation results diverged: got (%v,%v) want (%v,%v)",
+				label, run.sumA, run.sumB, serial.sumA, serial.sumB)
+		}
+		if run.nodeStats != serial.nodeStats {
+			t.Errorf("%s: middleware counters diverged:\n got %+v\nwant %+v", label, run.nodeStats, serial.nodeStats)
+		}
+		if run.simDelivered != serial.simDelivered || run.simSent != serial.simSent {
+			t.Errorf("%s: radio counters diverged: got sent=%d delivered=%d, want sent=%d delivered=%d",
+				label, run.simSent, run.simDelivered, serial.simSent, serial.simDelivered)
+		}
+	}
+}

@@ -3,16 +3,16 @@ package experiment
 import (
 	"math"
 	"math/rand"
-	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
-	"strings"
 	"time"
 
 	"tota/internal/core"
 	"tota/internal/emulator"
 	"tota/internal/metrics"
 	"tota/internal/mobility"
+	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/space"
 	"tota/internal/topology"
@@ -61,6 +61,20 @@ func e15JitteredGrid(n int, rng *rand.Rand) *topology.Graph {
 // e15RadioRange matches the jittered-grid spacing (see e15JitteredGrid).
 const e15RadioRange = 1.5
 
+// scaleGCPercent is the GC pacing used for worlds of scaleGCNodes nodes
+// or more. The default GOGC=100 lets the heap grow to 2× live before
+// collecting; at 100k+ nodes live state is hundreds of MiB, so that
+// headroom — not the engine state itself — dominates peak RSS. Pinning
+// the ceiling at 1.2× live cuts VmHWM by ~35% at the 100k point; the
+// price is more frequent marks, which on one core costs roughly a third
+// of settle throughput (~37 vs ~60 rounds/s at 100k). The scale runs
+// exist to demonstrate footprint, so the trade goes to memory. See
+// DESIGN.md §13.
+const (
+	scaleGCPercent = 20
+	scaleGCNodes   = 100_000
+)
+
 // NewScaleWorld builds the E15 fixture: an n-node jittered-grid world
 // with its initial edge set settled, the given tick-phase shard count,
 // and the engine hop bound scaled to the layout (the grid's
@@ -68,6 +82,9 @@ const e15RadioRange = 1.5
 // the default 128-hop safety bound, which would kill the wave early).
 // Shared by BenchmarkSettleSharded.
 func NewScaleWorld(n, shards int) *emulator.World {
+	if n >= scaleGCNodes {
+		debug.SetGCPercent(scaleGCPercent)
+	}
 	rng := rand.New(rand.NewSource(15))
 	g := e15JitteredGrid(n, rng)
 	g.Recompute(e15RadioRange) // initial edge set, before nodes attach
@@ -165,17 +182,8 @@ func RunE15(scale Scale) *Result {
 // the kernel's VmHWM accounting and falling back to the Go runtime's
 // reserved-memory figure where /proc is unavailable.
 func peakRSSMB() float64 {
-	if data, err := os.ReadFile("/proc/self/status"); err == nil {
-		for _, line := range strings.Split(string(data), "\n") {
-			if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
-				f := strings.Fields(rest)
-				if len(f) >= 1 {
-					if kb, err := strconv.ParseFloat(f[0], 64); err == nil {
-						return kb / 1024
-					}
-				}
-			}
-		}
+	if _, peak := obs.ReadProcRSS(); peak > 0 {
+		return float64(peak) / (1 << 20)
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

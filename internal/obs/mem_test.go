@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadMem(t *testing.T) {
+	// Force some live heap so the runtime figures are non-trivial.
+	ballast := make([]byte, 1<<20)
+	snap := ReadMem()
+	if snap.HeapAlloc == 0 || snap.Sys == 0 {
+		t.Errorf("runtime figures missing: %+v", snap)
+	}
+	if snap.HeapSys < snap.HeapAlloc {
+		t.Errorf("HeapSys %d < HeapAlloc %d", snap.HeapSys, snap.HeapAlloc)
+	}
+	// On Linux /proc is present and the RSS figures must be sane; on
+	// other platforms they are zero by contract.
+	if snap.RSS > 0 && snap.PeakRSS < snap.RSS {
+		t.Errorf("PeakRSS %d < RSS %d", snap.PeakRSS, snap.RSS)
+	}
+	_ = ballast[0]
+}
+
+func TestParseStatusKB(t *testing.T) {
+	tests := []struct {
+		give string
+		want uint64
+	}{
+		{"     1234 kB", 1234 * 1024},
+		{" 0 kB", 0},
+		{"", 0},
+		{" nonsense", 0},
+	}
+	for _, tt := range tests {
+		if got := parseStatusKB(tt.give); got != tt.want {
+			t.Errorf("parseStatusKB(%q) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRegisterMemMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterMemMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"tota_mem_heap_alloc_bytes",
+		"tota_mem_heap_sys_bytes",
+		"tota_mem_sys_bytes",
+		"tota_mem_gc_cycles_total",
+		"tota_mem_rss_bytes",
+		"tota_mem_peak_rss_bytes",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// The heap gauge must expose a live (non-zero) value.
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "tota_mem_heap_alloc_bytes "); ok {
+			if rest == "0" {
+				t.Error("tota_mem_heap_alloc_bytes = 0")
+			}
+		}
+	}
+}

@@ -299,6 +299,7 @@ func (s *Sim) Detach(id tuple.NodeID) {
 			kept = append(kept, p)
 		}
 	}
+	clearPacketTail(s.inflight, len(kept))
 	s.inflight = kept
 	s.mu.Unlock()
 	s.notify(events)
@@ -385,6 +386,7 @@ func (s *Sim) Step() int {
 			kept = append(kept, p)
 		}
 	}
+	clearPacketTail(s.inflight, len(kept))
 	s.inflight = kept
 	if s.cfg.Shuffle {
 		s.rng.Shuffle(len(due), func(i, j int) {
@@ -659,9 +661,11 @@ func (s *Sim) commitSendLocked(from, to tuple.NodeID, data []byte) {
 	if loss > 0 && s.rng.Float64() < loss {
 		s.stats.Dropped++
 		s.stats.Sent++
+		s.stats.PayloadBytes += int64(len(data))
 		return
 	}
 	s.stats.Sent++
+	s.stats.PayloadBytes += int64(len(data))
 	copies := 1
 	if s.cfg.Dup > 0 && s.rng.Float64() < s.cfg.Dup {
 		copies = 2
@@ -712,8 +716,20 @@ func (s *Sim) shedOldestLocked(dest tuple.NodeID) {
 	if queued < s.cfg.MaxInbound || oldest < 0 {
 		return
 	}
+	n := len(s.inflight)
 	s.inflight = append(s.inflight[:oldest], s.inflight[oldest+1:]...)
+	clearPacketTail(s.inflight[:n], len(s.inflight))
 	s.stats.Shed++
+}
+
+// clearPacketTail zeroes the slots of buf past length n so compaction
+// does not pin payload slices and id strings in the retained backing
+// array: one settle wave's high-water queue would otherwise hold every
+// wavefront payload alive for the rest of the run.
+func clearPacketTail(buf []simPacket, n int) {
+	for i := n; i < len(buf); i++ {
+		buf[i] = simPacket{}
+	}
 }
 
 // CorruptBytes returns a copy of data with 1–3 random byte flips drawn

@@ -35,6 +35,21 @@ type FrameLimiter interface {
 	FramePayloadLimit() int
 }
 
+// PayloadReleaser is optionally implemented by transports that finish
+// with the payload bytes before Broadcast or Send returns — e.g. the
+// UDP transport, which copies the payload into a datagram frame
+// synchronously. When a transport reports true, the middleware engine
+// recycles its announcement-encoding buffers into a per-node arena the
+// moment they are superseded, instead of leaving each version's bytes
+// to the garbage collector. Transports that retain payload slices after
+// returning (the zero-copy simulated radio queues them in flight) must
+// not implement it, or must return false.
+type PayloadReleaser interface {
+	// ReleasesPayloads reports that payload slices passed to Broadcast
+	// and Send are not retained after the call returns.
+	ReleasesPayloads() bool
+}
+
 // Handler receives the incoming half of a transport: packets from
 // neighbors and neighborhood change notifications. The middleware node
 // implements it.
@@ -52,6 +67,11 @@ type Stats struct {
 	// Sent counts point-to-point transmissions (a broadcast to k
 	// neighbors counts k).
 	Sent int64
+	// PayloadBytes totals the payload bytes of those transmissions
+	// (lost packets included — the radio still spent the airtime), so
+	// experiments can report wire cost per epoch, not just frame
+	// counts.
+	PayloadBytes int64
 	// Broadcasts counts broadcast operations.
 	Broadcasts int64
 	// Delivered counts packets handed to handlers.

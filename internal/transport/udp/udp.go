@@ -153,6 +153,11 @@ type peerState struct {
 var _ transport.Sender = (*Transport)(nil)
 var _ transport.FrameLimiter = (*Transport)(nil)
 
+// ReleasesPayloads implements transport.PayloadReleaser: Broadcast and
+// Send copy the payload into a pooled frame buffer before writing, so
+// the caller's bytes are free for reuse the moment the call returns.
+func (t *Transport) ReleasesPayloads() bool { return true }
+
 // FramePayloadLimit implements transport.FrameLimiter: the configured
 // MTU minus this transport's own frame header (type, sender id).
 func (t *Transport) FramePayloadLimit() int {

@@ -533,8 +533,8 @@ func TestTraceContextInBatch(t *testing.T) {
 func TestTraceContextShortFrame(t *testing.T) {
 	r := newWireRegistry(t)
 	b := []byte{wireVersionTraced, byte(MsgTuple), 0, 0, 0, 0, 0, 0} // header, empty parent
-	b = append(b, 0, 0, 0, 1)                                       // announcement version
-	b = append(b, 1, 2, 3, 4, 5, 6, 7, 8)                           // half a trace context
+	b = append(b, 0, 0, 0, 1)                                        // announcement version
+	b = append(b, 1, 2, 3, 4, 5, 6, 7, 8)                            // half a trace context
 	if _, err := Decode(r, seal(b)); !errors.Is(err, ErrShort) {
 		t.Errorf("Decode = %v, want ErrShort", err)
 	}

@@ -27,16 +27,20 @@ entry="$(awk -v date="$date" -v stamp="$stamp" '
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		ns = ""; by = ""; al = ""
+		ns = ""; by = ""; al = ""; rss = ""; bpn = ""
 		for (i = 2; i <= NF; i++) {
 			if ($i == "ns/op") ns = $(i - 1)
 			if ($i == "B/op") by = $(i - 1)
 			if ($i == "allocs/op") al = $(i - 1)
+			if ($i == "peak_rss_bytes") rss = $(i - 1)
+			if ($i == "bytes_per_node") bpn = $(i - 1)
 		}
 		if (ns == "") next
 		b = sprintf("\"%s\":{\"ns_op\":%s", name, ns)
 		if (by != "") b = b ",\"bytes_op\":" by
 		if (al != "") b = b ",\"allocs_op\":" al
+		if (rss != "") b = b ",\"peak_rss_bytes\":" rss
+		if (bpn != "") b = b ",\"bytes_per_node\":" bpn
 		b = b "}"
 		benches = benches (benches == "" ? "" : ",") b
 	}
@@ -70,6 +74,11 @@ grep 'BenchmarkRefreshSteadyState' "$txt" >&2 || true
 # Headline scale cost: grid-indexed recompute vs the O(n²) reference and
 # the sharded refresh cycle (see DESIGN.md §11).
 grep 'BenchmarkRecompute10k\|BenchmarkSettleSharded\|BenchmarkE15Scale' "$txt" >&2 || true
+
+# Headline footprint: the E16 benchmarks report peak_rss_bytes and
+# bytes_per_node, which the trajectory entry records so the memory
+# history rides beside the timing history (see DESIGN.md §13).
+grep 'BenchmarkE16' "$txt" >&2 || true
 
 # Delta against the most recent prior run. The .txt files are benchstat
 # input; use benchstat when installed, otherwise fall back to an awk
