@@ -59,6 +59,7 @@ func run(args []string) error {
 		"E14": experiment.RunE14,
 		"E15": experiment.RunE15,
 		"E16": experiment.RunE16,
+		"E17": experiment.RunE17,
 		"A1":  experiment.RunA1,
 		"A2":  experiment.RunA2,
 	}

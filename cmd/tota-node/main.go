@@ -20,8 +20,10 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"tota/internal/core"
@@ -43,16 +45,24 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	id := fs.String("id", "", "node id (required, unique)")
 	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
 	peers := fs.String("peers", "", "comma-separated candidate peer addresses")
-	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json, /healthz and pprof on this address")
+	obsAddr := fs.String("obs.addr", "", "serve /metrics, /metrics.json, /healthz, /readyz, /store.json and pprof on this address")
 	traceOut := fs.String("trace.jsonl", "", "append engine trace events as JSON lines to this file ('-' for stderr)")
-	flightSize := fs.Int("trace.flight", 0, "keep the last N trace events in an in-memory flight recorder (served at /debug/flight, dumped to stderr on crash)")
+	flightSize := fs.Int("trace.flight", 0, "keep the last N trace events in an in-memory flight recorder (served at /debug/flight, dumped to stderr on crash or SIGTERM)")
 	sample := fs.Float64("trace.sample", 0, "fraction of injected tuples carrying a wire-level trace context (0 = off; received contexts always propagate)")
+	refresh := fs.Duration("refresh", time.Second, "anti-entropy refresh period: each epoch re-announces changed tuples, digests the rest and sweeps expired leases (0 disables; lossy links then never heal)")
+	robust := fs.Bool("robust", false, "enable the graceful-degradation engine options (suspicion hysteresis, pull backoff, corrupt-source quarantine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
+	// Register the signal handler before anything is listening, so a
+	// supervisor that starts us and immediately sends SIGTERM still
+	// gets a graceful exit rather than the default kill.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg := udp.Config{NodeID: tuple.NodeID(*id), ListenAddr: *listen, Logger: logger}
 	if *peers != "" {
@@ -99,10 +109,18 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		defer flight.DumpOnCrash(os.Stderr)()
 	}
 
-	node := core.New(tr,
+	opts := []core.Option{
 		core.WithLogger(logger),
 		core.WithTracer(obs.MultiTracer(lat.Tracer(), sinkTracer, flightTracer)),
-		core.WithTraceSampling(*sample))
+		core.WithTraceSampling(*sample),
+	}
+	if *robust {
+		opts = append(opts,
+			core.WithSuspicion(2),
+			core.WithPullBackoff(6),
+			core.WithQuarantine(3, 256))
+	}
+	node := core.New(tr, opts...)
 	tr.SetHandler(node)
 	tr.Start()
 	fmt.Fprintf(out, "node %s listening on %s\n", *id, tr.Addr())
@@ -113,13 +131,34 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	obs.RegisterRuntime(reg)
 	obs.RegisterMemMetrics(reg)
 	if *obsAddr != "" {
-		var srv *obs.Server
-		var err error
+		var flights []*obs.FlightRecorder
 		if flight != nil {
-			srv, err = obs.Serve(*obsAddr, reg, flight)
-		} else {
-			srv, err = obs.Serve(*obsAddr, reg)
+			flights = append(flights, flight)
 		}
+		srv, err := obs.ServeExtras(*obsAddr, reg, obs.Extras{
+			Flights: flights,
+			Ready: func() obs.Readiness {
+				st := node.Stats()
+				return obs.Readiness{
+					StoreSize:  node.StoreSize(),
+					Peers:      len(tr.Neighbors()),
+					Announced:  st.RefreshAnnounced,
+					Suppressed: st.RefreshSuppressed,
+				}
+			},
+			Store: func(w io.Writer) error {
+				for _, t := range node.Read(tuple.MatchAll()) {
+					data, err := tuple.MarshalTupleJSON(t)
+					if err != nil {
+						continue
+					}
+					if _, err := w.Write(append(data, '\n')); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
 		if err != nil {
 			return err
 		}
@@ -127,7 +166,45 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		fmt.Fprintf(out, "telemetry on http://%s/metrics\n", srv.Addr())
 	}
 
-	return shell(node, in, out)
+	// The refresh ticker is the real-deployment stand-in for the
+	// emulator's per-tick RefreshAll: without it a UDP node never runs
+	// anti-entropy, so state lost to the radio stays lost and restarted
+	// peers never catch up by digest→pull.
+	if *refresh > 0 {
+		stopRefresh := make(chan struct{})
+		defer close(stopRefresh)
+		go func() {
+			ticker := time.NewTicker(*refresh)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopRefresh:
+					return
+				case <-ticker.C:
+					node.Refresh()
+					node.SweepExpired(clock())
+				}
+			}
+		}()
+	}
+
+	// Run the shell concurrently so SIGTERM/SIGINT can shut the node
+	// down cleanly mid-read: the deferred closes above flush the trace
+	// sink, stop telemetry and close the socket, and the flight ring is
+	// dumped here — the black box survives a supervised stop, not just
+	// a crash.
+	shellDone := make(chan error, 1)
+	go func() { shellDone <- shell(node, in, out) }()
+	select {
+	case err := <-shellDone:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "tota-node: %v: shutting down\n", sig)
+		if flight != nil {
+			_ = flight.WriteJSONL(os.Stderr)
+		}
+		return nil
+	}
 }
 
 func shell(node *core.Node, in io.Reader, out io.Writer) error {

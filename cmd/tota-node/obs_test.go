@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
 	"tota/internal/obs"
 )
 
@@ -123,5 +125,84 @@ func TestRunObsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"kind":"inject"`) {
 		t.Errorf("trace file missing inject event: %q", data)
+	}
+}
+
+// TestRunReadyzAndStoreDump scrapes the new readiness and store-dump
+// endpoints of a live single node: no peers yet means 503 + ready=false,
+// and an injected gradient must appear in the NDJSON store dump — the
+// external-verification surface the testnet harness polls.
+func TestRunReadyzAndStoreDump(t *testing.T) {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		err := run([]string{
+			"-id", "ready-test",
+			"-obs.addr", "127.0.0.1:0",
+			"-refresh", "25ms",
+		}, inR, outW)
+		_ = outW.Close()
+		errc <- err
+	}()
+	sc := bufio.NewScanner(outR)
+	var base string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "telemetry on http://"); ok {
+			base = "http://" + strings.TrimSuffix(rest, "/metrics")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no telemetry address announced (scan err %v)", sc.Err())
+	}
+	go func() { _, _ = io.Copy(io.Discard, outR) }()
+
+	if _, err := io.WriteString(inW, "gradient ready-demo\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store dump is eventually consistent with the shell command;
+	// poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	var dump string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/store.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		dump = string(body)
+		if strings.Contains(dump, `"kind":"tota:gradient"`) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(dump, `"kind":"tota:gradient"`) || !strings.Contains(dump, `"_val"`) {
+		t.Errorf("/store.json missing injected gradient: %q", dump)
+	}
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatalf("/readyz decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || ready["ready"] != false {
+		t.Errorf("peerless node: status=%d ready=%v, want 503/false", resp.StatusCode, ready["ready"])
+	}
+	if ready["store_size"] != 1.0 {
+		t.Errorf("readyz store_size = %v, want 1", ready["store_size"])
+	}
+
+	if _, err := io.WriteString(inW, "quit\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

@@ -385,13 +385,19 @@ func (n *Node) handleTupleLocked(from tuple.NodeID, msg *wire.Message) {
 	}
 	if msg.Ver != 0 {
 		// A stored-state announcement: remember the sender's version so
-		// later digest entries matching it prove nothing changed. Full
-		// content consumed from this neighbor also resets its pull
-		// backoff: it is alive and answering.
+		// later digest entries matching it prove nothing changed. A
+		// version this node has not consumed yet also resets the pull
+		// backoff: the neighbor is alive and delivering new content. A
+		// same-version replay does not — a poisoned-row probe answered
+		// by unchanged bytes (a genuine two-node loop, not a stale row)
+		// must leave the backoff growing or the probe/reply cycle would
+		// re-arm itself forever.
 		p := st.peerFor(from, len(n.nbrs))
+		if p.flags&peerVer == 0 || p.ver != msg.Ver {
+			p.resetBackoff()
+		}
 		p.ver = msg.Ver
 		p.flags |= peerVer
-		p.resetBackoff()
 	} else if p := st.peer(from); p != nil {
 		p.resetBackoff()
 	}
@@ -595,7 +601,25 @@ func (n *Node) digestMaintainedLocked(from tuple.NodeID, e *wire.DigestEntry, st
 // maintained digest entry) from the neighbor resets its backoff.
 // No-op (always allow) when the backoff is disabled.
 func (n *Node) allowPullLocked(st *tupleState, from tuple.NodeID) bool {
+	return n.allowPullCapLocked(st, from, n.cfg.PullBackoffCap)
+}
+
+// allowProbeLocked gates a poisoned-row staleness probe. Unlike digest
+// pulls — which are paced by refresh epochs, so a disabled backoff
+// (PullBackoffCap 0) still means at most one pull per epoch — probes
+// are maintain-driven and each reply triggers another maintain, so an
+// unbounded allowance would let a genuine two-node loop probe forever
+// within a single event cascade. The backoff is therefore always armed
+// here, falling back to a fixed cap when the configured one is off.
+func (n *Node) allowProbeLocked(st *tupleState, from tuple.NodeID) bool {
 	maxGap := n.cfg.PullBackoffCap
+	if maxGap <= 0 {
+		maxGap = 64
+	}
+	return n.allowPullCapLocked(st, from, maxGap)
+}
+
+func (n *Node) allowPullCapLocked(st *tupleState, from tuple.NodeID, maxGap int) bool {
 	if maxGap <= 0 {
 		return true
 	}
@@ -702,7 +726,8 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 	}
 
 	best := math.Inf(1)
-	var bestNbr tuple.NodeID
+	poisoned := math.Inf(1)
+	var bestNbr, poisonedNbr tuple.NodeID
 	var bestSpan uint64
 	for i := range st.peers {
 		pe := &st.peers[i]
@@ -710,6 +735,10 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 			continue
 		}
 		if pe.parent == n.id && !n.cfg.DisablePoisonedReverse {
+			if pe.val < poisoned {
+				poisoned = pe.val
+				poisonedNbr = pe.id
+			}
 			continue
 		}
 		// Rows are sorted by neighbor id, so the first minimum wins the
@@ -721,6 +750,22 @@ func (n *Node) maintainLocked(id tuple.ID, exemplar tuple.Maintained, ctx *tuple
 		}
 	}
 	desired := best + step
+
+	if poisonedNbr != "" && poisoned+step < desired {
+		// A skipped row outbids every usable support. A copy that truly
+		// routed through this node would sit one step above the local
+		// value, so the row's parent field is stale: the neighbor
+		// re-parented but the parent-only re-announcement was lost or
+		// suppressed (stParentFlap), and poisoned reverse would exclude
+		// the node's genuinely best support forever. Pull the neighbor's
+		// current bytes to refresh the row; the per-row backoff — which
+		// same-version replies do not reset — bounds the probes when
+		// the claim is a genuine loop rather than staleness.
+		if n.allowProbeLocked(st, poisonedNbr) {
+			n.tracePullLocked(id, poisonedNbr, st)
+			n.sendPullMsgLocked(poisonedNbr, []tuple.ID{id})
+		}
+	}
 
 	if math.IsInf(best, 1) || desired > effMax {
 		if st.has(stStored) {

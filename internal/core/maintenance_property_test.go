@@ -70,3 +70,61 @@ func TestMaintenanceConvergesOnRandomGraphsQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: seed -3560231259410229777 used to quiesce with one node a
+// step above the BFS oracle. During the repair wave a neighbor announced
+// (val, parent=victim), then re-parented away without a value change;
+// the parent-only re-announcement was suppressed (stParentFlap, and no
+// refresh runs here to carry it later), so the victim kept skipping its
+// genuinely best support via poisoned reverse forever. maintainLocked
+// now probes a skipped row that outbids every usable support with a
+// unicast pull, which refreshes the stale parent field event-driven.
+func TestMaintenanceStaleParentPoisonProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(-3560231259410229777))
+	g := topology.ConnectedRandomGeometric(22, 8, 3, rng, 100)
+	if g == nil {
+		t.Fatal("seed no longer yields a connected layout")
+	}
+	tn := newTestNet(t, g)
+	nodes := g.Nodes()
+	src := nodes[rng.Intn(len(nodes))]
+	if _, err := tn.node(src).Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatal(err)
+	}
+	tn.quiesce()
+	for i := 0; i < 3; i++ {
+		a := nodes[rng.Intn(len(nodes))]
+		nbrs := g.Neighbors(a)
+		if len(nbrs) == 0 {
+			continue
+		}
+		b := nbrs[rng.Intn(len(nbrs))]
+		g.RemoveEdge(a, b)
+		ok := g.Connected()
+		g.AddEdge(a, b)
+		if ok {
+			tn.sim.RemoveEdge(a, b)
+			tn.quiesce()
+		}
+		c := nodes[rng.Intn(len(nodes))]
+		d := nodes[rng.Intn(len(nodes))]
+		if c != d && !g.HasEdge(c, d) {
+			tn.sim.AddEdge(c, d)
+			tn.quiesce()
+		}
+	}
+	dist := g.BFSDistances(src)
+	for _, id := range g.Nodes() {
+		v, have := tn.gradVal(id, pattern.KindGradient, "f")
+		want, reachable := dist[id]
+		if !reachable {
+			if have {
+				t.Errorf("%s: unreachable but holds value %v", id, v)
+			}
+			continue
+		}
+		if !have || v != float64(want) {
+			t.Errorf("%s: val=%v have=%v, oracle says %d", id, v, have, want)
+		}
+	}
+}

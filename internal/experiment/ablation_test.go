@@ -8,10 +8,13 @@ func TestA1AblationShapes(t *testing.T) {
 		t.Fatalf("rows = %d\n%s", res.Table.NumRows(), res.Table)
 	}
 	// Poisoned reverse makes teardown cheap; without it the stranded
-	// cycle counts toward the scope and costs clearly more.
+	// cycle counts toward the scope and costs clearly more. The full
+	// engine's cost includes the poisoned-row staleness probe (one
+	// pull + reply on the stranded tail), so the margin is 1.5x, not
+	// the pre-probe 2x.
 	full := res.Metrics["teardown_msgs_full engine"]
 	broken := res.Metrics["teardown_msgs_no poisoned reverse"]
-	if broken <= full*2 {
+	if broken <= full*1.5 {
 		t.Errorf("count-to-scope not visible: full=%v ablated=%v\n%s", full, broken, res.Table)
 	}
 	// Catch-up determines whether a joiner learns the structure.

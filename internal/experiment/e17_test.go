@@ -1,0 +1,19 @@
+package experiment
+
+import "testing"
+
+// TestE17TestnetReconverges runs the quick-scale real-process testnet:
+// five tota-node processes, ≥30% relay loss, one SIGKILL + restart,
+// convergence verified only through the obs endpoints.
+func TestE17TestnetReconverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short mode")
+	}
+	res := RunE17(Quick)
+	if res.Metrics["reconverged_5"] != 1 {
+		t.Fatalf("5-process fleet did not reconverge:\n%s", res.Table)
+	}
+	if res.Metrics["reconverge_s_5"] <= 0 {
+		t.Fatalf("reconvergence time missing: %v", res.Metrics)
+	}
+}

@@ -1,12 +1,59 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
+
+// Readiness is the snapshot behind /readyz: enough externally-visible
+// state for a supervisor (the testnet harness, an orchestrator probe)
+// to distinguish "process up" (/healthz) from "node participating".
+type Readiness struct {
+	// StoreSize is the number of tuples currently in the local space.
+	StoreSize int `json:"store_size"`
+	// Peers is the number of neighbors currently up.
+	Peers int `json:"peers"`
+	// Announced and Suppressed are the cumulative refresh counters
+	// (tuples re-sent in full vs. advertised by digest).
+	Announced  int64 `json:"announced"`
+	Suppressed int64 `json:"suppressed"`
+}
+
+// readyzPayload is the /readyz response body: the Readiness snapshot
+// plus per-scrape deltas of the refresh counters, so pollers see the
+// last-epoch announce/suppress activity without keeping state.
+type readyzPayload struct {
+	Ready bool `json:"ready"`
+	Readiness
+	AnnouncedDelta  int64 `json:"announced_delta"`
+	SuppressedDelta int64 `json:"suppressed_delta"`
+}
+
+// Extras are the optional endpoints Handler can serve beyond the
+// metrics surface.
+type Extras struct {
+	// Flights, when non-empty, are served at /debug/flight as
+	// concatenated JSONL, oldest events first per recorder — the same
+	// schema the JSONL sink writes, so tota-trace ingests scrapes.
+	Flights []*FlightRecorder
+	// Ready, when set, serves /readyz: HTTP 200 with a JSON body when
+	// the node has at least one peer up, 503 (same body) otherwise.
+	// Distinct from the liveness-only /healthz: a freshly restarted
+	// node is healthy immediately but not ready until discovery
+	// completes, and not converged until its store matches the fleet.
+	Ready func() Readiness
+	// Store, when set, serves /store.json: an NDJSON dump of the local
+	// tuple space (one tuple.MarshalTupleJSON document per line), the
+	// external-verification surface a harness compares against its
+	// oracle without any in-process inspection.
+	Store func(io.Writer) error
+}
 
 // Handler returns the observability endpoint mux:
 //
@@ -16,10 +63,16 @@ import (
 //	/debug/pprof/  the standard net/http/pprof handlers
 //	/debug/flight  flight-recorder dump (with recorders attached)
 //
-// Flight recorders, when passed, are served at /debug/flight as
-// concatenated JSONL, oldest events first per recorder — the same
-// schema the JSONL sink writes, so tota-trace ingests scrapes directly.
+// Flight recorders, when passed, are served at /debug/flight (see
+// Extras.Flights). For the readiness and store-dump endpoints use
+// HandlerExtras.
 func Handler(r *Registry, flights ...*FlightRecorder) http.Handler {
+	return HandlerExtras(r, Extras{Flights: flights})
+}
+
+// HandlerExtras is Handler plus the optional /readyz and /store.json
+// endpoints (see Extras).
+func HandlerExtras(r *Registry, x Extras) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,7 +86,41 @@ func Handler(r *Registry, flights ...*FlightRecorder) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	if len(flights) > 0 {
+	if x.Ready != nil {
+		// The delta tracker makes consecutive scrapes report per-epoch
+		// refresh activity; it is per-handler state, so two pollers
+		// sharing one endpoint see interleaved (still non-negative)
+		// deltas.
+		var mu sync.Mutex
+		var lastAnn, lastSup int64
+		ready := x.Ready
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			snap := ready()
+			mu.Lock()
+			body := readyzPayload{
+				Ready:           snap.Peers > 0,
+				Readiness:       snap,
+				AnnouncedDelta:  snap.Announced - lastAnn,
+				SuppressedDelta: snap.Suppressed - lastSup,
+			}
+			lastAnn, lastSup = snap.Announced, snap.Suppressed
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if !body.Ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(body)
+		})
+	}
+	if x.Store != nil {
+		store := x.Store
+		mux.HandleFunc("/store.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = store(w)
+		})
+	}
+	if len(x.Flights) > 0 {
+		flights := x.Flights
 		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			for _, f := range flights {
@@ -62,12 +149,18 @@ type Server struct {
 // observability mux in a background goroutine (flight recorders, when
 // passed, are exposed at /debug/flight). Close to stop.
 func Serve(addr string, r *Registry, flights ...*FlightRecorder) (*Server, error) {
+	return ServeExtras(addr, r, Extras{Flights: flights})
+}
+
+// ServeExtras is Serve plus the optional /readyz and /store.json
+// endpoints (see Extras).
+func ServeExtras(addr string, r *Registry, x Extras) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(r, flights...),
+		Handler:           HandlerExtras(r, x),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

@@ -1,0 +1,58 @@
+package testnet
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// BuildNodeBinary compiles cmd/tota-node once per process into a temp
+// directory and returns the binary path — the harness and the E17
+// experiment share the artifact, so repeated runs pay the toolchain
+// cost once.
+func BuildNodeBinary() (string, error) {
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "tota-testnet-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		out := filepath.Join(dir, "tota-node")
+		cmd := exec.Command("go", "build", "-o", out, "tota/cmd/tota-node")
+		cmd.Dir = moduleRoot()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("testnet: build tota-node: %v\n%s", err, msg)
+			return
+		}
+		buildPath = out
+	})
+	return buildPath, buildErr
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so the build works from any package directory (tests) or
+// from the repo root (tota-bench, CI).
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,403 @@
+package testnet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tota/internal/fault"
+)
+
+// Report is the outcome of one testnet run.
+type Report struct {
+	// Converged reports whether every node's externally scraped store
+	// matched the oracle before the deadline.
+	Converged bool
+	// ConvergeTick is the harness tick at which the fleet matched.
+	ConvergeTick int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// CleanExits counts nodes that honored graceful shutdown (SIGTERM
+	// then exit 0) at teardown.
+	CleanExits int
+	// Restarts counts crash-fault restart cycles performed.
+	Restarts int
+	// Relay is the packet accounting across all links.
+	Relay RelayStats
+}
+
+// Harness wires a manifest to real processes: relay, fleet, plan
+// driver and convergence polling.
+type Harness struct {
+	m      Manifest
+	bin    string
+	out    io.Writer
+	relay  *Relay
+	client *Client
+	plan   fault.Plan
+
+	peerAddrs map[string][]string // node -> incident relay link addrs
+	procs     map[string]*Proc
+	crashed   map[string]bool
+	paused    map[string]bool
+	report    Report
+}
+
+// NodeExtraFlags are the tota-node flags every fleet member runs with:
+// a refresh period fast enough to heal within a few harness ticks, the
+// graceful-degradation engine options, and a flight ring for post-hoc
+// diagnosis.
+var NodeExtraFlags = []string{"-refresh", "200ms", "-robust", "-trace.flight", "256"}
+
+// Run executes the manifest against the tota-node binary at bin,
+// writing progress and failure diagnostics to out. It returns the
+// report in both outcomes; err is non-nil when the fleet missed the
+// deadline or teardown was not clean.
+func Run(m Manifest, bin string, out io.Writer) (*Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := fault.ParsePlan(m.Plan)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		m:       m,
+		bin:     bin,
+		out:     out,
+		relay:   NewRelay(m.Seed),
+		client:  NewClient(m.Seed + 1),
+		plan:    plan,
+		procs:   make(map[string]*Proc),
+		crashed: make(map[string]bool),
+		paused:  make(map[string]bool),
+	}
+	defer h.relay.Close()
+	defer h.killAll()
+
+	start := time.Now()
+	err = h.run()
+	h.report.Elapsed = time.Since(start)
+	h.report.Relay = h.relay.Stats()
+	return &h.report, err
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.out != nil {
+		fmt.Fprintf(h.out, format+"\n", args...)
+	}
+}
+
+func (h *Harness) run() error {
+	// Phase 1: bind one relay socket per link; the addresses double as
+	// each endpoint's static peer list, so processes can restart on
+	// fresh ephemeral ports without anyone re-learning peers.
+	h.peerAddrs = make(map[string][]string, len(h.m.Nodes))
+	for _, l := range h.m.Links {
+		addr, err := h.relay.AddLink(l[0], l[1])
+		if err != nil {
+			return err
+		}
+		h.peerAddrs[l[0]] = append(h.peerAddrs[l[0]], addr)
+		h.peerAddrs[l[1]] = append(h.peerAddrs[l[1]], addr)
+	}
+	h.logf("testnet: %d nodes, %d links, plan %q, seed %d", len(h.m.Nodes), len(h.m.Links), h.m.Plan, h.m.Seed)
+
+	// Phase 2: staggered cold start — the tick-0 cohort spawns now,
+	// late joiners inside the tick loop.
+	for _, ns := range h.m.Nodes {
+		if ns.StartTick == 0 {
+			if err := h.spawn(ns.ID); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: readiness barrier. Every tick-0 node must report, via
+	// /readyz alone, as many peers as it has links into the tick-0
+	// cohort — discovery through the relay is complete, so fault
+	// windows start from a known-good fleet.
+	if err := h.readinessBarrier(); err != nil {
+		return err
+	}
+
+	// Phase 4: the tick loop — plan transitions, staggered starts,
+	// workload injections, then convergence polling once the last
+	// scheduled disturbance is behind us.
+	settle := h.plan.MaxTick()
+	for _, ns := range h.m.Nodes {
+		if ns.StartTick > settle {
+			settle = ns.StartTick
+		}
+	}
+	for _, w := range h.m.Workload {
+		if w.AtTick > settle {
+			settle = w.AtTick
+		}
+	}
+	oracle := h.m.Oracle()
+	tickDur := time.Duration(h.m.TickMS) * time.Millisecond
+	for tick := 0; tick <= h.m.DeadlineTicks; tick++ {
+		h.applyPlanState(tick)
+		for _, ns := range h.m.Nodes {
+			if ns.StartTick == tick && tick > 0 {
+				h.logf("testnet: tick %d: cold start %s", tick, ns.ID)
+				if err := h.spawn(ns.ID); err != nil {
+					return err
+				}
+			}
+		}
+		for _, w := range h.m.Workload {
+			if w.AtTick != tick {
+				continue
+			}
+			p, ok := h.procs[w.Node]
+			if !ok {
+				return fmt.Errorf("testnet: tick %d: workload target %s is not running", tick, w.Node)
+			}
+			h.logf("testnet: tick %d: %s <- %q", tick, w.Node, w.Cmd)
+			if err := p.Inject(w.Cmd); err != nil {
+				return err
+			}
+		}
+		if tick > settle {
+			ok, mismatch := h.converged(oracle)
+			if ok {
+				h.report.Converged = true
+				h.report.ConvergeTick = tick
+				h.logf("testnet: tick %d: CONVERGED (stores match oracle on all %d nodes)", tick, len(h.m.Nodes))
+				return h.teardown()
+			}
+			h.logf("testnet: tick %d: not converged (%s)", tick, mismatch)
+		}
+		time.Sleep(tickDur)
+	}
+	h.dumpDiagnostics(oracle)
+	return fmt.Errorf("testnet: fleet did not converge within %d ticks", h.m.DeadlineTicks)
+}
+
+func (h *Harness) spawn(id string) error {
+	p, err := SpawnNode(h.bin, id, h.peerAddrs[id], NodeExtraFlags...)
+	if err != nil {
+		return err
+	}
+	h.procs[id] = p
+	return nil
+}
+
+func (h *Harness) readinessBarrier() error {
+	deg := make(map[string]int)
+	startTick := make(map[string]int, len(h.m.Nodes))
+	for _, ns := range h.m.Nodes {
+		startTick[ns.ID] = ns.StartTick
+	}
+	for _, l := range h.m.Links {
+		if startTick[l[0]] == 0 && startTick[l[1]] == 0 {
+			deg[l[0]]++
+			deg[l[1]]++
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for id, p := range h.procs {
+		for {
+			rs, err := h.client.Ready(p.ObsURL)
+			if err == nil && rs.Peers >= deg[id] {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("testnet: readiness barrier: %s has %d peers, want %d (last err %v)", id, rs.Peers, deg[id], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	h.logf("testnet: readiness barrier passed (%d nodes discovered their full degree)", len(h.procs))
+	return nil
+}
+
+// applyPlanState recomputes the complete fault configuration for a
+// tick and pushes it. Windows activate at From and heal at Until
+// exactly as in the emulator's injector; overlapping windows compose
+// by max (probabilities, delays) and union (node sets) because the
+// state is rebuilt from every active event each tick.
+func (h *Harness) applyPlanState(tick int) {
+	st := FaultState{
+		DirLoss:     make(map[[2]string]float64),
+		DirDelay:    make(map[[2]string][2]time.Duration),
+		Partitioned: make(map[string]bool),
+	}
+	wantCrashed := make(map[string]bool)
+	wantPaused := make(map[string]bool)
+	tickDur := time.Duration(h.m.TickMS) * time.Millisecond
+	for _, ev := range h.plan.Events {
+		active := tick >= ev.From && (ev.Until == 0 || tick < ev.Until)
+		if !active {
+			continue
+		}
+		switch ev.Kind {
+		case fault.Loss:
+			if ev.P > st.Loss {
+				st.Loss = ev.P
+			}
+		case fault.Dup:
+			if ev.P > st.Dup {
+				st.Dup = ev.P
+			}
+		case fault.LinkLoss:
+			edge := [2]string{string(ev.Nodes[0]), string(ev.Nodes[1])}
+			if ev.P > st.DirLoss[edge] {
+				st.DirLoss[edge] = ev.P
+			}
+		case fault.Delay:
+			if d := time.Duration(ev.Rounds) * tickDur; d > st.Delay {
+				st.Delay = d
+			}
+		case fault.LinkDelay:
+			edge := [2]string{string(ev.Nodes[0]), string(ev.Nodes[1])}
+			d := [2]time.Duration{time.Duration(ev.Rounds) * tickDur, time.Duration(ev.Jitter) * tickDur}
+			if cur := st.DirDelay[edge]; d[0] > cur[0] {
+				st.DirDelay[edge] = d
+			}
+		case fault.Corrupt:
+			if ev.P > st.Corrupt {
+				st.Corrupt = ev.P
+			}
+		case fault.Partition:
+			for _, id := range ev.Nodes {
+				st.Partitioned[string(id)] = true
+			}
+		case fault.Crash:
+			for _, id := range ev.Nodes {
+				wantCrashed[string(id)] = true
+			}
+		case fault.Pause:
+			for _, id := range ev.Nodes {
+				wantPaused[string(id)] = true
+			}
+		}
+	}
+	h.relay.Apply(st)
+
+	// Crash transitions: SIGKILL on entry, restart with the SAME
+	// identity (and the same relay peer list) on heal — the restarted
+	// process comes back empty on a fresh port and must catch up.
+	for id := range wantCrashed {
+		if !h.crashed[id] {
+			if p, ok := h.procs[id]; ok {
+				h.logf("testnet: tick %d: SIGKILL %s", tick, id)
+				p.Kill()
+				delete(h.procs, id)
+			}
+			h.crashed[id] = true
+		}
+	}
+	for id := range h.crashed {
+		if !wantCrashed[id] {
+			h.logf("testnet: tick %d: restart %s (same id, empty store)", tick, id)
+			if err := h.spawn(id); err != nil {
+				h.logf("testnet: restart %s failed: %v", id, err)
+			} else {
+				h.report.Restarts++
+			}
+			delete(h.crashed, id)
+		}
+	}
+	// Pause transitions: SIGSTOP on entry, SIGCONT on heal.
+	for id := range wantPaused {
+		if !h.paused[id] {
+			if p, ok := h.procs[id]; ok {
+				h.logf("testnet: tick %d: SIGSTOP %s", tick, id)
+				_ = p.Pause()
+			}
+			h.paused[id] = true
+		}
+	}
+	for id := range h.paused {
+		if !wantPaused[id] {
+			if p, ok := h.procs[id]; ok {
+				h.logf("testnet: tick %d: SIGCONT %s", tick, id)
+				_ = p.Resume()
+			}
+			delete(h.paused, id)
+		}
+	}
+}
+
+// converged scrapes every node's /store.json and compares the
+// canonical entries against the oracle. The first mismatch is
+// described for the progress log.
+func (h *Harness) converged(oracle map[string][]Entry) (bool, string) {
+	for _, ns := range h.m.Nodes {
+		p, ok := h.procs[ns.ID]
+		if !ok {
+			return false, fmt.Sprintf("%s not running", ns.ID)
+		}
+		got, err := h.client.StoreEntries(p.ObsURL)
+		if err != nil {
+			return false, fmt.Sprintf("%s: %v", ns.ID, err)
+		}
+		if !EntriesEqual(got, oracle[ns.ID]) {
+			return false, fmt.Sprintf("%s has %v, want %v", ns.ID, got, oracle[ns.ID])
+		}
+	}
+	return true, ""
+}
+
+// teardown stops the fleet gracefully and enforces the shutdown
+// contract: SIGTERM must produce exit 0 on every node.
+func (h *Harness) teardown() error {
+	var firstErr error
+	for _, ns := range h.m.Nodes {
+		p, ok := h.procs[ns.ID]
+		if !ok {
+			continue
+		}
+		if err := p.StopGraceful(10 * time.Second); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			h.logf("testnet: %v", err)
+			continue
+		}
+		h.report.CleanExits++
+		delete(h.procs, ns.ID)
+	}
+	return firstErr
+}
+
+// killAll is the safety net for early returns: any process still
+// tracked is killed outright.
+func (h *Harness) killAll() {
+	for id, p := range h.procs {
+		p.Kill()
+		delete(h.procs, id)
+	}
+}
+
+// dumpDiagnostics writes the per-node post-mortem a deadline failure
+// leaves behind: readiness, store-vs-oracle diff and recent stderr,
+// all gathered through the same external interfaces the run used.
+func (h *Harness) dumpDiagnostics(oracle map[string][]Entry) {
+	h.logf("testnet: DEADLINE EXCEEDED — per-node diagnostics:")
+	for _, ns := range h.m.Nodes {
+		p, ok := h.procs[ns.ID]
+		if !ok {
+			h.logf("  %s: NOT RUNNING (crashed=%v paused=%v)", ns.ID, h.crashed[ns.ID], h.paused[ns.ID])
+			continue
+		}
+		rs, err := h.client.Ready(p.ObsURL)
+		if err != nil {
+			h.logf("  %s: /readyz unreachable: %v", ns.ID, err)
+		} else {
+			h.logf("  %s: ready=%v peers=%d store=%d announced=%d suppressed=%d",
+				ns.ID, rs.Ready, rs.Peers, rs.StoreSize, rs.Announced, rs.Suppressed)
+		}
+		if got, err := h.client.StoreEntries(p.ObsURL); err == nil {
+			h.logf("    store: got %v want %v", got, oracle[ns.ID])
+		}
+		for _, line := range p.StderrTail(8) {
+			h.logf("    stderr: %s", line)
+		}
+	}
+	s := h.relay.Stats()
+	h.logf("  relay: forwarded=%d dropped=%d corrupted=%d duplicated=%d", s.Forwarded, s.Dropped, s.Corrupted, s.Duplicated)
+}

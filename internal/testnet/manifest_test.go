@@ -1,0 +1,138 @@
+package testnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tota/internal/pattern"
+)
+
+func TestTestnetManifestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 5)
+	b := Generate(42, 5)
+	aj, err := a.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed produced different manifests:\n%s\nvs\n%s", aj, bj)
+	}
+	if c := Generate(43, 5); c.Plan == a.Plan && c.Seed == a.Seed {
+		t.Fatal("different seeds produced identical manifests")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated manifest invalid: %v", err)
+	}
+	rt, err := DecodeManifest(aj)
+	if err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if rt.Plan != a.Plan || len(rt.Nodes) != len(a.Nodes) || len(rt.Links) != len(a.Links) {
+		t.Fatalf("round trip mangled the manifest: %+v vs %+v", rt, a)
+	}
+	if !strings.Contains(a.Plan, "crash@") || !strings.Contains(a.Plan, "loss@") {
+		t.Fatalf("generated plan misses crash+loss: %q", a.Plan)
+	}
+}
+
+func TestTestnetManifestOracle(t *testing.T) {
+	m := Generate(7, 5)
+	oracle := m.Oracle()
+	if len(oracle) != len(m.Nodes) {
+		t.Fatalf("oracle covers %d nodes, want %d", len(oracle), len(m.Nodes))
+	}
+	src := m.Workload[0].Node
+	for _, e := range oracle[src] {
+		if e.Kind == pattern.KindGradient {
+			if !e.HasVal || e.Val != 0 {
+				t.Fatalf("gradient at source = %v, want val 0", e)
+			}
+		}
+	}
+	// Every node holds exactly one gradient and one flood entry, and
+	// gradient distances respect the link structure (neighbors of the
+	// source are at 1).
+	for node, entries := range oracle {
+		var grad, flood int
+		for _, e := range entries {
+			switch e.Kind {
+			case pattern.KindGradient:
+				grad++
+				if node != src && (!e.HasVal || e.Val < 1) {
+					t.Fatalf("node %s gradient %v: want val >= 1", node, e)
+				}
+			case pattern.KindFlood:
+				flood++
+				if e.HasVal {
+					t.Fatalf("flood entry %v should carry no value", e)
+				}
+			}
+		}
+		if grad != 1 || flood != 1 {
+			t.Fatalf("node %s oracle = %v, want one gradient + one flood", node, entries)
+		}
+	}
+}
+
+func TestTestnetManifestValidateRejects(t *testing.T) {
+	base := Generate(1, 5)
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"no nodes", func(m *Manifest) { m.Nodes = nil }},
+		{"dup id", func(m *Manifest) { m.Nodes[1].ID = m.Nodes[0].ID }},
+		{"self link", func(m *Manifest) { m.Links[0][1] = m.Links[0][0] }},
+		{"unknown link node", func(m *Manifest) { m.Links[0][1] = "ghost" }},
+		{"disconnected", func(m *Manifest) { m.Links = m.Links[:1] }},
+		{"bad plan", func(m *Manifest) { m.Plan = "meteor@3:all" }},
+		{"plan unknown node", func(m *Manifest) { m.Plan = "crash@2-4:ghost" }},
+		{"crash never heals", func(m *Manifest) { m.Plan = "crash@2:" + m.Nodes[1].ID }},
+		{"workload unknown node", func(m *Manifest) { m.Workload[0].Node = "ghost" }},
+		{"workload before start", func(m *Manifest) {
+			m.Nodes[0].StartTick = 9
+			m.Workload[0].Node = m.Nodes[0].ID
+			m.Workload[0].AtTick = 1
+		}},
+		{"zero tick", func(m *Manifest) { m.TickMS = 0 }},
+	}
+	for _, tc := range cases {
+		m := base
+		// Deep-ish copy of the mutated slices.
+		m.Nodes = append([]NodeSpec(nil), base.Nodes...)
+		m.Links = append([][2]string(nil), base.Links...)
+		m.Workload = append([]WorkloadStep(nil), base.Workload...)
+		tc.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken manifest", tc.name)
+		}
+	}
+}
+
+func TestTestnetCanonicalizeStore(t *testing.T) {
+	body := strings.Join([]string{
+		`{"kind":"tota:gradient","id":"a#1","content":[{"name":"name","type":"string","value":"f"},{"name":"_val","type":"float","value":2},{"name":"_scope","type":"float","value":"+Inf"}]}`,
+		`{"kind":"tota:flood","id":"b#1","content":[{"name":"name","type":"string","value":"m"},{"name":"text","type":"string","value":"hi"}]}`,
+		``,
+	}, "\n")
+	got, err := CanonicalizeStore([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Kind: "tota:flood", Name: "m"},
+		{Kind: "tota:gradient", Name: "f", Val: 2, HasVal: true},
+	}
+	SortEntries(want)
+	if !EntriesEqual(got, want) {
+		t.Fatalf("canonicalize = %v, want %v", got, want)
+	}
+	if _, err := CanonicalizeStore([]byte("{not json")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package testnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Proc is one supervised tota-node process. The harness talks to it
+// exactly like an operator would: flags at spawn, shell commands on
+// stdin, signals for faults and shutdown, and HTTP scrapes of the
+// observability endpoints for everything it wants to know.
+type Proc struct {
+	ID string
+	// ObsURL is "http://host:port" of the node's observability server,
+	// parsed from its startup banner.
+	ObsURL string
+	// UDPAddr is the node's bound socket, parsed from the banner.
+	UDPAddr string
+
+	bin   string
+	args  []string
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+
+	waitOnce sync.Once
+	waitErr  error
+	waitc    chan struct{}
+
+	mu     sync.Mutex
+	stderr []string // ring of recent stderr lines for diagnostics
+}
+
+const stderrRing = 120
+
+// SpawnNode starts a tota-node process with the given identity and
+// peer addresses plus any extra flags, and waits until both startup
+// banners (UDP listen address, telemetry URL) have been parsed — the
+// process-level readiness gate before any HTTP polling starts.
+func SpawnNode(bin, id string, peers []string, extra ...string) (*Proc, error) {
+	args := []string{
+		"-id", id,
+		"-listen", "127.0.0.1:0",
+		"-obs.addr", "127.0.0.1:0",
+	}
+	if len(peers) > 0 {
+		args = append(args, "-peers", strings.Join(peers, ","))
+	}
+	args = append(args, extra...)
+	p := &Proc{ID: id, bin: bin, args: args, waitc: make(chan struct{})}
+	if err := p.start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Proc) start() error {
+	cmd := exec.Command(p.bin, p.args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("testnet: spawn %s: %w", p.ID, err)
+	}
+	p.cmd = cmd
+	p.stdin = stdin
+
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.stderr = append(p.stderr, sc.Text())
+			if len(p.stderr) > stderrRing {
+				p.stderr = p.stderr[len(p.stderr)-stderrRing:]
+			}
+			p.mu.Unlock()
+		}
+	}()
+
+	// Parse the two banners, then keep draining stdout (shell prompts,
+	// command echoes) so the process never blocks on a full pipe.
+	banners := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		var haveUDP, haveObs bool
+		for sc.Scan() {
+			line := sc.Text()
+			if !haveUDP {
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					p.UDPAddr = strings.TrimSpace(line[i+len("listening on "):])
+					haveUDP = true
+				}
+			}
+			if !haveObs {
+				if i := strings.Index(line, "telemetry on "); i >= 0 {
+					url := strings.TrimSpace(line[i+len("telemetry on "):])
+					p.ObsURL = strings.TrimSuffix(url, "/metrics")
+					haveObs = true
+				}
+			}
+			if haveUDP && haveObs {
+				banners <- nil
+				break
+			}
+		}
+		if !(haveUDP && haveObs) {
+			banners <- fmt.Errorf("testnet: %s exited before announcing its endpoints", p.ID)
+		}
+		for sc.Scan() {
+		}
+	}()
+
+	select {
+	case err := <-banners:
+		if err != nil {
+			_ = cmd.Process.Kill()
+			_, _ = p.awaitExit(2 * time.Second)
+			return err
+		}
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		_, _ = p.awaitExit(2 * time.Second)
+		return fmt.Errorf("testnet: %s produced no startup banner within 10s", p.ID)
+	}
+	return nil
+}
+
+// Inject writes one shell command line to the node's stdin.
+func (p *Proc) Inject(cmd string) error {
+	_, err := io.WriteString(p.stdin, cmd+"\n")
+	if err != nil {
+		return fmt.Errorf("testnet: inject %q into %s: %w", cmd, p.ID, err)
+	}
+	return nil
+}
+
+// Kill delivers SIGKILL — the crash fault: no flush, no goodbye, the
+// middleware state is simply gone.
+func (p *Proc) Kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.awaitExit(5 * time.Second)
+}
+
+// Pause delivers SIGSTOP: the process keeps its sockets but stops
+// scheduling — a GC stall or suspended device.
+func (p *Proc) Pause() error { return p.cmd.Process.Signal(syscall.SIGSTOP) }
+
+// Resume delivers SIGCONT.
+func (p *Proc) Resume() error { return p.cmd.Process.Signal(syscall.SIGCONT) }
+
+// StopGraceful delivers SIGTERM and waits for exit, reporting whether
+// the node honored the graceful-shutdown contract (exit status 0).
+func (p *Proc) StopGraceful(timeout time.Duration) error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited, err := p.awaitExit(timeout)
+	if !exited {
+		_ = p.cmd.Process.Kill()
+		return fmt.Errorf("testnet: %s ignored SIGTERM for %v", p.ID, timeout)
+	}
+	if err != nil {
+		return fmt.Errorf("testnet: %s exited non-zero on SIGTERM: %w", p.ID, err)
+	}
+	return nil
+}
+
+// awaitExit waits (bounded) for process exit; the exit status is
+// cached so Kill/StopGraceful/diagnostics can all ask.
+func (p *Proc) awaitExit(timeout time.Duration) (bool, error) {
+	p.waitOnce.Do(func() {
+		go func() {
+			p.waitErr = p.cmd.Wait()
+			close(p.waitc)
+		}()
+	})
+	select {
+	case <-p.waitc:
+		return true, p.waitErr
+	case <-time.After(timeout):
+		return false, nil
+	}
+}
+
+// StderrTail returns the most recent stderr lines (up to n) for
+// failure diagnostics.
+func (p *Proc) StderrTail(n int) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > len(p.stderr) {
+		n = len(p.stderr)
+	}
+	out := make([]string, n)
+	copy(out, p.stderr[len(p.stderr)-n:])
+	return out
+}

@@ -1,0 +1,266 @@
+package testnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tota/internal/transport"
+	"tota/internal/transport/udp"
+)
+
+// Relay routes real UDP datagrams between node processes, one socket
+// per undirected link, applying fault decisions at the packet layer —
+// the testnet's stand-in for a lossy radio. Each endpoint lists the
+// link socket as its peer address; the relay attributes every frame to
+// an endpoint by the sender ID in the frame header (not the source
+// port, which changes when a process restarts) and forwards it to the
+// opposite endpoint's last observed real address.
+type Relay struct {
+	mu    sync.Mutex
+	links map[string]*link
+	rng   *rand.Rand // seeds per-link RNGs; never used on the hot path
+}
+
+// RelayStats aggregates packet accounting across all links.
+type RelayStats struct {
+	Forwarded  int64
+	Dropped    int64
+	Corrupted  int64
+	Duplicated int64
+}
+
+type link struct {
+	mu   sync.Mutex
+	conn *net.UDPConn
+	a, b string // endpoint node IDs, sorted
+
+	addrA, addrB *net.UDPAddr // learned from observed frames
+	rng          *rand.Rand
+
+	// Fault state, recomputed wholesale by the plan driver each tick.
+	loss     float64            // symmetric drop probability
+	dirLoss  map[string]float64 // per-sender override (>= 0 active)
+	dup      float64            // duplication probability
+	delay    time.Duration      // added latency
+	jitter   time.Duration      // extra random latency, uniform [0, jitter)
+	dirDelay map[string][2]time.Duration
+	corrupt  float64 // payload byte-flip probability
+	blocked  bool    // partition cut crosses this link
+
+	closed atomic.Bool
+
+	forwarded, dropped, corrupted, duplicated atomic.Int64
+}
+
+// NewRelay creates an empty relay whose per-link fault lotteries are
+// derived from seed.
+func NewRelay(seed int64) *Relay {
+	return &Relay{
+		links: make(map[string]*link),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// AddLink binds a loopback socket for the undirected link {a, b} and
+// returns its address — the peer address BOTH endpoints must dial.
+func (r *Relay) AddLink(a, b string) (string, error) {
+	if a == b {
+		return "", fmt.Errorf("testnet: self-link %q", a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := linkKey(a, b)
+	if _, dup := r.links[key]; dup {
+		return "", fmt.Errorf("testnet: duplicate link %s-%s", a, b)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return "", fmt.Errorf("testnet: bind link %s-%s: %w", a, b, err)
+	}
+	l := &link{
+		conn:     conn,
+		a:        a,
+		b:        b,
+		rng:      rand.New(rand.NewSource(r.rng.Int63())),
+		dirLoss:  make(map[string]float64),
+		dirDelay: make(map[string][2]time.Duration),
+	}
+	r.links[key] = l
+	go l.run()
+	return conn.LocalAddr().String(), nil
+}
+
+// Close shuts down every link socket.
+func (r *Relay) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.links {
+		l.closed.Store(true)
+		_ = l.conn.Close()
+	}
+}
+
+// Stats sums packet accounting over all links.
+func (r *Relay) Stats() RelayStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s RelayStats
+	for _, l := range r.links {
+		s.Forwarded += l.forwarded.Load()
+		s.Dropped += l.dropped.Load()
+		s.Corrupted += l.corrupted.Load()
+		s.Duplicated += l.duplicated.Load()
+	}
+	return s
+}
+
+// FaultState is the complete fault configuration the plan driver
+// pushes each tick; the relay applies it wholesale, so overlapping
+// windows compose outside (by max/union) and healing is just pushing
+// the recomputed state with a window removed.
+type FaultState struct {
+	// Loss is the symmetric per-packet drop probability on all links.
+	Loss float64
+	// DirLoss overrides Loss per directed edge (from -> to).
+	DirLoss map[[2]string]float64
+	// Dup is the per-packet duplication probability on all links.
+	Dup float64
+	// Delay/Jitter add latency to every packet on all links.
+	Delay, Jitter time.Duration
+	// DirDelay overrides Delay/Jitter per directed edge.
+	DirDelay map[[2]string][2]time.Duration
+	// Corrupt is the probability of flipping payload bytes (frame
+	// headers stay intact so attribution survives).
+	Corrupt float64
+	// Partitioned is the cut set: links with exactly one endpoint in
+	// it are silently blocked, both directions.
+	Partitioned map[string]bool
+}
+
+// Apply pushes a fault state to every link.
+func (r *Relay) Apply(st FaultState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.links {
+		l.mu.Lock()
+		l.loss = st.Loss
+		l.dup = st.Dup
+		l.delay, l.jitter = st.Delay, st.Jitter
+		l.corrupt = st.Corrupt
+		l.blocked = st.Partitioned[l.a] != st.Partitioned[l.b]
+		clear(l.dirLoss)
+		for edge, p := range st.DirLoss {
+			if (edge[0] == l.a && edge[1] == l.b) || (edge[0] == l.b && edge[1] == l.a) {
+				l.dirLoss[edge[0]] = p
+			}
+		}
+		clear(l.dirDelay)
+		for edge, d := range st.DirDelay {
+			if (edge[0] == l.a && edge[1] == l.b) || (edge[0] == l.b && edge[1] == l.a) {
+				l.dirDelay[edge[0]] = d
+			}
+		}
+		l.mu.Unlock()
+	}
+}
+
+// run is the link's forwarding loop: read a frame, attribute it by
+// sender ID, run the fault lottery, forward (possibly late, possibly
+// twice, possibly corrupted) to the opposite endpoint.
+func (l *link) run() {
+	buf := make([]byte, 65536)
+	for {
+		n, raddr, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		sender, ok := udp.FrameSender(buf[:n])
+		if !ok {
+			continue // not a TOTA frame; nothing to attribute
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+
+		l.mu.Lock()
+		var dst *net.UDPAddr
+		switch string(sender) {
+		case l.a:
+			l.addrA = raddr
+			dst = l.addrB
+		case l.b:
+			l.addrB = raddr
+			dst = l.addrA
+		default:
+			l.mu.Unlock()
+			continue // foreign ID: not this link's traffic
+		}
+		if l.blocked || dst == nil {
+			// Partitioned, or the far endpoint has not spoken yet
+			// (its address is unknown until its first frame).
+			drop := l.blocked
+			l.mu.Unlock()
+			if drop {
+				l.dropped.Add(1)
+			}
+			continue
+		}
+		loss := l.loss
+		if p, ok := l.dirLoss[string(sender)]; ok {
+			loss = p
+		}
+		if loss > 0 && l.rng.Float64() < loss {
+			l.mu.Unlock()
+			l.dropped.Add(1)
+			continue
+		}
+		if l.corrupt > 0 && l.rng.Float64() < l.corrupt {
+			if hdr, ok := udp.FrameHeaderLen(frame); ok && len(frame) > hdr {
+				body := transport.CorruptBytes(l.rng, frame[hdr:])
+				copy(frame[hdr:], body)
+				l.corrupted.Add(1)
+			}
+		}
+		sendTwice := l.dup > 0 && l.rng.Float64() < l.dup
+		delay, jitter := l.delay, l.jitter
+		if d, ok := l.dirDelay[string(sender)]; ok {
+			delay, jitter = d[0], d[1]
+		}
+		if jitter > 0 {
+			delay += time.Duration(l.rng.Int63n(int64(jitter)))
+		}
+		l.mu.Unlock()
+
+		deliver := func() {
+			if l.closed.Load() {
+				return
+			}
+			if _, err := l.conn.WriteToUDP(frame, dst); err == nil {
+				l.forwarded.Add(1)
+			}
+			if sendTwice {
+				if _, err := l.conn.WriteToUDP(frame, dst); err == nil {
+					l.duplicated.Add(1)
+				}
+			}
+		}
+		if delay > 0 {
+			time.AfterFunc(delay, deliver)
+			continue
+		}
+		deliver()
+	}
+}

@@ -1,0 +1,149 @@
+package udp
+
+import (
+	"strings"
+	"testing"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/tuple"
+)
+
+// restartNode rebinds a node with the same identity (and, when addr is
+// non-empty, the same port) but a FRESH empty middleware state — the
+// crash-restart shape: the process is new, the identity persists.
+func restartNode(t *testing.T, id tuple.NodeID, addr string, peers ...string) (*Transport, *core.Node) {
+	t.Helper()
+	tr, err := New(Config{
+		NodeID:        id,
+		ListenAddr:    addr,
+		Peers:         peers,
+		HelloInterval: testHello,
+		PeerTimeout:   testTimeout,
+	})
+	if err != nil {
+		t.Fatalf("restart New(%s): %v", id, err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	n := core.New(tr)
+	tr.SetHandler(n)
+	tr.Start()
+	return tr, n
+}
+
+func hasGradient(n *core.Node, name string) bool {
+	return len(n.Read(pattern.ByName(pattern.KindGradient, name))) > 0
+}
+
+// TestCrashRestartSameIDAfterExpiry is the slow-crash path: the peer
+// fully expires (suspect → down) before the node comes back on the same
+// port with the same ID and an empty store. The survivor's neighbor-up
+// catch-up unicast must re-seed the restarted node without any manual
+// refresh — the emulator-only scenario from the fault plans, now over
+// real sockets.
+func TestCrashRestartSameIDAfterExpiry(t *testing.T) {
+	ta, na := newUDPNode(t, "a")
+	tb, nb := newUDPNode(t, "b")
+	connect(t, ta, tb)
+	ta.Start()
+	tb.Start()
+	eventually(t, "discovery", func() bool { return len(na.Neighbors()) == 1 })
+
+	if _, err := na.Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	eventually(t, "b holds the gradient", func() bool { return hasGradient(nb, "f") })
+
+	bAddr := tb.Addr()
+	if err := tb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	eventually(t, "a declares b down", func() bool { return len(na.Neighbors()) == 0 })
+
+	// Same ID, same port, empty store: discovery raises a fresh
+	// neighbor-up on a, whose catch-up must restore b's view.
+	_, nb2 := restartNode(t, "b", bAddr, ta.Addr())
+	eventually(t, "restarted b re-adopts the gradient", func() bool {
+		return hasGradient(nb2, "f")
+	})
+	eventually(t, "a re-learns exactly one b", func() bool {
+		ns := na.Neighbors()
+		return len(ns) == 1 && ns[0] == "b"
+	})
+}
+
+// TestCrashRestartNewAddrReAdoption is the fast-restart path on a NEW
+// ephemeral port: the survivor still believes the old address is up
+// when beacons arrive carrying the same ID from elsewhere. The
+// transport must retire the stale peer entry and cycle the neighbor
+// (down, then up) so the engine's catch-up fires — otherwise the
+// restarted node only heals on the next digest exchange and the old
+// address lingers as a ghost peer.
+func TestCrashRestartNewAddrReAdoption(t *testing.T) {
+	ta, na := newUDPNode(t, "a")
+	tb, nb := newUDPNode(t, "b")
+	connect(t, ta, tb)
+	ta.Start()
+	tb.Start()
+	eventually(t, "discovery", func() bool { return len(na.Neighbors()) == 1 })
+
+	if _, err := na.Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	eventually(t, "b holds the gradient", func() bool { return hasGradient(nb, "f") })
+
+	staleAddr := tb.Addr()
+	if err := tb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Restart immediately — well inside PeerTimeout — on a new port.
+	tb2, nb2 := restartNode(t, "b", "", ta.Addr())
+
+	eventually(t, "restarted b re-adopts the gradient", func() bool {
+		return hasGradient(nb2, "f")
+	})
+	eventually(t, "a tracks b at its new address only", func() bool {
+		ns := na.Neighbors()
+		if len(ns) != 1 || ns[0] != "b" {
+			return false
+		}
+		ta.mu.Lock()
+		defer ta.mu.Unlock()
+		_, stale := ta.peers[staleAddr]
+		p, ok := ta.byID["b"]
+		return !stale && ok && strings.HasSuffix(tb2.Addr(), p.addr.String()[strings.LastIndex(p.addr.String(), ":"):])
+	})
+}
+
+// TestCrashRestartDigestPullCatchUp is the quietest restart: same ID,
+// same port, back before the survivor even suspects — so no neighbor
+// event fires anywhere and the catch-up unicast never runs. The only
+// healing channel left is anti-entropy: the survivor's refresh digests
+// must make the empty restarted node pull the full tuples back.
+func TestCrashRestartDigestPullCatchUp(t *testing.T) {
+	ta, na := newUDPNode(t, "a")
+	tb, nb := newUDPNode(t, "b")
+	connect(t, ta, tb)
+	ta.Start()
+	tb.Start()
+	eventually(t, "discovery", func() bool { return len(na.Neighbors()) == 1 })
+
+	if _, err := na.Inject(pattern.NewGradient("f")); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	eventually(t, "b holds the gradient", func() bool { return hasGradient(nb, "f") })
+
+	bAddr := tb.Addr()
+	if err := tb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, nb2 := restartNode(t, "b", bAddr, ta.Addr())
+
+	// Drive a's anti-entropy by hand (tota-node does this on its
+	// -refresh ticker): each epoch announces digests the empty node
+	// answers with pulls.
+	eventually(t, "digest→pull restores b", func() bool {
+		na.Refresh()
+		return hasGradient(nb2, "f")
+	})
+}

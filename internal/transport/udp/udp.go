@@ -408,10 +408,34 @@ func parseFrame(data []byte) (typ byte, id tuple.NodeID, payload []byte, err err
 	}
 	typ = data[0]
 	n := int(binary.BigEndian.Uint32(data[1:5]))
-	if len(data) < 5+n {
+	if n < 0 || len(data) < 5+n {
 		return 0, "", nil, errors.New("udp: truncated frame")
 	}
 	return typ, tuple.NodeID(data[5 : 5+n]), data[5+n:], nil
+}
+
+// FrameSender returns the sender node id carried in a datagram's frame
+// header, without touching the payload. It is the attribution hook a
+// testnet relay uses to classify a forwarded datagram's direction —
+// the source socket address cannot be trusted for that, because
+// restarted processes rebind on new ports.
+func FrameSender(frame []byte) (tuple.NodeID, bool) {
+	_, id, _, err := parseFrame(frame)
+	if err != nil {
+		return "", false
+	}
+	return id, true
+}
+
+// FrameHeaderLen returns the frame-header length for a datagram (type
+// byte, id length, id bytes): the prefix a relay must leave intact when
+// corrupting payload bytes, so attribution survives the fault.
+func FrameHeaderLen(frame []byte) (int, bool) {
+	_, id, _, err := parseFrame(frame)
+	if err != nil {
+		return 0, false
+	}
+	return 5 + len(id), true
 }
 
 func (t *Transport) helloLoop() {
@@ -501,7 +525,7 @@ func (t *Transport) readLoop() {
 			t.stats.hellos.Add(1)
 			t.handleHello(id, raddr)
 		case frameData:
-			t.handleData(id, payload)
+			t.handleData(id, raddr, payload)
 		}
 	}
 }
@@ -515,6 +539,18 @@ func (t *Transport) handleHello(id tuple.NodeID, raddr *net.UDPAddr) {
 		p = &peerState{addr: raddr}
 		t.peers[key] = p
 	}
+	// Restart re-adoption: the same node id arriving from a different
+	// address means the peer process restarted (or rebound) on a new
+	// port. Retire the stale address entry so beacons stop chasing a
+	// dead socket, and if the engine still believes the neighbor is up,
+	// cycle it down before the fresh up event — the restarted process
+	// is empty, and only a new neighbor-added event re-runs newcomer
+	// catch-up against it.
+	var cycleDown bool
+	if old, haveOld := t.byID[id]; haveOld && old != p {
+		delete(t.peers, old.addr.String())
+		cycleDown = old.up
+	}
 	p.id = id
 	p.lastSeen = time.Now()
 	p.suspectAt = time.Time{}
@@ -523,17 +559,37 @@ func (t *Transport) handleHello(id tuple.NodeID, raddr *net.UDPAddr) {
 	t.byID[id] = p
 	h := t.handler
 	t.mu.Unlock()
-	if !wasUp && h != nil {
+	if h == nil {
+		return
+	}
+	if cycleDown {
+		h.HandleNeighbor(id, false)
+	}
+	if !wasUp || cycleDown {
 		h.HandleNeighbor(id, true)
 	}
 }
 
-func (t *Transport) handleData(id tuple.NodeID, payload []byte) {
+func (t *Transport) handleData(id tuple.NodeID, raddr *net.UDPAddr, payload []byte) {
 	t.mu.Lock()
 	p, ok := t.byID[id]
 	up := ok && p.up
 	h := t.handler
 	t.mu.Unlock()
+	if !up {
+		// A well-formed data frame is liveness evidence as strong as a
+		// beacon. Without this promotion, one-shot traffic that outruns
+		// the sender's first returning beacon — the newcomer catch-up
+		// unicast fired the instant a restarted node's hello lands on a
+		// survivor — is dropped deterministically, and only the next
+		// anti-entropy epoch would heal it.
+		t.handleHello(id, raddr)
+		t.mu.Lock()
+		p, ok = t.byID[id]
+		up = ok && p.up
+		h = t.handler
+		t.mu.Unlock()
+	}
 	if !up || h == nil {
 		return
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"math"
+	"strconv"
 )
 
 // jsonField is the interchange form of a Field: an explicit type tag
@@ -28,7 +30,15 @@ func (f Field) MarshalJSON() ([]byte, error) {
 		jf.Value, err = json.Marshal(v)
 	case float64:
 		jf.Type = "float"
-		jf.Value, err = json.Marshal(v)
+		// JSON has no literal for non-finite numbers and json.Marshal
+		// rejects them outright, which would make every tuple with an
+		// unbounded scope (+Inf) unrepresentable; carry them as the
+		// strings strconv.ParseFloat accepts back.
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			jf.Value, err = json.Marshal(strconv.FormatFloat(v, 'g', -1, 64))
+		} else {
+			jf.Value, err = json.Marshal(v)
+		}
 	case bool:
 		jf.Type = "bool"
 		jf.Value, err = json.Marshal(v)
@@ -67,7 +77,16 @@ func (f *Field) UnmarshalJSON(data []byte) error {
 	case "float":
 		var v float64
 		if err := json.Unmarshal(jf.Value, &v); err != nil {
-			return err
+			// Non-finite floats travel as strings ("+Inf", "NaN").
+			var s string
+			if serr := json.Unmarshal(jf.Value, &s); serr != nil {
+				return err
+			}
+			pv, perr := strconv.ParseFloat(s, 64)
+			if perr != nil {
+				return fmt.Errorf("tuple: bad float field %q: %w", s, perr)
+			}
+			v = pv
 		}
 		f.Value = v
 	case "bool":

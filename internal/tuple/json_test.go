@@ -106,3 +106,45 @@ func TestUnmarshalTupleJSONErrors(t *testing.T) {
 		t.Error("marshaled invalid content")
 	}
 }
+
+// TestFieldJSONNonFiniteFloats pins the string encoding for floats JSON
+// cannot express: an unbounded gradient's _scope is +Inf, and before
+// this path existed MarshalTupleJSON failed outright on such tuples
+// (silently emptying every JSON store dump).
+func TestFieldJSONNonFiniteFloats(t *testing.T) {
+	fields := Content{
+		F("pinf", math.Inf(1)),
+		F("ninf", math.Inf(-1)),
+		F("finite", 2.5),
+	}
+	data, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"+Inf"`) || !strings.Contains(string(data), `"-Inf"`) {
+		t.Errorf("non-finite floats not string-encoded: %s", data)
+	}
+	var got Content
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Equal(fields) {
+		t.Errorf("round trip changed content:\n got %v\nwant %v", got, fields)
+	}
+	// NaN != NaN, so check it separately.
+	nan, err := json.Marshal(Content{F("nan", math.NaN())})
+	if err != nil {
+		t.Fatalf("Marshal NaN: %v", err)
+	}
+	var back Content
+	if err := json.Unmarshal(nan, &back); err != nil {
+		t.Fatalf("Unmarshal NaN: %v", err)
+	}
+	if v, ok := back[0].Value.(float64); !ok || !math.IsNaN(v) {
+		t.Errorf("NaN round trip = %v", back[0].Value)
+	}
+	// Garbage float strings must error, not zero out.
+	if err := json.Unmarshal([]byte(`[{"name":"x","type":"float","value":"wat"}]`), &back); err == nil {
+		t.Error("bad float string accepted")
+	}
+}
