@@ -60,6 +60,7 @@ func run(args []string) error {
 		"E15": experiment.RunE15,
 		"E16": experiment.RunE16,
 		"E17": experiment.RunE17,
+		"E18": experiment.RunE18,
 		"A1":  experiment.RunA1,
 		"A2":  experiment.RunA2,
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"tota/internal/core"
+	"tota/internal/gateway"
 	"tota/internal/obs"
 	"tota/internal/pattern"
 	"tota/internal/transport/udp"
@@ -51,6 +52,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	sample := fs.Float64("trace.sample", 0, "fraction of injected tuples carrying a wire-level trace context (0 = off; received contexts always propagate)")
 	refresh := fs.Duration("refresh", time.Second, "anti-entropy refresh period: each epoch re-announces changed tuples, digests the rest and sweeps expired leases (0 disables; lossy links then never heal)")
 	robust := fs.Bool("robust", false, "enable the graceful-degradation engine options (suspicion hysteresis, pull backoff, corrupt-source quarantine)")
+	gwAddr := fs.String("gateway.addr", "", "serve the client gateway RPC (length-prefixed JSON over TCP: inject/read/subscribe with replay) on this address")
+	gwMaxClients := fs.Int("gateway.maxclients", gateway.DefaultMaxClients, "maximum concurrent gateway client connections")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +127,21 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	tr.SetHandler(node)
 	tr.Start()
 	fmt.Fprintf(out, "node %s listening on %s\n", *id, tr.Addr())
+
+	// Client gateway: the serving surface for lightweight non-peer
+	// clients (inject/read/subscribe over TCP with seq-based replay).
+	if *gwAddr != "" {
+		gw, err := gateway.Serve(node, *gwAddr, gateway.Config{
+			MaxClients: *gwMaxClients,
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = gw.Close() }()
+		gw.RegisterMetrics(reg)
+		fmt.Fprintf(out, "gateway on %s\n", gw.Addr())
+	}
 
 	obs.RegisterNodeStats(reg, node.Stats)
 	obs.RegisterStoreSize(reg, node.StoreSize)

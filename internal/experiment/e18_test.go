@@ -1,0 +1,28 @@
+package experiment
+
+import "testing"
+
+// TestE18GatewayClientsConverge runs the quick-scale gateway testnet:
+// five real tota-node processes each serving eight gateway clients,
+// ≥30% relay loss, one SIGKILL + restart. Every client mirror — built
+// only from the gateway event stream and its replay/resync recovery
+// paths — must match the oracle, and the restart must surface as
+// client resyncs with zero unaccounted sequence gaps.
+func TestE18GatewayClientsConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short mode")
+	}
+	res := RunE18(Quick)
+	if res.Metrics["converged_5_8"] != 1 {
+		t.Fatalf("gateway fleet did not converge:\n%s", res.Table)
+	}
+	if res.Metrics["subs_5_8"] != 40 {
+		t.Fatalf("subscriptions = %v, want 40:\n%s", res.Metrics["subs_5_8"], res.Table)
+	}
+	if res.Metrics["resyncs_5_8"] == 0 {
+		t.Fatalf("no client resyncs — the victim's gateway restart went unobserved:\n%s", res.Table)
+	}
+	if res.Metrics["gap_violations_5_8"] != 0 {
+		t.Fatalf("unaccounted event gaps = %v, want 0:\n%s", res.Metrics["gap_violations_5_8"], res.Table)
+	}
+}

@@ -1,0 +1,665 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tota/internal/retry"
+	"tota/internal/tuple"
+)
+
+// Client errors.
+var (
+	ErrClientClosed = errors.New("gateway: client closed")
+	ErrTimeout      = errors.New("gateway: request timed out")
+	ErrDisconnected = errors.New("gateway: not connected")
+)
+
+// ClientConfig tunes a Client; zero values select defaults.
+type ClientConfig struct {
+	// Policy is the request retry/backoff budget (shared machinery
+	// with the testnet poller, internal/retry). Nil gets retry.New(1).
+	Policy *retry.Policy
+	// RequestTimeout bounds one RPC round trip (default 5s).
+	RequestTimeout time.Duration
+	// DialTimeout bounds one connection attempt (default 3s).
+	DialTimeout time.Duration
+	// ReconnectMax caps the backoff between reconnection attempts
+	// (default 2s). Reconnection retries forever while the client is
+	// open — transparent resubscribe-with-replay is the whole point.
+	ReconnectMax time.Duration
+	// EventBuffer is each subscription's delivery channel depth
+	// (default 1024). A consumer that stops draining eventually
+	// backpressures the socket, which surfaces at the gateway as
+	// accounted slow-consumer drops.
+	EventBuffer int
+	// Registry decodes event and read tuples; defaults to
+	// tuple.DefaultRegistry.
+	Registry *tuple.Registry
+}
+
+// SubEvent is one delivery on a subscription channel.
+type SubEvent struct {
+	// Type is the engine event name ("tuple-arrived", "tuple-removed",
+	// "neighbor-added", "neighbor-removed").
+	Type string
+	// Tuple is the decoded event tuple (nil if its kind is unknown to
+	// the client registry).
+	Tuple tuple.Tuple
+	// Peer is set on neighbor events.
+	Peer string
+	// GSeq is the per-gateway sequence; strictly increasing per
+	// subscription within one Epoch after client-side dedup.
+	GSeq uint64
+	// Drops is the gateway's cumulative slow-consumer drop count for
+	// this subscription: a gap in GSeq is legitimate exactly when this
+	// grew by at least the gap size.
+	Drops uint64
+	// Replay marks events re-delivered from the gateway's ring.
+	Replay bool
+	// Resync marks a synthetic marker event (no tuple): the gateway
+	// epoch changed or replay missed, so state accumulated before this
+	// point is unreliable and should be rebuilt (e.g. by a Read).
+	Resync bool
+	// Epoch is the gateway instance the event came from.
+	Epoch string
+}
+
+// Subscription is a client-side subscription handle. It survives
+// reconnects: the client transparently resubscribes with
+// replay-from-seq and dedups redelivered events, so Events sees every
+// event at least once, in order, per epoch.
+type Subscription struct {
+	c   *Client
+	tpl tuple.Template
+	// Events delivers matching engine events; closed by Unsubscribe
+	// and Client.Close.
+	Events chan SubEvent
+
+	mu        sync.Mutex
+	serverID  uint64 // id on the current connection, 0 when detached
+	epoch     string
+	lastSeq   uint64
+	drops     uint64
+	closed    bool
+	gapErrors int
+	// needResync is set by the read loop when a subscribe ack revealed
+	// an epoch change or replay miss; resubscribe consumes it to emit
+	// the Resync marker from its own goroutine.
+	needResync bool
+}
+
+// LastSeq returns the newest gateway sequence the subscription has
+// seen in its current epoch.
+func (s *Subscription) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// Drops returns the gateway-reported cumulative slow-consumer drops.
+func (s *Subscription) Drops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// GapViolations counts events whose sequence gap was NOT covered by
+// the gateway's drop accounting — zero on a healthy run; non-zero
+// means the no-silent-gaps contract broke.
+func (s *Subscription) GapViolations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gapErrors
+}
+
+// Client is the resilient gateway RPC client: request timeouts,
+// bounded retries with seeded-jitter exponential backoff (shared with
+// the testnet poller via internal/retry), and transparent
+// resubscribe-with-replay across reconnects.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu      sync.Mutex
+	nc      net.Conn // current connection, nil while down
+	pending map[uint64]chan Response
+	// subFor maps an in-flight subscribe request seq to its
+	// subscription, so the read loop can apply the ack (server sub id,
+	// epoch, sequence reset) BEFORE it dispatches the replay events the
+	// gateway writes immediately after the ack. Applying the ack from
+	// the resubscribe goroutine instead would race those events into
+	// dispatchEvent with no registered server id, silently dropping the
+	// replay.
+	subFor  map[uint64]*Subscription
+	reqSeq  uint64
+	subs    []*Subscription
+	closed  bool
+
+	closec  chan struct{}
+	kick    chan struct{} // nudges the manager to reconnect now
+	managerDone chan struct{}
+}
+
+// Dial creates a client for the gateway at addr and starts its
+// connection manager. It returns immediately; the first RPC blocks
+// until a connection exists or its retry budget is spent.
+func Dial(addr string, cfg ClientConfig) *Client {
+	if cfg.Policy == nil {
+		cfg.Policy = retry.New(1)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 2 * time.Second
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 1024
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = tuple.DefaultRegistry
+	}
+	c := &Client{
+		addr:        addr,
+		cfg:         cfg,
+		pending:     make(map[uint64]chan Response),
+		subFor:      make(map[uint64]*Subscription),
+		closec:      make(chan struct{}),
+		kick:        make(chan struct{}, 1),
+		managerDone: make(chan struct{}),
+	}
+	go c.manage()
+	return c
+}
+
+// Close shuts the client down: the connection drops, pending requests
+// fail, and every subscription channel closes.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nc := c.nc
+	c.nc = nil
+	subs := c.subs
+	c.subs = nil
+	c.mu.Unlock()
+	close(c.closec)
+	if nc != nil {
+		_ = nc.Close()
+	}
+	<-c.managerDone
+	c.failPending(ErrClientClosed)
+	for _, s := range subs {
+		s.mu.Lock()
+		already := s.closed
+		s.closed = true
+		s.mu.Unlock()
+		if !already {
+			close(s.Events)
+		}
+	}
+	return nil
+}
+
+// manage owns the connection lifecycle: dial with capped backoff,
+// resubscribe every registered subscription with replay-from-seq, run
+// the read loop until the connection dies, repeat.
+func (c *Client) manage() {
+	defer close(c.managerDone)
+	attempt := 0
+	for {
+		select {
+		case <-c.closec:
+			return
+		default:
+		}
+		nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+		if err != nil {
+			attempt++
+			select {
+			case <-time.After(c.reconnectBackoff(attempt)):
+			case <-c.closec:
+				return
+			}
+			continue
+		}
+		attempt = 0
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		c.nc = nc
+		subs := append([]*Subscription(nil), c.subs...)
+		c.mu.Unlock()
+
+		// The read loop must run before resubscribe RPCs can see their
+		// responses.
+		readDone := make(chan struct{})
+		go func() {
+			defer close(readDone)
+			c.readLoop(nc)
+		}()
+		for _, s := range subs {
+			if err := c.resubscribe(s); err != nil {
+				break // connection died mid-resubscribe; redial
+			}
+		}
+		select {
+		case <-readDone:
+		case <-c.closec:
+			_ = nc.Close()
+			<-readDone
+			return
+		}
+		c.mu.Lock()
+		if c.nc == nc {
+			c.nc = nil
+		}
+		c.mu.Unlock()
+		c.failPending(ErrDisconnected)
+		c.detachSubs()
+	}
+}
+
+// reconnectBackoff doubles from the policy base to ReconnectMax with
+// the policy's seeded jitter.
+func (c *Client) reconnectBackoff(attempt int) time.Duration {
+	d := c.cfg.Policy.Backoff(attempt)
+	if d > c.cfg.ReconnectMax {
+		d = c.cfg.ReconnectMax
+	}
+	return d
+}
+
+// readLoop demuxes gateway frames: responses to pending RPCs, events
+// to their subscriptions.
+func (c *Client) readLoop(nc net.Conn) {
+	for {
+		var fr Frame
+		if err := ReadFrame(nc, &fr); err != nil {
+			_ = nc.Close()
+			return
+		}
+		switch {
+		case fr.Resp != nil:
+			c.mu.Lock()
+			ch := c.pending[fr.Resp.Seq]
+			delete(c.pending, fr.Resp.Seq)
+			sub := c.subFor[fr.Resp.Seq]
+			delete(c.subFor, fr.Resp.Seq)
+			c.mu.Unlock()
+			if sub != nil && fr.Resp.Err == "" {
+				// Subscribe ack: register the server id and sequence
+				// state here, in the same goroutine that dispatches
+				// events, so the replay frames right behind this ack
+				// route to the subscription instead of vanishing.
+				c.applySubscribeAck(sub, *fr.Resp)
+			}
+			if ch != nil {
+				ch <- *fr.Resp
+			}
+		case fr.Event != nil:
+			c.dispatchEvent(*fr.Event)
+		}
+	}
+}
+
+// dispatchEvent routes one event frame to its subscription, dedups by
+// sequence, verifies gap accounting and delivers to the consumer.
+func (c *Client) dispatchEvent(ev Event) {
+	c.mu.Lock()
+	var target *Subscription
+	for _, s := range c.subs {
+		s.mu.Lock()
+		match := s.serverID == ev.Sub && s.serverID != 0
+		s.mu.Unlock()
+		if match {
+			target = s
+			break
+		}
+	}
+	c.mu.Unlock()
+	if target == nil {
+		return
+	}
+	target.mu.Lock()
+	if ev.GSeq <= target.lastSeq {
+		// Redelivered (replay overlapping live fan-out): dedup.
+		target.mu.Unlock()
+		return
+	}
+	if gap := ev.GSeq - target.lastSeq - 1; gap > 0 && target.lastSeq > 0 {
+		// A sequence gap is legitimate only when the gateway's drop
+		// accounting covers it.
+		if ev.Drops < target.drops+gap {
+			target.gapErrors++
+		}
+	}
+	target.lastSeq = ev.GSeq
+	if ev.Drops > target.drops {
+		target.drops = ev.Drops
+	}
+	epoch := target.epoch
+	closed := target.closed
+	target.mu.Unlock()
+	if closed {
+		return
+	}
+	out := SubEvent{
+		Type:   ev.Type,
+		Peer:   ev.Peer,
+		GSeq:   ev.GSeq,
+		Drops:  ev.Drops,
+		Replay: ev.Replay,
+		Epoch:  epoch,
+	}
+	if len(ev.Tuple) > 0 {
+		if t, err := tuple.UnmarshalTupleJSON(c.cfg.Registry, ev.Tuple); err == nil {
+			out.Tuple = t
+		}
+	}
+	select {
+	case target.Events <- out:
+	case <-c.closec:
+	}
+}
+
+// resubscribe re-establishes one subscription on the current
+// connection, requesting replay from the last sequence seen. On an
+// epoch change or replay miss it emits a Resync marker first so the
+// consumer knows to rebuild its state.
+func (c *Client) resubscribe(s *Subscription) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	tplJSON, err := tuple.MarshalTemplateJSON(s.tpl)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	req := Request{
+		Op:       OpSubscribe,
+		Template: tplJSON,
+		FromSeq:  s.lastSeq,
+		Epoch:    s.epoch,
+	}
+	s.mu.Unlock()
+	resp, err := c.roundTripSub(req, s)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	// The read loop already applied the ack (applySubscribeAck) before
+	// handing us the response; here we only emit the Resync marker it
+	// flagged, from outside the read loop so a full Events channel
+	// cannot stall event dispatch.
+	s.mu.Lock()
+	resync := s.needResync
+	s.needResync = false
+	closed := s.closed
+	epoch := s.epoch
+	s.mu.Unlock()
+	if resync && !closed {
+		select {
+		case s.Events <- SubEvent{Resync: true, Epoch: epoch}:
+		case <-c.closec:
+		}
+	}
+	return nil
+}
+
+// applySubscribeAck records a subscribe response's server-side state on
+// the subscription. It runs in the read-loop goroutine so it is
+// ordered strictly before the replay events that follow the ack on the
+// wire.
+func (c *Client) applySubscribeAck(s *Subscription, resp Response) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epochChanged := s.epoch != "" && s.epoch != resp.Epoch
+	missed := resp.Replay == ReplayMiss
+	if epochChanged || missed {
+		// Sequence space reset (or partially evicted): everything
+		// accumulated so far is unreliable. Reset tracking so the new
+		// epoch's replay passes dedup, and flag the consumer to rebuild.
+		s.lastSeq = 0
+		s.drops = 0
+		s.needResync = true
+	}
+	s.epoch = resp.Epoch
+	s.serverID = resp.Sub
+}
+
+// detachSubs marks every subscription as having no server-side id, so
+// stray events cannot misroute after reconnect.
+func (c *Client) detachSubs() {
+	c.mu.Lock()
+	subs := append([]*Subscription(nil), c.subs...)
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.mu.Lock()
+		s.serverID = 0
+		s.mu.Unlock()
+	}
+}
+
+func (c *Client) failPending(err error) {
+	c.mu.Lock()
+	pend := c.pending
+	c.pending = make(map[uint64]chan Response)
+	c.subFor = make(map[uint64]*Subscription)
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- Response{Err: err.Error()}
+	}
+}
+
+// roundTrip sends one request on the current connection and waits for
+// its response (no retries — Do wraps it with the policy).
+func (c *Client) roundTrip(req Request) (Response, error) {
+	return c.roundTripSub(req, nil)
+}
+
+// roundTripSub is roundTrip with an optional subscription to bind to
+// the request seq, so the read loop applies the subscribe ack before
+// dispatching the replay events behind it.
+func (c *Client) roundTripSub(req Request, sub *Subscription) (Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Response{}, ErrClientClosed
+	}
+	nc := c.nc
+	if nc == nil {
+		c.mu.Unlock()
+		return Response{}, ErrDisconnected
+	}
+	c.reqSeq++
+	req.Seq = c.reqSeq
+	ch := make(chan Response, 1)
+	c.pending[req.Seq] = ch
+	if sub != nil {
+		c.subFor[req.Seq] = sub
+	}
+	c.mu.Unlock()
+
+	buf, err := EncodeFrame(req)
+	if err != nil {
+		c.abandon(req.Seq)
+		return Response{}, err
+	}
+	_ = nc.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if _, err := nc.Write(buf); err != nil {
+		c.abandon(req.Seq)
+		_ = nc.Close()
+		return Response{}, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(c.cfg.RequestTimeout):
+		c.abandon(req.Seq)
+		return Response{}, ErrTimeout
+	case <-c.closec:
+		c.abandon(req.Seq)
+		return Response{}, ErrClientClosed
+	}
+}
+
+func (c *Client) abandon(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	delete(c.subFor, seq)
+	c.mu.Unlock()
+}
+
+// do runs one RPC under the retry policy.
+func (c *Client) do(req Request) (Response, error) {
+	var resp Response
+	err := c.cfg.Policy.Do(func() error {
+		r, err := c.roundTrip(req)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		if r.Err != "" {
+			// Application-level errors are permanent: retrying a bad
+			// template or unknown kind cannot help.
+			return retry.Permanent(errors.New(r.Err))
+		}
+		resp = r
+		return nil
+	}, c.closec)
+	return resp, err
+}
+
+// Ping round-trips a no-op and returns the gateway's epoch and current
+// event sequence.
+func (c *Client) Ping() (epoch string, seq uint64, err error) {
+	resp, err := c.do(Request{Op: OpPing})
+	if err != nil {
+		return "", 0, err
+	}
+	return resp.Epoch, resp.NextSeq, nil
+}
+
+// Inject creates t in the tuple space through the gateway and returns
+// the assigned id.
+func (c *Client) Inject(t tuple.Tuple) (tuple.ID, error) {
+	if t == nil {
+		return tuple.ID{}, fmt.Errorf("gateway: nil tuple")
+	}
+	resp, err := c.do(Request{Op: OpInject, Kind: t.Kind(), Content: t.Content()})
+	if err != nil {
+		return tuple.ID{}, err
+	}
+	return tuple.ParseID(resp.ID)
+}
+
+// Read queries the gateway node's local tuple space.
+func (c *Client) Read(tpl tuple.Template) ([]tuple.Tuple, error) {
+	tplJSON, err := tuple.MarshalTemplateJSON(tpl)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(Request{Op: OpRead, Template: tplJSON})
+	if err != nil {
+		return nil, err
+	}
+	var out []tuple.Tuple
+	for _, raw := range resp.Tuples {
+		t, err := tuple.UnmarshalTupleJSON(c.cfg.Registry, raw)
+		if err != nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Subscribe registers a subscription for events matching tpl and
+// blocks until the gateway acknowledges it (or the retry budget is
+// spent). The subscription survives reconnects transparently.
+func (c *Client) Subscribe(tpl tuple.Template) (*Subscription, error) {
+	s := &Subscription{
+		c:      c,
+		tpl:    tpl,
+		Events: make(chan SubEvent, c.cfg.EventBuffer),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.subs = append(c.subs, s)
+	c.mu.Unlock()
+
+	// Establish it now if connected; otherwise the manager will on the
+	// next (re)connect. Either way the handle is registered, so the
+	// subscription cannot be lost.
+	err := c.cfg.Policy.Do(func() error {
+		if err := c.resubscribe(s); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		ok := s.serverID != 0
+		s.mu.Unlock()
+		if !ok {
+			return ErrDisconnected
+		}
+		return nil
+	}, c.closec)
+	if err != nil {
+		c.removeSub(s)
+		return nil, err
+	}
+	return s, nil
+}
+
+// Unsubscribe drops the subscription and closes its channel.
+func (c *Client) Unsubscribe(s *Subscription) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	serverID := s.serverID
+	s.serverID = 0
+	s.mu.Unlock()
+	c.removeSub(s)
+	close(s.Events)
+	if serverID != 0 {
+		_, err := c.do(Request{Op: OpUnsubscribe, Sub: serverID})
+		return err
+	}
+	return nil
+}
+
+func (c *Client) removeSub(s *Subscription) {
+	c.mu.Lock()
+	for i, cur := range c.subs {
+		if cur == s {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,496 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"tota/internal/core"
+	"tota/internal/pattern"
+	"tota/internal/retry"
+	"tota/internal/topology"
+	"tota/internal/transport"
+	"tota/internal/tuple"
+)
+
+// newTestNode builds a standalone single-node middleware instance; the
+// gateway surface is purely local, so no peers are needed.
+func newTestNode(t *testing.T) *core.Node {
+	t.Helper()
+	g := topology.New()
+	g.AddNode("gw")
+	sim := transport.NewSim(g, transport.SimConfig{})
+	ep := sim.Attach("gw", nil)
+	n := core.New(ep)
+	sim.Bind("gw", n)
+	return n
+}
+
+func newTestGateway(t *testing.T, cfg Config) (*core.Node, *Gateway) {
+	t.Helper()
+	n := newTestNode(t)
+	gw, err := Serve(n, "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(func() { _ = gw.Close() })
+	return n, gw
+}
+
+func testClient(t *testing.T, addr string) *Client {
+	t.Helper()
+	c := Dial(addr, ClientConfig{
+		Policy:         retry.New(42),
+		RequestTimeout: 3 * time.Second,
+	})
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func waitEvent(t *testing.T, s *Subscription, what string) SubEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-s.Events:
+		if !ok {
+			t.Fatalf("waiting for %s: subscription channel closed", what)
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	panic("unreachable")
+}
+
+// waitTupleEvent skips non-tuple deliveries (neighbor noise) until a
+// tuple event of the wanted type arrives.
+func waitTupleEvent(t *testing.T, s *Subscription, typ string) SubEvent {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-s.Events:
+			if !ok {
+				t.Fatalf("waiting for %s: subscription channel closed", typ)
+			}
+			if ev.Type == typ && ev.Tuple != nil {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for a %s tuple event", typ)
+		}
+	}
+}
+
+func TestGatewayInjectReadRoundTrip(t *testing.T) {
+	_, gw := newTestGateway(t, Config{})
+	c := testClient(t, gw.Addr())
+
+	id, err := c.Inject(pattern.NewFlood("notice", tuple.S("payload", "gateway-payload")))
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if id.IsZero() {
+		t.Fatal("inject returned a zero id")
+	}
+	got, err := c.Read(pattern.ByName(pattern.KindFlood, "notice"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("read returned %d tuples, want 1", len(got))
+	}
+	if got[0].Content().GetString("payload") != "gateway-payload" {
+		t.Fatalf("read tuple lost its payload: %v", got[0].Content())
+	}
+	st := gw.Stats()
+	if st.Injects != 1 || st.Reads != 1 {
+		t.Fatalf("stats = %+v, want 1 inject / 1 read", st)
+	}
+}
+
+func TestGatewaySubscribeLiveAndUnsubscribe(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+	c := testClient(t, gw.Addr())
+
+	sub, err := c.Subscribe(pattern.ByName(pattern.KindFlood, "live"))
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if _, err := n.Inject(pattern.NewFlood("live")); err != nil {
+		t.Fatalf("node inject: %v", err)
+	}
+	ev := waitTupleEvent(t, sub, core.TupleArrived.String())
+	if ev.Tuple.Content().GetString("name") != "live" {
+		t.Fatalf("event carried the wrong tuple: %v", ev.Tuple)
+	}
+	if ev.GSeq == 0 {
+		t.Fatal("event missing its gateway sequence")
+	}
+
+	if err := c.Unsubscribe(sub); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	if _, err := n.Inject(pattern.NewFlood("live")); err != nil {
+		t.Fatal(err)
+	}
+	// The channel is closed; any buffered events drain, then ok=false.
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Events:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscription channel never closed after Unsubscribe")
+		}
+	}
+}
+
+// rawConn speaks the wire protocol directly, for tests that need exact
+// control over sequences and connection lifecycle.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	return &rawConn{t: t, nc: nc}
+}
+
+func (r *rawConn) send(req Request) {
+	r.t.Helper()
+	if err := WriteFrame(r.nc, req); err != nil {
+		r.t.Fatalf("write frame: %v", err)
+	}
+}
+
+func (r *rawConn) recv() Frame {
+	r.t.Helper()
+	_ = r.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var fr Frame
+	if err := ReadFrame(r.nc, &fr); err != nil {
+		r.t.Fatalf("read frame: %v", err)
+	}
+	return fr
+}
+
+func (r *rawConn) recvResp() Response {
+	r.t.Helper()
+	fr := r.recv()
+	if fr.Resp == nil {
+		r.t.Fatalf("expected a response frame, got %+v", fr)
+	}
+	return *fr.Resp
+}
+
+func injectN(t *testing.T, n *core.Node, name string, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		if _, err := n.Inject(pattern.NewFlood(name)); err != nil {
+			t.Fatalf("inject %d: %v", i, err)
+		}
+	}
+}
+
+func TestGatewayReplayFromSeqHit(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+
+	// First connection observes the prefix, then disconnects.
+	c1 := dialRaw(t, gw.Addr())
+	c1.send(Request{Op: OpSubscribe, Seq: 1})
+	ack := c1.recvResp()
+	if !ack.OK || ack.Sub == 0 {
+		t.Fatalf("subscribe ack = %+v", ack)
+	}
+	epoch := ack.Epoch
+	injectN(t, n, "replay", 3)
+	var last uint64
+	for i := 0; i < 3; i++ {
+		fr := c1.recv()
+		if fr.Event == nil {
+			t.Fatalf("expected event, got %+v", fr)
+		}
+		last = fr.Event.GSeq
+	}
+	_ = c1.nc.Close()
+
+	// Events continue while the client is away.
+	injectN(t, n, "replay", 2)
+
+	// Reconnect with replay-from-seq: the ack reports a hit and the two
+	// missed events arrive before anything newer.
+	c2 := dialRaw(t, gw.Addr())
+	c2.send(Request{Op: OpSubscribe, Seq: 1, FromSeq: last, Epoch: epoch})
+	ack2 := c2.recvResp()
+	if ack2.Replay != ReplayHit {
+		t.Fatalf("replay = %q, want %q (ack %+v)", ack2.Replay, ReplayHit, ack2)
+	}
+	for want := last + 1; want <= last+2; want++ {
+		fr := c2.recv()
+		if fr.Event == nil {
+			t.Fatalf("expected replayed event, got %+v", fr)
+		}
+		if fr.Event.GSeq != want {
+			t.Fatalf("replayed gseq = %d, want %d", fr.Event.GSeq, want)
+		}
+		if !fr.Event.Replay {
+			t.Fatalf("replayed event %d not marked as replay", fr.Event.GSeq)
+		}
+	}
+	if gw.Stats().ReplayHits != 1 || gw.Stats().ReplayEvents != 2 {
+		t.Fatalf("replay stats = %+v", gw.Stats())
+	}
+}
+
+func TestGatewayReplayMissOnRingEviction(t *testing.T) {
+	n, gw := newTestGateway(t, Config{RingSize: 4})
+	injectN(t, n, "evict", 8)
+
+	c := dialRaw(t, gw.Addr())
+	c.send(Request{Op: OpSubscribe, Seq: 1, FromSeq: 1, Epoch: gw.Epoch()})
+	ack := c.recvResp()
+	if ack.Replay != ReplayMiss {
+		t.Fatalf("replay = %q, want %q", ack.Replay, ReplayMiss)
+	}
+	// Whatever the ring still holds is replayed anyway (newest 4).
+	fr := c.recv()
+	if fr.Event == nil || fr.Event.GSeq != 5 {
+		t.Fatalf("first retained event = %+v, want gseq 5", fr)
+	}
+	if gw.Stats().ReplayMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 replay miss", gw.Stats())
+	}
+}
+
+func TestGatewayEpochMismatchIsMiss(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+	injectN(t, n, "epoch", 2)
+
+	c := dialRaw(t, gw.Addr())
+	// A continuation from some other gateway instance: sequence numbers
+	// are meaningless, so the server resets to 0 and reports a miss.
+	c.send(Request{Op: OpSubscribe, Seq: 1, FromSeq: 99, Epoch: "deadbeef00000000"})
+	ack := c.recvResp()
+	if ack.Replay != ReplayMiss {
+		t.Fatalf("replay = %q, want %q", ack.Replay, ReplayMiss)
+	}
+	if ack.Epoch == "deadbeef00000000" || ack.Epoch == "" {
+		t.Fatalf("ack epoch = %q, want the server's own", ack.Epoch)
+	}
+	// The new instance's full retained history is replayed from 0.
+	fr := c.recv()
+	if fr.Event == nil || fr.Event.GSeq != 1 {
+		t.Fatalf("first replayed event = %+v, want gseq 1", fr)
+	}
+}
+
+func TestGatewayMaxClientsRejected(t *testing.T) {
+	_, gw := newTestGateway(t, Config{MaxClients: 1})
+	c1 := dialRaw(t, gw.Addr())
+	c1.send(Request{Op: OpPing, Seq: 1})
+	if resp := c1.recvResp(); !resp.OK {
+		t.Fatalf("first client rejected: %+v", resp)
+	}
+	c2 := dialRaw(t, gw.Addr())
+	resp := c2.recvResp()
+	if resp.Err == "" {
+		t.Fatalf("second client admitted past the cap: %+v", resp)
+	}
+	if gw.Stats().Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 rejection", gw.Stats())
+	}
+}
+
+func TestGatewaySlowConsumerDropAccounting(t *testing.T) {
+	// White-box: a connection whose outbound queue holds one frame.
+	// Drops must be counted per subscription and surfaced cumulatively
+	// on later event frames — accounted, never silent.
+	gw := &Gateway{cfg: Config{QueueSize: 1}}
+	c := &conn{
+		gw:     gw,
+		out:    make(chan []byte, 1),
+		subs:   make(map[uint64]*serverSub),
+		closec: make(chan struct{}),
+	}
+	sub := &serverSub{id: 1, tpl: tuple.MatchAll()}
+	entry := func(seq uint64) ringEntry {
+		tup := pattern.NewFlood("drops")
+		data, err := tuple.MarshalTupleJSON(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ringEntry{seq: seq, typ: core.TupleArrived.String(), tup: tup, tJSON: data}
+	}
+	decode := func(buf []byte) Event {
+		var fr Frame
+		if err := ReadFrame(bytes.NewReader(buf), &fr); err != nil {
+			t.Fatalf("decode queued frame: %v", err)
+		}
+		if fr.Event == nil {
+			t.Fatalf("queued frame is not an event")
+		}
+		return *fr.Event
+	}
+
+	c.mu.Lock()
+	if !c.enqueueLocked(sub, entry(1), false) {
+		t.Fatal("first event should fit")
+	}
+	if c.enqueueLocked(sub, entry(2), false) || c.enqueueLocked(sub, entry(3), false) {
+		t.Fatal("queue-full events should drop")
+	}
+	c.mu.Unlock()
+	if got := sub.drops.Load(); got != 2 {
+		t.Fatalf("sub drops = %d, want 2", got)
+	}
+	if gw.stats.dropped.Load() != 2 || gw.stats.delivered.Load() != 1 {
+		t.Fatalf("gateway stats = %+v", gw.Stats())
+	}
+	first := decode(<-c.out)
+	if first.GSeq != 1 || first.Drops != 0 {
+		t.Fatalf("first event = %+v, want gseq 1 drops 0", first)
+	}
+	// With the queue drained, the next event carries the cumulative
+	// drop count, so the client can verify its sequence gap is covered.
+	c.mu.Lock()
+	if !c.enqueueLocked(sub, entry(4), false) {
+		t.Fatal("drained queue should accept")
+	}
+	c.mu.Unlock()
+	next := decode(<-c.out)
+	if next.GSeq != 4 || next.Drops != 2 {
+		t.Fatalf("post-drop event = %+v, want gseq 4 drops 2", next)
+	}
+}
+
+func TestGatewayClientReconnectReplayAcrossRestart(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+	addr := gw.Addr()
+	c := Dial(addr, ClientConfig{Policy: retry.New(7), RequestTimeout: 3 * time.Second})
+	defer c.Close()
+
+	sub, err := c.Subscribe(pattern.ByName(pattern.KindFlood, "restart"))
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if _, err := n.Inject(pattern.NewFlood("restart")); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitTupleEvent(t, sub, core.TupleArrived.String())
+	firstEpoch := ev.Epoch
+
+	// Kill the gateway instance; its ring and epoch die with it. The
+	// same listen address comes back under a fresh instance.
+	if err := gw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	gw2, err := Serve(n, addr, Config{})
+	if err != nil {
+		t.Fatalf("restart gateway: %v", err)
+	}
+	defer gw2.Close()
+
+	// The client reconnects and resubscribes on its own; the epoch
+	// change surfaces as a Resync marker so the consumer knows to
+	// rebuild (duplicates across the seam are possible, gaps are not).
+	var sawResync bool
+	deadline := time.After(10 * time.Second)
+resync:
+	for {
+		select {
+		case ev := <-sub.Events:
+			if ev.Resync {
+				if ev.Epoch == firstEpoch {
+					t.Fatalf("resync kept the old epoch %q", ev.Epoch)
+				}
+				sawResync = true
+				break resync
+			}
+		case <-deadline:
+			t.Fatal("client never resynced after gateway restart")
+		}
+	}
+	if !sawResync {
+		t.Fatal("no resync marker")
+	}
+	// Live delivery works again on the new instance.
+	if _, err := n.Inject(pattern.NewFlood("restart")); err != nil {
+		t.Fatal(err)
+	}
+	ev = waitTupleEvent(t, sub, core.TupleArrived.String())
+	if ev.Epoch == firstEpoch {
+		t.Fatalf("post-restart event still in old epoch %q", ev.Epoch)
+	}
+	if sub.GapViolations() != 0 {
+		t.Fatalf("client recorded %d unaccounted gaps", sub.GapViolations())
+	}
+}
+
+func TestGatewayClientRequestTimeoutAndRetry(t *testing.T) {
+	// No server: every RPC burns its retry budget and fails.
+	c := Dial("127.0.0.1:1", ClientConfig{
+		Policy:         retry.New(3),
+		RequestTimeout: 200 * time.Millisecond,
+		DialTimeout:    100 * time.Millisecond,
+	})
+	defer c.Close()
+	start := time.Now()
+	if _, _, err := c.Ping(); err == nil {
+		t.Fatal("ping against nothing succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry budget unbounded: took %v", elapsed)
+	}
+}
+
+// TestGatewayClientFreshSubscribeSeesRingReplay is the regression test
+// for the subscribe-ack/replay race: tuples injected BEFORE the client
+// subscribes are only ever delivered through the silent ring replay
+// directly behind the subscribe ack. The client must have the server
+// sub id registered before it dispatches those frames, or the whole
+// replay vanishes and a mirror built from the event stream can never
+// converge.
+func TestGatewayClientFreshSubscribeSeesRingReplay(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+
+	const pre = 16
+	for i := 0; i < pre; i++ {
+		if _, err := n.Inject(pattern.NewFlood(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := testClient(t, gw.Addr())
+	sub, err := c.Subscribe(tuple.MatchAll())
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	seen := make(map[string]bool)
+	deadline := time.After(5 * time.Second)
+	for len(seen) < pre {
+		select {
+		case ev, ok := <-sub.Events:
+			if !ok {
+				t.Fatal("subscription channel closed mid-replay")
+			}
+			if ev.Type != core.TupleArrived.String() || ev.Tuple == nil {
+				continue
+			}
+			seen[ev.Tuple.Content().GetString("name")] = true
+		case <-deadline:
+			t.Fatalf("replay delivered only %d/%d pre-subscribe tuples: %v", len(seen), pre, seen)
+		}
+	}
+	if sub.GapViolations() != 0 {
+		t.Fatalf("replay recorded %d unaccounted gaps", sub.GapViolations())
+	}
+}

@@ -1,0 +1,39 @@
+package gateway
+
+import "tota/internal/obs"
+
+// RegisterMetrics binds the gateway's counters into reg as
+// tota_gateway_* series, scrape-able over the node's telemetry
+// endpoint in both Prometheus and JSON form.
+func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("tota_gateway_clients",
+		"Currently connected gateway clients.",
+		func() float64 { return float64(g.stats.clients.Load()) })
+	reg.GaugeFunc("tota_gateway_subscriptions",
+		"Currently live client subscriptions.",
+		func() float64 { return float64(g.stats.subscriptions.Load()) })
+	reg.CounterFunc("tota_gateway_clients_rejected_total",
+		"Connections refused at the max-clients cap.",
+		func() float64 { return float64(g.stats.rejected.Load()) })
+	reg.CounterFunc("tota_gateway_injects_total",
+		"Successful inject RPCs.",
+		func() float64 { return float64(g.stats.injects.Load()) })
+	reg.CounterFunc("tota_gateway_reads_total",
+		"Successful read RPCs.",
+		func() float64 { return float64(g.stats.reads.Load()) })
+	reg.CounterFunc("tota_gateway_events_delivered_total",
+		"Event frames queued to client connections.",
+		func() float64 { return float64(g.stats.delivered.Load()) })
+	reg.CounterFunc("tota_gateway_events_dropped_total",
+		"Events lost to full per-connection queues (slow consumers).",
+		func() float64 { return float64(g.stats.dropped.Load()) })
+	reg.CounterFunc("tota_gateway_replay_hits_total",
+		"Subscribe-time replays fully served from the ring.",
+		func() float64 { return float64(g.stats.replayHits.Load()) })
+	reg.CounterFunc("tota_gateway_replay_misses_total",
+		"Subscribe-time replays that could not be completed (epoch change or ring eviction).",
+		func() float64 { return float64(g.stats.replayMisses.Load()) })
+	reg.CounterFunc("tota_gateway_replayed_events_total",
+		"Events re-delivered from the replay ring.",
+		func() float64 { return float64(g.stats.replayEvents.Load()) })
+}

@@ -1,0 +1,70 @@
+package gateway
+
+import "testing"
+
+func ringOf(size int, seqs ...uint64) *eventRing {
+	r := newEventRing(size)
+	for _, s := range seqs {
+		r.append(ringEntry{seq: s})
+	}
+	return r
+}
+
+func seqsOf(entries []ringEntry) []uint64 {
+	out := make([]uint64, len(entries))
+	for i, e := range entries {
+		out[i] = e.seq
+	}
+	return out
+}
+
+func TestGatewayRingSince(t *testing.T) {
+	cases := []struct {
+		name     string
+		ring     *eventRing
+		from     uint64
+		want     []uint64
+		complete bool
+	}{
+		{"empty-from-zero", ringOf(4), 0, nil, true},
+		{"not-full-complete", ringOf(4, 1, 2, 3), 1, []uint64{2, 3}, true},
+		{"not-full-from-zero", ringOf(4, 1, 2, 3), 0, []uint64{1, 2, 3}, true},
+		{"full-exact-boundary", ringOf(4, 1, 2, 3, 4, 5), 1, []uint64{2, 3, 4, 5}, true},
+		{"full-evicted", ringOf(4, 1, 2, 3, 4, 5, 6), 1, []uint64{3, 4, 5, 6}, false},
+		{"full-caught-up", ringOf(4, 1, 2, 3, 4, 5, 6), 6, nil, true},
+		{"full-future", ringOf(4, 1, 2, 3, 4, 5, 6), 9, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, complete := tc.ring.since(tc.from)
+			if complete != tc.complete {
+				t.Fatalf("since(%d) complete = %v, want %v", tc.from, complete, tc.complete)
+			}
+			gotSeqs := seqsOf(got)
+			if len(gotSeqs) != len(tc.want) {
+				t.Fatalf("since(%d) = %v, want %v", tc.from, gotSeqs, tc.want)
+			}
+			for i := range gotSeqs {
+				if gotSeqs[i] != tc.want[i] {
+					t.Fatalf("since(%d) = %v, want %v", tc.from, gotSeqs, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestGatewayRingEvictionKeepsNewest(t *testing.T) {
+	r := ringOf(3)
+	for s := uint64(1); s <= 10; s++ {
+		r.append(ringEntry{seq: s})
+	}
+	got, complete := r.since(0)
+	if complete {
+		t.Fatal("since(0) on an over-full ring claimed completeness")
+	}
+	want := []uint64{8, 9, 10}
+	gs := seqsOf(got)
+	if len(gs) != 3 || gs[0] != want[0] || gs[2] != want[2] {
+		t.Fatalf("retained %v, want %v", gs, want)
+	}
+}

@@ -1,0 +1,558 @@
+package gateway
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tota/internal/core"
+	"tota/internal/tuple"
+)
+
+// Defaults for the serving surface.
+const (
+	// DefaultRingSize is the replay ring capacity: how many recent
+	// events a reconnecting client can recover by sequence.
+	DefaultRingSize = 4096
+	// DefaultQueueSize is the per-connection outbound queue bound; a
+	// client that reads slower than its subscriptions produce drops
+	// events past this depth (counted, never silent).
+	DefaultQueueSize = 256
+	// DefaultMaxClients bounds concurrent client connections per
+	// gateway.
+	DefaultMaxClients = 1024
+	// writeTimeout bounds one frame write so a wedged client socket
+	// cannot pin a writer goroutine forever.
+	writeTimeout = 10 * time.Second
+)
+
+// Config tunes a Gateway; zero values select the defaults above.
+type Config struct {
+	// MaxClients bounds concurrent connections; further connections
+	// are rejected with an error frame and closed.
+	MaxClients int
+	// RingSize is the replay ring capacity in events.
+	RingSize int
+	// QueueSize is the per-connection outbound event queue bound.
+	QueueSize int
+	// Registry resolves tuple kinds for inject requests; defaults to
+	// tuple.DefaultRegistry.
+	Registry *tuple.Registry
+	// Logger receives connection-level errors; nil discards them.
+	Logger *slog.Logger
+}
+
+// Stats is a snapshot of the gateway's counters, all externally
+// scrape-able as tota_gateway_* (see RegisterMetrics).
+type Stats struct {
+	// Clients is the current connection count; Subscriptions the
+	// current live subscription count across all connections.
+	Clients       int64
+	Subscriptions int64
+	// Rejected counts connections turned away at the MaxClients cap.
+	Rejected int64
+	// Injects and Reads count successful RPCs.
+	Injects int64
+	Reads   int64
+	// EventsDelivered counts event frames queued to clients;
+	// EventsDropped counts events lost to full per-connection queues —
+	// the explicit slow-consumer accounting.
+	EventsDelivered int64
+	EventsDropped   int64
+	// ReplayHits/ReplayMisses count subscribe-time replay outcomes;
+	// ReplayEvents counts events re-delivered from the ring.
+	ReplayHits   int64
+	ReplayMisses int64
+	ReplayEvents int64
+}
+
+type gatewayStats struct {
+	clients       atomic.Int64
+	subscriptions atomic.Int64
+	rejected      atomic.Int64
+	injects       atomic.Int64
+	reads         atomic.Int64
+	delivered     atomic.Int64
+	dropped       atomic.Int64
+	replayHits    atomic.Int64
+	replayMisses  atomic.Int64
+	replayEvents  atomic.Int64
+}
+
+// Gateway serves the client RPC surface for one middleware node.
+type Gateway struct {
+	node  *core.Node
+	cfg   Config
+	ln    net.Listener
+	epoch string
+	ring  *eventRing
+
+	// evMu serializes event sequencing: engine dispatches may arrive on
+	// several goroutines (transport receive loop, refresh ticker,
+	// local API calls), and sequence assignment, ring append and
+	// fan-out must agree on one order.
+	evMu sync.Mutex
+	gseq uint64
+
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	closed  bool
+	coreSub core.SubID
+
+	stats gatewayStats
+	wg    sync.WaitGroup
+}
+
+// Serve starts a gateway for node on addr (e.g. "127.0.0.1:0").
+func Serve(node *core.Node, addr string, cfg Config) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen %s: %w", addr, err)
+	}
+	return ServeListener(node, ln, cfg), nil
+}
+
+// ServeListener starts a gateway on an existing listener (tests reuse
+// a specific port across restarts this way).
+func ServeListener(node *core.Node, ln net.Listener, cfg Config) *Gateway {
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = tuple.DefaultRegistry
+	}
+	g := &Gateway{
+		node:  node,
+		cfg:   cfg,
+		ln:    ln,
+		epoch: newEpoch(),
+		ring:  newEventRing(cfg.RingSize),
+		conns: make(map[*conn]struct{}),
+	}
+	// One engine subscription carries every client subscription: the
+	// gateway observes all events, sequences them, retains them in the
+	// ring and fans them out to matching per-client queues.
+	g.coreSub = node.Subscribe(tuple.MatchAll(), g.onEvent)
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g
+}
+
+// newEpoch mints an instance identity: clients detect a gateway
+// restart (and therefore a reset sequence space) by epoch change.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Addr returns the bound listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Epoch returns the gateway's instance identity.
+func (g *Gateway) Epoch() string { return g.epoch }
+
+// Stats snapshots the counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Clients:         g.stats.clients.Load(),
+		Subscriptions:   g.stats.subscriptions.Load(),
+		Rejected:        g.stats.rejected.Load(),
+		Injects:         g.stats.injects.Load(),
+		Reads:           g.stats.reads.Load(),
+		EventsDelivered: g.stats.delivered.Load(),
+		EventsDropped:   g.stats.dropped.Load(),
+		ReplayHits:      g.stats.replayHits.Load(),
+		ReplayMisses:    g.stats.replayMisses.Load(),
+		ReplayEvents:    g.stats.replayEvents.Load(),
+	}
+}
+
+// Close stops accepting, detaches from the node and closes every
+// client connection.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	conns := make([]*conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	g.node.Unsubscribe(g.coreSub)
+	err := g.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	g.wg.Wait()
+	return err
+}
+
+func (g *Gateway) logf(msg string, args ...any) {
+	if g.cfg.Logger != nil {
+		g.cfg.Logger.Debug(msg, args...)
+	}
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		nc, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		if len(g.conns) >= g.cfg.MaxClients {
+			g.mu.Unlock()
+			g.stats.rejected.Add(1)
+			// Reject with an addressed error frame so the client can
+			// distinguish "full" from a network failure.
+			_ = nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+			_ = WriteFrame(nc, Frame{Resp: &Response{Err: "gateway: client limit reached"}})
+			_ = nc.Close()
+			continue
+		}
+		c := &conn{
+			gw:     g,
+			nc:     nc,
+			out:    make(chan []byte, g.cfg.QueueSize),
+			subs:   make(map[uint64]*serverSub),
+			closec: make(chan struct{}),
+		}
+		g.conns[c] = struct{}{}
+		g.mu.Unlock()
+		g.stats.clients.Add(1)
+		g.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// onEvent is the engine reaction every client subscription compiles
+// onto: sequence, retain, fan out. It must never block on a client —
+// per-connection queues absorb or drop.
+func (g *Gateway) onEvent(ev core.Event) {
+	g.evMu.Lock()
+	defer g.evMu.Unlock()
+	g.gseq++
+	entry := ringEntry{
+		seq:  g.gseq,
+		typ:  ev.Type.String(),
+		peer: string(ev.Peer),
+	}
+	if ev.Tuple != nil {
+		entry.tup = ev.Tuple
+		if data, err := tuple.MarshalTupleJSON(ev.Tuple); err == nil {
+			entry.tJSON = data
+		}
+	}
+	g.ring.append(entry)
+	g.mu.Lock()
+	conns := make([]*conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.deliver(entry, false)
+	}
+}
+
+// seqNow reads the current gateway sequence.
+func (g *Gateway) seqNow() uint64 {
+	g.evMu.Lock()
+	defer g.evMu.Unlock()
+	return g.gseq
+}
+
+// serverSub is one client subscription on one connection.
+type serverSub struct {
+	id    uint64
+	tpl   tuple.Template
+	drops atomic.Uint64 // cumulative events lost to the bounded queue
+}
+
+// conn is one client connection: a reader goroutine handling RPCs, a
+// writer goroutine draining the bounded outbound queue, and the
+// subscription set events fan into.
+type conn struct {
+	gw *Gateway
+	nc net.Conn
+
+	// out carries encoded frames to the writer. Responses are enqueued
+	// blocking (backpressure stalls only this client's own RPCs);
+	// events are enqueued non-blocking and dropped with accounting
+	// when the client reads too slowly.
+	out chan []byte
+
+	mu      sync.Mutex
+	subs    map[uint64]*serverSub
+	nextSub uint64
+
+	closeOnce sync.Once
+	closec    chan struct{}
+}
+
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.closec)
+		_ = c.nc.Close()
+		c.gw.mu.Lock()
+		_, tracked := c.gw.conns[c]
+		delete(c.gw.conns, c)
+		c.gw.mu.Unlock()
+		if tracked {
+			c.gw.stats.clients.Add(-1)
+			c.mu.Lock()
+			n := len(c.subs)
+			c.subs = map[uint64]*serverSub{}
+			c.mu.Unlock()
+			c.gw.stats.subscriptions.Add(-int64(n))
+		}
+	})
+}
+
+func (c *conn) readLoop() {
+	defer c.gw.wg.Done()
+	defer c.close()
+	for {
+		var req Request
+		if err := ReadFrame(c.nc, &req); err != nil {
+			return
+		}
+		resp := c.handle(req)
+		if resp == nil {
+			continue // already enqueued (subscribe orders it before replay)
+		}
+		resp.Seq = req.Seq
+		if !c.enqueueResponse(*resp) {
+			return
+		}
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer c.gw.wg.Done()
+	defer c.close()
+	for {
+		select {
+		case buf := <-c.out:
+			_ = c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := c.nc.Write(buf); err != nil {
+				return
+			}
+		case <-c.closec:
+			return
+		}
+	}
+}
+
+// enqueueResponse queues one response frame, blocking (a client's own
+// RPC traffic backpressures only itself). False means the connection
+// closed.
+func (c *conn) enqueueResponse(resp Response) bool {
+	buf, err := EncodeFrame(Frame{Resp: &resp})
+	if err != nil {
+		c.gw.logf("gateway: encode response", "err", err)
+		return false
+	}
+	select {
+	case c.out <- buf:
+		return true
+	case <-c.closec:
+		return false
+	}
+}
+
+// handle dispatches one request. A nil return means the handler
+// already enqueued its own response.
+func (c *conn) handle(req Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true, Epoch: c.gw.epoch, NextSeq: c.gw.seqNow()}
+	case OpInject:
+		r := c.handleInject(req)
+		return &r
+	case OpRead:
+		r := c.handleRead(req)
+		return &r
+	case OpSubscribe:
+		return c.handleSubscribe(req)
+	case OpUnsubscribe:
+		c.mu.Lock()
+		_, ok := c.subs[req.Sub]
+		delete(c.subs, req.Sub)
+		c.mu.Unlock()
+		if ok {
+			c.gw.stats.subscriptions.Add(-1)
+		}
+		return &Response{OK: true}
+	default:
+		return &Response{Err: fmt.Sprintf("gateway: unknown op %q", req.Op)}
+	}
+}
+
+func (c *conn) handleInject(req Request) Response {
+	if req.Kind == "" {
+		return Response{Err: "gateway: inject without kind"}
+	}
+	if err := req.Content.Validate(); err != nil {
+		return Response{Err: fmt.Sprintf("gateway: inject: %v", err)}
+	}
+	t, err := c.gw.cfg.Registry.New(req.Kind, tuple.ID{}, req.Content)
+	if err != nil {
+		return Response{Err: fmt.Sprintf("gateway: inject: %v", err)}
+	}
+	id, err := c.gw.node.Inject(t)
+	if err != nil {
+		return Response{Err: fmt.Sprintf("gateway: inject: %v", err)}
+	}
+	c.gw.stats.injects.Add(1)
+	return Response{OK: true, ID: id.String()}
+}
+
+func (c *conn) handleRead(req Request) Response {
+	tpl, err := decodeTemplate(req.Template)
+	if err != nil {
+		return Response{Err: fmt.Sprintf("gateway: read: %v", err)}
+	}
+	var out []json.RawMessage
+	for _, t := range c.gw.node.Read(tpl) {
+		data, err := tuple.MarshalTupleJSON(t)
+		if err != nil {
+			continue
+		}
+		out = append(out, data)
+	}
+	c.gw.stats.reads.Add(1)
+	return Response{OK: true, Tuples: out}
+}
+
+// handleSubscribe installs the subscription and performs seq-based
+// replay. Lock order matters for the no-gap guarantee: taking c.mu
+// blocks live fan-out to this connection while the ring snapshot is
+// queued, so a concurrent event is either in the snapshot or delivered
+// live afterwards — possibly both (the client dedups by gseq), never
+// neither.
+func (c *conn) handleSubscribe(req Request) *Response {
+	tpl, err := decodeTemplate(req.Template)
+	if err != nil {
+		return &Response{Err: fmt.Sprintf("gateway: subscribe: %v", err)}
+	}
+	// seqNow takes evMu; read it before c.mu to respect the evMu→c.mu
+	// lock order the live fan-out path (onEvent→deliver) establishes.
+	seqAt := c.gw.seqNow()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSub++
+	sub := &serverSub{id: c.nextSub, tpl: tpl}
+	c.subs[sub.id] = sub
+	c.gw.stats.subscriptions.Add(1)
+
+	resp := Response{OK: true, Sub: sub.id, Epoch: c.gw.epoch, NextSeq: seqAt}
+	wantReplay := req.FromSeq > 0 || req.Epoch != ""
+	from := req.FromSeq
+	sameEpoch := req.Epoch == "" || req.Epoch == c.gw.epoch
+	if !sameEpoch {
+		// The requested continuation is from a previous instance: its
+		// sequence numbers mean nothing here. Replay this instance's
+		// whole retained history so the client can rebuild.
+		from = 0
+	}
+	entries, complete := c.gw.ring.since(from)
+	if wantReplay {
+		if sameEpoch && complete {
+			resp.Replay = ReplayHit
+			c.gw.stats.replayHits.Add(1)
+		} else {
+			resp.Replay = ReplayMiss
+			c.gw.stats.replayMisses.Add(1)
+		}
+	}
+	// The acknowledgement must precede the replayed events on the wire
+	// (the client routes events by the sub id the ack carries), and both
+	// must be queued under c.mu so live fan-out cannot interleave a gap.
+	resp.Seq = req.Seq
+	if !c.enqueueResponse(resp) {
+		return nil
+	}
+	for _, e := range entries {
+		if c.enqueueLocked(sub, e, true) {
+			c.gw.stats.replayEvents.Add(1)
+		}
+	}
+	return nil
+}
+
+// deliver fans one event into every matching subscription queue.
+func (c *conn) deliver(e ringEntry, replay bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sub := range c.subs {
+		c.enqueueLocked(sub, e, replay)
+	}
+}
+
+// enqueueLocked queues one event frame for sub, dropping with
+// accounting when the client's queue is full. Callers hold c.mu.
+func (c *conn) enqueueLocked(sub *serverSub, e ringEntry, replay bool) bool {
+	if !matchEntry(sub.tpl, e) {
+		return false
+	}
+	ev := Event{
+		Type:   e.typ,
+		Sub:    sub.id,
+		GSeq:   e.seq,
+		Drops:  sub.drops.Load(),
+		Peer:   e.peer,
+		Tuple:  e.tJSON,
+		Replay: replay,
+	}
+	buf, err := EncodeFrame(Frame{Event: &ev})
+	if err != nil {
+		c.gw.logf("gateway: encode event", "err", err)
+		return false
+	}
+	select {
+	case c.out <- buf:
+		c.gw.stats.delivered.Add(1)
+		return true
+	default:
+		sub.drops.Add(1)
+		c.gw.stats.dropped.Add(1)
+		return false
+	}
+}
+
+// matchEntry applies a subscription template to a retained event. For
+// tuple events the template matches the tuple; synthesized neighbor
+// tuples go through the same path (the paper's "any event … can be
+// represented as a tuple").
+func matchEntry(tpl tuple.Template, e ringEntry) bool {
+	if e.tup == nil {
+		return false
+	}
+	return tpl.Matches(e.tup)
+}

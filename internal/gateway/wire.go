@@ -1,0 +1,178 @@
+// Package gateway is the client-facing serving surface of a TOTA node:
+// a length-prefixed JSON-over-TCP RPC (Inject / Read / Subscribe /
+// Unsubscribe) that multiplexes thousands of lightweight, non-peer
+// clients onto one middleware instance. Clients never speak the TOTA
+// wire protocol — they hit a gateway, the gateway speaks TOTA — which
+// is the "millions of users" deployment shape: users connect to
+// gateways, gateways participate in the tuple space.
+//
+// Subscriptions are compiled onto the engine's event interface
+// (core.Node.Subscribe). Every event a gateway observes is assigned a
+// monotonic per-gateway sequence number and retained in a bounded
+// replay ring, so a reconnecting client can ask for replay-from-seq
+// and close the gap it missed; each client connection owns a bounded
+// outbound queue with explicit slow-consumer drop accounting, so a
+// stalled reader can never wedge the engine's dispatch path and never
+// loses events silently.
+package gateway
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"tota/internal/tuple"
+)
+
+// MaxFrameBytes bounds one length-prefixed frame in either direction;
+// oversized frames are a protocol error and close the connection.
+const MaxFrameBytes = 1 << 20
+
+// Request operations.
+const (
+	OpInject      = "inject"
+	OpRead        = "read"
+	OpSubscribe   = "subscribe"
+	OpUnsubscribe = "unsubscribe"
+	OpPing        = "ping"
+)
+
+// Replay outcomes reported in a subscribe acknowledgement.
+const (
+	// ReplayHit: the ring covered (from_seq, now] in the requested
+	// epoch; the missed events were queued before any newer ones.
+	ReplayHit = "hit"
+	// ReplayMiss: the requested continuation is impossible — the epoch
+	// changed (gateway restarted) or the ring already evicted part of
+	// the range. Whatever the ring still holds was queued, but the
+	// client must treat its prior state as unreliable and resync.
+	ReplayMiss = "miss"
+)
+
+// Request is one client→gateway RPC call, correlated by Seq (a
+// client-assigned number echoed on the response).
+type Request struct {
+	Op  string `json:"op"`
+	Seq uint64 `json:"seq"`
+
+	// Inject: the tuple to create, as kind + content. The gateway node
+	// assigns the network id.
+	Kind    string        `json:"kind,omitempty"`
+	Content tuple.Content `json:"content,omitempty"`
+
+	// Read and Subscribe: the query template (MarshalTemplateJSON
+	// form). An absent template matches everything.
+	Template json.RawMessage `json:"template,omitempty"`
+
+	// Subscribe: resume after the given per-gateway event sequence in
+	// the given epoch. FromSeq 0 with an empty epoch is a fresh
+	// subscription replaying the whole ring.
+	FromSeq uint64 `json:"from_seq,omitempty"`
+	Epoch   string `json:"epoch,omitempty"`
+
+	// Unsubscribe: the server-side subscription id to drop.
+	Sub uint64 `json:"sub,omitempty"`
+}
+
+// Response is the gateway's answer to one Request.
+type Response struct {
+	Seq uint64 `json:"seq"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	// Inject: the assigned tuple id.
+	ID string `json:"id,omitempty"`
+
+	// Read: the matching tuples (MarshalTupleJSON documents).
+	Tuples []json.RawMessage `json:"tuples,omitempty"`
+
+	// Subscribe: the server-side subscription id, the gateway's epoch
+	// (one instance lifetime; changes across restarts), the gateway
+	// event sequence at subscribe time, and the replay outcome when
+	// FromSeq/Epoch requested a continuation.
+	Sub     uint64 `json:"sub,omitempty"`
+	Epoch   string `json:"epoch,omitempty"`
+	NextSeq uint64 `json:"next_seq,omitempty"`
+	Replay  string `json:"replay,omitempty"`
+}
+
+// Event is one subscription delivery. GSeq is the per-gateway sequence
+// of the underlying engine event; Drops is the cumulative number of
+// events this subscription has lost to its bounded queue, so a client
+// can verify that any sequence gap it observes is accounted for rather
+// than silent.
+type Event struct {
+	Type   string          `json:"ev"`
+	Sub    uint64          `json:"sub"`
+	GSeq   uint64          `json:"gseq"`
+	Drops  uint64          `json:"drops,omitempty"`
+	Peer   string          `json:"peer,omitempty"`
+	Tuple  json.RawMessage `json:"tuple,omitempty"`
+	Replay bool            `json:"replay,omitempty"`
+}
+
+// Frame is one gateway→client message: exactly one of Resp or Event is
+// set, so the client can demux responses from asynchronous deliveries.
+type Frame struct {
+	Resp  *Response `json:"resp,omitempty"`
+	Event *Event    `json:"event,omitempty"`
+}
+
+// ErrFrameTooLarge reports a frame over MaxFrameBytes in either
+// direction.
+var ErrFrameTooLarge = errors.New("gateway: frame exceeds size bound")
+
+// EncodeFrame renders v as one length-prefixed JSON frame: a 4-byte
+// big-endian payload length followed by the payload.
+func EncodeFrame(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	return buf, nil
+}
+
+// WriteFrame encodes v and writes the frame to w.
+func WriteFrame(w io.Writer, v any) error {
+	buf, err := EncodeFrame(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r and unmarshals it
+// into v. Oversized length prefixes fail before any allocation.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("gateway: truncated frame: %w", err)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// decodeTemplate resolves a request's template field; absent means
+// match-all.
+func decodeTemplate(raw json.RawMessage) (tuple.Template, error) {
+	if len(raw) == 0 {
+		return tuple.MatchAll(), nil
+	}
+	return tuple.UnmarshalTemplateJSON(raw)
+}

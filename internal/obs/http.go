@@ -162,6 +162,12 @@ func ServeExtras(addr string, r *Registry, x Extras) (*Server, error) {
 	srv := &http.Server{
 		Handler:           HandlerExtras(r, x),
 		ReadHeaderTimeout: 5 * time.Second,
+		// WriteTimeout must clear the longest legitimate response:
+		// /debug/pprof/profile streams for 30s by default, so give it
+		// headroom rather than truncating profiles mid-stream. A stalled
+		// scraper still cannot pin a connection past these bounds.
+		WriteTimeout: 90 * time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, ln: ln}, nil

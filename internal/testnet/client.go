@@ -4,42 +4,34 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strings"
-	"sync"
 	"time"
+
+	"tota/internal/retry"
 )
 
 // Client is the harness's resilient HTTP poller for node observability
 // endpoints: every request has a hard timeout, a bounded retry budget
 // and exponential backoff with seeded jitter, because the node on the
 // other end may be mid-restart, SIGSTOPped or drowning in relay loss —
-// transient refusal is the expected case, not the exception.
+// transient refusal is the expected case, not the exception. The
+// schedule itself lives in internal/retry, shared with the gateway RPC
+// client.
 type Client struct {
-	// Retries is the attempt budget per call (default 4).
-	Retries int
-	// BaseBackoff is the first retry delay (default 50ms); it doubles
-	// per attempt up to MaxBackoff (default 1s), plus up to half of
-	// itself in seeded jitter.
-	BaseBackoff time.Duration
-	MaxBackoff  time.Duration
+	// Policy is the retry/backoff budget (retry.New defaults: 4
+	// attempts, 50ms doubling to 1s, seeded jitter).
+	Policy *retry.Policy
 
 	http *http.Client
-
-	mu  sync.Mutex
-	rng *rand.Rand
 }
 
 // NewClient builds a poll client whose backoff jitter derives from
 // seed (the manifest seed, so poll schedules reproduce too).
 func NewClient(seed int64) *Client {
 	return &Client{
-		Retries:     4,
-		BaseBackoff: 50 * time.Millisecond,
-		MaxBackoff:  time.Second,
-		http:        &http.Client{Timeout: 2 * time.Second},
-		rng:         rand.New(rand.NewSource(seed)),
+		Policy: retry.New(seed),
+		http:   &http.Client{Timeout: 2 * time.Second},
 	}
 }
 
@@ -59,43 +51,25 @@ type ReadyStatus struct {
 // a VALID response (not-ready with a diagnostic body), so any response
 // with a body is returned; only transport-level failures retry.
 func (c *Client) get(url string) ([]byte, int, error) {
-	retries := c.Retries
-	if retries <= 0 {
-		retries = 4
-	}
-	backoff := c.BaseBackoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	maxBackoff := c.MaxBackoff
-	if maxBackoff <= 0 {
-		maxBackoff = time.Second
-	}
-	var lastErr error
-	for attempt := 0; attempt < retries; attempt++ {
-		if attempt > 0 {
-			c.mu.Lock()
-			sleep := backoff + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
-			c.mu.Unlock()
-			time.Sleep(sleep)
-			if backoff *= 2; backoff > maxBackoff {
-				backoff = maxBackoff
-			}
-		}
+	var body []byte
+	var status int
+	err := c.Policy.Do(func() error {
 		resp, err := c.http.Get(url)
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
-		body, err := io.ReadAll(resp.Body)
+		b, err := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
-		return body, resp.StatusCode, nil
+		body, status = b, resp.StatusCode
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("testnet: %s unreachable: %w", url, err)
 	}
-	return nil, 0, fmt.Errorf("testnet: %s unreachable after %d attempts: %w", url, retries, lastErr)
+	return body, status, nil
 }
 
 // Ready polls /readyz. Both 200 and 503 decode; err is reserved for

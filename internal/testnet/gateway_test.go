@@ -1,0 +1,144 @@
+package testnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tota/internal/gateway"
+	"tota/internal/pattern"
+	"tota/internal/retry"
+	"tota/internal/tuple"
+)
+
+func TestGatewayManifestValidateAndOracle(t *testing.T) {
+	m := GenerateGateway(7, 5, 3, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("generated gateway manifest invalid: %v", err)
+	}
+	if m.GatewayClients != 3 || m.ClientInjects != 2 {
+		t.Fatalf("client workload = %d/%d, want 3/2", m.GatewayClients, m.ClientInjects)
+	}
+	oracle := m.Oracle()
+	// Every node must expect every client-injected flood: 5 nodes x 2
+	// injectors each, on top of the base gradient + flood workload.
+	for _, ns := range m.Nodes {
+		var cw int
+		for _, e := range oracle[ns.ID] {
+			if strings.HasPrefix(e.Name, "cw-") {
+				cw++
+			}
+		}
+		if cw != 10 {
+			t.Fatalf("node %s oracle has %d client floods, want 10: %v", ns.ID, cw, oracle[ns.ID])
+		}
+	}
+
+	bad := m
+	bad.ClientInjects = bad.GatewayClients + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("client_injects > gateway_clients validated")
+	}
+	bad = m
+	bad.GatewayClients = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("client_injects without gateway_clients validated")
+	}
+}
+
+// TestGatewayNodeBinarySmoke is the built-binary round trip: spawn the
+// real tota-node with -gateway.addr, let a gateway client inject a
+// tuple over the RPC surface and read it back, then verify the
+// tota_gateway_* metrics are scrape-able from the telemetry endpoint.
+func TestGatewayNodeBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real process; skipped in -short mode")
+	}
+	bin, err := BuildNodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := SpawnNode(bin, "smoke", nil, "-gateway.addr", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Kill()
+	if p.GatewayAddr == "" {
+		t.Fatal("no gateway banner parsed")
+	}
+
+	c := gateway.Dial(p.GatewayAddr, gateway.ClientConfig{
+		Policy:         retry.New(1),
+		RequestTimeout: 3 * time.Second,
+	})
+	defer c.Close()
+	sub, err := c.Subscribe(pattern.ByName(pattern.KindFlood, "smoke"))
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if _, err := c.Inject(pattern.NewFlood("smoke", tuple.S("via", "gateway"))); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	got, err := c.Read(pattern.ByName(pattern.KindFlood, "smoke"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != 1 || got[0].Content().GetString("via") != "gateway" {
+		t.Fatalf("read round trip = %v", got)
+	}
+	select {
+	case ev := <-sub.Events:
+		if ev.Tuple == nil || ev.Tuple.Content().GetString("name") != "smoke" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event for the injected tuple")
+	}
+
+	// The gateway counters ride the standard telemetry surface.
+	body, err := NewClient(1).MetricsJSON(p.ObsURL)
+	if err != nil {
+		t.Fatalf("metrics scrape: %v", err)
+	}
+	for _, want := range []string{"tota_gateway_clients", "tota_gateway_injects_total", "tota_gateway_events_delivered_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics.json missing %s", want)
+		}
+	}
+	if err := p.StopGraceful(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayTestnetMiniFleet is the miniature E18: three nodes, two
+// clients each (one injector), the standard crash + loss plan. Client
+// mirrors must converge with the stores.
+func TestGatewayTestnetMiniFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-process testnet run in -short mode")
+	}
+	bin, err := BuildNodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GenerateGateway(99, 3, 2, 1)
+	var log strings.Builder
+	rep, err := Run(m, bin, &log)
+	if err != nil {
+		t.Fatalf("testnet run failed: %v\n--- harness log ---\n%s", err, log.String())
+	}
+	if !rep.Converged {
+		t.Fatalf("fleet did not converge\n%s", log.String())
+	}
+	if rep.ClientSubs != 6 {
+		t.Errorf("client subs = %d, want 6", rep.ClientSubs)
+	}
+	if rep.ClientResyncs == 0 {
+		t.Errorf("no client resyncs — the crash victim's gateway restart went unobserved\n%s", log.String())
+	}
+	if rep.ClientGapViolations != 0 {
+		t.Errorf("unaccounted event gaps = %d", rep.ClientGapViolations)
+	}
+	t.Logf("converged at tick %d (subs=%d resyncs=%d replay_misses=%g drops=%g)",
+		rep.ConvergeTick, rep.ClientSubs, rep.ClientResyncs, rep.GatewayReplayMisses, rep.GatewayDrops)
+}

@@ -1,8 +1,10 @@
 package testnet
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"time"
 
 	"tota/internal/fault"
@@ -24,6 +26,23 @@ type Report struct {
 	Restarts int
 	// Relay is the packet accounting across all links.
 	Relay RelayStats
+	// ClientSubs is the number of live gateway client subscriptions at
+	// the end of the run (0 when the manifest has no client workload).
+	ClientSubs int
+	// ClientResyncs counts replay-miss/epoch-change recoveries the
+	// client fleet performed — a crash-victim gateway restart shows up
+	// here.
+	ClientResyncs int
+	// ClientGapViolations counts event-sequence gaps NOT covered by the
+	// gateway's drop accounting; any non-zero value is a protocol bug.
+	ClientGapViolations int
+	// GatewayReplayHits/Misses/Drops are the tota_gateway_* counters
+	// summed across the fleet's telemetry endpoints at convergence,
+	// proving the metrics are scrape-able and the drop accounting is
+	// externally visible.
+	GatewayReplayHits   float64
+	GatewayReplayMisses float64
+	GatewayDrops        float64
 }
 
 // Harness wires a manifest to real processes: relay, fleet, plan
@@ -41,6 +60,12 @@ type Harness struct {
 	crashed   map[string]bool
 	paused    map[string]bool
 	report    Report
+
+	// gatewayAddrs are per-node client RPC addresses on ports reserved
+	// up front, so a crash-restarted node comes back at the SAME
+	// address and its clients' reconnect loops find it again.
+	gatewayAddrs map[string]string
+	fleet        *ClientFleet
 }
 
 // NodeExtraFlags are the tota-node flags every fleet member runs with:
@@ -74,6 +99,10 @@ func Run(m Manifest, bin string, out io.Writer) (*Report, error) {
 	}
 	defer h.relay.Close()
 	defer h.killAll()
+	if m.GatewayClients > 0 {
+		h.fleet = NewClientFleet(m)
+		defer h.fleet.Close()
+	}
 
 	start := time.Now()
 	err = h.run()
@@ -103,6 +132,21 @@ func (h *Harness) run() error {
 	}
 	h.logf("testnet: %d nodes, %d links, plan %q, seed %d", len(h.m.Nodes), len(h.m.Links), h.m.Plan, h.m.Seed)
 
+	// Phase 1.5: with a client workload, reserve one TCP port per node
+	// for its gateway. The port is fixed for the node's whole lifetime —
+	// including crash restarts — so client reconnect loops need no
+	// rediscovery, exactly like a production VIP.
+	if h.fleet != nil {
+		h.gatewayAddrs = make(map[string]string, len(h.m.Nodes))
+		for _, ns := range h.m.Nodes {
+			addr, err := reserveLoopbackPort()
+			if err != nil {
+				return err
+			}
+			h.gatewayAddrs[ns.ID] = addr
+		}
+	}
+
 	// Phase 2: staggered cold start — the tick-0 cohort spawns now,
 	// late joiners inside the tick loop.
 	for _, ns := range h.m.Nodes {
@@ -119,6 +163,18 @@ func (h *Harness) run() error {
 	// windows start from a known-good fleet.
 	if err := h.readinessBarrier(); err != nil {
 		return err
+	}
+
+	// Phase 3.5: attach the gateway client cohorts to every running
+	// node (late joiners attach in the tick loop). Client injects land
+	// before any fault window opens, like the stdin workload.
+	if h.fleet != nil {
+		for id, p := range h.procs {
+			if err := h.fleet.StartNode(id, p.GatewayAddr); err != nil {
+				return err
+			}
+		}
+		h.logf("testnet: client fleet attached (%d subscriptions)", h.fleet.Subscriptions())
 	}
 
 	// Phase 4: the tick loop — plan transitions, staggered starts,
@@ -145,6 +201,11 @@ func (h *Harness) run() error {
 				if err := h.spawn(ns.ID); err != nil {
 					return err
 				}
+				if h.fleet != nil {
+					if err := h.fleet.StartNode(ns.ID, h.procs[ns.ID].GatewayAddr); err != nil {
+						return err
+					}
+				}
 			}
 		}
 		for _, w := range h.m.Workload {
@@ -162,10 +223,17 @@ func (h *Harness) run() error {
 		}
 		if tick > settle {
 			ok, mismatch := h.converged(oracle)
+			if ok && h.fleet != nil {
+				// Stores matching is necessary but not sufficient: every
+				// client mirror — built purely from the gateway event
+				// stream and its recovery paths — must match too.
+				ok, mismatch = h.fleet.Converged(oracle)
+			}
 			if ok {
 				h.report.Converged = true
 				h.report.ConvergeTick = tick
 				h.logf("testnet: tick %d: CONVERGED (stores match oracle on all %d nodes)", tick, len(h.m.Nodes))
+				h.finishClientReport()
 				return h.teardown()
 			}
 			h.logf("testnet: tick %d: not converged (%s)", tick, mismatch)
@@ -177,12 +245,63 @@ func (h *Harness) run() error {
 }
 
 func (h *Harness) spawn(id string) error {
-	p, err := SpawnNode(h.bin, id, h.peerAddrs[id], NodeExtraFlags...)
+	extra := NodeExtraFlags
+	if addr, ok := h.gatewayAddrs[id]; ok {
+		extra = append(append([]string(nil), extra...), "-gateway.addr", addr)
+	}
+	p, err := SpawnNode(h.bin, id, h.peerAddrs[id], extra...)
 	if err != nil {
 		return err
 	}
 	h.procs[id] = p
 	return nil
+}
+
+// reserveLoopbackPort binds an ephemeral loopback TCP port, records
+// its address and releases it — the standard trick for handing a
+// process a port that will still be free moments later.
+func reserveLoopbackPort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr, nil
+}
+
+// finishClientReport records the fleet's final counters plus the
+// tota_gateway_* metrics scraped from every node's telemetry endpoint.
+func (h *Harness) finishClientReport() {
+	if h.fleet == nil {
+		return
+	}
+	h.report.ClientSubs = h.fleet.Subscriptions()
+	h.report.ClientResyncs = h.fleet.Resyncs()
+	h.report.ClientGapViolations = h.fleet.GapViolations()
+	for _, p := range h.procs {
+		body, err := h.client.MetricsJSON(p.ObsURL)
+		if err != nil {
+			continue
+		}
+		var snaps []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		}
+		if err := json.Unmarshal(body, &snaps); err != nil {
+			continue
+		}
+		for _, s := range snaps {
+			switch s.Name {
+			case "tota_gateway_replay_hits_total":
+				h.report.GatewayReplayHits += s.Value
+			case "tota_gateway_replay_misses_total":
+				h.report.GatewayReplayMisses += s.Value
+			case "tota_gateway_events_dropped_total":
+				h.report.GatewayDrops += s.Value
+			}
+		}
+	}
 }
 
 func (h *Harness) readinessBarrier() error {

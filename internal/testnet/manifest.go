@@ -62,6 +62,17 @@ type Manifest struct {
 	DeadlineTicks int `json:"deadline_ticks"`
 	// Workload are the scheduled stdin injections.
 	Workload []WorkloadStep `json:"workload"`
+	// GatewayClients attaches N fake gateway clients to every node's
+	// client RPC endpoint (0 disables the client workload entirely).
+	// Each client subscribes to the tuple space and mirrors it from the
+	// event stream; the harness then verifies every mirror against the
+	// oracle, not just the node stores.
+	GatewayClients int `json:"gateway_clients,omitempty"`
+	// ClientInjects is how many of each node's clients additionally
+	// inject one flood tuple (named cw-<node>-<k>) through the gateway,
+	// so client-originated state must also reach the whole fleet. Must
+	// not exceed GatewayClients.
+	ClientInjects int `json:"client_injects,omitempty"`
 }
 
 // Generate derives a reproducible manifest from a seed: a connected
@@ -134,6 +145,29 @@ func Generate(seed int64, n int) Manifest {
 	return m
 }
 
+// GenerateGateway is Generate plus a gateway client workload: every
+// node serves its gateway to `clients` fake clients, of which
+// `injectors` push one flood tuple each through the RPC surface. The
+// crash victim doubles as the gateway-restart case: its clients must
+// survive the SIGKILL, reconnect to the restarted instance and recover
+// their mirrors via seq-based replay/resync.
+func GenerateGateway(seed int64, n, clients, injectors int) Manifest {
+	m := Generate(seed, n)
+	if clients < 1 {
+		clients = 1
+	}
+	if injectors > clients {
+		injectors = clients
+	}
+	m.GatewayClients = clients
+	m.ClientInjects = injectors
+	// Client mirrors converge through the same anti-entropy the stores
+	// do, but only after the event stream settles; give the fleet more
+	// headroom than the store-only run.
+	m.DeadlineTicks += 40
+	return m
+}
+
 func hasLink(links [][2]string, a, b string) bool {
 	for _, l := range links {
 		if (l[0] == a && l[1] == b) || (l[0] == b && l[1] == a) {
@@ -203,6 +237,15 @@ func (m Manifest) Validate() error {
 				}
 			}
 		}
+	}
+	if m.GatewayClients < 0 || m.ClientInjects < 0 {
+		return fmt.Errorf("testnet: negative gateway client counts")
+	}
+	if m.ClientInjects > 0 && m.GatewayClients == 0 {
+		return fmt.Errorf("testnet: client_injects without gateway_clients")
+	}
+	if m.ClientInjects > m.GatewayClients {
+		return fmt.Errorf("testnet: client_injects %d exceeds gateway_clients %d", m.ClientInjects, m.GatewayClients)
 	}
 	for _, w := range m.Workload {
 		if !known[w.Node] {
@@ -337,10 +380,27 @@ func (m Manifest) Oracle() map[string][]Entry {
 			}
 		}
 	}
+	// Client-originated floods: injector client k of node g pushes
+	// cw-<g>-<k> through the gateway; it floods like any other tuple,
+	// so every node (and every client mirror) must end up holding it.
+	for _, src := range m.Nodes {
+		for k := 0; k < m.ClientInjects; k++ {
+			name := ClientFloodName(src.ID, k)
+			for _, ns := range m.Nodes {
+				want[ns.ID] = append(want[ns.ID], Entry{Kind: pattern.KindFlood, Name: name})
+			}
+		}
+	}
 	for node := range want {
 		SortEntries(want[node])
 	}
 	return want
+}
+
+// ClientFloodName is the deterministic name of the flood tuple the
+// k-th injector client of a node pushes through the gateway.
+func ClientFloodName(node string, k int) string {
+	return fmt.Sprintf("cw-%s-%d", node, k)
 }
 
 // parseWorkloadPattern maps a shell workload command to the (name,

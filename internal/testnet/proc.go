@@ -22,6 +22,9 @@ type Proc struct {
 	ObsURL string
 	// UDPAddr is the node's bound socket, parsed from the banner.
 	UDPAddr string
+	// GatewayAddr is the node's client RPC endpoint, parsed from the
+	// banner when the node was spawned with -gateway.addr.
+	GatewayAddr string
 
 	bin   string
 	args  []string
@@ -91,12 +94,21 @@ func (p *Proc) start() error {
 		}
 	}()
 
-	// Parse the two banners, then keep draining stdout (shell prompts,
-	// command echoes) so the process never blocks on a full pipe.
+	// Parse the startup banners (UDP, telemetry, and — when the node was
+	// spawned with a gateway — the client RPC endpoint), then keep
+	// draining stdout (shell prompts, command echoes) so the process
+	// never blocks on a full pipe.
+	wantGateway := false
+	for _, a := range p.args {
+		if a == "-gateway.addr" {
+			wantGateway = true
+		}
+	}
 	banners := make(chan error, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
-		var haveUDP, haveObs bool
+		var haveUDP, haveObs, haveGw bool
+		haveGw = !wantGateway
 		for sc.Scan() {
 			line := sc.Text()
 			if !haveUDP {
@@ -112,12 +124,18 @@ func (p *Proc) start() error {
 					haveObs = true
 				}
 			}
-			if haveUDP && haveObs {
+			if !haveGw {
+				if i := strings.Index(line, "gateway on "); i >= 0 {
+					p.GatewayAddr = strings.TrimSpace(line[i+len("gateway on "):])
+					haveGw = true
+				}
+			}
+			if haveUDP && haveObs && haveGw {
 				banners <- nil
 				break
 			}
 		}
-		if !(haveUDP && haveObs) {
+		if !(haveUDP && haveObs && haveGw) {
 			banners <- fmt.Errorf("testnet: %s exited before announcing its endpoints", p.ID)
 		}
 		for sc.Scan() {

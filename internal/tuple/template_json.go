@@ -1,0 +1,98 @@
+package tuple
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonFieldPattern is the interchange form of a FieldPattern. The
+// exact-match value reuses the Field JSON envelope so every field type
+// (including non-finite floats and bytes) survives the trip; the kind
+// constraint travels as the Kind.String() name.
+type jsonFieldPattern struct {
+	Name  string `json:"name,omitempty"`
+	Any   bool   `json:"any,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	Value *Field `json:"value,omitempty"`
+}
+
+// jsonTemplate is the interchange form of a Template, used by the
+// gateway RPC protocol to carry read/subscribe queries from non-peer
+// clients. Fields round-trip through FieldPattern's own JSON methods.
+type jsonTemplate struct {
+	Kind   string         `json:"kind,omitempty"`
+	Exact  bool           `json:"exact,omitempty"`
+	Fields []FieldPattern `json:"fields,omitempty"`
+}
+
+func kindFromName(s string) (Kind, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case KindString.String():
+		return KindString, nil
+	case KindInt.String():
+		return KindInt, nil
+	case KindFloat.String():
+		return KindFloat, nil
+	case KindBool.String():
+		return KindBool, nil
+	case KindBytes.String():
+		return KindBytes, nil
+	}
+	return 0, fmt.Errorf("tuple: unknown field kind %q", s)
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p FieldPattern) MarshalJSON() ([]byte, error) {
+	jp := jsonFieldPattern{Name: p.Name, Any: p.Any}
+	if p.Any {
+		if p.Kind != 0 {
+			jp.Kind = p.Kind.String()
+		}
+	} else {
+		f := Field{Name: p.Name, Value: p.Value}
+		jp.Value = &f
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *FieldPattern) UnmarshalJSON(data []byte) error {
+	var jp jsonFieldPattern
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	p.Name = jp.Name
+	p.Any = jp.Any
+	p.Kind = 0
+	p.Value = nil
+	if jp.Any {
+		k, err := kindFromName(jp.Kind)
+		if err != nil {
+			return err
+		}
+		p.Kind = k
+		return nil
+	}
+	if jp.Value == nil {
+		return fmt.Errorf("tuple: field pattern %q has neither any nor value", jp.Name)
+	}
+	p.Value = jp.Value.Value
+	return nil
+}
+
+// MarshalTemplateJSON renders a template as JSON, the query counterpart
+// of MarshalTupleJSON for RPC surfaces.
+func MarshalTemplateJSON(tpl Template) ([]byte, error) {
+	return json.Marshal(jsonTemplate{Kind: tpl.Kind, Exact: tpl.Exact, Fields: tpl.Fields})
+}
+
+// UnmarshalTemplateJSON rebuilds a template from its JSON form.
+func UnmarshalTemplateJSON(data []byte) (Template, error) {
+	var jt jsonTemplate
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return Template{}, fmt.Errorf("tuple: bad template: %w", err)
+	}
+	return Template{Kind: jt.Kind, Exact: jt.Exact, Fields: jt.Fields}, nil
+}
