@@ -51,12 +51,23 @@ type SubEvent struct {
 	Tuple tuple.Tuple
 	// Peer is set on neighbor events.
 	Peer string
-	// GSeq is the per-gateway sequence; strictly increasing per
-	// subscription within one Epoch after client-side dedup.
+	// GSeq is the per-gateway global sequence; strictly increasing per
+	// subscription within one Epoch after client-side dedup. A filtered
+	// subscription legitimately skips the GSeq values held by
+	// non-matching events.
 	GSeq uint64
-	// Drops is the gateway's cumulative slow-consumer drop count for
-	// this subscription: a gap in GSeq is legitimate exactly when this
-	// grew by at least the gap size.
+	// DSeq is the per-subscription delivery sequence on the current
+	// server-side attachment: it counts only events matching this
+	// subscription's template, restarting at 1 on each (re)subscribe,
+	// so a gap in DSeq means matched events went missing — which only
+	// the drop accounting may explain (verified internally; see
+	// GapViolations).
+	DSeq uint64
+	// Drops is the cumulative slow-consumer drop count over the
+	// subscription's whole lifetime, accumulated client-side across
+	// reconnects: growth means the gateway shed matched events to this
+	// connection's bounded queue, so a consumer needing a complete view
+	// should rebuild (e.g. by a Read).
 	Drops uint64
 	// Replay marks events re-delivered from the gateway's ring.
 	Replay bool
@@ -79,11 +90,33 @@ type Subscription struct {
 	// and Client.Close.
 	Events chan SubEvent
 
-	mu        sync.Mutex
-	serverID  uint64 // id on the current connection, 0 when detached
-	epoch     string
-	lastSeq   uint64
+	// sendMu serializes every send on Events with its close: a send can
+	// only happen with sendMu held and the closed flag unset, and shut
+	// closes Events under sendMu, so a delivery can never race
+	// Unsubscribe into a send on a closed channel. done aborts a send
+	// blocked on a full Events channel so shut cannot deadlock behind a
+	// consumer that stopped draining.
+	sendMu sync.Mutex
+	done   chan struct{}
+
+	// estMu serializes establishment RPCs for this handle: Subscribe's
+	// retry loop and the connection manager's resubscribe sweep can
+	// race after a dial, and without serialization the loser installs a
+	// duplicate server-side subscription the client then orphans
+	// (doubling event traffic and inflating the subscriptions gauge).
+	estMu sync.Mutex
+
+	mu       sync.Mutex
+	serverID uint64 // id on the current connection, 0 when detached
+	epoch    string
+	lastSeq  uint64
+	lastDSeq uint64
+	// drops tracks the current server-side attachment's cumulative drop
+	// counter (it restarts at zero on every resubscribe); dropsBase
+	// accumulates the drops observed on previous attachments so Drops()
+	// and SubEvent.Drops stay monotonic over the handle's lifetime.
 	drops     uint64
+	dropsBase uint64
 	closed    bool
 	gapErrors int
 	// needResync is set by the read loop when a subscribe ack revealed
@@ -100,16 +133,57 @@ func (s *Subscription) LastSeq() uint64 {
 	return s.lastSeq
 }
 
-// Drops returns the gateway-reported cumulative slow-consumer drops.
+// Drops returns the cumulative slow-consumer drops over the
+// subscription's lifetime, across reconnects.
 func (s *Subscription) Drops() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.drops
+	return s.dropsBase + s.drops
 }
 
-// GapViolations counts events whose sequence gap was NOT covered by
-// the gateway's drop accounting — zero on a healthy run; non-zero
-// means the no-silent-gaps contract broke.
+// deliver sends ev to the consumer unless the subscription is (or
+// becomes) closed. See sendMu for why this can neither panic on a
+// closed channel nor deadlock a concurrent Unsubscribe.
+func (s *Subscription) deliver(ev SubEvent, closec <-chan struct{}) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case s.Events <- ev:
+	case <-s.done:
+	case <-closec:
+	}
+}
+
+// shut marks the subscription closed and closes Events exactly once;
+// false means it was already closed. Closing done first aborts any
+// delivery blocked on a full channel, then taking sendMu waits out any
+// in-flight send before the channel closes.
+func (s *Subscription) shut() bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.closed = true
+	close(s.done)
+	s.mu.Unlock()
+	s.sendMu.Lock()
+	close(s.Events)
+	s.sendMu.Unlock()
+	return true
+}
+
+// GapViolations counts events whose delivery-sequence gap was NOT
+// covered by the gateway's drop accounting — zero on a healthy run;
+// non-zero means the no-silent-gaps contract broke. The check runs in
+// the per-subscription delivery sequence (DSeq), so it is meaningful
+// for filtered templates too.
 func (s *Subscription) GapViolations() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -198,15 +272,9 @@ func (c *Client) Close() error {
 		_ = nc.Close()
 	}
 	<-c.managerDone
-	c.failPending(ErrClientClosed)
+	c.failPending()
 	for _, s := range subs {
-		s.mu.Lock()
-		already := s.closed
-		s.closed = true
-		s.mu.Unlock()
-		if !already {
-			close(s.Events)
-		}
+		s.shut()
 	}
 	return nil
 }
@@ -268,7 +336,7 @@ func (c *Client) manage() {
 			c.nc = nil
 		}
 		c.mu.Unlock()
-		c.failPending(ErrDisconnected)
+		c.failPending()
 		c.detachSubs()
 	}
 }
@@ -335,33 +403,41 @@ func (c *Client) dispatchEvent(ev Event) {
 		return
 	}
 	target.mu.Lock()
-	if ev.GSeq <= target.lastSeq {
-		// Redelivered (replay overlapping live fan-out): dedup.
-		target.mu.Unlock()
-		return
-	}
-	if gap := ev.GSeq - target.lastSeq - 1; gap > 0 && target.lastSeq > 0 {
-		// A sequence gap is legitimate only when the gateway's drop
-		// accounting covers it.
-		if ev.Drops < target.drops+gap {
-			target.gapErrors++
+	// Gap verification runs in the per-subscription delivery sequence
+	// (DSeq), which counts only events matching this subscription's
+	// template: a filtered subscription legitimately skips global
+	// sequence numbers held by non-matching events, but a DSeq gap
+	// means matched events went missing, which only accounted drops may
+	// explain. Both trackers reset on every subscribe ack (fresh
+	// server-side attachment, fresh counter spaces), so the check is
+	// valid from the first delivery.
+	if ev.DSeq > target.lastDSeq {
+		if gap := ev.DSeq - target.lastDSeq - 1; gap > 0 {
+			if ev.Drops < target.drops+gap {
+				target.gapErrors++
+			}
 		}
+		target.lastDSeq = ev.DSeq
 	}
-	target.lastSeq = ev.GSeq
 	if ev.Drops > target.drops {
 		target.drops = ev.Drops
 	}
-	epoch := target.epoch
-	closed := target.closed
-	target.mu.Unlock()
-	if closed {
+	cumDrops := target.dropsBase + target.drops
+	if ev.GSeq <= target.lastSeq {
+		// Redelivered (replay overlapping live fan-out): dedup, but
+		// only after the sequence/drop trackers above advanced past it.
+		target.mu.Unlock()
 		return
 	}
+	target.lastSeq = ev.GSeq
+	epoch := target.epoch
+	target.mu.Unlock()
 	out := SubEvent{
 		Type:   ev.Type,
 		Peer:   ev.Peer,
 		GSeq:   ev.GSeq,
-		Drops:  ev.Drops,
+		DSeq:   ev.DSeq,
+		Drops:  cumDrops,
 		Replay: ev.Replay,
 		Epoch:  epoch,
 	}
@@ -370,19 +446,20 @@ func (c *Client) dispatchEvent(ev Event) {
 			out.Tuple = t
 		}
 	}
-	select {
-	case target.Events <- out:
-	case <-c.closec:
-	}
+	target.deliver(out, c.closec)
 }
 
 // resubscribe re-establishes one subscription on the current
 // connection, requesting replay from the last sequence seen. On an
 // epoch change or replay miss it emits a Resync marker first so the
-// consumer knows to rebuild its state.
+// consumer knows to rebuild its state. Calls serialize on estMu and
+// skip when the handle is already attached (serverID set), so two
+// racing establishers send at most one subscribe RPC.
 func (c *Client) resubscribe(s *Subscription) error {
+	s.estMu.Lock()
+	defer s.estMu.Unlock()
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.serverID != 0 {
 		s.mu.Unlock()
 		return nil
 	}
@@ -412,14 +489,10 @@ func (c *Client) resubscribe(s *Subscription) error {
 	s.mu.Lock()
 	resync := s.needResync
 	s.needResync = false
-	closed := s.closed
 	epoch := s.epoch
 	s.mu.Unlock()
-	if resync && !closed {
-		select {
-		case s.Events <- SubEvent{Resync: true, Epoch: epoch}:
-		case <-c.closec:
-		}
+	if resync {
+		s.deliver(SubEvent{Resync: true, Epoch: epoch}, c.closec)
 	}
 	return nil
 }
@@ -438,9 +511,17 @@ func (c *Client) applySubscribeAck(s *Subscription, resp Response) {
 		// accumulated so far is unreliable. Reset tracking so the new
 		// epoch's replay passes dedup, and flag the consumer to rebuild.
 		s.lastSeq = 0
-		s.drops = 0
 		s.needResync = true
 	}
+	// Every ack is a fresh server-side attachment whose delivery
+	// sequence and drop counter restart at zero — regardless of epoch
+	// or replay outcome — so the client-side trackers must too, or a
+	// stale counter would flag the next legitimate drop-covered gap as
+	// a violation. Observed drops roll into dropsBase so Drops() stays
+	// cumulative for consumers.
+	s.dropsBase += s.drops
+	s.drops = 0
+	s.lastDSeq = 0
 	s.epoch = resp.Epoch
 	s.serverID = resp.Sub
 }
@@ -458,14 +539,19 @@ func (c *Client) detachSubs() {
 	}
 }
 
-func (c *Client) failPending(err error) {
+// failPending aborts every in-flight round trip by closing its
+// response channel. A close — not a synthesized Response — is what
+// distinguishes a transport failure from a gateway verdict: do() must
+// retry the former under the policy and only treat the latter as
+// permanent.
+func (c *Client) failPending() {
 	c.mu.Lock()
 	pend := c.pending
 	c.pending = make(map[uint64]chan Response)
 	c.subFor = make(map[uint64]*Subscription)
 	c.mu.Unlock()
 	for _, ch := range pend {
-		ch <- Response{Err: err.Error()}
+		close(ch)
 	}
 }
 
@@ -510,7 +596,13 @@ func (c *Client) roundTripSub(req Request, sub *Subscription) (Response, error) 
 		return Response{}, err
 	}
 	select {
-	case resp := <-ch:
+	case resp, ok := <-ch:
+		if !ok {
+			// failPending closed the channel: the connection died with
+			// this request in flight. That is a transport error —
+			// retryable under the policy — not a gateway verdict.
+			return Response{}, ErrDisconnected
+		}
 		return resp, nil
 	case <-time.After(c.cfg.RequestTimeout):
 		c.abandon(req.Seq)
@@ -602,6 +694,7 @@ func (c *Client) Subscribe(tpl tuple.Template) (*Subscription, error) {
 		c:      c,
 		tpl:    tpl,
 		Events: make(chan SubEvent, c.cfg.EventBuffer),
+		done:   make(chan struct{}),
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -635,17 +728,14 @@ func (c *Client) Subscribe(tpl tuple.Template) (*Subscription, error) {
 
 // Unsubscribe drops the subscription and closes its channel.
 func (c *Client) Unsubscribe(s *Subscription) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
+	if !s.shut() {
+		return nil // already closed
 	}
-	s.closed = true
+	c.removeSub(s)
+	s.mu.Lock()
 	serverID := s.serverID
 	s.serverID = 0
 	s.mu.Unlock()
-	c.removeSub(s)
-	close(s.Events)
 	if serverID != 0 {
 		_, err := c.do(Request{Op: OpUnsubscribe, Sub: serverID})
 		return err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -356,19 +357,21 @@ func TestGatewaySlowConsumerDropAccounting(t *testing.T) {
 		t.Fatalf("gateway stats = %+v", gw.Stats())
 	}
 	first := decode(<-c.out)
-	if first.GSeq != 1 || first.Drops != 0 {
-		t.Fatalf("first event = %+v, want gseq 1 drops 0", first)
+	if first.GSeq != 1 || first.DSeq != 1 || first.Drops != 0 {
+		t.Fatalf("first event = %+v, want gseq 1 dseq 1 drops 0", first)
 	}
 	// With the queue drained, the next event carries the cumulative
 	// drop count, so the client can verify its sequence gap is covered.
+	// Dropped events consume delivery-sequence numbers too, so the DSeq
+	// gap (2, 3 missing) exactly equals the drop delta.
 	c.mu.Lock()
 	if !c.enqueueLocked(sub, entry(4), false) {
 		t.Fatal("drained queue should accept")
 	}
 	c.mu.Unlock()
 	next := decode(<-c.out)
-	if next.GSeq != 4 || next.Drops != 2 {
-		t.Fatalf("post-drop event = %+v, want gseq 4 drops 2", next)
+	if next.GSeq != 4 || next.DSeq != 4 || next.Drops != 2 {
+		t.Fatalf("post-drop event = %+v, want gseq 4 dseq 4 drops 2", next)
 	}
 }
 
@@ -492,5 +495,258 @@ func TestGatewayClientFreshSubscribeSeesRingReplay(t *testing.T) {
 	}
 	if sub.GapViolations() != 0 {
 		t.Fatalf("replay recorded %d unaccounted gaps", sub.GapViolations())
+	}
+}
+
+// TestGatewayUnsubscribeRacesLiveDispatch pins the send/close race: the
+// read loop used to check the closed flag and then send to Events
+// unlocked, so an event racing a concurrent Unsubscribe panicked the
+// whole process with a send on a closed channel. Deliveries and the
+// close now serialize on the subscription's send lock; under -race this
+// schedule flagged the old code.
+func TestGatewayUnsubscribeRacesLiveDispatch(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+	c := Dial(gw.Addr(), ClientConfig{
+		Policy:         retry.New(11),
+		RequestTimeout: 3 * time.Second,
+		// Depth 1 keeps deliveries blocked on the channel mid-Unsubscribe,
+		// exercising the abort-a-blocked-send path as well.
+		EventBuffer: 1,
+	})
+	t.Cleanup(func() { _ = c.Close() })
+
+	for i := 0; i < 20; i++ {
+		sub, err := c.Subscribe(tuple.MatchAll())
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		stop := make(chan struct{})
+		injectorDone := make(chan struct{})
+		go func() {
+			defer close(injectorDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := n.Inject(pattern.NewFlood("race")); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		time.Sleep(2 * time.Millisecond) // let deliveries flow, then tear down mid-stream
+		if err := c.Unsubscribe(sub); err != nil {
+			t.Fatalf("unsubscribe %d: %v", i, err)
+		}
+		close(stop)
+		<-injectorDone
+		for range sub.Events {
+			// drain until the closed channel ends the loop
+		}
+	}
+}
+
+// TestGatewayFilteredSubscriptionNoFalseGaps: a subscription with a
+// narrow template legitimately skips the global sequence numbers held
+// by non-matching events. Gap-vs-drop verification runs in the
+// per-subscription delivery sequence, so those skips must not count as
+// violations.
+func TestGatewayFilteredSubscriptionNoFalseGaps(t *testing.T) {
+	n, gw := newTestGateway(t, Config{})
+	c := testClient(t, gw.Addr())
+	sub, err := c.Subscribe(pattern.ByName(pattern.KindFlood, "wanted"))
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	const wanted = 5
+	for i := 0; i < wanted; i++ {
+		injectN(t, n, "noise", 3) // consume global sequence numbers the filter skips
+		if _, err := n.Inject(pattern.NewFlood("wanted")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prevGSeq uint64
+	sawGSeqGap := false
+	for i := 0; i < wanted; i++ {
+		ev := waitTupleEvent(t, sub, core.TupleArrived.String())
+		if prevGSeq != 0 && ev.GSeq > prevGSeq+1 {
+			sawGSeqGap = true
+		}
+		prevGSeq = ev.GSeq
+		if ev.DSeq != uint64(i+1) {
+			t.Fatalf("delivery %d has dseq %d, want contiguous %d", i, ev.DSeq, i+1)
+		}
+	}
+	if !sawGSeqGap {
+		t.Fatal("test never exercised a global-sequence gap; it proves nothing")
+	}
+	if got := sub.GapViolations(); got != 0 {
+		t.Fatalf("filtered subscription recorded %d false gap violations", got)
+	}
+}
+
+// TestGatewayDropCounterResetAcrossResubscribe: every subscribe ack
+// attaches to a fresh server-side subscription whose delivery sequence
+// and drop counter restart at zero, so the client-side trackers must
+// reset too — a stale counter turned the next legitimate drop-covered
+// gap into a false violation after a same-epoch reconnect.
+func TestGatewayDropCounterResetAcrossResubscribe(t *testing.T) {
+	c := &Client{closec: make(chan struct{})}
+	s := &Subscription{
+		Events: make(chan SubEvent, 4),
+		done:   make(chan struct{}),
+	}
+	s.epoch = "e1"
+	s.serverID = 1
+	s.lastSeq = 40
+	s.lastDSeq = 9
+	s.drops = 5
+	c.subs = []*Subscription{s}
+
+	c.applySubscribeAck(s, Response{OK: true, Sub: 2, Epoch: "e1", Replay: ReplayHit})
+	if s.needResync {
+		t.Fatal("same-epoch replay hit must not force a resync")
+	}
+	if s.lastSeq != 40 {
+		t.Fatalf("lastSeq = %d, want 40 (the global sequence survives a same-epoch reconnect)", s.lastSeq)
+	}
+	if s.drops != 0 || s.lastDSeq != 0 {
+		t.Fatalf("per-attachment trackers not reset: drops=%d lastDSeq=%d", s.drops, s.lastDSeq)
+	}
+	if got := s.Drops(); got != 5 {
+		t.Fatalf("Drops() = %d, want 5 (prior drops stay in the cumulative count)", got)
+	}
+
+	// First post-reconnect delivery: one matched event was dropped ahead
+	// of it (dseq 1), so it arrives as dseq 2 with drops 1. Comparing
+	// against the stale pre-reconnect counter (5) used to flag this as
+	// an unaccounted gap.
+	c.dispatchEvent(Event{Sub: 2, GSeq: 43, DSeq: 2, Drops: 1})
+	if got := s.GapViolations(); got != 0 {
+		t.Fatalf("gap violations = %d, want 0 (gap is covered in the new counter space)", got)
+	}
+	ev := <-s.Events
+	if ev.Drops != 6 {
+		t.Fatalf("delivered Drops = %d, want cumulative 6", ev.Drops)
+	}
+	// A genuinely unaccounted gap in the new space is still caught.
+	c.dispatchEvent(Event{Sub: 2, GSeq: 45, DSeq: 5, Drops: 1})
+	if got := s.GapViolations(); got != 1 {
+		t.Fatalf("gap violations = %d, want 1 for an uncovered delivery gap", got)
+	}
+}
+
+// TestGatewayClientRetriesThroughMidRPCDisconnect: a connection that
+// dies with an RPC in flight is a transport error, not a gateway
+// verdict — the request must consume its retry budget and succeed on
+// the reconnect, not fail permanently (the transparent-reconnect
+// contract the client fleet relies on under faults).
+func TestGatewayClientRetriesThroughMidRPCDisconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var dropFirst atomic.Bool
+	dropFirst.Store(true)
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				for {
+					var req Request
+					if err := ReadFrame(nc, &req); err != nil {
+						return
+					}
+					if dropFirst.CompareAndSwap(true, false) {
+						return // kill the connection with the request in flight
+					}
+					_ = WriteFrame(nc, Frame{Resp: &Response{Seq: req.Seq, OK: true, Epoch: "fake", NextSeq: 7}})
+				}
+			}(nc)
+		}
+	}()
+
+	c := Dial(ln.Addr().String(), ClientConfig{
+		Policy:         retry.New(5),
+		RequestTimeout: 2 * time.Second,
+	})
+	defer c.Close()
+	epoch, _, err := c.Ping()
+	if err != nil {
+		t.Fatalf("ping should retry through a mid-RPC disconnect: %v", err)
+	}
+	if epoch != "fake" {
+		t.Fatalf("epoch = %q, want the reconnect's answer", epoch)
+	}
+}
+
+// TestGatewaySubscribeRetryDoesNotDuplicateServerSub: Subscribe's
+// first attempt often races the connection manager's dial and fails;
+// the manager then establishes the subscription itself, and the retry
+// must notice the handle is already attached instead of installing a
+// second server-side subscription the client orphans.
+func TestGatewaySubscribeRetryDoesNotDuplicateServerSub(t *testing.T) {
+	_, gw := newTestGateway(t, Config{})
+	c := testClient(t, gw.Addr())
+	sub, err := c.Subscribe(tuple.MatchAll())
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer func() { _ = c.Unsubscribe(sub) }()
+	// Give a racing duplicate subscribe RPC time to land if one was sent.
+	time.Sleep(200 * time.Millisecond)
+	if got := gw.Stats().Subscriptions; got != 1 {
+		t.Fatalf("server-side subscriptions = %d, want exactly 1", got)
+	}
+}
+
+// TestGatewaySubscribeAckNeverBlocksFanoutLock: queueing the subscribe
+// ack happens under the connection lock the event fan-out path (and
+// through it the engine dispatch goroutine) waits on, so it must never
+// block on a wedged client — the connection is dropped instead.
+func TestGatewaySubscribeAckNeverBlocksFanoutLock(t *testing.T) {
+	gw := &Gateway{cfg: Config{QueueSize: 1}, ring: newEventRing(4)}
+	c := &conn{
+		gw:     gw,
+		out:    make(chan []byte, 1),
+		subs:   make(map[uint64]*serverSub),
+		closec: make(chan struct{}),
+	}
+	c.out <- []byte{0} // wedge the outbound queue
+
+	type result struct {
+		resp  *Response
+		fatal bool
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, fatal := c.handleSubscribe(Request{Op: OpSubscribe, Seq: 1})
+		done <- result{resp, fatal}
+	}()
+	select {
+	case r := <-done:
+		if !r.fatal || r.resp != nil {
+			t.Fatalf("handleSubscribe = (%+v, fatal=%v), want (nil, fatal=true)", r.resp, r.fatal)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handleSubscribe blocked on a full outbound queue")
+	}
+	// The lock the fan-out path needs is free again immediately.
+	locked := make(chan struct{})
+	go func() {
+		c.mu.Lock()
+		c.mu.Unlock() //nolint:staticcheck // probing lock availability
+		close(locked)
+	}()
+	select {
+	case <-locked:
+	case <-time.After(time.Second):
+		t.Fatal("connection lock still held after the wedged subscribe")
 	}
 }

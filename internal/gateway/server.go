@@ -289,8 +289,13 @@ func (g *Gateway) seqNow() uint64 {
 
 // serverSub is one client subscription on one connection.
 type serverSub struct {
-	id    uint64
-	tpl   tuple.Template
+	id  uint64
+	tpl tuple.Template
+	// dseq is the per-subscription delivery sequence: every matched
+	// event consumes one number whether it was queued or dropped, so a
+	// client-observed dseq gap equals the number of matched events shed
+	// to the bounded queue in between. Guarded by conn.mu.
+	dseq  uint64
 	drops atomic.Uint64 // cumulative events lost to the bounded queue
 }
 
@@ -342,7 +347,10 @@ func (c *conn) readLoop() {
 		if err := ReadFrame(c.nc, &req); err != nil {
 			return
 		}
-		resp := c.handle(req)
+		resp, fatal := c.handle(req)
+		if fatal {
+			return
+		}
 		if resp == nil {
 			continue // already enqueued (subscribe orders it before replay)
 		}
@@ -386,18 +394,18 @@ func (c *conn) enqueueResponse(resp Response) bool {
 	}
 }
 
-// handle dispatches one request. A nil return means the handler
-// already enqueued its own response.
-func (c *conn) handle(req Request) *Response {
+// handle dispatches one request. A nil response means the handler
+// already enqueued its own; fatal means the connection must close.
+func (c *conn) handle(req Request) (resp *Response, fatal bool) {
 	switch req.Op {
 	case OpPing:
-		return &Response{OK: true, Epoch: c.gw.epoch, NextSeq: c.gw.seqNow()}
+		return &Response{OK: true, Epoch: c.gw.epoch, NextSeq: c.gw.seqNow()}, false
 	case OpInject:
 		r := c.handleInject(req)
-		return &r
+		return &r, false
 	case OpRead:
 		r := c.handleRead(req)
-		return &r
+		return &r, false
 	case OpSubscribe:
 		return c.handleSubscribe(req)
 	case OpUnsubscribe:
@@ -408,9 +416,9 @@ func (c *conn) handle(req Request) *Response {
 		if ok {
 			c.gw.stats.subscriptions.Add(-1)
 		}
-		return &Response{OK: true}
+		return &Response{OK: true}, false
 	default:
-		return &Response{Err: fmt.Sprintf("gateway: unknown op %q", req.Op)}
+		return &Response{Err: fmt.Sprintf("gateway: unknown op %q", req.Op)}, false
 	}
 }
 
@@ -455,11 +463,16 @@ func (c *conn) handleRead(req Request) Response {
 // blocks live fan-out to this connection while the ring snapshot is
 // queued, so a concurrent event is either in the snapshot or delivered
 // live afterwards — possibly both (the client dedups by gseq), never
-// neither.
-func (c *conn) handleSubscribe(req Request) *Response {
+// neither. Everything queued under c.mu is queued NON-blocking: the
+// evMu-holding fan-out path (onEvent → deliver) waits on c.mu, so
+// blocking here on one wedged client would stall event dispatch for
+// every client on the gateway and the engine goroutine behind it. A
+// true second return closes the connection (its queue could not take
+// even the ack — the client is not reading).
+func (c *conn) handleSubscribe(req Request) (*Response, bool) {
 	tpl, err := decodeTemplate(req.Template)
 	if err != nil {
-		return &Response{Err: fmt.Sprintf("gateway: subscribe: %v", err)}
+		return &Response{Err: fmt.Sprintf("gateway: subscribe: %v", err)}, false
 	}
 	// seqNow takes evMu; read it before c.mu to respect the evMu→c.mu
 	// lock order the live fan-out path (onEvent→deliver) establishes.
@@ -495,15 +508,26 @@ func (c *conn) handleSubscribe(req Request) *Response {
 	// (the client routes events by the sub id the ack carries), and both
 	// must be queued under c.mu so live fan-out cannot interleave a gap.
 	resp.Seq = req.Seq
-	if !c.enqueueResponse(resp) {
-		return nil
+	buf, err := EncodeFrame(Frame{Resp: &resp})
+	if err != nil {
+		c.gw.logf("gateway: encode response", "err", err)
+		return nil, true
+	}
+	select {
+	case c.out <- buf:
+	default:
+		// The outbound queue is already full before the ack could be
+		// queued: this client stopped reading. Close it rather than
+		// block under c.mu, which the fan-out path for every other
+		// client needs.
+		return nil, true
 	}
 	for _, e := range entries {
 		if c.enqueueLocked(sub, e, true) {
 			c.gw.stats.replayEvents.Add(1)
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // deliver fans one event into every matching subscription queue.
@@ -521,10 +545,12 @@ func (c *conn) enqueueLocked(sub *serverSub, e ringEntry, replay bool) bool {
 	if !matchEntry(sub.tpl, e) {
 		return false
 	}
+	sub.dseq++
 	ev := Event{
 		Type:   e.typ,
 		Sub:    sub.id,
 		GSeq:   e.seq,
+		DSeq:   sub.dseq,
 		Drops:  sub.drops.Load(),
 		Peer:   e.peer,
 		Tuple:  e.tJSON,

@@ -99,14 +99,20 @@ type Response struct {
 }
 
 // Event is one subscription delivery. GSeq is the per-gateway sequence
-// of the underlying engine event; Drops is the cumulative number of
-// events this subscription has lost to its bounded queue, so a client
-// can verify that any sequence gap it observes is accounted for rather
-// than silent.
+// of the underlying engine event — the replay/dedup coordinate, global
+// across all subscriptions. DSeq is the per-subscription delivery
+// sequence: it counts only events matching the subscription's
+// template, starting at 1 on each (re)subscribe. Gap-vs-drop
+// verification runs in DSeq space, because a filtered subscription
+// legitimately skips GSeq values held by non-matching events. Drops is
+// the cumulative number of events this server-side subscription has
+// lost to its bounded queue, so a client can verify that any DSeq gap
+// it observes is accounted for rather than silent.
 type Event struct {
 	Type   string          `json:"ev"`
 	Sub    uint64          `json:"sub"`
 	GSeq   uint64          `json:"gseq"`
+	DSeq   uint64          `json:"dseq,omitempty"`
 	Drops  uint64          `json:"drops,omitempty"`
 	Peer   string          `json:"peer,omitempty"`
 	Tuple  json.RawMessage `json:"tuple,omitempty"`
